@@ -1,0 +1,22 @@
+"""Ablation bench: what each optimizer component buys.
+
+Decomposes the paper's design: feedback-only (Figure 9's weak bar),
+CP/RA without the MBC, CP/RA + RLE/SF, and the full optimizer with
+value feedback.  The full configuration should dominate its parts.
+"""
+
+from conftest import publish
+
+from repro.experiments import ablation
+
+
+def test_ablation_component_contributions(benchmark):
+    rows = benchmark.pedantic(ablation.run, rounds=1, iterations=1,
+                              kwargs={"workloads_per_suite": 2})
+    for row in rows:
+        # Adding RLE/SF on top of CP/RA never hurts materially, and the
+        # full system is at least competitive with every ablation.
+        assert (row.bars["CP/RA + RLE/SF"]
+                >= row.bars["CP/RA only"] - 0.05)
+        assert row.bars["full"] >= row.bars["feedback only"] - 0.05
+    publish("ablation_components", ablation.format(rows))

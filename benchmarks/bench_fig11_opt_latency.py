@@ -1,0 +1,17 @@
+"""Regenerates Figure 11: optimizer pipeline-latency sweep.
+
+Paper reference: performance degrades gracefully with extra rename
+stages; even at four stages the speedup remains noteworthy.
+"""
+
+from conftest import publish
+
+from repro.experiments import latency
+
+
+def test_fig11_optimizer_latency(benchmark):
+    rows = benchmark.pedantic(latency.run, rounds=1, iterations=1,
+                              kwargs={"workloads_per_suite": 2})
+    for row in rows:
+        assert row.bars[0] >= row.bars[4] - 0.05  # graceful degradation
+    publish("fig11_opt_latency", latency.format(rows))

@@ -1,0 +1,18 @@
+"""Regenerates Figure 12: value-feedback transmission-delay sweep.
+
+Paper reference: essentially no sensitivity — a register is either
+referenced by the optimizer for a long time or not at all.
+"""
+
+from conftest import publish
+
+from repro.experiments import vf_delay
+
+
+def test_fig12_value_feedback_delay(benchmark):
+    rows = benchmark.pedantic(vf_delay.run, rounds=1, iterations=1,
+                              kwargs={"workloads_per_suite": 2})
+    for row in rows:
+        values = list(row.bars.values())
+        assert max(values) - min(values) < 0.1  # near-flat
+    publish("fig12_vf_delay", vf_delay.format(rows))

@@ -1,0 +1,23 @@
+"""Regenerates Figure 6: per-benchmark speedup over the baseline.
+
+Paper reference: speedups range 0.98-1.28; mediabench shows the
+largest improvement; mcf is 2-3x its SPECint peers; untoast is the
+best mediabench benchmark.
+"""
+
+from conftest import publish
+
+from repro.experiments import speedup
+
+
+def test_fig6_speedup_over_baseline(benchmark):
+    rows = benchmark.pedantic(speedup.run, rounds=1, iterations=1)
+    assert len(rows) == 22
+    values = [row.speedup for row in rows]
+    # Shape: nearly all benchmarks at or above break-even, a clear win
+    # at the top, nothing catastrophically slower.
+    assert min(values) > 0.90
+    assert max(values) > 1.08
+    averages = speedup.suite_averages(rows)
+    assert all(avg > 0.97 for avg in averages.values())
+    publish("fig6_speedup", speedup.format(rows))

@@ -1,0 +1,21 @@
+"""Regenerates Figure 8: optimization on other machine models.
+
+Paper reference: the optimizer helps the execution-bound machine far
+more than widening fetch alone; on the balanced machine continuous
+optimization matches or beats doubling the fetch width.
+Representative subset: the first two workloads of each suite
+(sensitivity studies use a subset to bound harness runtime).
+"""
+
+from conftest import publish
+
+from repro.experiments import machine_models
+
+
+def test_fig8_machine_models(benchmark):
+    rows = benchmark.pedantic(machine_models.run, rounds=1, iterations=1,
+                              kwargs={"workloads_per_suite": 2})
+    assert len(rows) == 3
+    for row in rows:
+        assert row.bars["exec bound + opt"] > row.bars["exec bound"] - 0.02
+    publish("fig8_machine_models", machine_models.format(rows))

@@ -1,0 +1,17 @@
+"""Regenerates Figure 9: value feedback alone vs. feedback + opt.
+
+Paper reference: feedback alone offers little (bars near 1.0);
+optimization projects old values into the future and dominates.
+"""
+
+from conftest import publish
+
+from repro.experiments import feedback
+
+
+def test_fig9_feedback_vs_optimization(benchmark):
+    rows = benchmark.pedantic(feedback.run, rounds=1, iterations=1,
+                              kwargs={"workloads_per_suite": 2})
+    for row in rows:
+        assert row.feedback_plus_opt >= row.feedback_only - 0.05
+    publish("fig9_feedback", feedback.format(rows))

@@ -1,0 +1,11 @@
+"""Regenerates Table 1: the experimental workload inventory."""
+
+from conftest import publish
+
+from repro.experiments import table1
+
+
+def test_table1_workload_inventory(benchmark):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    assert len(rows) == 22
+    publish("table1_workloads", table1.format(rows))

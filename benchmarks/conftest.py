@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.
+Formatted result tables are printed (visible with ``pytest -s``) and
+written to ``benchmarks/results/`` so EXPERIMENTS.md can reference
+them.  The experiment runner memoizes traces and simulations, so the
+baseline runs are shared across figures within one pytest session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

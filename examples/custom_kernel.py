@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Bring your own kernel: assemble custom code and sweep machines.
+
+Shows the full public API surface a downstream user needs:
+
+* write assembly with the documented dialect,
+* assemble + emulate it,
+* build machine variants (`fetch_bound`, `execution_bound`,
+  optimizer knobs) from the Table 2 default,
+* inspect detailed pipeline statistics.
+
+The kernel here is a pointer-chasing hash walk — a deliberately
+optimizer-hostile workload (data-dependent addresses everywhere), so
+it demonstrates the honest *lower* end of the paper's speedup range.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import assemble, default_config, run_program, simulate_trace
+
+SOURCE = """
+.data
+table:  .space 8192          # 1024 quads
+result: .quad 0
+.text
+        ldi   r3, 90210
+        ldi   r1, 1024
+        ldi   r2, table
+fill:   mul   r4, r3, 1103515245
+        add   r4, r4, 12345
+        and   r3, r4, 0x7fffffff
+        and   r5, r3, 1023
+        stq   r5, 0(r2)
+        lda   r2, 8(r2)
+        sub   r1, r1, 1
+        bne   r1, fill
+        ldi   r1, 3000       # pointer-chase steps
+        clr   r6             # current index
+        clr   r7             # checksum
+        ldi   r8, table
+chase:  s8add r9, r6, r8
+        ldq   r6, 0(r9)      # next index depends on loaded data
+        add   r7, r7, r6
+        sub   r1, r1, 1
+        bne   r1, chase
+        ldi   r10, result
+        stq   r7, 0(r10)
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    oracle = run_program(program)
+    print(f"pointer-chase kernel: {oracle.instruction_count} dynamic "
+          f"instructions, checksum {oracle.int_regs[7]}")
+
+    base_cfg = default_config()
+    machines = {
+        "baseline": base_cfg,
+        "optimized": base_cfg.with_optimizer(),
+        "fetch-bound": base_cfg.fetch_bound(),
+        "fetch-bound + opt": base_cfg.fetch_bound().with_optimizer(),
+        "exec-bound": base_cfg.execution_bound(),
+        "exec-bound + opt": base_cfg.execution_bound().with_optimizer(),
+    }
+    base_cycles = None
+    print(f"\n{'machine':>18}  {'cycles':>8}  {'IPC':>5}  {'vs baseline':>11}")
+    for label, config in machines.items():
+        stats = simulate_trace(oracle.trace, config)
+        if base_cycles is None:
+            base_cycles = stats.cycles
+        print(f"{label:>18}  {stats.cycles:>8}  {stats.ipc:>5.2f}  "
+              f"{base_cycles / stats.cycles:>11.3f}")
+
+    opt = simulate_trace(oracle.trace, base_cfg.with_optimizer())
+    print("\ndetailed optimized-machine stats:")
+    for key, value in opt.summary().items():
+        print(f"  {key:>24}: {value}")
+    print("\nPointer chasing defeats address generation (every address")
+    print("depends on loaded data), so the optimizer's gain here is small —")
+    print("the honest bottom of the paper's 0.98-1.28 range.")
+
+
+if __name__ == "__main__":
+    main()

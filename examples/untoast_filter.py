@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Section 5.2 case study: untoast's short-term synthesis filter.
+
+The paper's largest mediabench speedup comes from GSM
+``Short_term_synthesis_filtering``: two 8-entry arrays fit entirely in
+the Memory Bypass Cache, so after the first iteration all array
+accesses are eliminated.  This example reproduces the effect and also
+demonstrates the Figure 10 interaction: because the filter's inner
+loop packs dependent additions tightly, raising the intra-bundle
+dependence depth unlocks substantially more optimization — the paper's
+own mediabench finding (1.11 -> 1.25 from depth 0 to depth 3).
+
+Run:  python examples/untoast_filter.py
+"""
+
+from repro import default_config, simulate_trace
+from repro.workloads import build_trace
+
+
+def main() -> None:
+    oracle = build_trace("untoast")
+    trace = oracle.trace
+    print(f"untoast synthesis-filter kernel: {len(trace)} dynamic "
+          f"instructions")
+
+    baseline_cfg = default_config()
+    base = simulate_trace(trace, baseline_cfg)
+    print(f"baseline: {base.cycles} cycles (IPC {base.ipc:.2f})\n")
+
+    print(f"{'configuration':>22}  {'speedup':>7}  {'early':>6}  "
+          f"{'lds removed':>11}")
+    scenarios = [
+        ("depth 0 (default)", dict(add_depth=0, mem_depth=0)),
+        ("depth 1", dict(add_depth=1, mem_depth=0)),
+        ("depth 3", dict(add_depth=3, mem_depth=0)),
+        ("depth 3 & 1 mem", dict(add_depth=3, mem_depth=1)),
+    ]
+    for label, overrides in scenarios:
+        config = baseline_cfg.with_optimizer(**overrides)
+        stats = simulate_trace(trace, config)
+        print(f"{label:>22}  {base.cycles / stats.cycles:>7.3f}  "
+              f"{100 * stats.frac_early_executed:>5.1f}%  "
+              f"{100 * stats.frac_loads_removed:>10.1f}%")
+
+    print("\nDeeper intra-bundle chaining lets the filter's tightly packed")
+    print("index arithmetic reach the MBC, eliminating the state-array")
+    print("accesses the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

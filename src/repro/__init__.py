@@ -1,0 +1,64 @@
+"""repro: a reproduction of *Continuous Optimization* (ISCA 2005).
+
+Fahs, Rafacz, Patel, and Lumetta's continuous optimizer is a
+table-based hardware dynamic optimizer in the rename stage of an
+out-of-order processor: constant propagation, reassociation, redundant
+load elimination, and store forwarding applied to every fetched
+instruction, with execution results fed back into the optimization
+tables.
+
+Package layout:
+
+* :mod:`repro.isa` -- the Alpha-flavoured ISA and assembler
+* :mod:`repro.functional` -- architectural emulator / oracle traces
+* :mod:`repro.uarch` -- the cycle-level out-of-order timing model
+* :mod:`repro.core` -- **the continuous optimizer** (the contribution)
+* :mod:`repro.workloads` -- 22 benchmark kernels (paper Table 1)
+* :mod:`repro.experiments` -- one module per paper table/figure
+
+Quickstart::
+
+    from repro import quick_compare
+    result = quick_compare("mcf")
+    print(result["speedup"])
+"""
+
+from .functional import run_program
+from .isa import assemble
+from .uarch import (MachineConfig, OptimizerConfig, default_config,
+                    optimized_config, simulate_trace)
+
+__version__ = "1.0.0"
+
+
+def quick_compare(workload: str, scale: int = 1) -> dict:
+    """Run one workload on the baseline and optimized machines.
+
+    Returns a dict with both stats objects and the headline numbers --
+    the one-call version of the paper's core experiment.
+    """
+    from .experiments.runner import run_workload
+    from .workloads import get_workload
+    workload = get_workload(workload).name  # canonicalize abbreviations
+    base_cfg = default_config()
+    opt_cfg = base_cfg.with_optimizer()
+    base = run_workload(workload, base_cfg, scale)
+    opt = run_workload(workload, opt_cfg, scale)
+    return {
+        "workload": workload,
+        "baseline": base,
+        "optimized": opt,
+        "speedup": base.cycles / opt.cycles,
+        "early_executed_pct": 100 * opt.frac_early_executed,
+        "mispredicts_recovered_pct": 100 * opt.frac_mispredicts_recovered,
+        "addr_generated_pct": 100 * opt.frac_mem_addr_gen,
+        "loads_removed_pct": 100 * opt.frac_loads_removed,
+    }
+
+
+__all__ = [
+    "assemble", "run_program",
+    "MachineConfig", "OptimizerConfig", "default_config",
+    "optimized_config", "simulate_trace",
+    "quick_compare", "__version__",
+]

@@ -1,0 +1,120 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``                 list the 22 workloads with suites
+``run <workload>``       baseline-vs-optimized comparison for one kernel
+``table1`` / ``table3``  regenerate the paper's tables
+``fig6`` / ``fig8`` / ``fig9`` / ``fig10`` / ``fig11`` / ``fig12``
+                         regenerate the paper's figures
+``all``                  everything above, in order
+
+Sensitivity figures accept ``--per-suite N`` to bound runtime (default:
+all workloads; the benchmark harness uses 2).  ``--scale N`` grows the
+dynamic instruction counts of every kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import quick_compare
+from .experiments import (depth, feedback, latency, machine_models, speedup,
+                          table1, table3, vf_delay)
+from .workloads import ALL_WORKLOADS
+
+_FIGURES = {
+    "fig8": machine_models,
+    "fig9": feedback,
+    "fig10": depth,
+    "fig11": latency,
+    "fig12": vf_delay,
+}
+
+
+def _cmd_list(_args) -> int:
+    for workload in ALL_WORKLOADS:
+        print(f"{workload.suite:11s}  {workload.name:13s} "
+              f"({workload.abbrev})  {workload.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = quick_compare(args.workload, scale=args.scale)
+    base = result["baseline"]
+    opt = result["optimized"]
+    print(f"workload : {result['workload']}")
+    print(f"baseline : {base.cycles} cycles (IPC {base.ipc:.3f})")
+    print(f"optimized: {opt.cycles} cycles (IPC {opt.ipc:.3f})")
+    print(f"speedup  : {result['speedup']:.3f}")
+    print(f"early    : {result['early_executed_pct']:.1f}%   "
+          f"recovered: {result['mispredicts_recovered_pct']:.1f}%   "
+          f"addr-gen: {result['addr_generated_pct']:.1f}%   "
+          f"lds-removed: {result['loads_removed_pct']:.1f}%")
+    return 0
+
+
+def _cmd_table(module):
+    def run(args) -> int:
+        rows = module.run(scale=args.scale)
+        print(module.format(rows))
+        return 0
+    return run
+
+
+def _cmd_figure(module):
+    def run(args) -> int:
+        rows = module.run(scale=args.scale,
+                          workloads_per_suite=args.per_suite)
+        print(module.format(rows))
+        return 0
+    return run
+
+
+def _cmd_fig6(args) -> int:
+    rows = speedup.run(scale=args.scale)
+    print(speedup.format(rows))
+    return 0
+
+
+def _cmd_all(args) -> int:
+    for handler in (_cmd_table(table1), _cmd_table(table3), _cmd_fig6,
+                    *(_cmd_figure(mod) for mod in _FIGURES.values())):
+        handler(args)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Continuous Optimization' (ISCA 2005)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--per-suite", type=int, default=None,
+                        help="limit sensitivity figures to N workloads "
+                             "per suite")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list workloads").set_defaults(
+        handler=_cmd_list)
+    run_parser = sub.add_parser("run", help="compare one workload")
+    run_parser.add_argument("workload")
+    run_parser.set_defaults(handler=_cmd_run)
+    sub.add_parser("table1").set_defaults(handler=_cmd_table(table1))
+    sub.add_parser("table3").set_defaults(handler=_cmd_table(table3))
+    sub.add_parser("fig6").set_defaults(handler=_cmd_fig6)
+    for name, module in _FIGURES.items():
+        sub.add_parser(name).set_defaults(handler=_cmd_figure(module))
+    sub.add_parser("all", help="every table and figure").set_defaults(
+        handler=_cmd_all)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

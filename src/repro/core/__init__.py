@@ -1,0 +1,23 @@
+"""The continuous optimizer — the paper's primary contribution.
+
+Symbolic ``(preg << scale) ± offset`` register values, the CP/RA
+transformation engine, the Memory Bypass Cache (RLE/SF), the value
+feedback channel, and the :class:`OptimizingRenamer` that installs all
+of it into the pipeline's rename stage.
+"""
+
+from . import cpra, symbolic
+from .cpra import Kind, Outcome, transform
+from .feedback import ValueFeedbackChannel
+from .mbc import MBCEntry, MemoryBypassCache
+from .optimizer import OptimizingRenamer, VerificationError
+from .symbolic import SymVal, add_const, const, fold, plain, shift_left
+
+__all__ = [
+    "cpra", "symbolic",
+    "Kind", "Outcome", "transform",
+    "ValueFeedbackChannel",
+    "MBCEntry", "MemoryBypassCache",
+    "OptimizingRenamer", "VerificationError",
+    "SymVal", "add_const", "const", "fold", "plain", "shift_left",
+]

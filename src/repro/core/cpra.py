@@ -1,0 +1,210 @@
+"""Constant propagation and reassociation (CP/RA) transformations.
+
+Pure dataflow logic of the rename-stage optimizer, separated from the
+table plumbing for testability.  Given an opcode and its source
+expressions (each already resolved against the RAT symbolic state and
+the known-value table), :func:`transform` decides, exactly as the
+hardware in Section 3.1 does, whether the instruction
+
+* **executes early** — all inputs known and the operation is simple
+  (single-cycle), so the rename-stage ALU produces the final value;
+* is **rewritten** — the destination gets a new symbolic value of the
+  form ``(base << scale) ± offset``, shifting the dependence to an
+  earlier producer (reassociation) and/or folding constants; or
+* stays **plain** — the result is not encodable symbolically and the
+  instruction executes unchanged in the out-of-order core.
+
+Also implemented here: the paper's minor optimizations — move
+collapsing, strength reduction of multiplies by powers of two into
+shifts, and early branch resolution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..functional import alu
+from ..isa.opcodes import BranchCond, Opcode, spec_of
+from . import symbolic
+from .symbolic import SymVal
+
+
+class Kind(enum.Enum):
+    """Outcome category of one CP/RA attempt."""
+
+    EARLY = "early"  # executed in the optimizer
+    REWRITTEN = "rewritten"  # new symbolic value for the destination
+    PLAIN = "plain"  # no optimization
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Result of :func:`transform` for one instruction."""
+
+    kind: Kind
+    value: int | None = None  # EARLY: the computed result
+    sym: SymVal | None = None  # EARLY/REWRITTEN: destination symbolic value
+    uses_alu: bool = False  # consumed an optimizer ALU (depth accounting)
+    strength_reduced: bool = False  # multiply converted to shift
+
+    @property
+    def is_early(self) -> bool:
+        return self.kind is Kind.EARLY
+
+    @property
+    def is_rewritten(self) -> bool:
+        return self.kind is Kind.REWRITTEN
+
+
+_PLAIN = Outcome(kind=Kind.PLAIN)
+
+#: Opcodes that fold to a constant when all sources are constant but
+#: have no symbolic (base << scale) + offset form otherwise.
+_FOLD_ONLY_OPS = frozenset({
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.BIC,
+    Opcode.SRL, Opcode.SRA,
+    Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE,
+    Opcode.CMPULT, Opcode.CMPULE,
+    Opcode.SEXTB, Opcode.SEXTW, Opcode.SEXTL,
+})
+
+
+def _early(opcode: Opcode, values: list[int],
+           strength_reduced: bool = False) -> Outcome:
+    result = alu.evaluate_int(opcode, *values)
+    return Outcome(kind=Kind.EARLY, value=result, sym=symbolic.const(result),
+                   uses_alu=True, strength_reduced=strength_reduced)
+
+
+def _rewritten(sym: SymVal, strength_reduced: bool = False) -> Outcome:
+    return Outcome(kind=Kind.REWRITTEN, sym=sym, uses_alu=True,
+                   strength_reduced=strength_reduced)
+
+
+def transform(opcode: Opcode, srcs: list[SymVal]) -> Outcome:
+    """Apply CP/RA to one integer instruction.
+
+    *srcs* holds one resolved :class:`SymVal` per source operand
+    (immediates arrive as constants).  ``lda`` must be presented as
+    ``ADD`` with the displacement as the second source.
+    """
+    if opcode is Opcode.MOV:
+        src = srcs[0]
+        if src.is_const:
+            return Outcome(kind=Kind.EARLY, value=src.const_value,
+                           sym=src, uses_alu=False)
+        # Move collapsing: copy the producer's symbolic value; pure
+        # wiring, no optimizer ALU consumed.
+        return Outcome(kind=Kind.REWRITTEN, sym=src, uses_alu=False)
+
+    if opcode in (Opcode.ADD, Opcode.SUB):
+        return _transform_add_sub(opcode, srcs[0], srcs[1])
+    if opcode in (Opcode.S4ADD, Opcode.S8ADD):
+        shift = 2 if opcode is Opcode.S4ADD else 3
+        return _transform_scaled_add(opcode, srcs[0], srcs[1], shift)
+    if opcode is Opcode.SLL:
+        return _transform_shift_left(srcs[0], srcs[1])
+    if opcode is Opcode.MUL:
+        return _transform_multiply(srcs[0], srcs[1])
+    if opcode in _FOLD_ONLY_OPS:
+        if all(src.is_const for src in srcs):
+            return _early(opcode, [src.const_value for src in srcs])
+        return _PLAIN
+    # div/rem and anything else: never early (multi-cycle), no form.
+    return _PLAIN
+
+
+def _transform_add_sub(opcode: Opcode, a: SymVal, b: SymVal) -> Outcome:
+    if a.is_const and b.is_const:
+        return _early(opcode, [a.const_value, b.const_value])
+    if opcode is Opcode.ADD:
+        if b.is_const:
+            return _rewritten(symbolic.add_const(a, b.const_value))
+        if a.is_const:
+            return _rewritten(symbolic.add_const(b, a.const_value))
+        return _PLAIN
+    # SUB: only sym - const is representable.
+    if b.is_const:
+        return _rewritten(symbolic.add_const(a, -b.const_value))
+    return _PLAIN
+
+
+def _transform_scaled_add(opcode: Opcode, a: SymVal, b: SymVal,
+                          shift: int) -> Outcome:
+    if a.is_const and b.is_const:
+        return _early(opcode, [a.const_value, b.const_value])
+    if a.is_const:
+        # (const << k) + sym  ->  sym + (const << k)
+        return _rewritten(symbolic.add_const(
+            b, alu.to_signed64(a.const_value << shift)))
+    if b.is_const:
+        shifted = symbolic.shift_left(a, shift)
+        if shifted is not None:
+            return _rewritten(symbolic.add_const(shifted, b.const_value))
+    return _PLAIN
+
+
+def _transform_shift_left(a: SymVal, b: SymVal) -> Outcome:
+    if a.is_const and b.is_const:
+        return _early(Opcode.SLL, [a.const_value, b.const_value])
+    if b.is_const:
+        shifted = symbolic.shift_left(a, b.const_value & 0x3F)
+        if shifted is not None:
+            return _rewritten(shifted)
+    return _PLAIN
+
+
+def _transform_multiply(a: SymVal, b: SymVal) -> Outcome:
+    """Strength reduction: multiply by a power of two becomes a shift."""
+    for multiplier, other in ((a, b), (b, a)):
+        if not multiplier.is_const:
+            continue
+        factor = multiplier.const_value
+        if factor == 0:
+            return Outcome(kind=Kind.EARLY, value=0, sym=symbolic.const(0),
+                           uses_alu=True, strength_reduced=True)
+        if factor == 1:
+            if other.is_const:
+                return Outcome(kind=Kind.EARLY, value=other.const_value,
+                               sym=other, uses_alu=True,
+                               strength_reduced=True)
+            return _rewritten(other, strength_reduced=True)
+        if factor > 1 and factor & (factor - 1) == 0:
+            shift = factor.bit_length() - 1
+            if other.is_const:
+                return _early(Opcode.SLL, [other.const_value, shift],
+                              strength_reduced=True)
+            shifted = symbolic.shift_left(other, shift)
+            if shifted is not None:
+                return _rewritten(shifted, strength_reduced=True)
+            # Still executable as a 1-cycle shift even though the
+            # result is not symbolically encodable.
+            return Outcome(kind=Kind.PLAIN, strength_reduced=True)
+    return _PLAIN
+
+
+def resolve_branch(cond: BranchCond, src: SymVal) -> bool | None:
+    """Early branch resolution: the outcome if the source is known."""
+    if not src.is_const:
+        return None
+    return alu.branch_taken(cond, src.const_value)
+
+
+def branch_implied_value(opcode: Opcode, taken: bool) -> int | None:
+    """Value a branch direction implies for its source register.
+
+    ``beq`` taken (or ``bne`` not taken) proves the register is zero
+    (Section 2.1's final minor optimization).  Other conditions give
+    only inequalities, which the symbolic form cannot encode.
+    """
+    if opcode is Opcode.BEQ and taken:
+        return 0
+    if opcode is Opcode.BNE and not taken:
+        return 0
+    return None
+
+
+def is_simple(opcode: Opcode) -> bool:
+    """True if *opcode* is a single-cycle ('simple') operation."""
+    return spec_of(opcode).simple

@@ -1,0 +1,603 @@
+"""The continuous optimizer: an optimizing renamer for the pipeline.
+
+This is the paper's contribution.  :class:`OptimizingRenamer` replaces
+the baseline renamer in the rename stage and, for every dynamic
+instruction:
+
+1. resolves each source against the augmented RAT (symbolic values of
+   the form ``(preg << scale) ± offset``) and the known-value table
+   fed by value feedback;
+2. applies CP/RA (:mod:`repro.core.cpra`) — possibly executing the
+   instruction entirely within the optimizer (*early execution*),
+   resolving mispredicted branches at rename, or rewriting the
+   instruction's dependence to an earlier producer;
+3. for memory operations with rename-time addresses, consults the
+   Memory Bypass Cache (:mod:`repro.core.mbc`) to eliminate redundant
+   loads and forward stores;
+4. enforces the intra-bundle dependence-depth limits of Section 6.2
+   (chained additions, chained memory operations);
+5. verifies every produced value against the oracle trace — the
+   paper's strict expression and value checking (Section 4.2).
+
+Operating modes (Figure 9): with ``enable_opt`` off, only value
+feedback is active — sources become known solely through fed-back
+execution results, instructions with fully known inputs still execute
+early, but no symbolic rewriting, constant propagation through the
+RAT, or RLE/SF happens.  This is the paper's "eager bypassing"
+feedback-only configuration.
+
+Physical-register lifetimes follow the reference-counting scheme
+(Section 3.1): RAT symbolic bases and MBC entries pin their registers,
+and the optimizer sheds that state under register pressure (dropping a
+hint is always safe).
+"""
+
+from __future__ import annotations
+
+from ..functional.alu import to_signed64
+from ..isa.instructions import Imm
+from ..isa.opcodes import OpClass, Opcode
+from ..isa.registers import NUM_INT_REGS, is_int_reg, is_zero_reg
+from ..uarch.config import MachineConfig
+from ..uarch.dyninstr import DynInstr
+from ..uarch.regfile import OutOfRegisters, PhysRegFile
+from ..uarch.rename import BaselineRenamer
+from ..uarch.stats import PipelineStats
+from . import cpra, symbolic
+from .feedback import ValueFeedbackChannel
+from .mbc import MemoryBypassCache
+from .symbolic import SymVal
+
+_INT_COND_BRANCHES = frozenset({
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT,
+})
+
+_PENDING_INSERT = 0
+_PENDING_INVALIDATE = 1
+
+
+class VerificationError(Exception):
+    """The optimizer produced a value that disagrees with the oracle."""
+
+
+class _OptEntry:
+    """Symbolic state of one integer architectural register."""
+
+    __slots__ = ("sym", "sym_ref", "bundle_id", "add_depth", "mem_chain")
+
+    def __init__(self, sym: SymVal):
+        self.sym = sym
+        self.sym_ref: int | None = None  # preg pinned by sym.base
+        self.bundle_id = -1  # bundle that set the depth tags
+        self.add_depth = 0
+        self.mem_chain = 0
+
+
+class OptimizingRenamer(BaselineRenamer):
+    """Rename stage with the continuous optimizer installed."""
+
+    def __init__(self, prf: PhysRegFile, config: MachineConfig):
+        super().__init__(prf)
+        self._config = config
+        self._ocfg = config.optimizer
+        self.feedback = ValueFeedbackChannel(prf, self._ocfg.vf_delay)
+        self.mbc = MemoryBypassCache(self._ocfg.mbc_entries, prf)
+        # Pending MBC writes: applied at the next bundle boundary so no
+        # dependence within a rename packet is satisfied by RLE/SF
+        # (Section 3.2).  Each pending insert holds a register
+        # reference so the base cannot be recycled before commit.
+        self._mbc_pending: list[tuple[int, int, int, SymVal | None, int]] = []
+        self._pending_refs: list[int] = []
+        self._bundle_id = 0
+        # Symbolic state per integer architectural register; starts as
+        # the plain physical mapping.
+        self._entries: list[_OptEntry | None] = [None] * NUM_INT_REGS
+        for arch in range(NUM_INT_REGS):
+            if is_zero_reg(arch):
+                continue
+            self._entries[arch] = _OptEntry(
+                symbolic.plain(self.rat.lookup(arch)))
+        # statistics
+        self.stat_early = 0
+        self.stat_rewritten = 0
+        self.stat_strength_reductions = 0
+        self.stat_branch_inferences = 0
+        self.stat_mbc_misspeculations = 0
+        self.stat_depth_rejections = 0
+
+    # ==================================================================
+    # bundle boundary
+    # ==================================================================
+
+    def begin_bundle(self, cycle: int) -> None:
+        if self._ocfg.enable_feedback:
+            self.feedback.drain(cycle)
+        if self._mbc_pending:
+            for kind, addr, size, sym, expected, is_fp in self._mbc_pending:
+                if kind == _PENDING_INSERT:
+                    self.mbc.insert(addr, size, sym, expected, is_fp=is_fp)
+                else:
+                    self.mbc.invalidate_overlap(addr, size)
+            self._mbc_pending.clear()
+            for preg in self._pending_refs:
+                self._prf.release(preg)
+            self._pending_refs.clear()
+        self._bundle_id += 1
+
+    # ==================================================================
+    # rename entry point
+    # ==================================================================
+
+    def rename(self, di: DynInstr, cycle: int) -> None:
+        instr = di.instr
+        spec = instr.spec
+        needs_preg = instr.dst is not None and not is_zero_reg(instr.dst)
+        if needs_preg and not self._prf.can_allocate():
+            raise OutOfRegisters("no free physical registers")
+        di.rename_cycle = cycle
+
+        opcode = instr.opcode
+        if opcode in _INT_COND_BRANCHES:
+            self._rename_branch(di)
+        elif spec.is_jump:
+            self._rename_jump(di)
+        elif spec.is_load:
+            self._rename_load(di)
+        elif spec.is_store:
+            self._rename_store(di)
+        elif (spec.op_class in (OpClass.INT_SIMPLE, OpClass.INT_COMPLEX)
+              and opcode is not Opcode.NOP):
+            self._rename_int_alu(di)
+        else:
+            # FP operations, FP branches, nop: plain rename.
+            self._rename_plain(di)
+
+    # ------------------------------------------------------------------
+    # source resolution
+    # ------------------------------------------------------------------
+
+    def _expr_of(self, arch: int) -> tuple[SymVal, int, int]:
+        """Resolved symbolic value + intra-bundle depth tags of *arch*."""
+        if is_zero_reg(arch):
+            return symbolic.const(0), 0, 0
+        entry = self._entries[arch]
+        sym = entry.sym
+        if not sym.is_const and self._ocfg.enable_feedback:
+            known = self.feedback.lookup(sym.base)
+            if known is not None:
+                folded = symbolic.fold(sym, known)
+                self._set_entry_sym(arch, folded)
+                sym = folded
+        if entry.bundle_id == self._bundle_id:
+            return sym, entry.add_depth, entry.mem_chain
+        return sym, 0, 0
+
+    def _source_exprs(self, di: DynInstr) -> tuple[list[SymVal], int, int]:
+        """Resolve all sources; returns (exprs, max_depth, max_mem_chain)."""
+        exprs: list[SymVal] = []
+        depth = 0
+        mem_chain = 0
+        for src in di.instr.srcs:
+            if isinstance(src, Imm):
+                exprs.append(symbolic.const(src.value))
+                continue
+            sym, src_depth, src_chain = self._expr_of(src.index)
+            exprs.append(sym)
+            depth = max(depth, src_depth)
+            mem_chain = max(mem_chain, src_chain)
+        return exprs, depth, mem_chain
+
+    # ------------------------------------------------------------------
+    # RAT symbolic-state updates
+    # ------------------------------------------------------------------
+
+    def _set_entry_sym(self, arch: int, sym: SymVal,
+                       add_depth: int = 0, mem_chain: int = 0) -> None:
+        """Replace the symbolic value of *arch*, managing base pins."""
+        entry = self._entries[arch]
+        mapping = self.rat.lookup(arch)
+        new_ref: int | None = None
+        if sym.base is not None and sym.base != mapping:
+            self._prf.add_ref(sym.base)
+            new_ref = sym.base
+        if entry.sym_ref is not None:
+            self._prf.release(entry.sym_ref)
+        entry.sym = sym
+        entry.sym_ref = new_ref
+        if add_depth or mem_chain:
+            entry.bundle_id = self._bundle_id
+            entry.add_depth = add_depth
+            entry.mem_chain = mem_chain
+        else:
+            entry.bundle_id = -1
+            entry.add_depth = 0
+            entry.mem_chain = 0
+
+    def _allocate_dst(self, di: DynInstr, sym: SymVal | None,
+                      add_depth: int = 0, mem_chain: int = 0) -> int | None:
+        """Allocate the destination register and install its new state."""
+        instr = di.instr
+        if instr.dst is None or is_zero_reg(instr.dst):
+            return None
+        new_preg = self._prf.allocate()
+        di.prev_preg = self.rat.remap(instr.dst, new_preg)
+        di.dst_preg = new_preg
+        if is_int_reg(instr.dst):
+            if sym is None or not self._ocfg.enable_opt:
+                sym = symbolic.plain(new_preg)
+                add_depth = 0
+                mem_chain = 0
+            self._set_entry_sym(instr.dst, sym, add_depth, mem_chain)
+        return new_preg
+
+    def _take_deps(self, di: DynInstr, pregs: list[int]) -> None:
+        for preg in pregs:
+            self._prf.add_ref(preg)
+        di.src_pregs = tuple(pregs)
+
+    def _mapping_deps(self, di: DynInstr) -> list[int]:
+        """Physical mappings of all register sources (the plain path)."""
+        deps = []
+        for arch in di.instr.reg_sources():
+            preg = self.rat.lookup(arch)
+            if preg is not None:
+                deps.append(preg)
+        return deps
+
+    # ------------------------------------------------------------------
+    # verification (Section 4.2: strict expression and value checking)
+    # ------------------------------------------------------------------
+
+    def _verify(self, di: DynInstr, produced: int | float,
+                expected: int | float, what: str) -> None:
+        if not self._ocfg.verify:
+            return
+        if isinstance(produced, int) and isinstance(expected, int):
+            produced = to_signed64(produced)
+            expected = to_signed64(expected)
+        if produced != expected:
+            raise VerificationError(
+                f"{what} mismatch for {di}: optimizer produced "
+                f"{produced!r}, oracle says {expected!r}")
+
+    # ==================================================================
+    # instruction-category handlers
+    # ==================================================================
+
+    def _rename_int_alu(self, di: DynInstr) -> None:
+        instr = di.instr
+        opcode = instr.opcode
+        exprs, depth, mem_chain = self._source_exprs(di)
+        if opcode is Opcode.LDA:
+            opcode = Opcode.ADD
+            exprs = [exprs[0], symbolic.const(instr.disp)]
+        outcome = cpra.transform(opcode, exprs)
+        if outcome.uses_alu and depth > self._ocfg.add_depth:
+            # This transformation would chain one more serial addition
+            # onto this cycle's optimizer ALUs than the hardware has.
+            self.stat_depth_rejections += 1
+            outcome = cpra.Outcome(kind=cpra.Kind.PLAIN)
+        if not self._ocfg.enable_opt and not outcome.is_early:
+            # Feedback-only mode: no symbolic rewriting.
+            outcome = cpra.Outcome(kind=cpra.Kind.PLAIN)
+        if outcome.strength_reduced:
+            self.stat_strength_reductions += 1
+            di.sched_class = OpClass.INT_SIMPLE
+        if outcome.is_early:
+            self._verify(di, outcome.value, di.entry.result, "early value")
+            di.early = True
+            di.early_value = outcome.value
+            self.stat_early += 1
+            new_depth = depth + 1 if outcome.uses_alu else depth
+            dst = self._allocate_dst(di, outcome.sym, add_depth=new_depth,
+                                     mem_chain=mem_chain)
+            if dst is not None and self._ocfg.enable_opt:
+                # Recording the computed value is constant propagation;
+                # in feedback-only mode (Figure 9) the result instead
+                # returns through the normal delayed feedback path.
+                self.feedback.record_known(dst, outcome.value)
+            return
+        if outcome.is_rewritten:
+            self.stat_rewritten += 1
+            sym = outcome.sym
+            new_depth = depth + 1 if outcome.uses_alu else depth
+            deps = [] if sym.base is None else [sym.base]
+            self._take_deps(di, deps)
+            self._allocate_dst(di, sym, add_depth=new_depth,
+                               mem_chain=mem_chain)
+            return
+        self._take_deps(di, self._mapping_deps(di))
+        self._allocate_dst(di, None)
+
+    def _rename_branch(self, di: DynInstr) -> None:
+        instr = di.instr
+        cond_reg = instr.srcs[0].index
+        sym, depth, _ = self._expr_of(cond_reg)
+        taken = cpra.resolve_branch(instr.spec.cond, sym)
+        # The branch test itself is zero-detect logic, not an adder, so
+        # it may consume a value produced by this bundle's last allowed
+        # addition level (hence the +1).
+        if taken is not None and depth <= self._ocfg.add_depth + 1:
+            self._verify(di, int(taken), int(di.entry.taken),
+                         "early branch direction")
+            di.early = True
+            self.stat_early += 1
+        else:
+            if taken is not None:
+                self.stat_depth_rejections += 1
+            self._take_deps(di, self._mapping_deps(di))
+        if self._ocfg.enable_opt:
+            implied = cpra.branch_implied_value(instr.opcode,
+                                                bool(di.entry.taken))
+            if implied is not None and not is_zero_reg(cond_reg):
+                current = self._entries[cond_reg].sym
+                if not current.is_const:
+                    self._set_entry_sym(cond_reg, symbolic.const(implied))
+                    self.stat_branch_inferences += 1
+
+    def _rename_jump(self, di: DynInstr) -> None:
+        instr = di.instr
+        opcode = instr.opcode
+        if opcode is Opcode.BR:
+            di.early = True
+            self.stat_early += 1
+            return
+        if opcode is Opcode.JSR:
+            # The link value is a decode-time constant.
+            return_pc = instr.pc + 4
+            self._verify(di, return_pc, di.entry.result, "jsr link value")
+            di.early = True
+            self.stat_early += 1
+            sym = symbolic.const(return_pc) if self._ocfg.enable_opt else None
+            dst = self._allocate_dst(di, sym)
+            if dst is not None and self._ocfg.enable_opt:
+                self.feedback.record_known(dst, return_pc)
+            return
+        # ret / jmp: indirect through an integer register.
+        target_reg = instr.srcs[0].index
+        sym, depth, _ = self._expr_of(target_reg)
+        if sym.is_const and depth <= self._ocfg.add_depth + 1:
+            self._verify(di, sym.const_value, di.entry.next_pc,
+                         "early indirect target")
+            di.early = True
+            self.stat_early += 1
+            return
+        self._take_deps(di, self._mapping_deps(di))
+
+    def _rename_load(self, di: DynInstr) -> None:
+        instr = di.instr
+        entry = di.entry
+        base_reg = instr.srcs[0].index
+        base_sym, depth, mem_chain = self._expr_of(base_reg)
+        addr_sym = symbolic.add_const(base_sym, instr.disp)
+        addr_usable = (depth <= self._ocfg.add_depth
+                       and mem_chain <= self._ocfg.mem_depth)
+        if addr_sym.is_const and addr_usable:
+            self._verify(di, addr_sym.const_value, entry.addr,
+                         "rename-time load address")
+            di.addr_known = True
+            is_fp_load = instr.opcode is Opcode.LDF
+            eligible = (self._ocfg.enable_opt and self._ocfg.enable_rle_sf
+                        and instr.dst is not None
+                        and not is_zero_reg(instr.dst)
+                        and (is_fp_load or is_int_reg(instr.dst)))
+            if eligible:
+                bypassed = (self._try_bypass_fp_load(di) if is_fp_load
+                            else self._try_bypass_load(di))
+                if bypassed:
+                    return
+            # MBC miss (or not eligible): install this load's
+            # destination for future redundant-load elimination.
+            dst = self._allocate_dst(di, None)
+            if eligible and dst is not None:
+                expected = (float(entry.result) if is_fp_load
+                            else int(entry.result))
+                self._pend_insert(entry.addr, instr.spec.mem_size,
+                                  symbolic.plain(dst), expected,
+                                  is_fp=is_fp_load)
+            return
+        # Address not available at rename: agen depends on the
+        # (possibly reassociated) base register.
+        if self._ocfg.enable_opt and addr_sym.base is not None:
+            self._take_deps(di, [addr_sym.base])
+        else:
+            self._take_deps(di, self._mapping_deps(di))
+        self._allocate_dst(di, None)
+
+    def _try_bypass_load(self, di: DynInstr) -> bool:
+        """Attempt RLE/SF; returns True if the load was eliminated."""
+        entry = di.entry
+        size = di.instr.spec.mem_size
+        line = self.mbc.lookup(entry.addr, size)
+        if line is None or line.is_fp:
+            return False
+        if line.expected_value != int(entry.result):
+            # Speculative staleness: an unknown-address store modified
+            # this location after the entry was installed (Section 3.2's
+            # "proceed speculatively and recover" mode).
+            self.mbc.invalidate_entry(entry.addr, size)
+            self.stat_mbc_misspeculations += 1
+            di.misspec_flush = True
+            return False
+        sym = line.sym
+        if not sym.is_const and self._ocfg.enable_feedback:
+            known = self.feedback.lookup(sym.base)
+            if known is not None:
+                sym = symbolic.fold(sym, known)
+        di.removed_load = True
+        if sym.is_const:
+            self._verify(di, sym.const_value, entry.result,
+                         "forwarded load value")
+            di.early = True
+            di.early_value = sym.const_value
+            self.stat_early += 1
+            dst = self._allocate_dst(di, sym, mem_chain=1)
+            if dst is not None:
+                self.feedback.record_known(dst, sym.const_value)
+            return True
+        if sym.is_plain:
+            # The move is optimized away entirely via physical register
+            # reuse (the paper's citation [15], Jourdan et al.): the
+            # destination architectural register is remapped onto the
+            # previous memory operation's register.  No execution at all.
+            self._remap_to_existing(di, sym.base)
+            self._set_entry_sym(di.instr.dst, symbolic.plain(sym.base),
+                                mem_chain=1)
+            return True
+        # Offset/scaled forward: becomes a single-cycle move computing
+        # (base << scale) + offset on a simple ALU.
+        di.sched_class = OpClass.INT_SIMPLE
+        self._take_deps(di, [sym.base])
+        self._allocate_dst(di, sym, mem_chain=1)
+        return True
+
+    def _remap_to_existing(self, di: DynInstr, preg: int) -> None:
+        """Collapse *di* into a RAT remap onto an existing register."""
+        di.early = True
+        self.stat_early += 1
+        self._prf.add_ref(preg)  # the new architectural-mapping reference
+        di.prev_preg = self.rat.remap(di.instr.dst, preg)
+        di.dst_preg = None
+
+    def _try_bypass_fp_load(self, di: DynInstr) -> bool:
+        """RLE/SF for FP loads: forward the previous operation's register.
+
+        No symbolic form exists for FP values, but the load can still
+        become a one-cycle FP register move of the matching entry's
+        physical register (never an early execution).
+        """
+        entry = di.entry
+        size = di.instr.spec.mem_size
+        line = self.mbc.lookup(entry.addr, size)
+        if line is None or not line.is_fp:
+            return False
+        if line.expected_value != float(entry.result):
+            self.mbc.invalidate_entry(entry.addr, size)
+            self.stat_mbc_misspeculations += 1
+            di.misspec_flush = True
+            return False
+        di.removed_load = True
+        # As for integer RLE/SF, the move is optimized away by
+        # remapping the FP destination onto the existing register.
+        self._remap_to_existing(di, line.sym.base)
+        return True
+
+    def _rename_store(self, di: DynInstr) -> None:
+        instr = di.instr
+        entry = di.entry
+        base_reg = instr.srcs[1].index
+        base_sym, depth, mem_chain = self._expr_of(base_reg)
+        addr_sym = symbolic.add_const(base_sym, instr.disp)
+        addr_usable = (depth <= self._ocfg.add_depth
+                       and mem_chain <= self._ocfg.mem_depth)
+        deps: list[int] = []
+        if addr_sym.is_const and addr_usable:
+            self._verify(di, addr_sym.const_value, entry.addr,
+                         "rename-time store address")
+            di.addr_known = True
+        elif self._ocfg.enable_opt and addr_sym.base is not None:
+            deps.append(addr_sym.base)
+        else:
+            mapping = self.rat.lookup(base_reg)
+            if mapping is not None:
+                deps.append(mapping)
+        # Data operand: forwarded symbolically into the MBC, but the
+        # store unit itself reads the plain physical register unless
+        # the data is a known constant.
+        data_src = instr.srcs[0]
+        data_sym: SymVal | None = None
+        if is_int_reg(data_src.index):
+            data_sym, _, _ = self._expr_of(data_src.index)
+            if not data_sym.is_const:
+                mapping = self.rat.lookup(data_src.index)
+                if mapping is not None:
+                    deps.append(mapping)
+        else:
+            mapping = self.rat.lookup(data_src.index)
+            if mapping is not None:
+                deps.append(mapping)
+        self._take_deps(di, deps)
+        if (di.addr_known and self._ocfg.enable_opt
+                and self._ocfg.enable_rle_sf):
+            if instr.opcode is Opcode.STF:
+                # FP store forwarding: record the data register so a
+                # later FP load becomes a register move.
+                mapping = self.rat.lookup(data_src.index)
+                self._pend_insert(entry.addr, instr.spec.mem_size,
+                                  symbolic.plain(mapping),
+                                  float(entry.store_value), is_fp=True)
+                return
+            if data_sym is None:
+                self._mbc_pending.append(
+                    (_PENDING_INVALIDATE, entry.addr, instr.spec.mem_size,
+                     None, 0, False))
+                return
+            if data_sym.is_const:
+                self._verify(di, data_sym.const_value,
+                             int(entry.store_value),
+                             "store-forward data value")
+            self._pend_insert(entry.addr, instr.spec.mem_size, data_sym,
+                              int(entry.store_value))
+
+    def _pend_insert(self, addr: int, size: int, sym: SymVal,
+                     expected: int | float, is_fp: bool = False) -> None:
+        self._mbc_pending.append(
+            (_PENDING_INSERT, addr, size, sym, expected, is_fp))
+        if sym.base is not None:
+            self._prf.add_ref(sym.base)
+            self._pending_refs.append(sym.base)
+
+    def _rename_plain(self, di: DynInstr) -> None:
+        self._take_deps(di, self._mapping_deps(di))
+        self._allocate_dst(di, None)
+
+    # ==================================================================
+    # pipeline callbacks
+    # ==================================================================
+
+    def on_complete(self, di: DynInstr, cycle: int) -> None:
+        for preg in di.src_pregs:
+            self._prf.release(preg)
+        if di.dst_preg is None or not self._ocfg.enable_feedback:
+            return
+        result = di.entry.result
+        if (isinstance(result, int) and is_int_reg(di.instr.dst)
+                and self._prf.is_live(di.dst_preg)):
+            self.feedback.publish(di.dst_preg, to_signed64(result), cycle)
+
+    def on_store_executed(self, di: DynInstr) -> None:
+        if (di.addr_known and self._ocfg.enable_opt
+                and self._ocfg.enable_rle_sf):
+            # The MBC was already updated with this store at rename.
+            return
+        self.mbc.invalidate_overlap(di.entry.addr, di.instr.spec.mem_size)
+
+    def relieve_pressure(self) -> bool:
+        """Shed optimizer state (hints) to free physical registers."""
+        while self._prf.num_free == 0:
+            if not self.mbc.evict_lru():
+                break
+        if self._prf.num_free > 0:
+            return True
+        for arch in range(NUM_INT_REGS):
+            entry = self._entries[arch]
+            if entry is None or entry.sym_ref is None:
+                continue
+            self._set_entry_sym(arch, symbolic.plain(self.rat.lookup(arch)))
+            if self._prf.num_free > 0:
+                return True
+        return False
+
+    def collect_stats(self, stats: PipelineStats) -> None:
+        stats.mbc_hits = self.mbc.hits
+        stats.mbc_misses = self.mbc.misses
+        stats.mbc_invalidations = self.mbc.invalidations
+        stats.extra.update({
+            "opt_early": self.stat_early,
+            "opt_rewritten": self.stat_rewritten,
+            "opt_strength_reductions": self.stat_strength_reductions,
+            "opt_branch_inferences": self.stat_branch_inferences,
+            "opt_mbc_misspeculations": self.stat_mbc_misspeculations,
+            "opt_depth_rejections": self.stat_depth_rejections,
+            "opt_values_fed_back": self.feedback.values_fed_back,
+        })

@@ -1,0 +1,113 @@
+"""Symbolic register values: ``(preg << scale) ± offset``.
+
+Section 3.1 of the paper: the optimizer maintains, per integer
+architectural register, a symbolic expression of the form
+``(reg << scale) ± offset`` where ``reg`` is a physical register,
+``scale`` is a two-bit shift (0-3), and ``offset`` is a 64-bit
+immediate.  A constant is encoded by pointing ``reg`` at the hardwired
+zero register; here we use ``base is None``.
+
+:class:`SymVal` is immutable.  The helper functions implement the
+algebra the CP/RA hardware performs: adding constants, scaling, and
+folding to a constant once the base register's value becomes known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..functional.alu import to_signed64
+
+#: Hardware limit on the scale field (two bits).
+MAX_SCALE = 3
+
+
+@dataclass(frozen=True)
+class SymVal:
+    """One symbolic value: ``(base << scale) + offset`` or a constant."""
+
+    base: int | None  # physical register index; None encodes a constant
+    scale: int = 0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base is None and self.scale != 0:
+            raise ValueError("constants must have scale 0")
+        if not 0 <= self.scale <= MAX_SCALE:
+            raise ValueError(f"scale out of range: {self.scale}")
+
+    @property
+    def is_const(self) -> bool:
+        """True if this value is a known 64-bit constant."""
+        return self.base is None
+
+    @property
+    def const_value(self) -> int:
+        """The constant's value (only valid when :attr:`is_const`)."""
+        if self.base is not None:
+            raise ValueError(f"{self} is not a constant")
+        return self.offset
+
+    @property
+    def is_plain(self) -> bool:
+        """True if this is just a physical register, unshifted, offset 0."""
+        return self.base is not None and self.scale == 0 and self.offset == 0
+
+    def evaluate(self, base_value: int) -> int:
+        """The concrete value given the base register's value."""
+        if self.base is None:
+            return self.offset
+        return to_signed64((base_value << self.scale) + self.offset)
+
+    def __str__(self) -> str:
+        if self.base is None:
+            return f"#{self.offset}"
+        text = f"p{self.base}"
+        if self.scale:
+            text = f"(p{self.base}<<{self.scale})"
+        if self.offset:
+            sign = "+" if self.offset >= 0 else "-"
+            text = f"{text}{sign}{abs(self.offset)}"
+        return text
+
+
+def const(value: int) -> SymVal:
+    """A known constant value."""
+    return SymVal(base=None, scale=0, offset=to_signed64(value))
+
+
+def plain(preg: int) -> SymVal:
+    """The value of physical register *preg*, unmodified."""
+    return SymVal(base=preg, scale=0, offset=0)
+
+
+def add_const(sym: SymVal, value: int) -> SymVal:
+    """``sym + value`` — always representable (offset arithmetic)."""
+    return SymVal(base=sym.base, scale=sym.scale,
+                  offset=to_signed64(sym.offset + value))
+
+
+def shift_left(sym: SymVal, amount: int) -> SymVal | None:
+    """``sym << amount`` if representable in the 2-bit scale field.
+
+    Returns None when the shifted form does not fit (scale would
+    exceed :data:`MAX_SCALE`); constants always fold.
+    """
+    if sym.is_const:
+        return const(to_signed64(sym.offset << (amount & 0x3F)))
+    if amount < 0:
+        return None
+    if sym.scale + amount > MAX_SCALE:
+        return None
+    return SymVal(base=sym.base, scale=sym.scale + amount,
+                  offset=to_signed64(sym.offset << amount))
+
+
+def fold(sym: SymVal, base_value: int) -> SymVal:
+    """Replace the base register with its now-known value.
+
+    This is the value-feedback integration step (Section 3.3): a table
+    entry whose base physical register matches a produced value is
+    rewritten as a constant.
+    """
+    return const(sym.evaluate(base_value))

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+============  =======================================================
+Module        Paper result
+============  =======================================================
+``table1``    Table 1 — workload inventory
+``table3``    Table 3 — effects of continuous optimization
+``speedup``   Figure 6 — per-benchmark speedup over the baseline
+``machine_models``  Figure 8 — fetch-/execution-bound machine variants
+``feedback``  Figure 9 — value feedback alone vs. feedback + opt
+``depth``     Figure 10 — intra-bundle dependence-depth sweep
+``latency``   Figure 11 — optimizer pipeline-latency sweep
+``vf_delay``  Figure 12 — feedback transmission-delay sweep
+============  =======================================================
+
+All modules expose ``run(...) -> rows`` and ``format(rows) -> str``.
+"""
+
+from . import (ablation, depth, feedback, latency, machine_models, report,
+               runner, speedup, table1, table3, vf_delay)
+from .runner import (clear_caches, geomean, get_trace, run_workload,
+                     speedup as workload_speedup, workload_names)
+
+__all__ = [
+    "ablation",
+    "depth", "feedback", "latency", "machine_models", "report", "runner",
+    "speedup", "table1", "table3", "vf_delay",
+    "clear_caches", "geomean", "get_trace", "run_workload",
+    "workload_speedup", "workload_names",
+]

@@ -1,0 +1,69 @@
+"""Ablation: the contribution of each optimizer component.
+
+Not a numbered figure in the paper, but the natural decomposition of
+its design (Section 2.1 lists CP/RA and RLE/SF as the two optimization
+stages, and Section 2.2 adds value feedback).  Four configurations,
+each a speedup over the baseline:
+
+* ``feedback only``   — eager bypassing, no symbolic optimization
+* ``CP/RA only``      — symbolic tables without the MBC (no feedback)
+* ``CP/RA + RLE/SF``  — the full optimizer without value feedback
+* ``full``            — everything (the default configuration)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uarch.config import default_config
+from ..workloads import SUITES, suite_workloads
+from .report import format_table
+from .runner import geomean, run_workload
+
+SCENARIOS = (
+    ("feedback only", dict(enable_opt=False)),
+    ("CP/RA only", dict(enable_feedback=False, enable_rle_sf=False)),
+    ("CP/RA + RLE/SF", dict(enable_feedback=False)),
+    ("full", dict()),
+)
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One suite's component-ablation bars."""
+
+    suite: str
+    bars: dict[str, float]
+
+
+def run(scale: int = 1,
+        workloads_per_suite: int | None = None) -> list[AblationRow]:
+    """Measure the ablation per suite."""
+    base = default_config()
+    rows = []
+    for suite in SUITES:
+        suite_list = suite_workloads(suite)
+        if workloads_per_suite is not None:
+            suite_list = suite_list[:workloads_per_suite]
+        bars = {}
+        for label, overrides in SCENARIOS:
+            config = base.with_optimizer(**overrides)
+            values = []
+            for workload in suite_list:
+                baseline = run_workload(workload.name, base, scale)
+                variant = run_workload(workload.name, config, scale)
+                values.append(baseline.cycles / variant.cycles)
+            bars[label] = geomean(values)
+        rows.append(AblationRow(suite=suite, bars=bars))
+    return rows
+
+
+def format(rows: list[AblationRow]) -> str:
+    """Render the ablation bars as text."""
+    labels = [label for label, _ in SCENARIOS]
+    table_rows = [[row.suite] + [row.bars[label] for label in labels]
+                  for row in rows]
+    return format_table(
+        "Ablation: contribution of each optimizer component (speedup)",
+        ["suite", *labels],
+        table_rows)

@@ -1,0 +1,61 @@
+"""Figure 9: value feedback alone versus feedback plus optimization.
+
+Two bars per suite (speedup over the baseline): the optimizer with
+only value feedback enabled (the paper's "eager bypassing"
+configuration — symbolic CP/RA and RLE/SF disabled), and the full
+optimizer.  The paper finds feedback alone offers little; optimization
+projects old values further into the future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uarch.config import default_config
+from ..workloads import SUITES, suite_workloads
+from .report import format_table
+from .runner import geomean, run_workload
+
+
+@dataclass(frozen=True)
+class FeedbackRow:
+    """One suite's Figure 9 pair."""
+
+    suite: str
+    feedback_only: float
+    feedback_plus_opt: float
+
+
+def run(scale: int = 1,
+        workloads_per_suite: int | None = None) -> list[FeedbackRow]:
+    """Measure Figure 9 per suite."""
+    base = default_config()
+    feedback_cfg = base.with_optimizer(enable_opt=False)
+    full_cfg = base.with_optimizer()
+    rows = []
+    for suite in SUITES:
+        suite_list = suite_workloads(suite)
+        if workloads_per_suite is not None:
+            suite_list = suite_list[:workloads_per_suite]
+        fb_values = []
+        full_values = []
+        for workload in suite_list:
+            baseline = run_workload(workload.name, base, scale)
+            fb = run_workload(workload.name, feedback_cfg, scale)
+            full = run_workload(workload.name, full_cfg, scale)
+            fb_values.append(baseline.cycles / fb.cycles)
+            full_values.append(baseline.cycles / full.cycles)
+        rows.append(FeedbackRow(suite=suite,
+                                feedback_only=geomean(fb_values),
+                                feedback_plus_opt=geomean(full_values)))
+    return rows
+
+
+def format(rows: list[FeedbackRow]) -> str:
+    """Render the Figure 9 bars as text."""
+    table_rows = [[row.suite, row.feedback_only, row.feedback_plus_opt]
+                  for row in rows]
+    return format_table(
+        "Figure 9: value feedback vs. feedback + optimization (speedup)",
+        ["suite", "feedback", "feedback + opt"],
+        table_rows)

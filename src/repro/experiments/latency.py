@@ -1,0 +1,59 @@
+"""Figure 11: optimizer pipeline-latency sensitivity (Section 6.3).
+
+Speedup over the baseline with 0, 2 (default), and 4 extra rename
+stages for the optimizer.  The extra stages lengthen the branch
+recovery loop, so performance degrades gracefully; the paper reports
+that even at four stages the average speedup stays noteworthy
+(1.04-1.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uarch.config import default_config
+from ..workloads import SUITES, suite_workloads
+from .report import format_table
+from .runner import geomean, run_workload
+
+STAGE_COUNTS = (0, 2, 4)
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    """One suite's Figure 11 bars keyed by extra-stage count."""
+
+    suite: str
+    bars: dict[int, float]
+
+
+def run(scale: int = 1,
+        workloads_per_suite: int | None = None) -> list[LatencyRow]:
+    """Measure Figure 11 per suite."""
+    base = default_config()
+    rows = []
+    for suite in SUITES:
+        suite_list = suite_workloads(suite)
+        if workloads_per_suite is not None:
+            suite_list = suite_list[:workloads_per_suite]
+        bars = {}
+        for stages in STAGE_COUNTS:
+            config = base.with_optimizer(opt_stages=stages)
+            values = []
+            for workload in suite_list:
+                baseline = run_workload(workload.name, base, scale)
+                variant = run_workload(workload.name, config, scale)
+                values.append(baseline.cycles / variant.cycles)
+            bars[stages] = geomean(values)
+        rows.append(LatencyRow(suite=suite, bars=bars))
+    return rows
+
+
+def format(rows: list[LatencyRow]) -> str:
+    """Render the Figure 11 bars as text."""
+    table_rows = [[row.suite] + [row.bars[s] for s in STAGE_COUNTS]
+                  for row in rows]
+    return format_table(
+        "Figure 11: optimizer latency sensitivity (speedup)",
+        ["suite", "delay 0", "delay 2 (default)", "delay 4"],
+        table_rows)

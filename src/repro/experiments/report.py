@@ -1,0 +1,36 @@
+"""Plain-text table formatting for experiment results.
+
+Every experiment module produces rows (lists of cells); this module
+renders them the way the paper's tables/figure captions read, so the
+benchmark harness can print directly comparable output.
+"""
+
+from __future__ import annotations
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list[object]]) -> str:
+    """Render rows as an aligned monospace table with a title."""
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_percent(value: float) -> str:
+    """0.262 -> '26.2%'."""
+    return f"{100 * value:.1f}%"

@@ -1,0 +1,93 @@
+"""Experiment runner: workload -> trace -> timing simulation, cached.
+
+All experiment modules funnel through :func:`run_workload`, which
+memoizes both the functional traces (one emulation per workload/scale)
+and the timing results (one simulation per workload/scale/machine
+configuration).  Configurations are frozen dataclasses, so they key
+the cache directly; re-running a figure after a sweep costs nothing
+for overlapping points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..functional.emulator import TraceEntry
+from ..uarch.config import MachineConfig
+from ..uarch.pipeline import simulate_trace
+from ..uarch.stats import PipelineStats
+from ..workloads import ALL_WORKLOADS, build_trace, get_workload
+
+_trace_cache: dict[tuple[str, int], list[TraceEntry]] = {}
+_stats_cache: dict[tuple[str, int, MachineConfig], PipelineStats] = {}
+
+
+def clear_caches() -> None:
+    """Drop all memoized traces and simulation results."""
+    _trace_cache.clear()
+    _stats_cache.clear()
+
+
+def get_trace(name: str, scale: int = 1) -> list[TraceEntry]:
+    """The oracle trace for a workload (memoized)."""
+    key = (name, scale)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        trace = build_trace(name, scale).trace
+        _trace_cache[key] = trace
+    return trace
+
+
+def run_workload(name: str, config: MachineConfig,
+                 scale: int = 1) -> PipelineStats:
+    """Simulate one workload on one machine configuration (memoized)."""
+    key = (name, scale, config)
+    stats = _stats_cache.get(key)
+    if stats is None:
+        stats = simulate_trace(get_trace(name, scale), config)
+        _stats_cache[key] = stats
+    return stats
+
+
+def speedup(name: str, baseline: MachineConfig, variant: MachineConfig,
+            scale: int = 1) -> float:
+    """Cycle-count speedup of *variant* over *baseline* for a workload."""
+    base = run_workload(name, baseline, scale)
+    opt = run_workload(name, variant, scale)
+    return base.cycles / opt.cycles
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the conventional speedup aggregate)."""
+    if not values:
+        raise ValueError("geomean of no values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def workload_names(suite: str | None = None,
+                   subset: list[str] | None = None) -> list[str]:
+    """Workload names, optionally filtered to a suite or explicit subset."""
+    if subset is not None:
+        return [get_workload(n).name for n in subset]
+    names = [w.name for w in ALL_WORKLOADS]
+    if suite is not None:
+        names = [w.name for w in ALL_WORKLOADS if w.suite == suite]
+    return names
+
+
+@dataclass(frozen=True)
+class SuiteAverages:
+    """Per-suite aggregate of one metric across its workloads."""
+
+    suite: str
+    workloads: tuple[str, ...]
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def geomean(self) -> float:
+        return geomean(list(self.values))

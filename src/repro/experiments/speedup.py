@@ -1,0 +1,73 @@
+"""Figure 6: speedup of continuous optimization over the baseline.
+
+One bar per benchmark plus a per-suite average, exactly as the paper's
+three Figure 6 graphs (SPECint, SPECfp, mediabench).  The paper
+reports speedups in the range 0.98-1.28.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uarch.config import default_config
+from ..workloads import ALL_WORKLOADS, SUITES, get_workload
+from .report import format_table
+from .runner import geomean, run_workload
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One benchmark's Figure 6 bar."""
+
+    workload: str
+    abbrev: str
+    suite: str
+    baseline_cycles: int
+    optimized_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.optimized_cycles
+
+
+def run(scale: int = 1,
+        workloads: list[str] | None = None) -> list[SpeedupRow]:
+    """Measure Figure 6 for the given workloads (default: all 22)."""
+    base_cfg = default_config()
+    opt_cfg = base_cfg.with_optimizer()
+    names = workloads or [w.name for w in ALL_WORKLOADS]
+    rows = []
+    for name in names:
+        workload = get_workload(name)
+        base = run_workload(name, base_cfg, scale)
+        opt = run_workload(name, opt_cfg, scale)
+        rows.append(SpeedupRow(workload=workload.name,
+                               abbrev=workload.abbrev, suite=workload.suite,
+                               baseline_cycles=base.cycles,
+                               optimized_cycles=opt.cycles))
+    return rows
+
+
+def suite_averages(rows: list[SpeedupRow]) -> dict[str, float]:
+    """Per-suite geometric-mean speedup (the paper's 'avg' bars)."""
+    averages = {}
+    for suite in SUITES:
+        values = [row.speedup for row in rows if row.suite == suite]
+        if values:
+            averages[suite] = geomean(values)
+    return averages
+
+
+def format(rows: list[SpeedupRow]) -> str:
+    """Render the Figure 6 series as text."""
+    table_rows: list[list[object]] = [
+        [row.suite, row.abbrev, row.baseline_cycles, row.optimized_cycles,
+         row.speedup]
+        for row in rows
+    ]
+    for suite, average in suite_averages(rows).items():
+        table_rows.append([suite, "avg", "-", "-", average])
+    return format_table(
+        "Figure 6: speedup of continuous optimization over baseline",
+        ["suite", "bench", "base cycles", "opt cycles", "speedup"],
+        table_rows)

@@ -1,0 +1,48 @@
+"""Table 1: the experimental workload inventory.
+
+Lists every benchmark with its suite and simulated dynamic instruction
+count, mirroring the paper's Table 1 (whose counts, 96M-1000M, are
+scaled down here per DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import ALL_WORKLOADS
+from .report import format_table
+from .runner import get_trace
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One workload's inventory line."""
+
+    suite: str
+    name: str
+    abbrev: str
+    description: str
+    instructions: int
+
+
+def run(scale: int = 1) -> list[Table1Row]:
+    """Build the workload inventory with measured instruction counts."""
+    rows = []
+    for workload in ALL_WORKLOADS:
+        trace = get_trace(workload.name, scale)
+        rows.append(Table1Row(suite=workload.suite, name=workload.name,
+                              abbrev=workload.abbrev,
+                              description=workload.description,
+                              instructions=len(trace)))
+    return rows
+
+
+def format(rows: list[Table1Row]) -> str:
+    """Render the Table 1 inventory as text."""
+    table_rows = [[row.suite, f"{row.name} ({row.abbrev})",
+                   row.description, row.instructions]
+                  for row in rows]
+    return format_table(
+        "Table 1: experimental workload",
+        ["type of app.", "name", "kernel", "total insts."],
+        table_rows)

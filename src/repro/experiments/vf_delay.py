@@ -1,0 +1,58 @@
+"""Figure 12: value-feedback transmission-delay sensitivity (Section 6.4).
+
+Speedup over the baseline with feedback transmission delays of 0, 1
+(default), 5, and 10 cycles.  The paper's key insight: a physical
+register is either referenced by the optimizer for a long time or not
+at all, so additional delay has essentially no performance impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uarch.config import default_config
+from ..workloads import SUITES, suite_workloads
+from .report import format_table
+from .runner import geomean, run_workload
+
+DELAYS = (0, 1, 5, 10)
+
+
+@dataclass(frozen=True)
+class VFDelayRow:
+    """One suite's Figure 12 bars keyed by transmission delay."""
+
+    suite: str
+    bars: dict[int, float]
+
+
+def run(scale: int = 1,
+        workloads_per_suite: int | None = None) -> list[VFDelayRow]:
+    """Measure Figure 12 per suite."""
+    base = default_config()
+    rows = []
+    for suite in SUITES:
+        suite_list = suite_workloads(suite)
+        if workloads_per_suite is not None:
+            suite_list = suite_list[:workloads_per_suite]
+        bars = {}
+        for delay in DELAYS:
+            config = base.with_optimizer(vf_delay=delay)
+            values = []
+            for workload in suite_list:
+                baseline = run_workload(workload.name, base, scale)
+                variant = run_workload(workload.name, config, scale)
+                values.append(baseline.cycles / variant.cycles)
+            bars[delay] = geomean(values)
+        rows.append(VFDelayRow(suite=suite, bars=bars))
+    return rows
+
+
+def format(rows: list[VFDelayRow]) -> str:
+    """Render the Figure 12 bars as text."""
+    table_rows = [[row.suite] + [row.bars[d] for d in DELAYS]
+                  for row in rows]
+    return format_table(
+        "Figure 12: value-feedback transmission delay (speedup)",
+        ["suite", "delay 0", "delay 1 (default)", "delay 5", "delay 10"],
+        table_rows)

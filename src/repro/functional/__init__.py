@@ -1,0 +1,19 @@
+"""Functional simulation: opcode semantics, memory, architectural emulator.
+
+The functional layer is the oracle for the whole reproduction: it
+executes programs architecturally and produces dynamic traces with true
+values, addresses, and branch outcomes.  The cycle-level timing model
+and the continuous optimizer both consume these traces.
+"""
+
+from . import alu
+from .emulator import (EmulationError, EmulationLimit, EmulationResult,
+                       Emulator, TraceEntry, run_program)
+from .memory import Memory
+
+__all__ = [
+    "alu",
+    "EmulationError", "EmulationLimit", "EmulationResult", "Emulator",
+    "TraceEntry", "run_program",
+    "Memory",
+]

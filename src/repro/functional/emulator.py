@@ -1,0 +1,225 @@
+"""Architectural (functional) emulator and dynamic trace format.
+
+The emulator executes a :class:`~repro.isa.program.Program` to
+completion and records a :class:`TraceEntry` per retired instruction.
+The trace is both
+
+* the **oracle**: true values, effective addresses, and branch outcomes
+  used to verify every optimization the continuous optimizer performs
+  (the paper's "strict expression and value checking"), and
+* the **input to the timing model**: the cycle-level pipeline is
+  trace-driven, replaying this dynamic instruction stream.
+
+This mirrors the paper's SimpleScalar-based methodology, where a
+functional core drives a detailed custom timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instructions import Imm, Instruction, Reg
+from ..isa.opcodes import OpClass, Opcode
+from ..isa.program import INSTR_BYTES, Program, STACK_BASE
+from ..isa.registers import (NUM_FP_REGS, NUM_INT_REGS, STACK_POINTER_REG,
+                             is_fp_reg, is_zero_reg)
+from . import alu
+from .memory import Memory
+
+
+class EmulationError(Exception):
+    """Raised when a program performs an illegal operation."""
+
+
+class EmulationLimit(EmulationError):
+    """Raised when a program exceeds the dynamic instruction budget."""
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dynamically executed instruction with its oracle values."""
+
+    seq: int
+    pc: int
+    instr: Instruction
+    src_values: tuple[int | float, ...]
+    result: int | float | None
+    addr: int | None
+    taken: bool | None
+    next_pc: int
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.instr.opcode
+
+    @property
+    def is_load(self) -> bool:
+        return self.instr.spec.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instr.spec.is_store
+
+    @property
+    def is_control(self) -> bool:
+        return self.instr.is_control
+
+    @property
+    def store_value(self) -> int | float:
+        """The value a store writes to memory."""
+        if not self.is_store:
+            raise ValueError("store_value on a non-store")
+        return self.src_values[0]
+
+
+@dataclass
+class EmulationResult:
+    """Everything the emulator produced for one program run."""
+
+    trace: list[TraceEntry]
+    halted: bool
+    int_regs: list[int]
+    fp_regs: list[float]
+    memory: Memory
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.trace)
+
+
+class Emulator:
+    """Executes programs architecturally, producing oracle traces."""
+
+    def __init__(self, program: Program, max_instructions: int = 5_000_000):
+        self._program = program
+        self._max_instructions = max_instructions
+        self._int_regs = [0] * NUM_INT_REGS
+        self._fp_regs = [0.0] * NUM_FP_REGS
+        self._int_regs[STACK_POINTER_REG] = STACK_BASE
+        self._memory = Memory(program.data)
+        self._pc = program.entry
+
+    @property
+    def memory(self) -> Memory:
+        return self._memory
+
+    def run(self) -> EmulationResult:
+        """Run until ``halt`` (or the instruction budget is exhausted)."""
+        trace: list[TraceEntry] = []
+        halted = False
+        while True:
+            if len(trace) >= self._max_instructions:
+                raise EmulationLimit(
+                    f"exceeded {self._max_instructions} dynamic instructions"
+                    f" at pc={self._pc:#x}")
+            entry = self.step(len(trace))
+            if entry is None:
+                halted = True
+                break
+            trace.append(entry)
+        return EmulationResult(trace=trace, halted=halted,
+                               int_regs=list(self._int_regs),
+                               fp_regs=list(self._fp_regs),
+                               memory=self._memory)
+
+    # ------------------------------------------------------------------
+    # single-step execution
+    # ------------------------------------------------------------------
+
+    def step(self, seq: int) -> TraceEntry | None:
+        """Execute one instruction; return its trace entry (None = halt)."""
+        instr = self._program.at(self._pc)
+        opcode = instr.opcode
+        if opcode is Opcode.HALT:
+            return None
+        spec = instr.spec
+        src_values = tuple(self._read(src) for src in instr.srcs)
+        result: int | float | None = None
+        addr: int | None = None
+        taken: bool | None = None
+        next_pc = self._pc + INSTR_BYTES
+
+        if spec.is_load:
+            addr = alu.to_signed64(src_values[0] + instr.disp)
+            result = self._do_load(opcode, addr, spec)
+        elif spec.is_store:
+            addr = alu.to_signed64(src_values[1] + instr.disp)
+            self._do_store(opcode, addr, src_values[0], spec)
+            result = src_values[0]
+        elif spec.is_branch:
+            taken = alu.branch_taken(spec.cond, src_values[0])
+            if taken:
+                next_pc = int(instr.target)
+        elif spec.is_jump:
+            taken = True
+            if spec.is_indirect:
+                next_pc = int(src_values[0])
+            else:
+                next_pc = int(instr.target)
+            if opcode is Opcode.JSR:
+                result = self._pc + INSTR_BYTES
+        elif opcode is Opcode.LDA:
+            result = alu.evaluate_int(Opcode.LDA, src_values[0], instr.disp)
+        elif opcode is Opcode.ITOF:
+            result = alu.convert_itof(src_values[0])
+        elif opcode is Opcode.FTOI:
+            result = alu.convert_ftoi(src_values[0])
+        elif spec.op_class is OpClass.FP:
+            result = alu.evaluate_fp(opcode, *src_values)
+        elif opcode is Opcode.NOP:
+            result = None
+        else:
+            result = alu.evaluate_int(opcode, *src_values)
+
+        if instr.dst is not None and result is not None:
+            self._write(instr.dst, result)
+
+        entry = TraceEntry(seq=seq, pc=self._pc, instr=instr,
+                           src_values=src_values, result=result, addr=addr,
+                           taken=taken, next_pc=next_pc)
+        self._pc = next_pc
+        return entry
+
+    # ------------------------------------------------------------------
+    # register and memory access helpers
+    # ------------------------------------------------------------------
+
+    def _read(self, src: Reg | Imm) -> int | float:
+        if isinstance(src, Imm):
+            return src.value
+        index = src.index
+        if is_zero_reg(index):
+            return 0.0 if is_fp_reg(index) else 0
+        if is_fp_reg(index):
+            return self._fp_regs[index - NUM_INT_REGS]
+        return self._int_regs[index]
+
+    def _write(self, dst: int, value: int | float) -> None:
+        if is_zero_reg(dst):
+            return
+        if is_fp_reg(dst):
+            self._fp_regs[dst - NUM_INT_REGS] = float(value)
+        else:
+            self._int_regs[dst] = alu.to_signed64(int(value))
+
+    def _do_load(self, opcode: Opcode, addr: int, spec) -> int | float:
+        if addr < 0:
+            raise EmulationError(f"load from negative address {addr:#x}")
+        if opcode is Opcode.LDF:
+            return self._memory.load_double(addr)
+        return self._memory.load(addr, spec.mem_size, signed=spec.mem_signed)
+
+    def _do_store(self, opcode: Opcode, addr: int, value: int | float,
+                  spec) -> None:
+        if addr < 0:
+            raise EmulationError(f"store to negative address {addr:#x}")
+        if opcode is Opcode.STF:
+            self._memory.store_double(addr, float(value))
+        else:
+            self._memory.store(addr, int(value), spec.mem_size)
+
+
+def run_program(program: Program,
+                max_instructions: int = 5_000_000) -> EmulationResult:
+    """Convenience wrapper: emulate *program* and return the result."""
+    return Emulator(program, max_instructions=max_instructions).run()

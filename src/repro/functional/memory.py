@@ -1,0 +1,64 @@
+"""Sparse byte-addressable memory model.
+
+Used by the functional emulator as the architectural memory image.
+Backed by a dict of byte address -> byte value so that the Alpha-style
+address map (text at 4 KB, data at 1 MB, stack near 8 MB) costs nothing
+for the untouched gaps.
+
+Loads from never-written addresses return zero, which matches BSS
+semantics and keeps the workload kernels simple.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .alu import sign_extend, zero_extend
+
+
+class Memory:
+    """Sparse little-endian memory."""
+
+    def __init__(self, image: dict[int, int] | None = None):
+        self._bytes: dict[int, int] = dict(image) if image else {}
+
+    def load(self, addr: int, size: int, signed: bool = True) -> int:
+        """Read *size* bytes at *addr*; extend to a signed 64-bit value."""
+        if addr < 0:
+            raise ValueError(f"negative address: {addr:#x}")
+        raw = 0
+        for offset in range(size):
+            raw |= self._bytes.get(addr + offset, 0) << (offset * 8)
+        if signed:
+            return sign_extend(raw, size)
+        return zero_extend(raw, size)
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        """Write the low *size* bytes of *value* at *addr*."""
+        if addr < 0:
+            raise ValueError(f"negative address: {addr:#x}")
+        value &= (1 << (size * 8)) - 1
+        for offset in range(size):
+            self._bytes[addr + offset] = (value >> (offset * 8)) & 0xFF
+
+    def load_double(self, addr: int) -> float:
+        """Read an 8-byte IEEE-754 double at *addr*."""
+        bits = self.load(addr, 8, signed=False)
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+    def store_double(self, addr: int, value: float) -> None:
+        """Write *value* as an 8-byte IEEE-754 double at *addr*."""
+        bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+        self.store(addr, bits, 8)
+
+    def double_to_bits(self, value: float) -> int:
+        """Bit pattern of *value* as an unsigned 64-bit integer."""
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+    def snapshot(self) -> dict[int, int]:
+        """A copy of all written bytes (address -> byte value)."""
+        return dict(self._bytes)
+
+    def footprint(self) -> int:
+        """Number of distinct bytes ever written."""
+        return len(self._bytes)

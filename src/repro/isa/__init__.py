@@ -1,0 +1,31 @@
+"""Instruction-set architecture: registers, opcodes, assembler, programs.
+
+This subpackage defines the Alpha-flavoured RISC ISA that the whole
+reproduction is built on: the workload kernels are written in its
+assembly dialect, the functional emulator executes it, and the
+continuous optimizer transforms its instructions at rename.
+"""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .instructions import Imm, Instruction, Reg, Source
+from .opcodes import (BranchCond, MNEMONIC_TO_OPCODE, OP_SPECS, OpClass,
+                      Opcode, OpSpec, spec_of)
+from .program import (DATA_BASE, HEAP_BASE, INSTR_BYTES, Program, STACK_BASE,
+                      TEXT_BASE)
+from .registers import (FP_ZERO_REG, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS,
+                        RETURN_ADDR_REG, STACK_POINTER_REG, ZERO_REG, fp_reg,
+                        int_reg, is_fp_reg, is_int_reg, is_zero_reg,
+                        parse_reg, reg_name)
+
+__all__ = [
+    "Assembler", "AssemblerError", "assemble",
+    "Imm", "Instruction", "Reg", "Source",
+    "BranchCond", "MNEMONIC_TO_OPCODE", "OP_SPECS", "OpClass", "Opcode",
+    "OpSpec", "spec_of",
+    "DATA_BASE", "HEAP_BASE", "INSTR_BYTES", "Program", "STACK_BASE",
+    "TEXT_BASE",
+    "FP_ZERO_REG", "NUM_ARCH_REGS", "NUM_FP_REGS", "NUM_INT_REGS",
+    "RETURN_ADDR_REG", "STACK_POINTER_REG", "ZERO_REG",
+    "fp_reg", "int_reg", "is_fp_reg", "is_int_reg", "is_zero_reg",
+    "parse_reg", "reg_name",
+]

@@ -1,0 +1,442 @@
+"""Two-pass assembler for the repro ISA.
+
+The workload kernels (``repro.workloads``) are written in a small
+assembly dialect and assembled into :class:`~repro.isa.program.Program`
+objects.  Syntax summary::
+
+    # comment
+    .data                       # switch to the data segment
+    arr:    .quad 1, 2, 3       # 8-byte values
+            .long 7             # 4-byte
+            .word 7             # 2-byte
+            .byte 1, 2          # 1-byte
+            .double 3.5         # IEEE-754 double
+            .space 64           # zero-filled block
+            .align 8
+    .text                       # switch to the text segment
+    start:  ldi   r1, 100       # pseudo: mov immediate
+            ldi   r2, arr       # labels are immediates
+    loop:   ldq   r3, 0(r2)     # load: dst, disp(base)
+            add   r4, r4, r3    # dst, src1, src2 (src2 may be imm)
+            lda   r2, 8(r2)     # address calculation (an add)
+            sub   r1, r1, 1
+            bne   r1, loop      # conditional branch: reg vs zero
+            jsr   func          # call (links r26)
+            halt
+    func:   ret                 # indirect jump through r26
+
+Destination-first operand order throughout.  Immediates may be decimal,
+hex (``0x``), character (``'a'``), or a label (which resolves to its
+address).
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+
+from .instructions import Imm, Instruction, Reg, Source
+from .opcodes import MNEMONIC_TO_OPCODE, Opcode, spec_of
+from .program import DATA_BASE, INSTR_BYTES, TEXT_BASE, Program
+from .registers import RETURN_ADDR_REG, parse_reg
+
+
+class AssemblerError(Exception):
+    """Raised for any syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_OPERAND_RE = re.compile(r"^(?P<disp>[^()]*)\((?P<base>[^()]+)\)$")
+
+#: Pseudo-instructions expanded by the assembler.
+_PSEUDO_OPS = {"ldi", "neg", "not", "clr"}
+
+
+def _is_register(token: str) -> bool:
+    try:
+        parse_reg(token)
+        return True
+    except ValueError:
+        return False
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    if len(token) >= 3 and token[0] == "'" and token[-1] == "'":
+        body = token[1:-1]
+        if body.startswith("\\"):
+            body = {"\\n": "\n", "\\t": "\t", "\\0": "\0",
+                    "\\\\": "\\"}.get(body, body[1:])
+        if len(body) != 1:
+            raise ValueError(f"bad character literal: {token!r}")
+        return ord(body)
+    return int(token, 0)
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._labels: dict[str, int] = {}
+        self._data: dict[int, int] = {}
+        self._data_cursor = DATA_BASE
+        self._in_data = False
+        # (line_no, mnemonic, operand_text) for the second pass
+        self._pending: list[tuple[int, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # pass 1: layout
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        """Assemble *source* text into a :class:`Program`."""
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            self._layout_line(raw, line_no)
+        instructions = [
+            self._build_instruction(line_no, mnemonic, operands, index)
+            for index, (line_no, mnemonic, operands)
+            in enumerate(self._pending)
+        ]
+        return Program(instructions=instructions, labels=dict(self._labels),
+                       data=dict(self._data))
+
+    def _layout_line(self, raw: str, line_no: int) -> None:
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in self._labels:
+                raise AssemblerError(f"duplicate label {label!r}", line_no)
+            self._labels[label] = (
+                self._data_cursor if self._in_data else self._next_text_pc())
+            line = line[match.end():].strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._directive(line, line_no)
+            return
+        if self._in_data:
+            raise AssemblerError("instruction in .data segment", line_no)
+        mnemonic, _, operands = line.partition(" ")
+        self._pending.append((line_no, mnemonic.strip().lower(),
+                              operands.strip()))
+
+    def _next_text_pc(self) -> int:
+        return TEXT_BASE + len(self._pending) * INSTR_BYTES
+
+    def _directive(self, line: str, line_no: int) -> None:
+        name, _, rest = line.partition(" ")
+        name = name.lower()
+        rest = rest.strip()
+        if name == ".text":
+            self._in_data = False
+        elif name == ".data":
+            self._in_data = True
+        elif name == ".align":
+            self._require_data(name, line_no)
+            try:
+                alignment = _parse_int(rest)
+            except ValueError:
+                raise AssemblerError(f"bad .align operand {rest!r}", line_no)
+            if alignment <= 0 or alignment & (alignment - 1):
+                raise AssemblerError(
+                    f".align must be a power of two, got {alignment}", line_no)
+            remainder = self._data_cursor % alignment
+            if remainder:
+                self._data_cursor += alignment - remainder
+        elif name == ".space":
+            self._require_data(name, line_no)
+            try:
+                count = _parse_int(rest)
+            except ValueError:
+                raise AssemblerError(f"bad .space operand {rest!r}", line_no)
+            if count < 0:
+                raise AssemblerError(".space size must be >= 0", line_no)
+            for _ in range(count):
+                self._data[self._data_cursor] = 0
+                self._data_cursor += 1
+        elif name in (".quad", ".long", ".word", ".byte"):
+            self._require_data(name, line_no)
+            size = {".quad": 8, ".long": 4, ".word": 2, ".byte": 1}[name]
+            for token in self._split_operands(rest):
+                value = self._data_value(token, line_no)
+                self._emit_data(value, size)
+        elif name == ".double":
+            self._require_data(name, line_no)
+            for token in self._split_operands(rest):
+                try:
+                    bits = struct.unpack("<q", struct.pack(
+                        "<d", float(token)))[0]
+                except ValueError:
+                    raise AssemblerError(
+                        f"bad .double operand {token!r}", line_no)
+                self._emit_data(bits, 8)
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", line_no)
+
+    def _require_data(self, name: str, line_no: int) -> None:
+        if not self._in_data:
+            raise AssemblerError(f"{name} outside .data segment", line_no)
+
+    def _data_value(self, token: str, line_no: int) -> int:
+        token = token.strip()
+        try:
+            return _parse_int(token)
+        except ValueError:
+            pass
+        # Data may reference labels defined earlier (e.g. pointer tables).
+        if token in self._labels:
+            return self._labels[token]
+        raise AssemblerError(f"bad data operand {token!r}", line_no)
+
+    def _emit_data(self, value: int, size: int) -> None:
+        value &= (1 << (size * 8)) - 1
+        for offset in range(size):
+            self._data[self._data_cursor + offset] = (
+                value >> (offset * 8)) & 0xFF
+        self._data_cursor += size
+
+    @staticmethod
+    def _split_operands(text: str) -> list[str]:
+        """Split an operand list on top-level commas."""
+        if not text.strip():
+            return []
+        parts: list[str] = []
+        depth = 0
+        current = []
+        for char in text:
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            if char == "," and depth == 0:
+                parts.append("".join(current).strip())
+                current = []
+            else:
+                current.append(char)
+        parts.append("".join(current).strip())
+        return parts
+
+    # ------------------------------------------------------------------
+    # pass 2: instruction construction
+    # ------------------------------------------------------------------
+
+    def _build_instruction(self, line_no: int, mnemonic: str,
+                           operand_text: str, index: int) -> Instruction:
+        pc = TEXT_BASE + index * INSTR_BYTES
+        operands = self._split_operands(operand_text)
+        text = (mnemonic + (" " + operand_text if operand_text else ""))
+        if mnemonic in _PSEUDO_OPS:
+            mnemonic, operands = self._expand_pseudo(
+                mnemonic, operands, line_no)
+        opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+        builder = _BUILDERS.get(opcode, _build_alu)
+        try:
+            instr = builder(self, opcode, operands, line_no)
+        except AssemblerError:
+            raise
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no) from None
+        return Instruction(opcode=instr.opcode, dst=instr.dst,
+                           srcs=instr.srcs, target=instr.target,
+                           disp=instr.disp, pc=pc, text=text)
+
+    def _expand_pseudo(self, mnemonic: str, operands: list[str],
+                       line_no: int) -> tuple[str, list[str]]:
+        if mnemonic == "ldi":
+            # ldi rd, imm   ->   mov rd, imm
+            return "mov", operands
+        if mnemonic == "neg":
+            # neg rd, rs    ->   sub rd, r31, rs
+            if len(operands) != 2:
+                raise AssemblerError("neg takes 2 operands", line_no)
+            return "sub", [operands[0], "r31", operands[1]]
+        if mnemonic == "not":
+            # not rd, rs    ->   xor rd, rs, -1
+            if len(operands) != 2:
+                raise AssemblerError("not takes 2 operands", line_no)
+            return "xor", [operands[0], operands[1], "-1"]
+        if mnemonic == "clr":
+            # clr rd        ->   mov rd, 0
+            if len(operands) != 1:
+                raise AssemblerError("clr takes 1 operand", line_no)
+            return "mov", [operands[0], "0"]
+        raise AssemblerError(f"unknown pseudo-op {mnemonic!r}", line_no)
+
+    def _source(self, token: str, line_no: int) -> Source:
+        token = token.strip()
+        if _is_register(token):
+            return Reg(parse_reg(token))
+        try:
+            return Imm(_parse_int(token))
+        except ValueError:
+            pass
+        if token in self._labels:
+            return Imm(self._labels[token])
+        raise AssemblerError(f"bad operand {token!r}", line_no)
+
+    def _resolve_target(self, token: str, line_no: int) -> int:
+        token = token.strip()
+        if token in self._labels:
+            return self._labels[token]
+        try:
+            return _parse_int(token)
+        except ValueError:
+            raise AssemblerError(
+                f"undefined branch target {token!r}", line_no) from None
+
+    def _mem_operand(self, token: str, line_no: int) -> tuple[int, int]:
+        """Parse ``disp(base)`` into (disp, base register index)."""
+        token = token.strip()
+        match = _MEM_OPERAND_RE.match(token)
+        if not match:
+            raise AssemblerError(
+                f"bad memory operand {token!r} (want disp(base))", line_no)
+        disp_text = match.group("disp").strip()
+        if not disp_text:
+            disp = 0
+        else:
+            try:
+                disp = _parse_int(disp_text)
+            except ValueError:
+                if disp_text in self._labels:
+                    disp = self._labels[disp_text]
+                else:
+                    raise AssemblerError(
+                        f"bad displacement {disp_text!r}", line_no) from None
+        base_text = match.group("base").strip()
+        if not _is_register(base_text):
+            raise AssemblerError(f"bad base register {base_text!r}", line_no)
+        return disp, parse_reg(base_text)
+
+
+# ----------------------------------------------------------------------
+# per-format instruction builders
+# ----------------------------------------------------------------------
+
+
+def _require(count: int, operands: list[str], opcode: Opcode,
+             line_no: int) -> None:
+    if len(operands) != count:
+        raise AssemblerError(
+            f"{opcode.value} takes {count} operands, got {len(operands)}",
+            line_no)
+
+
+def _build_alu(asm: Assembler, opcode: Opcode, operands: list[str],
+               line_no: int) -> Instruction:
+    spec = spec_of(opcode)
+    if opcode is Opcode.LDA:
+        _require(2, operands, opcode, line_no)
+        disp, base = asm._mem_operand(operands[1], line_no)
+        return Instruction(opcode=opcode, dst=parse_reg(operands[0]),
+                           srcs=(Reg(base),), disp=disp)
+    expected = spec.num_srcs + (1 if spec.has_dst else 0)
+    _require(expected, operands, opcode, line_no)
+    if not spec.has_dst:
+        srcs = tuple(asm._source(tok, line_no) for tok in operands)
+        return Instruction(opcode=opcode, srcs=srcs)
+    dst = parse_reg(operands[0])
+    srcs = tuple(asm._source(tok, line_no) for tok in operands[1:])
+    return Instruction(opcode=opcode, dst=dst, srcs=srcs)
+
+
+def _build_load(asm: Assembler, opcode: Opcode, operands: list[str],
+                line_no: int) -> Instruction:
+    _require(2, operands, opcode, line_no)
+    dst = parse_reg(operands[0])
+    disp, base = asm._mem_operand(operands[1], line_no)
+    return Instruction(opcode=opcode, dst=dst, srcs=(Reg(base),), disp=disp)
+
+
+def _build_store(asm: Assembler, opcode: Opcode, operands: list[str],
+                 line_no: int) -> Instruction:
+    _require(2, operands, opcode, line_no)
+    data = parse_reg(operands[0])
+    disp, base = asm._mem_operand(operands[1], line_no)
+    return Instruction(opcode=opcode, srcs=(Reg(data), Reg(base)), disp=disp)
+
+
+def _build_branch(asm: Assembler, opcode: Opcode, operands: list[str],
+                  line_no: int) -> Instruction:
+    _require(2, operands, opcode, line_no)
+    cond = parse_reg(operands[0])
+    target = asm._resolve_target(operands[1], line_no)
+    return Instruction(opcode=opcode, srcs=(Reg(cond),), target=target)
+
+
+def _build_br(asm: Assembler, opcode: Opcode, operands: list[str],
+              line_no: int) -> Instruction:
+    _require(1, operands, opcode, line_no)
+    return Instruction(opcode=opcode,
+                       target=asm._resolve_target(operands[0], line_no))
+
+
+def _build_jsr(asm: Assembler, opcode: Opcode, operands: list[str],
+               line_no: int) -> Instruction:
+    # jsr label           (links r26)
+    # jsr r5, label       (explicit link register)
+    if len(operands) == 1:
+        link = RETURN_ADDR_REG
+        target_tok = operands[0]
+    elif len(operands) == 2:
+        link = parse_reg(operands[0])
+        target_tok = operands[1]
+    else:
+        raise AssemblerError("jsr takes 1 or 2 operands", line_no)
+    return Instruction(opcode=opcode, dst=link,
+                       target=asm._resolve_target(target_tok, line_no))
+
+
+def _build_ret(asm: Assembler, opcode: Opcode, operands: list[str],
+               line_no: int) -> Instruction:
+    # ret            (through r26)
+    # ret r5 / jmp r5
+    if opcode is Opcode.RET and not operands:
+        reg = RETURN_ADDR_REG
+    elif len(operands) == 1:
+        reg = parse_reg(operands[0])
+    else:
+        raise AssemblerError(f"{opcode.value} takes at most 1 operand",
+                             line_no)
+    return Instruction(opcode=opcode, srcs=(Reg(reg),))
+
+
+def _build_nullary(asm: Assembler, opcode: Opcode, operands: list[str],
+                   line_no: int) -> Instruction:
+    _require(0, operands, opcode, line_no)
+    return Instruction(opcode=opcode)
+
+
+_BUILDERS = {
+    Opcode.LDB: _build_load, Opcode.LDBU: _build_load,
+    Opcode.LDW: _build_load, Opcode.LDWU: _build_load,
+    Opcode.LDL: _build_load, Opcode.LDLU: _build_load,
+    Opcode.LDQ: _build_load, Opcode.LDF: _build_load,
+    Opcode.STB: _build_store, Opcode.STW: _build_store,
+    Opcode.STL: _build_store, Opcode.STQ: _build_store,
+    Opcode.STF: _build_store,
+    Opcode.BEQ: _build_branch, Opcode.BNE: _build_branch,
+    Opcode.BLT: _build_branch, Opcode.BGE: _build_branch,
+    Opcode.BLE: _build_branch, Opcode.BGT: _build_branch,
+    Opcode.FBEQ: _build_branch, Opcode.FBNE: _build_branch,
+    Opcode.BR: _build_br,
+    Opcode.JSR: _build_jsr,
+    Opcode.RET: _build_ret, Opcode.JMP: _build_ret,
+    Opcode.NOP: _build_nullary, Opcode.HALT: _build_nullary,
+}
+
+
+def assemble(source: str) -> Program:
+    """Assemble *source* and return the resulting :class:`Program`."""
+    return Assembler().assemble(source)

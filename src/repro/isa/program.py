@@ -1,0 +1,63 @@
+"""Program container: instructions plus an initialized data image.
+
+A :class:`Program` is the output of the assembler and the input to the
+functional emulator.  It holds the instruction list (indexed by PC),
+the symbol table, and the initial data-memory image.
+
+Address map (chosen to mimic a simple Alpha-style layout):
+
+* text segment starts at :data:`TEXT_BASE`, 4 bytes per instruction
+* data segment starts at :data:`DATA_BASE`
+* the stack pointer is initialized to :data:`STACK_BASE` and grows down
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import Instruction
+
+TEXT_BASE = 0x1000
+INSTR_BYTES = 4
+DATA_BASE = 0x100000
+STACK_BASE = 0x7F0000
+HEAP_BASE = 0x400000
+
+
+@dataclass
+class Program:
+    """An assembled program."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    data: dict[int, int] = field(default_factory=dict)  # byte address -> byte
+    entry: int = TEXT_BASE
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def pc_to_index(self, pc: int) -> int:
+        """Translate a byte PC to an instruction index."""
+        index, rem = divmod(pc - TEXT_BASE, INSTR_BYTES)
+        if rem != 0 or not 0 <= index < len(self.instructions):
+            raise IndexError(f"PC {pc:#x} is outside the text segment")
+        return index
+
+    def index_to_pc(self, index: int) -> int:
+        """Translate an instruction index to a byte PC."""
+        return TEXT_BASE + index * INSTR_BYTES
+
+    def at(self, pc: int) -> Instruction:
+        """Fetch the instruction at byte address *pc*."""
+        return self.instructions[self.pc_to_index(pc)]
+
+    def label_address(self, name: str) -> int:
+        """Return the address bound to label *name*."""
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise KeyError(f"undefined label: {name!r}") from None
+
+    def static_count(self) -> int:
+        """Number of static instructions in the program."""
+        return len(self.instructions)

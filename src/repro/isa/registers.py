@@ -1,0 +1,89 @@
+"""Architectural register definitions for the repro ISA.
+
+The ISA is Alpha-flavoured: 32 integer registers (``r0``-``r31``) and 32
+floating-point registers (``f0``-``f31``).  Register ``r31`` and ``f31``
+are hardwired to zero, exactly as on the Alpha 21264 that the paper's
+workloads were compiled for.  A handful of integer registers carry
+software conventions (stack pointer, return address) used by the
+workload kernels and the assembler's pseudo-instructions.
+
+Registers are represented as small integers so that table-based
+structures (the RAT, the optimizer's CP/RA table) can be indexed
+directly:
+
+* integer registers occupy indices ``0 .. 31``
+* floating-point registers occupy indices ``32 .. 63``
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Index of the hardwired-zero integer register (``r31``).
+ZERO_REG = 31
+
+#: Index of the hardwired-zero floating-point register (``f31``).
+FP_ZERO_REG = NUM_INT_REGS + 31
+
+#: Software conventions used by the workload kernels.
+RETURN_ADDR_REG = 26  # r26, like the Alpha ``ra``
+STACK_POINTER_REG = 30  # r30, like the Alpha ``sp``
+
+_FP_BASE = NUM_INT_REGS
+
+
+def is_int_reg(index: int) -> bool:
+    """Return True if *index* names an integer architectural register."""
+    return 0 <= index < NUM_INT_REGS
+
+
+def is_fp_reg(index: int) -> bool:
+    """Return True if *index* names a floating-point architectural register."""
+    return _FP_BASE <= index < NUM_ARCH_REGS
+
+
+def is_zero_reg(index: int) -> bool:
+    """Return True if *index* is one of the hardwired-zero registers."""
+    return index == ZERO_REG or index == FP_ZERO_REG
+
+
+def int_reg(number: int) -> int:
+    """Return the register index for integer register ``r<number>``."""
+    if not 0 <= number < NUM_INT_REGS:
+        raise ValueError(f"integer register number out of range: {number}")
+    return number
+
+
+def fp_reg(number: int) -> int:
+    """Return the register index for floating-point register ``f<number>``."""
+    if not 0 <= number < NUM_FP_REGS:
+        raise ValueError(f"fp register number out of range: {number}")
+    return _FP_BASE + number
+
+
+def reg_name(index: int) -> str:
+    """Return the assembly name (``r5``, ``f2``) for a register index."""
+    if is_int_reg(index):
+        return f"r{index}"
+    if is_fp_reg(index):
+        return f"f{index - _FP_BASE}"
+    raise ValueError(f"register index out of range: {index}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse an assembly register name (``r5``, ``f2``) into an index.
+
+    Raises ``ValueError`` for anything that is not a valid register name.
+    """
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in ("r", "f"):
+        raise ValueError(f"not a register name: {name!r}")
+    try:
+        number = int(name[1:])
+    except ValueError:
+        raise ValueError(f"not a register name: {name!r}") from None
+    if name[0] == "r":
+        return int_reg(number)
+    return fp_reg(number)

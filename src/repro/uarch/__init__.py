@@ -1,0 +1,32 @@
+"""Microarchitecture substrate: the out-of-order timing model.
+
+Everything the paper's machine is built from: configuration (Table 2),
+branch prediction, caches, the reference-counted physical register
+file, issue schedulers, and the cycle-level pipeline.
+"""
+
+from .branch_predictor import (BranchTargetBuffer, FrontEndPredictor,
+                               GsharePredictor, ReturnAddressStack)
+from .caches import Cache, MemoryHierarchy
+from .config import (CacheConfig, MachineConfig, OptimizerConfig,
+                     default_config, optimized_config)
+from .dyninstr import DynInstr
+from .pipeline import Pipeline, SimulationDeadlock, simulate_trace
+from .regfile import OutOfRegisters, PhysRegFile
+from .rename import ArchRAT, BaselineRenamer, Renamer
+from .scheduler import IssueQueue, SchedulerBank, scheduler_for
+from .stats import PipelineStats
+
+__all__ = [
+    "BranchTargetBuffer", "FrontEndPredictor", "GsharePredictor",
+    "ReturnAddressStack",
+    "Cache", "MemoryHierarchy",
+    "CacheConfig", "MachineConfig", "OptimizerConfig", "default_config",
+    "optimized_config",
+    "DynInstr",
+    "Pipeline", "SimulationDeadlock", "simulate_trace",
+    "OutOfRegisters", "PhysRegFile",
+    "ArchRAT", "BaselineRenamer", "Renamer",
+    "IssueQueue", "SchedulerBank", "scheduler_for",
+    "PipelineStats",
+]

@@ -1,0 +1,174 @@
+"""Front-end branch prediction: gshare + BTB + return-address stack.
+
+Matches the paper's Table 2 front end: an 18-bit gshare direction
+predictor and a 1K-entry BTB.  A small return-address stack handles
+``jsr``/``ret`` pairs (standard for this era of front end; without it
+every return would be a full misprediction, which no contemporary
+machine of the paper's vintage exhibits).
+
+The predictor is used trace-driven: the pipeline asks for a prediction
+at fetch, compares it against the oracle outcome from the trace, and
+trains the predictor immediately.  Immediate update is the standard
+trace-driven approximation of speculative-history + retire-time
+training.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Opcode
+from ..isa.instructions import Instruction
+
+
+class GsharePredictor:
+    """Gshare direction predictor with 2-bit saturating counters."""
+
+    def __init__(self, history_bits: int = 18):
+        self._history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._history = 0
+        # Sparse pattern-history table; untouched counters start weakly
+        # taken (2), which favours loop branches the way hardware
+        # tables warmed by prior context would.
+        self._pht: dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at *pc*."""
+        return self._pht.get(self._index(pc), 2) >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift the global history."""
+        index = self._index(pc)
+        counter = self._pht.get(index, 2)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._pht[index] = counter
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB holding taken-branch targets."""
+
+    def __init__(self, entries: int = 1024):
+        if entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self._entries = entries
+        self._tags: dict[int, tuple[int, int]] = {}  # index -> (tag, target)
+
+    def _split(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word % self._entries, word // self._entries
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the predicted target for *pc*, or None on a miss."""
+        index, tag = self._split(pc)
+        entry = self._tags.get(index)
+        if entry is not None and entry[0] == tag:
+            return entry[1]
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Record *target* as the taken target of the branch at *pc*."""
+        index, tag = self._split(pc)
+        self._tags[index] = (tag, target)
+
+
+class ReturnAddressStack:
+    """Bounded return-address stack for jsr/ret prediction."""
+
+    def __init__(self, entries: int = 16):
+        self._entries = entries
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) == self._entries:
+            self._stack.pop(0)
+        self._stack.append(return_pc)
+
+    def pop(self) -> int | None:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+
+class FrontEndPredictor:
+    """Composite front-end predictor driving the fetch stage.
+
+    :meth:`predict` classifies each control instruction and reports
+    whether the machine would have fetched down the correct path and
+    whether the fetch group must pay a BTB-miss bubble.
+    """
+
+    def __init__(self, history_bits: int = 18, btb_entries: int = 1024,
+                 ras_entries: int = 16):
+        self.gshare = GsharePredictor(history_bits)
+        self.btb = BranchTargetBuffer(btb_entries)
+        self.ras = ReturnAddressStack(ras_entries)
+        self.cond_branches = 0
+        self.cond_mispredicts = 0
+        self.indirect_jumps = 0
+        self.indirect_mispredicts = 0
+        self.btb_misses = 0
+
+    def predict(self, instr: Instruction, actual_taken: bool,
+                actual_target: int) -> tuple[bool, bool]:
+        """Predict the control instruction at fetch.
+
+        Returns ``(mispredicted, btb_bubble)``: *mispredicted* means the
+        front end goes down the wrong path and must wait for branch
+        resolution; *btb_bubble* means the direction/target was right
+        but the target had to be produced at decode (small refetch
+        bubble).
+        """
+        spec = instr.spec
+        pc = instr.pc
+        if spec.is_branch:
+            predicted_taken = self.gshare.predict(pc)
+            self.gshare.update(pc, actual_taken)
+            self.cond_branches += 1
+            if predicted_taken != actual_taken:
+                self.cond_mispredicts += 1
+                if actual_taken:
+                    self.btb.install(pc, actual_target)
+                return True, False
+            if actual_taken:
+                target = self.btb.lookup(pc)
+                self.btb.install(pc, actual_target)
+                if target != actual_target:
+                    self.btb_misses += 1
+                    return False, True
+            return False, False
+        if instr.opcode is Opcode.JSR:
+            self.ras.push(pc + 4)
+            target = self.btb.lookup(pc)
+            self.btb.install(pc, actual_target)
+            if target != actual_target:
+                self.btb_misses += 1
+                return False, True
+            return False, False
+        if instr.opcode is Opcode.RET:
+            self.indirect_jumps += 1
+            predicted = self.ras.pop()
+            if predicted != actual_target:
+                self.indirect_mispredicts += 1
+                return True, False
+            return False, False
+        if instr.opcode is Opcode.JMP:
+            self.indirect_jumps += 1
+            predicted = self.btb.lookup(pc)
+            self.btb.install(pc, actual_target)
+            if predicted != actual_target:
+                self.indirect_mispredicts += 1
+                return True, False
+            return False, False
+        # Direct unconditional branch: target known at decode at worst.
+        target = self.btb.lookup(pc)
+        self.btb.install(pc, actual_target)
+        if target != actual_target:
+            self.btb_misses += 1
+            return False, True
+        return False, False

@@ -1,0 +1,85 @@
+"""Dynamic (in-flight) instruction state for the timing model.
+
+A :class:`DynInstr` wraps one oracle :class:`~repro.functional.emulator.
+TraceEntry` with everything the pipeline tracks about it: physical
+register operands after rename/optimization, scheduler class, readiness
+bookkeeping, the optimizer outcome flags (early execution, removed
+load, known address), and the cycle timestamps used to compute
+latencies.
+"""
+
+from __future__ import annotations
+
+from ..functional.emulator import TraceEntry
+from ..isa.opcodes import OpClass
+
+
+class DynInstr:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "entry", "seq",
+        "sched_class", "src_pregs", "dst_preg", "prev_preg",
+        "deps_remaining", "store_dep",
+        "early", "early_value", "removed_load", "addr_known",
+        "mispredicted", "early_resolved", "btb_bubble", "misspec_flush",
+        "fetch_cycle", "rename_cycle", "issue_cycle", "complete_cycle",
+        "completed", "retired", "exec_latency",
+    )
+
+    def __init__(self, entry: TraceEntry, fetch_cycle: int):
+        self.entry = entry
+        self.seq = entry.seq
+        self.sched_class: OpClass = entry.instr.spec.op_class
+        self.src_pregs: tuple[int, ...] = ()
+        self.dst_preg: int | None = None
+        self.prev_preg: int | None = None
+        self.deps_remaining = 0
+        self.store_dep: "DynInstr | None" = None
+        self.early = False
+        self.early_value: int | None = None
+        self.removed_load = False
+        self.addr_known = False
+        self.mispredicted = False
+        self.early_resolved = False
+        self.btb_bubble = False
+        self.misspec_flush = False
+        self.fetch_cycle = fetch_cycle
+        self.rename_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.completed = False
+        self.retired = False
+        self.exec_latency = 0
+
+    @property
+    def instr(self):
+        return self.entry.instr
+
+    @property
+    def opcode(self):
+        return self.entry.instr.opcode
+
+    @property
+    def is_load(self) -> bool:
+        return self.entry.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.entry.is_store
+
+    @property
+    def is_control(self) -> bool:
+        return self.entry.is_control
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.early:
+            flags.append("early")
+        if self.removed_load:
+            flags.append("rle")
+        if self.mispredicted:
+            flags.append("mispred")
+        flag_text = f" [{','.join(flags)}]" if flags else ""
+        return (f"DynInstr(#{self.seq} pc={self.entry.pc:#x} "
+                f"{self.entry.instr}{flag_text})")

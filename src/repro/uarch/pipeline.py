@@ -1,0 +1,441 @@
+"""Cycle-level out-of-order superscalar timing model.
+
+Trace-driven replay of the oracle instruction stream through the
+paper's machine (Table 2): fetch → decode → rename(/optimize) →
+schedule → register read → execute → retire.
+
+Modeling notes (all standard for SimpleScalar-era studies, and
+documented in DESIGN.md):
+
+* **Wrong-path fetch** is charged as a front-end bubble: when a
+  mispredicted control instruction is fetched, fetch stops until the
+  branch resolves, then pays a redirect and refills the front end.
+  The minimum resolution loop of the baseline machine is 20 cycles.
+* **Bypass** is modeled by separating *wakeup* (dependents may issue
+  ``exec_latency`` cycles after the producer issues) from
+  *completion* (architectural effects: branch redirects, value
+  feedback, retirement eligibility — ``regread_stages`` later).
+* **Memory disambiguation** is oracle-based: true addresses identify
+  the youngest in-flight older store that overlaps each load.  An
+  exact-match store forwards its data; partial overlaps force the load
+  to wait for the store and access the cache.
+* **Stores** complete at address generation + 1 (write-buffer
+  semantics); their cache-line touch happens at issue so later loads
+  see warm lines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from ..functional.emulator import TraceEntry
+from ..isa.opcodes import OpClass, Opcode
+from .branch_predictor import FrontEndPredictor
+from .caches import MemoryHierarchy
+from .config import MachineConfig
+from .dyninstr import DynInstr
+from .regfile import OutOfRegisters, PhysRegFile
+from .rename import BaselineRenamer, Renamer
+from .scheduler import SCHED_MEM, SchedulerBank, scheduler_for
+from .stats import PipelineStats
+
+_BLOCK_SHIFT = 3  # 8-byte blocks for memory-dependence tracking
+
+_EV_WAKEUP = 0
+_EV_COMPLETE = 1
+
+
+class SimulationDeadlock(Exception):
+    """Raised when the pipeline stops making forward progress."""
+
+
+class Pipeline:
+    """One simulated machine executing one dynamic trace."""
+
+    def __init__(self, trace: list[TraceEntry], config: MachineConfig,
+                 renamer: Renamer | None = None,
+                 prf: PhysRegFile | None = None):
+        self.trace = trace
+        self.config = config
+        self.prf = prf if prf is not None else PhysRegFile(config.num_pregs)
+        if renamer is None:
+            renamer = BaselineRenamer(self.prf)
+        self.renamer = renamer
+        self.hierarchy = MemoryHierarchy(config.il1, config.dl1, config.l2,
+                                         config.memory_latency)
+        self.predictor = FrontEndPredictor(config.gshare_bits,
+                                           config.btb_entries,
+                                           config.ras_entries)
+        self.sched = SchedulerBank(config.sched_entries,
+                                   config.n_simple_ialu,
+                                   config.n_complex_ialu, config.n_fpalu,
+                                   config.n_agen)
+        self.stats = PipelineStats()
+        self.now = 0
+        # front end
+        self._cursor = 0
+        self._frontend: deque[tuple[int, DynInstr]] = deque()
+        self._frontend_cap = config.frontend_depth * config.fetch_width
+        self._fetch_blocked_by: DynInstr | None = None
+        self._fetch_resume_cycle = 0
+        self._current_fetch_line = -1
+        # rename / dispatch
+        self._dispatch_queue: deque[tuple[int, DynInstr]] = deque()
+        self._dispatch_cap = (config.dispatch_stages + 1) * config.rename_width
+        self._rob: deque[DynInstr] = deque()
+        # execution bookkeeping
+        self._events: list[tuple[int, int, int, DynInstr]] = []
+        self._waiting_on_preg: dict[int, list[DynInstr]] = {}
+        self._waiting_on_store: dict[int, list[DynInstr]] = {}
+        self._last_writer: dict[int, DynInstr] = {}
+        self._last_retire_cycle = 0
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+
+    def run(self) -> PipelineStats:
+        """Simulate the whole trace; returns the filled-in stats."""
+        total = len(self.trace)
+        while self.stats.retired < total:
+            self.now += 1
+            self._writeback()
+            self._issue()
+            self._dispatch()
+            self._rename()
+            self._fetch()
+            self._retire()
+            if self.now - self._last_retire_cycle > 500_000:
+                raise SimulationDeadlock(
+                    f"no retirement since cycle {self._last_retire_cycle} "
+                    f"(now {self.now}, retired {self.stats.retired}/{total}, "
+                    f"rob {len(self._rob)}, "
+                    f"head {self._rob[0] if self._rob else None})")
+        self.stats.cycles = self.now
+        self._finalize_stats()
+        return self.stats
+
+    def _finalize_stats(self) -> None:
+        stats = self.stats
+        stats.il1_hits = self.hierarchy.il1.hits
+        stats.il1_misses = self.hierarchy.il1.misses
+        stats.dl1_hits = self.hierarchy.dl1.hits
+        stats.dl1_misses = self.hierarchy.dl1.misses
+        stats.l2_hits = self.hierarchy.l2.hits
+        stats.l2_misses = self.hierarchy.l2.misses
+        stats.cond_branches = self.predictor.cond_branches
+        stats.cond_mispredicts = self.predictor.cond_mispredicts
+        stats.indirect_jumps = self.predictor.indirect_jumps
+        stats.indirect_mispredicts = self.predictor.indirect_mispredicts
+        stats.preg_high_water = self.prf.high_water
+        stats.preg_alloc_stalls = self.prf.allocation_stalls
+        self.renamer.collect_stats(stats)
+
+    # ==================================================================
+    # writeback: wakeup + completion events
+    # ==================================================================
+
+    def _schedule(self, kind: int, cycle: int, di: DynInstr) -> None:
+        heapq.heappush(self._events, (cycle, di.seq, kind, di))
+
+    def _writeback(self) -> None:
+        events = self._events
+        while events and events[0][0] <= self.now:
+            _, _, kind, di = heapq.heappop(events)
+            if kind == _EV_WAKEUP:
+                self._do_wakeup(di)
+            else:
+                self._do_complete(di)
+
+    def _do_wakeup(self, di: DynInstr) -> None:
+        if di.dst_preg is not None:
+            self.prf.mark_ready(di.dst_preg, di.entry.result)
+            waiters = self._waiting_on_preg.pop(di.dst_preg, None)
+            if waiters:
+                for waiter in waiters:
+                    waiter.deps_remaining -= 1
+        if di.is_store:
+            waiters = self._waiting_on_store.pop(di.seq, None)
+            if waiters:
+                for waiter in waiters:
+                    waiter.deps_remaining -= 1
+
+    def _do_complete(self, di: DynInstr) -> None:
+        di.completed = True
+        di.complete_cycle = self.now
+        self.renamer.on_complete(di, self.now)
+        if di.is_store:
+            self.renamer.on_store_executed(di)
+        if di is self._fetch_blocked_by:
+            self._fetch_blocked_by = None
+            self._fetch_resume_cycle = self.now + self.config.redirect_penalty
+            if di.early_resolved:
+                self.stats.mispredicts_recovered_early += 1
+
+    # ==================================================================
+    # issue / execute
+    # ==================================================================
+
+    def _issue(self) -> None:
+        for di in self.sched.select_all():
+            di.issue_cycle = self.now
+            self.stats.issued += 1
+            latency = self._execution_latency(di)
+            di.exec_latency = latency
+            self._schedule(_EV_WAKEUP, self.now + latency, di)
+            self._schedule(_EV_COMPLETE,
+                           self.now + self.config.regread_stages + latency,
+                           di)
+
+    def _execution_latency(self, di: DynInstr) -> int:
+        spec = di.instr.spec
+        if di.sched_class is not OpClass.MEM:
+            if di.removed_load:
+                return 1  # load converted to a register move
+            return spec.latency
+        agen = 0 if di.addr_known else 1
+        if di.is_store:
+            # Write-buffer semantics: touch the line, complete quickly.
+            self.hierarchy.dwrite(di.entry.addr)
+            self.stats.dcache_accesses += 1
+            return agen + 1
+        store_dep = di.store_dep
+        if (store_dep is not None and not store_dep.retired
+                and store_dep.entry.addr == di.entry.addr
+                and store_dep.instr.spec.mem_size
+                == di.instr.spec.mem_size):
+            self.stats.store_forwards_lsq += 1
+            return agen + 1
+        self.stats.dcache_accesses += 1
+        return agen + self.hierarchy.dread(di.entry.addr)
+
+    # ==================================================================
+    # dispatch: rename exit -> scheduler entry
+    # ==================================================================
+
+    def _dispatch(self) -> None:
+        moved = 0
+        queue = self._dispatch_queue
+        while queue and moved < self.config.rename_width:
+            enter_cycle, di = queue[0]
+            if enter_cycle > self.now:
+                break
+            target = self.sched.queue_for(di)
+            if not target.has_space:
+                target.full_stalls += 1
+                break
+            queue.popleft()
+            self._setup_deps(di)
+            target.insert(di)
+            moved += 1
+
+    def _setup_deps(self, di: DynInstr) -> None:
+        deps = 0
+        for preg in set(di.src_pregs):
+            if not self.prf.is_ready(preg):
+                deps += 1
+                self._waiting_on_preg.setdefault(preg, []).append(di)
+        store_dep = di.store_dep
+        if store_dep is not None and store_dep.issue_cycle < 0:
+            # Store hasn't produced its data/address yet.
+            deps += 1
+            self._waiting_on_store.setdefault(store_dep.seq, []).append(di)
+        elif store_dep is not None and not store_dep.completed:
+            # Store issued; its wakeup may still be in flight.
+            wakeup = store_dep.issue_cycle + store_dep.exec_latency
+            if wakeup > self.now:
+                deps += 1
+                self._waiting_on_store.setdefault(store_dep.seq,
+                                                  []).append(di)
+        di.deps_remaining = deps
+
+    # ==================================================================
+    # rename (+ optimize)
+    # ==================================================================
+
+    def _rename(self) -> None:
+        config = self.config
+        renamed = 0
+        began_bundle = False
+        while (renamed < config.rename_width and self._frontend
+               and self._frontend[0][0] <= self.now):
+            if len(self._rob) >= config.rob_size:
+                self.stats.rename_stall_rob += 1
+                break
+            if len(self._dispatch_queue) >= self._dispatch_cap:
+                self.stats.rename_stall_dispatch += 1
+                break
+            _, di = self._frontend[0]
+            if not began_bundle:
+                self.renamer.begin_bundle(self.now)
+                began_bundle = True
+            try:
+                self.renamer.rename(di, self.now)
+            except OutOfRegisters:
+                if self.renamer.relieve_pressure():
+                    continue  # retry this instruction
+                self.stats.rename_stall_pregs += 1
+                break
+            self._frontend.popleft()
+            renamed += 1
+            self._rob.append(di)
+            self._post_rename(di)
+
+    def _post_rename(self, di: DynInstr) -> None:
+        """Classify the renamed instruction and route it onward."""
+        config = self.config
+        stats = self.stats
+        rename_done = self.now + config.effective_rename_stages
+        entry = di.entry
+        if di.misspec_flush and self._fetch_blocked_by is None:
+            # An MBC speculative-staleness recovery: treat it like a
+            # mispredict — fetch is squashed until this load resolves.
+            self._fetch_blocked_by = di
+        if entry.instr.is_mem:
+            stats.mem_ops += 1
+            if di.addr_known:
+                stats.mem_addr_known += 1
+            if entry.is_load:
+                stats.loads += 1
+                if di.removed_load:
+                    stats.loads_removed += 1
+            self._track_memory_dependence(di)
+        if di.early:
+            stats.early_executed += 1
+            if di.is_control:
+                stats.early_branches += 1
+            if di.mispredicted:
+                di.early_resolved = True
+            self._schedule(_EV_WAKEUP, rename_done, di)
+            self._schedule(_EV_COMPLETE, rename_done, di)
+            return
+        if di.opcode is Opcode.NOP:
+            self._schedule(_EV_WAKEUP, rename_done, di)
+            self._schedule(_EV_COMPLETE, rename_done, di)
+            return
+        enter = rename_done + config.dispatch_stages
+        self._dispatch_queue.append((enter, di))
+
+    def _track_memory_dependence(self, di: DynInstr) -> None:
+        entry = di.entry
+        size = di.instr.spec.mem_size
+        first_block = entry.addr >> _BLOCK_SHIFT
+        last_block = (entry.addr + size - 1) >> _BLOCK_SHIFT
+        if entry.is_store:
+            for block in range(first_block, last_block + 1):
+                self._last_writer[block] = di
+            return
+        # Load: find the youngest older overlapping in-flight store.
+        best: DynInstr | None = None
+        for block in range(first_block, last_block + 1):
+            store = self._last_writer.get(block)
+            if store is None or store.retired:
+                continue
+            s_addr = store.entry.addr
+            s_size = store.instr.spec.mem_size
+            if s_addr < entry.addr + size and entry.addr < s_addr + s_size:
+                if best is None or store.seq > best.seq:
+                    best = store
+        if best is not None and not di.removed_load:
+            di.store_dep = best
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+
+    def _fetch(self) -> None:
+        config = self.config
+        stats = self.stats
+        if self._fetch_blocked_by is not None:
+            stats.fetch_blocked_cycles += 1
+            return
+        if self.now < self._fetch_resume_cycle:
+            stats.fetch_icache_stall_cycles += 1
+            return
+        fetched = 0
+        trace = self.trace
+        block_mask = ~(config.fetch_width * 4 - 1)
+        block_start = -1
+        while (fetched < config.fetch_width and self._cursor < len(trace)
+               and len(self._frontend) < self._frontend_cap):
+            entry = trace[self._cursor]
+            if block_start < 0:
+                block_start = entry.pc & block_mask
+            elif entry.pc & block_mask != block_start:
+                # Fetch delivers one aligned block per cycle; the next
+                # block starts next cycle.
+                break
+            line = self.hierarchy.il1.line_address(entry.pc)
+            if line != self._current_fetch_line:
+                latency = self.hierarchy.ifetch(entry.pc)
+                self._current_fetch_line = line
+                if latency > config.il1.latency:
+                    # I-cache miss: this group ends; resume after fill.
+                    self._fetch_resume_cycle = self.now + latency
+                    break
+            self._cursor += 1
+            di = DynInstr(entry, fetch_cycle=self.now)
+            self._frontend.append((self.now + config.frontend_depth, di))
+            stats.fetched += 1
+            fetched += 1
+            if entry.is_control:
+                mispredicted, bubble = self.predictor.predict(
+                    entry.instr, bool(entry.taken), entry.next_pc)
+                di.mispredicted = mispredicted
+                if mispredicted:
+                    self._fetch_blocked_by = di
+                    self._current_fetch_line = -1
+                    break
+                if bubble:
+                    di.btb_bubble = True
+                    stats.btb_bubbles += 1
+                    self._fetch_resume_cycle = (
+                        self.now + config.btb_miss_penalty)
+                    self._current_fetch_line = -1
+                    break
+                if entry.taken:
+                    # Correctly predicted taken: the fetch group ends,
+                    # the next group starts at the target next cycle.
+                    self._current_fetch_line = -1
+                    break
+
+    # ==================================================================
+    # retire
+    # ==================================================================
+
+    def _retire(self) -> None:
+        retired = 0
+        rob = self._rob
+        while (rob and retired < self.config.retire_width
+               and rob[0].completed and rob[0].complete_cycle <= self.now):
+            di = rob.popleft()
+            di.retired = True
+            self.renamer.on_retire(di)
+            if di.is_store:
+                size = di.instr.spec.mem_size
+                first = di.entry.addr >> _BLOCK_SHIFT
+                last = (di.entry.addr + size - 1) >> _BLOCK_SHIFT
+                for block in range(first, last + 1):
+                    if self._last_writer.get(block) is di:
+                        del self._last_writer[block]
+            retired += 1
+            self.stats.retired += 1
+        if retired:
+            self._last_retire_cycle = self.now
+
+
+def simulate_trace(trace: list[TraceEntry],
+                   config: MachineConfig) -> PipelineStats:
+    """Simulate *trace* on *config*'s machine and return its stats.
+
+    Builds the optimizing renamer when ``config.optimizer.enabled``,
+    otherwise the baseline renamer.
+    """
+    prf = PhysRegFile(config.num_pregs)
+    if config.optimizer.enabled:
+        from ..core.optimizer import OptimizingRenamer
+        renamer: Renamer = OptimizingRenamer(prf, config)
+    else:
+        renamer = BaselineRenamer(prf)
+    return Pipeline(trace, config, renamer=renamer, prf=prf).run()

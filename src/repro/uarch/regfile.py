@@ -1,0 +1,123 @@
+"""Reference-counted physical register file.
+
+The paper's optimizations extend physical-register lifetimes beyond
+what R10000/21264-style free-at-overwriter-retire allocation supports:
+a register may still be referenced as the *base* of a symbolic RAT
+value or from a Memory Bypass Cache entry long after its architectural
+name has been overwritten.  Section 3.1 therefore prescribes a
+reference-counting scheme (citing Jourdan et al. [15]); this module
+implements it.
+
+Reference conventions used by the pipeline and the optimizer:
+
+* +1 held by the architectural RAT mapping, released when the
+  instruction that overwrites the mapping **retires**;
+* +1 per in-flight consumer that named the register as a physical
+  source, released when that consumer completes;
+* +1 per symbolic RAT entry whose base names the register;
+* +1 per MBC entry whose symbolic data names the register.
+
+A register returns to the free list when its count reaches zero.
+Registers carry *versions* so that delayed value feedback can detect
+that a register was recycled in the meantime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class OutOfRegisters(Exception):
+    """Raised on allocation from an empty free list (callers stall)."""
+
+
+class PhysRegFile:
+    """Pool of reference-counted physical registers."""
+
+    def __init__(self, num_regs: int):
+        self._num_regs = num_regs
+        self._refcount = [0] * num_regs
+        self._version = [0] * num_regs
+        self._ready = [False] * num_regs
+        self._value: list[int | float | None] = [None] * num_regs
+        self._free: deque[int] = deque(range(num_regs))
+        self.allocation_stalls = 0
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def num_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def num_regs(self) -> int:
+        return self._num_regs
+
+    def can_allocate(self, count: int = 1) -> bool:
+        return len(self._free) >= count
+
+    def allocate(self) -> int:
+        """Take a register off the free list with an initial count of 1.
+
+        The initial reference belongs to the architectural RAT mapping.
+        Raises :class:`OutOfRegisters` when the free list is empty.
+        """
+        if not self._free:
+            self.allocation_stalls += 1
+            raise OutOfRegisters("physical register file exhausted")
+        preg = self._free.popleft()
+        self._refcount[preg] = 1
+        self._ready[preg] = False
+        self._value[preg] = None
+        in_use = self._num_regs - len(self._free)
+        if in_use > self.high_water:
+            self.high_water = in_use
+        return preg
+
+    def add_ref(self, preg: int) -> None:
+        """Add one reference to *preg* (must be live)."""
+        if self._refcount[preg] <= 0:
+            raise ValueError(f"add_ref on free register p{preg}")
+        self._refcount[preg] += 1
+
+    def release(self, preg: int) -> None:
+        """Drop one reference; frees the register at zero."""
+        count = self._refcount[preg] - 1
+        if count < 0:
+            raise ValueError(f"release of already-free register p{preg}")
+        self._refcount[preg] = count
+        if count == 0:
+            self._version[preg] += 1
+            self._ready[preg] = False
+            self._value[preg] = None
+            self._free.append(preg)
+
+    def is_live(self, preg: int) -> bool:
+        """True while *preg* holds at least one reference."""
+        return self._refcount[preg] > 0
+
+    def refcount(self, preg: int) -> int:
+        return self._refcount[preg]
+
+    def version(self, preg: int) -> int:
+        """Current allocation version of *preg* (bumps on free)."""
+        return self._version[preg]
+
+    # ------------------------------------------------------------------
+    # value/readiness tracking (writeback and early execution)
+    # ------------------------------------------------------------------
+
+    def mark_ready(self, preg: int, value: int | float | None = None) -> None:
+        """Record that *preg* has been written."""
+        self._ready[preg] = True
+        self._value[preg] = value
+
+    def is_ready(self, preg: int) -> bool:
+        return self._ready[preg]
+
+    def value_of(self, preg: int) -> int | float | None:
+        """The written value of *preg* (None if not yet written)."""
+        return self._value[preg]

@@ -1,0 +1,104 @@
+"""Issue schedulers and functional-unit pools.
+
+The paper's machine has four 8-entry schedulers (integer, complex
+integer, floating point, memory) feeding 4 simple integer ALUs, 1
+complex integer ALU, 2 FP ALUs, and 2 address-generation units
+(Table 2).  Conditional branches execute on the simple integer ALUs.
+
+Each :class:`IssueQueue` holds dispatched instructions until their
+physical-register (and memory-dependence) operands are ready, then
+offers them oldest-first to its functional-unit pool.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import OpClass
+from .dyninstr import DynInstr
+
+#: Scheduler bins; branches share the simple-integer scheduler and ALUs.
+SCHED_INT = "int"
+SCHED_COMPLEX = "complex"
+SCHED_FP = "fp"
+SCHED_MEM = "mem"
+
+_CLASS_TO_SCHED = {
+    OpClass.INT_SIMPLE: SCHED_INT,
+    OpClass.BRANCH: SCHED_INT,
+    OpClass.INT_COMPLEX: SCHED_COMPLEX,
+    OpClass.FP: SCHED_FP,
+    OpClass.MEM: SCHED_MEM,
+    OpClass.MISC: SCHED_INT,
+}
+
+
+def scheduler_for(op_class: OpClass) -> str:
+    """Which scheduler an operation class dispatches into."""
+    return _CLASS_TO_SCHED[op_class]
+
+
+class IssueQueue:
+    """One out-of-order issue queue with a fixed entry count."""
+
+    def __init__(self, name: str, entries: int, issue_width: int):
+        self.name = name
+        self.capacity = entries
+        self.issue_width = issue_width
+        self._entries: list[DynInstr] = []
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def insert(self, di: DynInstr) -> None:
+        if not self.has_space:
+            raise RuntimeError(f"scheduler {self.name} overflow")
+        self._entries.append(di)
+
+    def select(self) -> list[DynInstr]:
+        """Remove and return up to ``issue_width`` ready entries.
+
+        Selection is oldest-first (by sequence number), which the
+        in-order insertion already guarantees for the entry list.
+        """
+        selected: list[DynInstr] = []
+        remaining: list[DynInstr] = []
+        for di in self._entries:
+            if di.deps_remaining == 0 and len(selected) < self.issue_width:
+                selected.append(di)
+            else:
+                remaining.append(di)
+        self._entries = remaining
+        return selected
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class SchedulerBank:
+    """The four issue queues plus per-class issue-width limits."""
+
+    def __init__(self, entries: int, n_simple: int, n_complex: int,
+                 n_fp: int, n_agen: int):
+        self.queues: dict[str, IssueQueue] = {
+            SCHED_INT: IssueQueue(SCHED_INT, entries, n_simple),
+            SCHED_COMPLEX: IssueQueue(SCHED_COMPLEX, entries, n_complex),
+            SCHED_FP: IssueQueue(SCHED_FP, entries, n_fp),
+            SCHED_MEM: IssueQueue(SCHED_MEM, entries, n_agen),
+        }
+
+    def queue_for(self, di: DynInstr) -> IssueQueue:
+        return self.queues[scheduler_for(di.sched_class)]
+
+    def select_all(self) -> list[DynInstr]:
+        """One cycle of select across all queues."""
+        issued: list[DynInstr] = []
+        for queue in self.queues.values():
+            issued.extend(queue.select())
+        return issued
+
+    def total_occupancy(self) -> int:
+        return sum(len(queue) for queue in self.queues.values())

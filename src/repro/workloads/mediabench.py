@@ -1,0 +1,341 @@
+"""Mediabench kernel stand-ins.
+
+One kernel per mediabench benchmark in the paper's Table 1.  These are
+the paper's best cases: small working sets (quantization tables,
+filter state arrays) that fit entirely inside the 128-entry Memory
+Bypass Cache, so after warm-up nearly all array accesses are
+eliminated and the dependent arithmetic executes in the optimizer
+(Section 5.2 analyses exactly this behaviour for untoast).
+"""
+
+from __future__ import annotations
+
+from .common import Workload, lcg_step
+
+
+def g721_decode_source(scale: int) -> str:
+    """ADPCM predictor filter + table-driven dequantization (g721)."""
+    samples = 600 * scale
+    return f"""
+.data
+dqtab:  .quad 0, 4, 8, 16, 32, 64, 128, 256
+        .quad -1, -4, -8, -16, -32, -64, -128, -256
+state:  .space 64
+result: .quad 0
+.text
+        ldi   r3, 13579
+        ldi   r15, {samples}
+        clr   r16
+        ldi   r20, dqtab
+        ldi   r21, state
+sample:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 15
+        s8add r7, r6, r20
+        ldq   r8, 0(r7)
+        ldq   r9, 0(r21)
+        ldq   r10, 8(r21)
+        mul   r11, r9, 3
+        sra   r11, r11, 2
+        mul   r12, r10, 1
+        sra   r12, r12, 3
+        add   r13, r11, r12
+        add   r13, r13, r8
+        ldi   r17, 32767
+        cmple r18, r13, r17
+        bne   r18, noclip
+        mov   r13, r17
+noclip: stq   r9, 8(r21)
+        stq   r13, 0(r21)
+        add   r16, r16, r13
+        and   r16, r16, 0xffffffffff
+        sub   r15, r15, 1
+        bne   r15, sample
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def g721_encode_source(scale: int) -> str:
+    """ADPCM quantization search + predictor update (g721 encode)."""
+    samples = 450 * scale
+    return f"""
+.data
+qtab:   .quad 4, 12, 28, 60, 124, 252, 508, 1020
+state:  .space 32
+result: .quad 0
+.text
+        ldi   r3, 86420
+        ldi   r15, {samples}
+        clr   r16
+        ldi   r20, qtab
+        ldi   r21, state
+sample:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 2047
+        sub   r6, r6, 1024
+        ldq   r9, 0(r21)
+        sra   r10, r9, 1
+        sub   r7, r6, r10
+        bge   r7, qpos
+        sub   r7, r31, r7
+qpos:   clr   r11
+qloop:  s8add r12, r11, r20
+        ldq   r13, 0(r12)
+        cmple r18, r7, r13
+        bne   r18, qdone
+        add   r11, r11, 1
+        cmplt r18, r11, 8
+        bne   r18, qloop
+        ldi   r11, 7
+qdone:  add   r9, r10, r11
+        stq   r9, 0(r21)
+        add   r16, r16, r11
+        sub   r15, r15, 1
+        bne   r15, sample
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def mpeg2_decode_source(scale: int) -> str:
+    """8x8 integer IDCT row/column butterflies with saturation (mpeg2)."""
+    blocks = 28 * scale
+    return f"""
+.data
+blk:    .space 512
+result: .quad 0
+.text
+        ldi   r3, 20406
+        ldi   r15, {blocks}
+        clr   r16
+block:  ldi   r1, 64
+        ldi   r4, blk
+bfill:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 511
+        sub   r5, r5, 256
+        stq   r5, 0(r4)
+        lda   r4, 8(r4)
+        sub   r1, r1, 1
+        bne   r1, bfill
+        ldi   r6, 8
+        ldi   r4, blk
+rowp:   ldq   r7, 0(r4)
+        ldq   r8, 8(r4)
+        ldq   r9, 16(r4)
+        ldq   r10, 24(r4)
+        add   r11, r7, r10
+        sub   r12, r7, r10
+        add   r13, r8, r9
+        sub   r17, r8, r9
+        sll   r18, r17, 1
+        add   r18, r18, r12
+        sra   r18, r18, 1
+        stq   r11, 0(r4)
+        stq   r13, 8(r4)
+        stq   r12, 16(r4)
+        stq   r18, 24(r4)
+        ldq   r7, 32(r4)
+        ldq   r8, 40(r4)
+        add   r11, r7, r8
+        sra   r11, r11, 1
+        ldi   r19, 255
+        cmple r18, r11, r19
+        bne   r18, nosat
+        mov   r11, r19
+nosat:  stq   r11, 32(r4)
+        add   r16, r16, r11
+        lda   r4, 64(r4)
+        sub   r6, r6, 1
+        bne   r6, rowp
+        and   r16, r16, 0xffffffff
+        sub   r15, r15, 1
+        bne   r15, block
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def mpeg2_encode_source(scale: int) -> str:
+    """Sum-of-absolute-differences motion estimation (mpeg2 encode)."""
+    candidates = 40 * scale
+    return f"""
+.data
+cur:    .space 512
+ref:    .space 1024
+result: .quad 0
+.text
+        ldi   r3, 51015
+        ldi   r1, 64
+        ldi   r4, cur
+cfill:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 255
+        stq   r5, 0(r4)
+        lda   r4, 8(r4)
+        sub   r1, r1, 1
+        bne   r1, cfill
+        ldi   r1, 128
+        ldi   r4, ref
+rfill:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 255
+        stq   r5, 0(r4)
+        lda   r4, 8(r4)
+        sub   r1, r1, 1
+        bne   r1, rfill
+        ldi   r15, {candidates}
+        ldi   r16, 0x7fffffff
+        clr   r22
+cand:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 63
+        ldi   r7, ref
+        s8add r7, r6, r7
+        ldi   r8, cur
+        clr   r9
+        ldi   r1, 64
+sad:    ldq   r10, 0(r8)
+        ldq   r11, 0(r7)
+        sub   r12, r10, r11
+        bge   r12, sadp
+        sub   r12, r31, r12
+sadp:   add   r9, r9, r12
+        lda   r8, 8(r8)
+        lda   r7, 8(r7)
+        sub   r1, r1, 1
+        bne   r1, sad
+        cmplt r13, r9, r16
+        beq   r13, nomin
+        mov   r16, r9
+nomin:  add   r22, r22, r9
+        sub   r15, r15, 1
+        bne   r15, cand
+        add   r22, r22, r16
+        ldi   r14, result
+        stq   r22, 0(r14)
+        halt
+"""
+
+
+def untoast_source(scale: int) -> str:
+    """GSM Short_term_synthesis_filtering — the paper's Section 5.2 star.
+
+    Two small arrays (the reflection coefficients ``rrp`` and the
+    filter state ``v``) fit entirely in the MBC; after the first
+    iteration every array access is eliminated and most of the filter
+    arithmetic executes in the optimizer.
+    """
+    samples = 260 * scale
+    return f"""
+.data
+rrp:    .quad 16384, -8192, 4096, -2048, 1024, -512, 256, -128
+vstate: .space 80
+result: .quad 0
+.text
+        ldi   r3, 60606
+        ldi   r15, {samples}
+        clr   r16
+        ldi   r20, rrp
+        ldi   r21, vstate
+sample:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 8191
+        sub   r6, r6, 4096
+        ldi   r7, 7
+filt:   s8add r8, r7, r20
+        ldq   r9, 0(r8)
+        s8add r10, r7, r21
+        ldq   r11, 0(r10)
+        mul   r12, r9, r11
+        sra   r12, r12, 15
+        sub   r6, r6, r12
+        mul   r12, r9, r6
+        sra   r12, r12, 15
+        add   r13, r11, r12
+        stq   r13, 8(r10)
+        sub   r7, r7, 1
+        bge   r7, filt
+        stq   r6, 0(r21)
+        add   r16, r16, r6
+        sub   r15, r15, 1
+        bne   r15, sample
+        and   r16, r16, 0xffffffffff
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def toast_source(scale: int) -> str:
+    """GSM LPC autocorrelation over a short window (toast's front end)."""
+    frames = 16 * scale
+    window = 40
+    return f"""
+.data
+swin:   .space {window * 8}
+acf:    .space 72
+result: .quad 0
+.text
+        ldi   r3, 70707
+        ldi   r15, {frames}
+        clr   r16
+frame:  ldi   r1, {window}
+        ldi   r4, swin
+wfill:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 1023
+        sub   r5, r5, 512
+        stq   r5, 0(r4)
+        lda   r4, 8(r4)
+        sub   r1, r1, 1
+        bne   r1, wfill
+        clr   r6
+lagl:   clr   r7
+        mov   r8, r6
+        ldi   r9, swin
+        s8add r10, r6, r9
+        mov   r11, r9
+corr:   ldq   r12, 0(r10)
+        ldq   r13, 0(r11)
+        mul   r17, r12, r13
+        add   r7, r7, r17
+        lda   r10, 8(r10)
+        lda   r11, 8(r11)
+        add   r8, r8, 1
+        cmplt r18, r8, {window}
+        bne   r18, corr
+        ldi   r19, acf
+        s8add r19, r6, r19
+        stq   r7, 0(r19)
+        add   r16, r16, r7
+        add   r6, r6, 1
+        cmplt r18, r6, 9
+        bne   r18, lagl
+        and   r16, r16, 0xffffffffff
+        sub   r15, r15, 1
+        bne   r15, frame
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+WORKLOADS = [
+    Workload("g721_decode", "g721d", "mediabench",
+             "ADPCM predictor filter + dequantization", g721_decode_source),
+    Workload("g721_encode", "g721e", "mediabench",
+             "ADPCM quantization search", g721_encode_source),
+    Workload("mpeg2_decode", "mpg2d", "mediabench",
+             "8x8 integer IDCT butterflies", mpeg2_decode_source),
+    Workload("mpeg2_encode", "mpg2e", "mediabench",
+             "SAD motion estimation", mpeg2_encode_source),
+    Workload("untoast", "untst", "mediabench",
+             "GSM short-term synthesis filtering", untoast_source),
+    Workload("toast", "tst", "mediabench",
+             "GSM LPC autocorrelation", toast_source),
+]

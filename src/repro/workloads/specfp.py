@@ -1,0 +1,334 @@
+"""SPECfp2000 kernel stand-ins.
+
+One kernel per SPECfp benchmark in the paper's Table 1.  The FP
+register file is not tracked by the optimizer's integer tables (as in
+the paper), so these kernels exercise what the paper reports for
+SPECfp: very high rename-time address generation (affine loop
+addressing), early execution of loop control, and load removal for
+integer-side tables.
+"""
+
+from __future__ import annotations
+
+from .common import Workload, lcg_step
+
+
+def _seed_doubles(label: str, count: int, state: str, tmp: str,
+                  ptr: str, cnt: str, ftmp: str = "f20") -> str:
+    """Fill *count* doubles at *label* with small pseudo-random values."""
+    return (f"        ldi   {cnt}, {count}\n"
+            f"        ldi   {ptr}, {label}\n"
+            f"fseed_{label}:\n"
+            + lcg_step(state, tmp)
+            + f"        and   {tmp}, {state}, 1023\n"
+            f"        sub   {tmp}, {tmp}, 512\n"
+            f"        itof  {ftmp}, {tmp}\n"
+            f"        stf   {ftmp}, 0({ptr})\n"
+            f"        lda   {ptr}, 8({ptr})\n"
+            f"        sub   {cnt}, {cnt}, 1\n"
+            f"        bne   {cnt}, fseed_{label}\n")
+
+
+def ammp_source(scale: int) -> str:
+    """Pairwise particle force accumulation (ammp's non-bonded loop)."""
+    particles = 64
+    rounds = 12 * scale
+    return f"""
+.data
+px:     .space {particles * 8}
+pf:     .space {particles * 8}
+result: .quad 0
+.text
+        ldi   r3, 24681
+{_seed_doubles('px', particles, 'r3', 'r5', 'r4', 'r1')}
+        ldi   r15, {rounds}
+        clr   r16
+round:  clr   r6
+outer:  ldi   r7, px
+        s8add r8, r6, r7
+        ldf   f1, 0(r8)
+        add   r9, r6, 1
+        and   r9, r9, {particles - 1}
+        s8add r10, r9, r7
+        ldf   f2, 0(r10)
+        fsub  f3, f1, f2
+        fmul  f4, f3, f3
+        fadd  f4, f4, f2
+        fmul  f5, f4, f3
+        ldi   r11, pf
+        s8add r12, r6, r11
+        ldf   f6, 0(r12)
+        fadd  f6, f6, f5
+        stf   f6, 0(r12)
+        add   r6, r6, 1
+        cmplt r13, r6, {particles}
+        bne   r13, outer
+        add   r16, r16, r6
+        sub   r15, r15, 1
+        bne   r15, round
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def applu_source(scale: int) -> str:
+    """2D 5-point SSOR-style relaxation sweep (applu's smoother)."""
+    dim = 16
+    sweeps = 6 * scale
+    return f"""
+.data
+grid:   .space {dim * dim * 8}
+quarter: .double 0.25
+result: .quad 0
+.text
+        ldi   r3, 11235
+{_seed_doubles('grid', dim * dim, 'r3', 'r5', 'r4', 'r1')}
+        ldf   f10, quarter(r31)
+        ldi   r15, {sweeps}
+        clr   r16
+sweep:  ldi   r9, grid
+        lda   r9, {dim * 8 + 8}(r9)
+        ldi   r6, {dim - 2}
+rowl:   ldi   r7, {dim - 2}
+coll:   ldf   f1, 8(r9)
+        ldf   f2, -8(r9)
+        fadd  f1, f1, f2
+        ldf   f2, {dim * 8}(r9)
+        fadd  f1, f1, f2
+        ldf   f2, {-dim * 8}(r9)
+        fadd  f1, f1, f2
+        fmul  f1, f1, f10
+        stf   f1, 0(r9)
+        add   r16, r16, 1
+        lda   r9, 8(r9)
+        sub   r7, r7, 1
+        bne   r7, coll
+        lda   r9, 16(r9)
+        sub   r6, r6, 1
+        bne   r6, rowl
+        sub   r15, r15, 1
+        bne   r15, sweep
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def art_source(scale: int) -> str:
+    """Neural-network layer evaluation (art's F1/F2 dot products)."""
+    inputs = 48
+    neurons = 24 * scale
+    return f"""
+.data
+wts:    .space {inputs * 8}
+ins:    .space {inputs * 8}
+result: .quad 0
+.text
+        ldi   r3, 36912
+{_seed_doubles('wts', inputs, 'r3', 'r5', 'r4', 'r1')}
+{_seed_doubles('ins', inputs, 'r3', 'r5', 'r4', 'r1')}
+        ldi   r15, {neurons}
+        clr   r16
+neuron:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, {inputs - 1}
+        ldi   r7, ins
+        s8add r8, r5, r7
+        and   r5, r3, 2047
+        sub   r5, r5, 1024
+        itof  f6, r5
+        stf   f6, 0(r8)
+        ldi   r6, wts
+        ldi   r1, {inputs}
+        fsub  f3, f3, f3
+dot:    ldf   f1, 0(r6)
+        ldf   f2, 0(r7)
+        fmul  f4, f1, f2
+        fadd  f3, f3, f4
+        lda   r6, 8(r6)
+        lda   r7, 8(r7)
+        sub   r1, r1, 1
+        bne   r1, dot
+        add   r16, r16, 2
+        fcmplt f5, f3, f31
+        fbne  f5, neg
+        add   r16, r16, 1
+neg:    sub   r15, r15, 1
+        bne   r15, neuron
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def equake_source(scale: int) -> str:
+    """Sparse matrix-vector product (equake's smvp kernel)."""
+    nnz = 512
+    rounds = 4 * scale
+    return f"""
+.data
+cols:   .space {nnz * 8}
+vals:   .space {nnz * 8}
+vec:    .space 512
+out:    .space 512
+result: .quad 0
+.text
+        ldi   r3, 55221
+        ldi   r1, {nnz}
+        ldi   r4, cols
+icfill:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 63
+        stq   r5, 0(r4)
+        lda   r4, 8(r4)
+        sub   r1, r1, 1
+        bne   r1, icfill
+{_seed_doubles('vals', nnz, 'r3', 'r5', 'r4', 'r1')}
+{_seed_doubles('vec', 64, 'r3', 'r5', 'r4', 'r1')}
+        ldi   r15, {rounds}
+        clr   r16
+round:  ldi   r6, cols
+        ldi   r7, vals
+        ldi   r8, vec
+        ldi   r9, out
+        ldi   r1, {nnz}
+nz:     ldq   r10, 0(r6)
+        ldf   f1, 0(r7)
+        s8add r11, r10, r8
+        ldf   f2, 0(r11)
+        fmul  f3, f1, f2
+        and   r12, r10, 63
+        s8add r13, r12, r9
+        ldf   f4, 0(r13)
+        fadd  f4, f4, f3
+        stf   f4, 0(r13)
+        lda   r6, 8(r6)
+        lda   r7, 8(r7)
+        add   r16, r16, 1
+        sub   r1, r1, 1
+        bne   r1, nz
+        sub   r15, r15, 1
+        bne   r15, round
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def mesa_source(scale: int) -> str:
+    """4x4 matrix vertex transform (mesa's transform pipeline)."""
+    verts = 180 * scale
+    return f"""
+.data
+mat:    .space 128
+vin:    .space 32
+vout:   .space 32
+result: .quad 0
+.text
+        ldi   r3, 77441
+{_seed_doubles('mat', 16, 'r3', 'r5', 'r4', 'r1')}
+        ldi   r15, {verts}
+        clr   r16
+vert:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 255
+        itof  f1, r6
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 255
+        itof  f2, r6
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 255
+        itof  f3, r6
+        ldi   r7, mat
+        ldi   r8, vout
+        ldi   r9, 4
+rowt:   ldf   f4, 0(r7)
+        fmul  f5, f4, f1
+        ldf   f4, 8(r7)
+        fmul  f6, f4, f2
+        fadd  f5, f5, f6
+        ldf   f4, 16(r7)
+        fmul  f6, f4, f3
+        fadd  f5, f5, f6
+        ldf   f4, 24(r7)
+        fadd  f5, f5, f4
+        stf   f5, 0(r8)
+        lda   r7, 32(r7)
+        lda   r8, 8(r8)
+        sub   r9, r9, 1
+        bne   r9, rowt
+        add   r16, r16, 1
+        sub   r15, r15, 1
+        bne   r15, vert
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def mgrid_source(scale: int) -> str:
+    """3D 7-point stencil relaxation (mgrid's resid/psinv kernels)."""
+    dim = 8
+    sweeps = 6 * scale
+    plane = dim * dim * 8
+    return f"""
+.data
+cube:   .space {dim * dim * dim * 8}
+result: .quad 0
+.text
+        ldi   r3, 98765
+{_seed_doubles('cube', dim * dim * dim, 'r3', 'r5', 'r4', 'r1')}
+        ldi   r15, {sweeps}
+        clr   r16
+sweep:  ldi   r11, cube
+        lda   r11, {plane + dim * 8 + 8}(r11)
+        ldi   r6, {dim - 2}
+zl:     ldi   r7, {dim - 2}
+yl:     ldi   r8, {dim - 2}
+xl:     ldf   f1, 0(r11)
+        ldf   f2, 8(r11)
+        fadd  f1, f1, f2
+        ldf   f2, -8(r11)
+        fadd  f1, f1, f2
+        ldf   f2, {dim * 8}(r11)
+        fadd  f1, f1, f2
+        ldf   f2, {-dim * 8}(r11)
+        fadd  f1, f1, f2
+        ldf   f2, {plane}(r11)
+        fadd  f1, f1, f2
+        ldf   f2, {-plane}(r11)
+        fadd  f1, f1, f2
+        stf   f1, 0(r11)
+        add   r16, r16, 1
+        lda   r11, 8(r11)
+        sub   r8, r8, 1
+        bne   r8, xl
+        lda   r11, 16(r11)
+        sub   r7, r7, 1
+        bne   r7, yl
+        lda   r11, {dim * 16}(r11)
+        sub   r6, r6, 1
+        bne   r6, zl
+        sub   r15, r15, 1
+        bne   r15, sweep
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+WORKLOADS = [
+    Workload("ammp", "amp", "SPECfp",
+             "pairwise particle force accumulation", ammp_source),
+    Workload("applu", "app", "SPECfp",
+             "2D 5-point relaxation sweep", applu_source),
+    Workload("art", "art", "SPECfp",
+             "neural-network dot products", art_source),
+    Workload("equake", "eqk", "SPECfp",
+             "sparse matrix-vector product", equake_source),
+    Workload("mesa", "msa", "SPECfp",
+             "4x4 matrix vertex transform", mesa_source),
+    Workload("mgrid", "mgd", "SPECfp",
+             "3D 7-point stencil relaxation", mgrid_source),
+]

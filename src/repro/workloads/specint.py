@@ -1,0 +1,588 @@
+"""SPECint2000 kernel stand-ins.
+
+One kernel per SPECint benchmark in the paper's Table 1, each
+reproducing the benchmark's dominant loop structure (see
+``repro.workloads.common`` for the substitution rationale).  All
+kernels are deterministic (LCG-generated data) and store a checksum to
+memory before halting so that tests can pin their behaviour.
+"""
+
+from __future__ import annotations
+
+from .common import Workload, lcg_step
+
+
+def bzip2_source(scale: int) -> str:
+    """Run-length scanning + byte histogram (bzip2's front end)."""
+    count = 2000 * scale
+    return f"""
+.data
+buf:    .space {count + 16}
+hist:   .space 2048
+result: .quad 0
+.text
+        ldi   r3, 99991
+        clr   r1
+        ldi   r2, {count}
+        ldi   r4, buf
+gen:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 0xff
+        srl   r7, r3, 8
+        and   r7, r7, 7
+        add   r7, r7, 1
+run:    stb   r6, 0(r4)
+        lda   r4, 1(r4)
+        add   r1, r1, 1
+        cmplt r8, r1, r2
+        beq   r8, scan
+        sub   r7, r7, 1
+        bne   r7, run
+        br    gen
+scan:
+        clr   r1
+        ldi   r4, buf
+        ldi   r9, hist
+        ldi   r10, -1
+        clr   r11
+        clr   r12
+hloop:  ldbu  r5, 0(r4)
+        s8add r6, r5, r9
+        ldq   r7, 0(r6)
+        add   r7, r7, 1
+        stq   r7, 0(r6)
+        cmpeq r8, r5, r10
+        bne   r8, same
+        add   r11, r11, 1
+same:   mov   r10, r5
+        add   r12, r12, r5
+        lda   r4, 1(r4)
+        add   r1, r1, 1
+        cmplt r8, r1, r2
+        bne   r8, hloop
+        sll   r11, r11, 20
+        add   r12, r12, r11
+        ldi   r13, result
+        stq   r12, 0(r13)
+        halt
+"""
+
+
+def crafty_source(scale: int) -> str:
+    """Bitboard manipulation: Kernighan popcounts + attack-mask mixing."""
+    words = 400 * scale
+    return f"""
+.data
+result: .quad 0
+.text
+        ldi   r3, 31337
+        ldi   r1, {words}
+        clr   r12
+        clr   r13
+wloop:
+{lcg_step('r3', 'r5')}
+        mov   r6, r3
+{lcg_step('r3', 'r5')}
+        sll   r7, r3, 31
+        or    r6, r6, r7
+        clr   r8
+pop:    beq   r6, popdone
+        sub   r9, r6, 1
+        and   r6, r6, r9
+        add   r8, r8, 1
+        br    pop
+popdone:
+        add   r12, r12, r8
+        sll   r10, r3, 6
+        srl   r11, r3, 10
+        or    r10, r10, r11
+        xor   r13, r13, r10
+        and   r13, r13, 0xffffffff
+        sub   r1, r1, 1
+        bne   r1, wloop
+        add   r12, r12, r13
+        ldi   r14, result
+        stq   r12, 0(r14)
+        halt
+"""
+
+
+def eon_source(scale: int) -> str:
+    """FP ray-sphere intersection tests (eon's probabilistic ray tracer)."""
+    rays = 700 * scale
+    return f"""
+.data
+result: .quad 0
+.text
+        ldi   r3, 7777
+        ldi   r1, {rays}
+        clr   r12
+        ldi   r4, 1024
+        itof  f10, r4
+doray:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 2047
+        sub   r6, r6, 1024
+        itof  f1, r6
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 2047
+        sub   r6, r6, 1024
+        itof  f2, r6
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 2047
+        sub   r6, r6, 1024
+        itof  f3, r6
+        fmul  f4, f1, f1
+        fmul  f5, f2, f2
+        fadd  f4, f4, f5
+        fmul  f5, f3, f3
+        fadd  f4, f4, f5
+        fmul  f6, f1, f2
+        fadd  f7, f6, f6
+        fadd  f7, f7, f7
+        fmul  f5, f3, f3
+        fsub  f8, f7, f5
+        fadd  f8, f8, f10
+        fcmplt f9, f8, f31
+        fbne  f9, miss
+        add   r12, r12, 1
+miss:   sub   r1, r1, 1
+        bne   r1, doray
+        ldi   r14, result
+        stq   r12, 0(r14)
+        halt
+"""
+
+
+def gap_source(scale: int) -> str:
+    """Multi-precision (bignum) addition loops (gap's integer kernel)."""
+    rounds = 80 * scale
+    limbs = 32
+    return f"""
+.data
+biga:   .space {limbs * 8}
+bigb:   .space {limbs * 8}
+bigc:   .space {limbs * 8}
+result: .quad 0
+.text
+        ldi   r3, 424242
+        ldi   r1, {limbs}
+        ldi   r4, biga
+        ldi   r5, bigb
+seed:
+{lcg_step('r3', 'r6')}
+        stq   r3, 0(r4)
+{lcg_step('r3', 'r6')}
+        stq   r3, 0(r5)
+        lda   r4, 8(r4)
+        lda   r5, 8(r5)
+        sub   r1, r1, 1
+        bne   r1, seed
+        ldi   r15, {rounds}
+        clr   r16
+round:
+        ldi   r1, {limbs}
+        ldi   r4, biga
+        ldi   r5, bigb
+        ldi   r7, bigc
+        clr   r8
+limb:   ldq   r9, 0(r4)
+        ldq   r10, 0(r5)
+        add   r11, r9, r10
+        add   r11, r11, r8
+        cmpult r8, r11, r9
+        stq   r11, 0(r7)
+        add   r16, r16, r11
+        lda   r4, 8(r4)
+        lda   r5, 8(r5)
+        lda   r7, 8(r7)
+        sub   r1, r1, 1
+        bne   r1, limb
+        ldq   r9, bigc(r31)
+        stq   r9, biga(r31)
+        sub   r15, r15, 1
+        bne   r15, round
+        and   r16, r16, 0xffffffffffff
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def gcc_source(scale: int) -> str:
+    """Token dispatch through a jump table (gcc's branchy core)."""
+    tokens = 1200 * scale
+    return f"""
+.text
+        br    main
+h0:     add   r10, r10, 1
+        br    next
+h1:     xor   r10, r10, r11
+        br    next
+h2:     add   r11, r11, 3
+        br    next
+h3:     sll   r12, r10, 1
+        add   r10, r12, r11
+        and   r10, r10, 0xffffff
+        br    next
+h4:     sub   r11, r11, r10
+        br    next
+h5:     and   r10, r10, 0x5555
+        br    next
+h6:     or    r11, r11, 1
+        br    next
+h7:     add   r10, r10, r11
+        and   r10, r10, 0xffffff
+        br    next
+main:   ldi   r3, 271828
+        clr   r1
+        ldi   r2, {tokens}
+        ldi   r4, toks
+fillt:
+{lcg_step('r3', 'r5')}
+        srl   r6, r3, 5
+        and   r6, r6, 7
+        stb   r6, 0(r4)
+        lda   r4, 1(r4)
+        add   r1, r1, 1
+        cmplt r8, r1, r2
+        bne   r8, fillt
+        clr   r1
+        ldi   r4, toks
+        clr   r10
+        ldi   r11, 5
+        ldi   r9, jtab
+disp:   ldbu  r5, 0(r4)
+        s8add r7, r5, r9
+        ldq   r8, 0(r7)
+        jmp   r8
+next:   lda   r4, 1(r4)
+        add   r1, r1, 1
+        cmplt r8, r1, r2
+        bne   r8, disp
+        ldi   r14, result
+        stq   r10, 0(r14)
+        halt
+.data
+toks:   .space {tokens + 8}
+.align 8
+jtab:   .quad h0, h1, h2, h3, h4, h5, h6, h7
+result: .quad 0
+"""
+
+
+def mcf_source(scale: int) -> str:
+    """The sort_basket quicksort the paper analyses in Section 5.2.
+
+    An explicit-stack quicksort over an array larger than the MBC:
+    top-level partitions thrash the bypass cache, but once sub-arrays
+    fit, every access is eliminated — the paper's described behaviour.
+    """
+    count = 200 * scale
+    return f"""
+.data
+arr:    .space {count * 8}
+stk:    .space {count * 32 + 64}
+result: .quad 0
+.text
+        ldi   r3, 555557
+        ldi   r1, {count}
+        ldi   r2, arr
+fill:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 1023
+        stq   r5, 0(r2)
+        lda   r2, 8(r2)
+        sub   r1, r1, 1
+        bne   r1, fill
+        ldi   r10, stk
+        clr   r4
+        ldi   r5, {count - 1}
+        stq   r4, 0(r10)
+        stq   r5, 8(r10)
+        lda   r10, 16(r10)
+qloop:  ldi   r11, stk
+        cmpeq r12, r10, r11
+        bne   r12, sorted
+        lda   r10, -16(r10)
+        ldq   r4, 0(r10)
+        ldq   r5, 8(r10)
+        cmplt r12, r4, r5
+        beq   r12, qloop
+        ldi   r13, arr
+        s8add r14, r5, r13
+        ldq   r15, 0(r14)
+        sub   r16, r4, 1
+        mov   r17, r4
+part:   cmplt r12, r17, r5
+        beq   r12, partdone
+        s8add r18, r17, r13
+        ldq   r19, 0(r18)
+        cmple r12, r19, r15
+        beq   r12, noswap
+        add   r16, r16, 1
+        s8add r20, r16, r13
+        ldq   r21, 0(r20)
+        stq   r19, 0(r20)
+        stq   r21, 0(r18)
+noswap: add   r17, r17, 1
+        br    part
+partdone:
+        add   r16, r16, 1
+        s8add r20, r16, r13
+        ldq   r21, 0(r20)
+        s8add r18, r5, r13
+        ldq   r19, 0(r18)
+        stq   r19, 0(r20)
+        stq   r21, 0(r18)
+        sub   r22, r16, 1
+        stq   r4, 0(r10)
+        stq   r22, 8(r10)
+        lda   r10, 16(r10)
+        add   r22, r16, 1
+        stq   r22, 0(r10)
+        stq   r5, 8(r10)
+        lda   r10, 16(r10)
+        br    qloop
+sorted:
+        ldi   r1, {count}
+        ldi   r2, arr
+        clr   r7
+        clr   r8
+chk:    ldq   r5, 0(r2)
+        cmple r6, r8, r5
+        add   r7, r7, r6
+        mov   r8, r5
+        lda   r2, 8(r2)
+        sub   r1, r1, 1
+        bne   r1, chk
+        ldi   r14, result
+        stq   r7, 0(r14)
+        halt
+"""
+
+
+def perlbmk_source(scale: int) -> str:
+    """String hashing into a chained hash table (perl's hot loop)."""
+    strings = 250 * scale
+    return f"""
+.data
+sbuf:   .space 32
+htab:   .space 2048
+result: .quad 0
+.text
+        ldi   r3, 888887
+        ldi   r15, {strings}
+        clr   r16
+str:
+{lcg_step('r3', 'r5')}
+        and   r17, r3, 15
+        add   r17, r17, 8
+        ldi   r4, sbuf
+        mov   r1, r17
+mkstr:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, 0x7f
+        stb   r6, 0(r4)
+        lda   r4, 1(r4)
+        sub   r1, r1, 1
+        bne   r1, mkstr
+        ldi   r4, sbuf
+        ldi   r7, 5381
+        mov   r1, r17
+hash:   ldbu  r6, 0(r4)
+        sll   r8, r7, 5
+        add   r7, r8, r7
+        add   r7, r7, r6
+        and   r7, r7, 0xffffffff
+        lda   r4, 1(r4)
+        sub   r1, r1, 1
+        bne   r1, hash
+        and   r9, r7, 255
+        ldi   r10, htab
+        s8add r11, r9, r10
+        ldq   r12, 0(r11)
+        add   r12, r12, 1
+        stq   r12, 0(r11)
+        add   r16, r16, r7
+        sub   r15, r15, 1
+        bne   r15, str
+        and   r16, r16, 0xffffffffff
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def twolf_source(scale: int) -> str:
+    """Annealing-style cell swaps with cost deltas (twolf's inner loop)."""
+    moves = 1100 * scale
+    cells = 128
+    return f"""
+.data
+pos:    .space {cells * 8}
+result: .quad 0
+.text
+        ldi   r3, 161803
+        ldi   r1, {cells}
+        ldi   r2, pos
+seedp:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 4095
+        stq   r5, 0(r2)
+        lda   r2, 8(r2)
+        sub   r1, r1, 1
+        bne   r1, seedp
+        ldi   r15, {moves}
+        clr   r16
+        ldi   r13, pos
+move:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, {cells - 1}
+{lcg_step('r3', 'r5')}
+        and   r7, r3, {cells - 1}
+        s8add r8, r6, r13
+        s8add r9, r7, r13
+        ldq   r10, 0(r8)
+        ldq   r11, 0(r9)
+        sub   r12, r10, r11
+        bge   r12, posd
+        sub   r12, r31, r12
+posd:   and   r14, r3, 3
+        bne   r14, nswp
+        stq   r11, 0(r8)
+        stq   r10, 0(r9)
+nswp:   add   r16, r16, r12
+        sub   r15, r15, 1
+        bne   r15, move
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def vortex_source(scale: int) -> str:
+    """Linked object-record traversal with field updates (vortex)."""
+    steps = 1800 * scale
+    records = 256
+    return f"""
+.data
+recs:   .space {records * 32}
+result: .quad 0
+.text
+        ldi   r3, 314159
+        ldi   r1, {records}
+        ldi   r2, recs
+seedr:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 0xffff
+        stq   r5, 0(r2)
+{lcg_step('r3', 'r5')}
+        and   r5, r3, {records - 1}
+        stq   r5, 8(r2)
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 0xff
+        stq   r5, 16(r2)
+        stq   r31, 24(r2)
+        lda   r2, 32(r2)
+        sub   r1, r1, 1
+        bne   r1, seedr
+        ldi   r15, {steps}
+        clr   r16
+        clr   r6
+        ldi   r13, recs
+walk:   sll   r7, r6, 5
+        add   r7, r7, r13
+        ldq   r8, 0(r7)
+        ldq   r9, 8(r7)
+        ldq   r10, 16(r7)
+        add   r16, r16, r8
+        add   r11, r10, 1
+        stq   r11, 16(r7)
+        add   r6, r9, r11
+        and   r6, r6, {records - 1}
+        sub   r15, r15, 1
+        bne   r15, walk
+        and   r16, r16, 0xffffffffff
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+def vpr_source(scale: int) -> str:
+    """Grid placement-cost evaluation (vpr's route-cost loop)."""
+    moves = 1300 * scale
+    dim = 32
+    return f"""
+.data
+grid:   .space {dim * dim * 8}
+result: .quad 0
+.text
+        ldi   r3, 654321
+        ldi   r1, {dim * dim}
+        ldi   r2, grid
+seedg:
+{lcg_step('r3', 'r5')}
+        and   r5, r3, 255
+        stq   r5, 0(r2)
+        lda   r2, 8(r2)
+        sub   r1, r1, 1
+        bne   r1, seedg
+        ldi   r15, {moves}
+        clr   r16
+        ldi   r13, grid
+cost:
+{lcg_step('r3', 'r5')}
+        and   r6, r3, {dim - 2}
+        add   r6, r6, 1
+{lcg_step('r3', 'r5')}
+        and   r7, r3, {dim - 2}
+        add   r7, r7, 1
+        sll   r8, r6, {dim.bit_length() - 1}
+        add   r8, r8, r7
+        s8add r9, r8, r13
+        ldq   r10, 0(r9)
+        ldq   r11, 8(r9)
+        ldq   r12, -8(r9)
+        add   r11, r11, r12
+        ldq   r12, {dim * 8}(r9)
+        add   r11, r11, r12
+        ldq   r12, {-dim * 8}(r9)
+        add   r11, r11, r12
+        sra   r11, r11, 2
+        sub   r12, r10, r11
+        bge   r12, vposd
+        sub   r12, r31, r12
+vposd:  add   r16, r16, r12
+        stq   r11, 0(r9)
+        sub   r15, r15, 1
+        bne   r15, cost
+        ldi   r14, result
+        stq   r16, 0(r14)
+        halt
+"""
+
+
+WORKLOADS = [
+    Workload("bzip2", "bzp", "SPECint",
+             "run-length scan + byte histogram", bzip2_source),
+    Workload("crafty", "cra", "SPECint",
+             "bitboard popcounts and mask mixing", crafty_source),
+    Workload("eon", "eon", "SPECint",
+             "FP ray-sphere intersection tests", eon_source),
+    Workload("gap", "gap", "SPECint",
+             "multi-precision addition", gap_source),
+    Workload("gcc", "gcc", "SPECint",
+             "token dispatch through a jump table", gcc_source),
+    Workload("mcf", "mcf", "SPECint",
+             "sort_basket quicksort (Section 5.2)", mcf_source),
+    Workload("perlbmk", "prl", "SPECint",
+             "string hashing into a hash table", perlbmk_source),
+    Workload("twolf", "twf", "SPECint",
+             "annealing cell swaps with cost deltas", twolf_source),
+    Workload("vortex", "vor", "SPECint",
+             "linked record traversal with updates", vortex_source),
+    Workload("vpr", "vpr", "SPECint",
+             "grid placement-cost evaluation", vpr_source),
+]

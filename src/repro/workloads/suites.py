@@ -1,0 +1,50 @@
+"""Workload registry: the paper's Table 1 experimental workload.
+
+Groups the 22 kernels by suite (SPECint, SPECfp, mediabench) and
+provides lookup, assembly, and trace-generation helpers used by the
+experiment harness and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..functional.emulator import EmulationResult, run_program
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from . import mediabench, specfp, specint
+from .common import Workload
+
+SUITES = ("SPECint", "SPECfp", "mediabench")
+
+ALL_WORKLOADS: list[Workload] = (
+    specint.WORKLOADS + specfp.WORKLOADS + mediabench.WORKLOADS)
+
+_BY_NAME = {workload.name: workload for workload in ALL_WORKLOADS}
+_BY_ABBREV = {workload.abbrev: workload for workload in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by full name or paper abbreviation."""
+    workload = _BY_NAME.get(name) or _BY_ABBREV.get(name)
+    if workload is None:
+        raise KeyError(f"unknown workload {name!r}; known: "
+                       f"{sorted(_BY_NAME)}")
+    return workload
+
+
+def suite_workloads(suite: str) -> list[Workload]:
+    """All workloads belonging to *suite*."""
+    if suite not in SUITES:
+        raise KeyError(f"unknown suite {suite!r}; known: {SUITES}")
+    return [w for w in ALL_WORKLOADS if w.suite == suite]
+
+
+def build_program(name: str, scale: int = 1) -> Program:
+    """Assemble the named workload at *scale*."""
+    return assemble(get_workload(name).source(scale))
+
+
+def build_trace(name: str, scale: int = 1,
+                max_instructions: int = 20_000_000) -> EmulationResult:
+    """Assemble and functionally execute the named workload."""
+    program = build_program(name, scale)
+    return run_program(program, max_instructions=max_instructions)

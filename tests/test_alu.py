@@ -1,0 +1,195 @@
+"""Unit and property tests for repro.functional.alu.
+
+The ALU is shared by the emulator, the execution units, and the
+optimizer's rename-stage ALUs, so its 64-bit semantics anchor the
+whole reproduction's correctness.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.functional import alu
+from repro.isa.opcodes import BranchCond, Opcode
+
+i64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+
+class TestWrapping:
+    def test_to_signed64_identity_in_range(self):
+        assert alu.to_signed64(42) == 42
+        assert alu.to_signed64(-42) == -42
+
+    def test_to_signed64_wraps_positive_overflow(self):
+        assert alu.to_signed64(2 ** 63) == -(2 ** 63)
+
+    def test_to_signed64_wraps_negative_overflow(self):
+        assert alu.to_signed64(-(2 ** 63) - 1) == 2 ** 63 - 1
+
+    def test_to_unsigned64(self):
+        assert alu.to_unsigned64(-1) == 2 ** 64 - 1
+        assert alu.to_unsigned64(5) == 5
+
+    @given(i64)
+    def test_signed_unsigned_roundtrip(self, value):
+        assert alu.to_signed64(alu.to_unsigned64(value)) == value
+
+    def test_sign_extend_byte(self):
+        assert alu.sign_extend(0xFF, 1) == -1
+        assert alu.sign_extend(0x7F, 1) == 127
+
+    def test_sign_extend_word(self):
+        assert alu.sign_extend(0x8000, 2) == -32768
+
+    def test_zero_extend(self):
+        assert alu.zero_extend(0xFF, 1) == 255
+        assert alu.zero_extend(-1, 4) == 0xFFFFFFFF
+
+
+class TestIntegerOps:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Opcode.ADD, 2, 3, 5),
+        (Opcode.ADD, 2 ** 63 - 1, 1, -(2 ** 63)),
+        (Opcode.SUB, 3, 5, -2),
+        (Opcode.SUB, -(2 ** 63), 1, 2 ** 63 - 1),
+        (Opcode.AND, 0b1100, 0b1010, 0b1000),
+        (Opcode.OR, 0b1100, 0b1010, 0b1110),
+        (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+        (Opcode.BIC, 0b1111, 0b1010, 0b0101),
+        (Opcode.SLL, 1, 4, 16),
+        (Opcode.SLL, 1, 63, -(2 ** 63)),
+        (Opcode.SRL, -1, 1, 2 ** 63 - 1),
+        (Opcode.SRA, -8, 1, -4),
+        (Opcode.S4ADD, 3, 5, 17),
+        (Opcode.S8ADD, 3, 5, 29),
+        (Opcode.MUL, 7, 6, 42),
+        (Opcode.CMPEQ, 4, 4, 1),
+        (Opcode.CMPEQ, 4, 5, 0),
+        (Opcode.CMPNE, 4, 5, 1),
+        (Opcode.CMPLT, -1, 0, 1),
+        (Opcode.CMPLE, 5, 5, 1),
+        (Opcode.CMPULT, -1, 0, 0),  # unsigned: -1 is huge
+        (Opcode.CMPULE, 0, -1, 1),
+        (Opcode.DIV, 7, 2, 3),
+        (Opcode.DIV, -7, 2, -3),  # truncate toward zero
+        (Opcode.DIV, 7, -2, -3),
+        (Opcode.REM, 7, 2, 1),
+        (Opcode.REM, -7, 2, -1),
+        (Opcode.DIV, 5, 0, 0),  # defined, no trap
+        (Opcode.REM, 5, 0, 0),
+        (Opcode.LDA, 100, 8, 108),
+    ])
+    def test_binary_semantics(self, op, a, b, expected):
+        assert alu.evaluate_int(op, a, b) == expected
+
+    def test_shift_amount_masked_to_6_bits(self):
+        assert alu.evaluate_int(Opcode.SLL, 1, 64) == 1
+        assert alu.evaluate_int(Opcode.SRL, 4, 65) == 2
+
+    @pytest.mark.parametrize("op,a,expected", [
+        (Opcode.MOV, -5, -5),
+        (Opcode.SEXTB, 0x1FF, -1),
+        (Opcode.SEXTW, 0x18000, -32768),
+        (Opcode.SEXTL, 0x80000000, -(2 ** 31)),
+    ])
+    def test_unary_semantics(self, op, a, expected):
+        assert alu.evaluate_int(op, a) == expected
+
+    def test_non_alu_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            alu.evaluate_int(Opcode.LDQ, 1, 2)
+
+    @given(i64, i64)
+    def test_add_sub_inverse(self, a, b):
+        total = alu.evaluate_int(Opcode.ADD, a, b)
+        assert alu.evaluate_int(Opcode.SUB, total, b) == a
+
+    @given(i64, i64)
+    def test_results_stay_in_64_bit_range(self, a, b):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.S4ADD,
+                   Opcode.S8ADD, Opcode.AND, Opcode.OR, Opcode.XOR):
+            result = alu.evaluate_int(op, a, b)
+            assert -(2 ** 63) <= result <= 2 ** 63 - 1
+
+    @given(i64)
+    def test_s4add_matches_shift_add(self, a):
+        assert (alu.evaluate_int(Opcode.S4ADD, a, 7)
+                == alu.to_signed64((a << 2) + 7))
+
+    @given(i64, i64)
+    def test_div_rem_reconstruct(self, a, b):
+        quotient = alu.evaluate_int(Opcode.DIV, a, b)
+        remainder = alu.evaluate_int(Opcode.REM, a, b)
+        if b != 0:
+            assert alu.to_signed64(quotient * b + remainder) == a
+
+
+class TestFloatOps:
+    def test_fadd(self):
+        assert alu.evaluate_fp(Opcode.FADD, 1.5, 2.5) == 4.0
+
+    def test_fsub(self):
+        assert alu.evaluate_fp(Opcode.FSUB, 1.0, 2.5) == -1.5
+
+    def test_fmul(self):
+        assert alu.evaluate_fp(Opcode.FMUL, 3.0, -2.0) == -6.0
+
+    def test_fdiv(self):
+        assert alu.evaluate_fp(Opcode.FDIV, 3.0, 2.0) == 1.5
+
+    def test_fdiv_by_zero_defined(self):
+        assert alu.evaluate_fp(Opcode.FDIV, 3.0, 0.0) == 0.0
+
+    def test_fcmp_writes_zero_or_one(self):
+        assert alu.evaluate_fp(Opcode.FCMPLT, 1.0, 2.0) == 1.0
+        assert alu.evaluate_fp(Opcode.FCMPLT, 2.0, 1.0) == 0.0
+        assert alu.evaluate_fp(Opcode.FCMPEQ, 2.0, 2.0) == 1.0
+        assert alu.evaluate_fp(Opcode.FCMPLE, 2.0, 2.0) == 1.0
+
+    def test_fmov_fneg(self):
+        assert alu.evaluate_fp(Opcode.FMOV, -1.5) == -1.5
+        assert alu.evaluate_fp(Opcode.FNEG, -1.5) == 1.5
+
+    def test_conversions(self):
+        assert alu.convert_itof(-3) == -3.0
+        assert alu.convert_ftoi(2.9) == 2
+        assert alu.convert_ftoi(-2.9) == -2
+
+    def test_ftoi_nan_and_inf_defined(self):
+        assert alu.convert_ftoi(float("nan")) == 0
+        assert alu.convert_ftoi(float("inf")) == 0
+        assert alu.convert_ftoi(float("-inf")) == 0
+
+
+class TestBranchConditions:
+    @pytest.mark.parametrize("cond,value,expected", [
+        (BranchCond.EQ, 0, True), (BranchCond.EQ, 1, False),
+        (BranchCond.NE, 0, False), (BranchCond.NE, -1, True),
+        (BranchCond.LT, -1, True), (BranchCond.LT, 0, False),
+        (BranchCond.GE, 0, True), (BranchCond.GE, -1, False),
+        (BranchCond.LE, 0, True), (BranchCond.LE, 1, False),
+        (BranchCond.GT, 1, True), (BranchCond.GT, 0, False),
+        (BranchCond.ALWAYS, 0, True),
+    ])
+    def test_conditions(self, cond, value, expected):
+        assert alu.branch_taken(cond, value) is expected
+
+    @given(i64)
+    def test_complementary_conditions(self, value):
+        assert (alu.branch_taken(BranchCond.EQ, value)
+                != alu.branch_taken(BranchCond.NE, value))
+        assert (alu.branch_taken(BranchCond.LT, value)
+                != alu.branch_taken(BranchCond.GE, value))
+        assert (alu.branch_taken(BranchCond.LE, value)
+                != alu.branch_taken(BranchCond.GT, value))
+
+
+class TestIsIntAluOp:
+    def test_alu_ops_recognized(self):
+        assert alu.is_int_alu_op(Opcode.ADD)
+        assert alu.is_int_alu_op(Opcode.MOV)
+        assert alu.is_int_alu_op(Opcode.LDA)
+
+    def test_non_alu_ops_rejected(self):
+        assert not alu.is_int_alu_op(Opcode.LDQ)
+        assert not alu.is_int_alu_op(Opcode.BEQ)
+        assert not alu.is_int_alu_op(Opcode.FADD)

@@ -1,0 +1,298 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import (AssemblerError, DATA_BASE, Imm, Opcode, Reg,
+                       TEXT_BASE, assemble)
+
+
+def first(source: str):
+    return assemble(".text\n" + source).instructions[0]
+
+
+class TestAluFormats:
+    def test_three_operand_add(self):
+        instr = first("add r3, r1, r2")
+        assert instr.opcode is Opcode.ADD
+        assert instr.dst == 3
+        assert instr.srcs == (Reg(1), Reg(2))
+
+    def test_immediate_second_source(self):
+        instr = first("add r3, r1, 42")
+        assert instr.srcs == (Reg(1), Imm(42))
+
+    def test_hex_immediate(self):
+        instr = first("and r3, r1, 0xff")
+        assert instr.srcs[1] == Imm(255)
+
+    def test_negative_immediate(self):
+        instr = first("add r3, r1, -8")
+        assert instr.srcs[1] == Imm(-8)
+
+    def test_char_immediate(self):
+        instr = first("mov r1, 'a'")
+        assert instr.srcs[0] == Imm(ord("a"))
+
+    def test_mov_register(self):
+        instr = first("mov r1, r2")
+        assert instr.opcode is Opcode.MOV
+        assert instr.dst == 1
+        assert instr.srcs == (Reg(2),)
+
+    def test_lda(self):
+        instr = first("lda r2, 8(r3)")
+        assert instr.opcode is Opcode.LDA
+        assert instr.dst == 2
+        assert instr.disp == 8
+        assert instr.srcs == (Reg(3),)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            first("add r1, r2")
+
+    def test_fp_registers(self):
+        instr = first("fadd f3, f1, f2")
+        assert instr.dst == 32 + 3
+        assert instr.srcs == (Reg(33), Reg(34))
+
+
+class TestPseudoOps:
+    def test_ldi(self):
+        instr = first("ldi r1, 100")
+        assert instr.opcode is Opcode.MOV
+        assert instr.srcs == (Imm(100),)
+
+    def test_clr(self):
+        instr = first("clr r5")
+        assert instr.opcode is Opcode.MOV
+        assert instr.srcs == (Imm(0),)
+
+    def test_neg(self):
+        instr = first("neg r1, r2")
+        assert instr.opcode is Opcode.SUB
+        assert instr.srcs == (Reg(31), Reg(2))
+
+    def test_not(self):
+        instr = first("not r1, r2")
+        assert instr.opcode is Opcode.XOR
+        assert instr.srcs == (Reg(2), Imm(-1))
+
+
+class TestMemoryFormats:
+    def test_load(self):
+        instr = first("ldq r1, 16(r2)")
+        assert instr.opcode is Opcode.LDQ
+        assert instr.dst == 1
+        assert instr.disp == 16
+        assert instr.srcs == (Reg(2),)
+
+    def test_load_no_disp(self):
+        instr = first("ldl r1, (r2)")
+        assert instr.disp == 0
+
+    def test_negative_disp(self):
+        instr = first("ldq r1, -8(r2)")
+        assert instr.disp == -8
+
+    def test_store_operand_order(self):
+        instr = first("stq r1, 8(r2)")
+        assert instr.opcode is Opcode.STQ
+        assert instr.dst is None
+        assert instr.srcs == (Reg(1), Reg(2))  # data, base
+
+    def test_label_displacement(self):
+        program = assemble(""".data
+val:    .quad 7
+.text
+        ldq r1, val(r31)
+""")
+        assert program.instructions[0].disp == DATA_BASE
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            first("ldq r1, r2")
+
+    def test_all_sizes(self):
+        for mnem, op in [("ldb", Opcode.LDB), ("ldbu", Opcode.LDBU),
+                         ("ldw", Opcode.LDW), ("ldl", Opcode.LDL),
+                         ("ldq", Opcode.LDQ), ("ldf", Opcode.LDF)]:
+            assert first(f"{mnem} r1, 0(r2)").opcode is op
+
+
+class TestControlFlow:
+    def test_branch_target_resolution(self):
+        program = assemble(""".text
+start:  bne r1, start
+""")
+        instr = program.instructions[0]
+        assert instr.opcode is Opcode.BNE
+        assert instr.target == TEXT_BASE
+
+    def test_forward_branch(self):
+        program = assemble(""".text
+        beq r1, end
+        nop
+end:    halt
+""")
+        assert program.instructions[0].target == TEXT_BASE + 8
+
+    def test_undefined_target(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nbeq r1, nowhere\n")
+
+    def test_jsr_default_link(self):
+        program = assemble(""".text
+        jsr func
+func:   ret
+""")
+        assert program.instructions[0].dst == 26
+        assert program.instructions[0].target == TEXT_BASE + 4
+
+    def test_jsr_explicit_link(self):
+        program = assemble(""".text
+        jsr r5, func
+func:   ret
+""")
+        assert program.instructions[0].dst == 5
+
+    def test_ret_default_register(self):
+        instr = first("ret")
+        assert instr.srcs == (Reg(26),)
+
+    def test_jmp_register(self):
+        instr = first("jmp r7")
+        assert instr.srcs == (Reg(7),)
+
+    def test_br(self):
+        program = assemble(".text\nhere: br here\n")
+        assert program.instructions[0].target == TEXT_BASE
+
+
+class TestLabelsAndLayout:
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nx: nop\nx: nop\n")
+
+    def test_label_on_own_line(self):
+        program = assemble(""".text
+alone:
+        nop
+""")
+        assert program.labels["alone"] == TEXT_BASE
+
+    def test_multiple_labels_same_address(self):
+        program = assemble(".text\na: b: nop\n")
+        assert program.labels["a"] == program.labels["b"] == TEXT_BASE
+
+    def test_pc_assignment(self):
+        program = assemble(".text\nnop\nnop\nnop\n")
+        assert [i.pc for i in program.instructions] == [
+            TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+
+    def test_comments_stripped(self):
+        program = assemble(".text\nnop # comment\nnop ; also\n")
+        assert len(program.instructions) == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError) as info:
+            first("frobnicate r1, r2")
+        assert "frobnicate" in str(info.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as info:
+            assemble(".text\nnop\nbogus r1\n")
+        assert "line 3" in str(info.value)
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd r1, r2, r3\n")
+
+
+class TestDataDirectives:
+    def test_quad_layout(self):
+        program = assemble(".data\nvals: .quad 1, 2\n")
+        assert program.data[DATA_BASE] == 1
+        assert program.data[DATA_BASE + 8] == 2
+        assert program.labels["vals"] == DATA_BASE
+
+    def test_little_endian(self):
+        program = assemble(".data\nv: .quad 0x0102030405060708\n")
+        assert program.data[DATA_BASE] == 0x08
+        assert program.data[DATA_BASE + 7] == 0x01
+
+    def test_negative_quad_two_complement(self):
+        program = assemble(".data\nv: .quad -1\n")
+        assert all(program.data[DATA_BASE + i] == 0xFF for i in range(8))
+
+    def test_sizes(self):
+        program = assemble(".data\na: .byte 1\nb: .word 2\nc: .long 3\n")
+        assert program.labels["b"] == DATA_BASE + 1
+        assert program.labels["c"] == DATA_BASE + 3
+
+    def test_space_zero_filled(self):
+        program = assemble(".data\nbuf: .space 16\nafter: .quad 1\n")
+        assert program.labels["after"] == DATA_BASE + 16
+        assert program.data[DATA_BASE] == 0
+
+    def test_align(self):
+        program = assemble(".data\na: .byte 1\n.align 8\nb: .quad 2\n")
+        assert program.labels["b"] == DATA_BASE + 8
+
+    def test_align_non_power_of_two_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.align 3\n")
+
+    def test_double_directive(self):
+        import struct
+        program = assemble(".data\nd: .double 1.5\n")
+        raw = bytes(program.data[DATA_BASE + i] for i in range(8))
+        assert struct.unpack("<d", raw)[0] == 1.5
+
+    def test_backward_label_reference_in_data(self):
+        program = assemble(""".data
+first:  .quad 7
+ptr:    .quad first
+""")
+        base = program.labels["ptr"]
+        value = sum(program.data[base + i] << (8 * i) for i in range(8))
+        assert value == program.labels["first"]
+
+    def test_label_as_immediate_in_text(self):
+        program = assemble(""".data
+arr:    .quad 0
+.text
+        ldi r1, arr
+""")
+        assert program.instructions[0].srcs == (Imm(DATA_BASE),)
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.bogus 1\n")
+
+    def test_directive_outside_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.quad 1\n")
+
+
+class TestProgramContainer:
+    def test_pc_index_roundtrip(self):
+        program = assemble(".text\nnop\nnop\n")
+        for index in range(2):
+            pc = program.index_to_pc(index)
+            assert program.pc_to_index(pc) == index
+
+    def test_at_fetches_instruction(self):
+        program = assemble(".text\nnop\nhalt\n")
+        assert program.at(TEXT_BASE + 4).opcode is Opcode.HALT
+
+    def test_pc_outside_text_rejected(self):
+        program = assemble(".text\nnop\n")
+        with pytest.raises(IndexError):
+            program.at(TEXT_BASE + 400)
+        with pytest.raises(IndexError):
+            program.at(TEXT_BASE + 2)  # misaligned
+
+    def test_label_address_unknown(self):
+        program = assemble(".text\nnop\n")
+        with pytest.raises(KeyError):
+            program.label_address("missing")

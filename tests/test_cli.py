@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "untoast" in out
+        assert out.count("\n") == 22
+
+    def test_run_command(self, capsys):
+        assert main(["run", "untoast"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "baseline" in out
+
+    def test_run_by_abbreviation(self, capsys):
+        assert main(["run", "untst"]) == 0
+        assert "untoast" in capsys.readouterr().out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "doom3"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_fig9_with_subset(self, capsys):
+        assert main(["--per-suite", "1", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "feedback + opt" in out
+
+    def test_fig11_with_subset(self, capsys):
+        assert main(["--per-suite", "1", "fig11"]) == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("list", "run", "table1", "table3", "fig6", "fig8",
+                        "fig9", "fig10", "fig11", "fig12", "all"):
+            assert command in text

@@ -1,0 +1,220 @@
+"""Unit tests for the CP/RA transformation engine.
+
+Every rule of Section 3.1 (plus the minor optimizations of Section
+2.1) is pinned here, including the paper's own worked examples.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import cpra, symbolic
+from repro.core.cpra import Kind
+from repro.core.symbolic import SymVal
+from repro.functional import alu
+from repro.isa.opcodes import BranchCond, Opcode
+
+i64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+
+def const(v):
+    return symbolic.const(v)
+
+
+def plain(p):
+    return symbolic.plain(p)
+
+
+class TestConstantPropagation:
+    def test_paper_example_addq(self):
+        # "addq r3, 4 -> r4" with r3 known to be 3 moves 7 into r4.
+        outcome = cpra.transform(Opcode.ADD, [const(3), const(4)])
+        assert outcome.is_early
+        assert outcome.value == 7
+        assert outcome.sym == const(7)
+
+    @pytest.mark.parametrize("op", [
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.BIC, Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.S4ADD,
+        Opcode.S8ADD, Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPULE,
+    ])
+    def test_all_simple_ops_fold_constants(self, op):
+        outcome = cpra.transform(op, [const(12), const(3)])
+        assert outcome.is_early
+        assert outcome.value == alu.evaluate_int(op, 12, 3)
+        assert outcome.uses_alu
+
+    def test_multi_cycle_ops_never_early(self):
+        # Division is not a 'simple' (single-cycle) operation, so the
+        # rename-stage ALUs cannot execute it even with known inputs.
+        outcome = cpra.transform(Opcode.DIV, [const(10), const(2)])
+        assert outcome.kind is Kind.PLAIN
+
+    def test_general_multiply_not_early(self):
+        outcome = cpra.transform(Opcode.MUL, [const(10), const(3)])
+        assert outcome.kind is Kind.PLAIN
+
+
+class TestReassociation:
+    def test_paper_example_sub_chain(self):
+        # Section 2.4: SUB r1, 1 -> r1 with r1 = p35 gives p35 - 1;
+        # the next SUB gives p35 - 2.
+        first = cpra.transform(Opcode.SUB, [plain(35), const(1)])
+        assert first.is_rewritten
+        assert first.sym == SymVal(base=35, scale=0, offset=-1)
+        second = cpra.transform(Opcode.SUB, [first.sym, const(1)])
+        assert second.sym == SymVal(base=35, scale=0, offset=-2)
+
+    def test_paper_example_add_chain(self):
+        # Section 3.1: add r1,1->r2 with r1 = r0+1 becomes add r0,2->r2.
+        r1 = SymVal(base=0, scale=0, offset=1)
+        outcome = cpra.transform(Opcode.ADD, [r1, const(1)])
+        assert outcome.sym == SymVal(base=0, scale=0, offset=2)
+
+    def test_add_const_left(self):
+        outcome = cpra.transform(Opcode.ADD, [const(5), plain(7)])
+        assert outcome.is_rewritten
+        assert outcome.sym == SymVal(base=7, scale=0, offset=5)
+
+    def test_sub_const_from_sym(self):
+        outcome = cpra.transform(Opcode.SUB, [plain(7), const(5)])
+        assert outcome.sym == SymVal(base=7, scale=0, offset=-5)
+
+    def test_const_minus_sym_not_representable(self):
+        outcome = cpra.transform(Opcode.SUB, [const(5), plain(7)])
+        assert outcome.kind is Kind.PLAIN
+
+    def test_sym_plus_sym_not_representable(self):
+        outcome = cpra.transform(Opcode.ADD, [plain(1), plain(2)])
+        assert outcome.kind is Kind.PLAIN
+
+    def test_scaled_add_promotes_scale(self):
+        outcome = cpra.transform(Opcode.S8ADD, [plain(4), const(16)])
+        assert outcome.sym == SymVal(base=4, scale=3, offset=16)
+
+    def test_scaled_add_shifts_existing_offset(self):
+        base = SymVal(base=4, scale=0, offset=2)
+        outcome = cpra.transform(Opcode.S4ADD, [base, const(1)])
+        # ((p4 + 2) << 2) + 1 = (p4 << 2) + 9
+        assert outcome.sym == SymVal(base=4, scale=2, offset=9)
+
+    def test_scaled_add_const_first(self):
+        outcome = cpra.transform(Opcode.S4ADD, [const(3), plain(9)])
+        assert outcome.sym == SymVal(base=9, scale=0, offset=12)
+
+    def test_scale_overflow_falls_back(self):
+        shifted = SymVal(base=4, scale=2, offset=0)
+        outcome = cpra.transform(Opcode.S4ADD, [shifted, const(0)])
+        assert outcome.kind is Kind.PLAIN
+
+    def test_shift_left_within_scale(self):
+        outcome = cpra.transform(Opcode.SLL, [plain(4), const(3)])
+        assert outcome.sym == SymVal(base=4, scale=3, offset=0)
+
+    def test_shift_left_beyond_scale_plain(self):
+        outcome = cpra.transform(Opcode.SLL, [plain(4), const(4)])
+        assert outcome.kind is Kind.PLAIN
+
+    def test_logic_op_with_symbolic_source_plain(self):
+        outcome = cpra.transform(Opcode.AND, [plain(4), const(0xFF)])
+        assert outcome.kind is Kind.PLAIN
+
+    @given(i64, i64, i64)
+    def test_rewritten_add_preserves_semantics(self, base_value, offset,
+                                               addend):
+        sym = SymVal(base=1, scale=0, offset=offset)
+        outcome = cpra.transform(Opcode.ADD, [sym, const(addend)])
+        assert outcome.is_rewritten
+        expected = alu.evaluate_int(Opcode.ADD,
+                                    sym.evaluate(base_value), addend)
+        assert outcome.sym.evaluate(base_value) == expected
+
+
+class TestMoveCollapsing:
+    def test_move_of_const_is_early(self):
+        outcome = cpra.transform(Opcode.MOV, [const(9)])
+        assert outcome.is_early
+        assert outcome.value == 9
+        assert not outcome.uses_alu  # no adder needed
+
+    def test_move_copies_symbolic_value(self):
+        sym = SymVal(base=5, scale=1, offset=3)
+        outcome = cpra.transform(Opcode.MOV, [sym])
+        assert outcome.is_rewritten
+        assert outcome.sym == sym
+        assert not outcome.uses_alu
+
+
+class TestStrengthReduction:
+    def test_multiply_by_power_of_two_becomes_shift(self):
+        outcome = cpra.transform(Opcode.MUL, [plain(3), const(8)])
+        assert outcome.is_rewritten
+        assert outcome.strength_reduced
+        assert outcome.sym == SymVal(base=3, scale=3, offset=0)
+
+    def test_multiply_const_by_power_of_two_early(self):
+        outcome = cpra.transform(Opcode.MUL, [const(5), const(4)])
+        assert outcome.is_early
+        assert outcome.value == 20
+        assert outcome.strength_reduced
+
+    def test_multiply_commutative(self):
+        outcome = cpra.transform(Opcode.MUL, [const(8), plain(3)])
+        assert outcome.strength_reduced
+
+    def test_multiply_by_zero(self):
+        outcome = cpra.transform(Opcode.MUL, [plain(3), const(0)])
+        assert outcome.is_early
+        assert outcome.value == 0
+
+    def test_multiply_by_one_collapses_to_move(self):
+        outcome = cpra.transform(Opcode.MUL, [plain(3), const(1)])
+        assert outcome.is_rewritten
+        assert outcome.sym == plain(3)
+
+    def test_multiply_by_large_power_still_single_cycle(self):
+        # 2^6 exceeds the scale field but remains a 1-cycle shift.
+        outcome = cpra.transform(Opcode.MUL, [plain(3), const(64)])
+        assert outcome.kind is Kind.PLAIN
+        assert outcome.strength_reduced
+
+    def test_multiply_by_non_power_untouched(self):
+        outcome = cpra.transform(Opcode.MUL, [plain(3), const(6)])
+        assert outcome.kind is Kind.PLAIN
+        assert not outcome.strength_reduced
+
+
+class TestBranchResolution:
+    def test_known_condition_resolves(self):
+        assert cpra.resolve_branch(BranchCond.EQ, const(0)) is True
+        assert cpra.resolve_branch(BranchCond.EQ, const(1)) is False
+        assert cpra.resolve_branch(BranchCond.LT, const(-5)) is True
+
+    def test_unknown_condition_unresolved(self):
+        assert cpra.resolve_branch(BranchCond.EQ, plain(3)) is None
+
+    def test_branch_implied_values(self):
+        # beq taken => reg is zero; bne not-taken => reg is zero.
+        assert cpra.branch_implied_value(Opcode.BEQ, True) == 0
+        assert cpra.branch_implied_value(Opcode.BNE, False) == 0
+        assert cpra.branch_implied_value(Opcode.BEQ, False) is None
+        assert cpra.branch_implied_value(Opcode.BNE, True) is None
+        assert cpra.branch_implied_value(Opcode.BLT, True) is None
+
+
+class TestEarlyValueCorrectness:
+    """Early execution must agree with the shared ALU semantics."""
+
+    @given(i64, i64)
+    def test_early_results_match_alu(self, a, b):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                   Opcode.XOR, Opcode.CMPLT, Opcode.S4ADD):
+            outcome = cpra.transform(op, [const(a), const(b)])
+            assert outcome.is_early
+            assert outcome.value == alu.evaluate_int(op, a, b)
+
+    @given(i64)
+    def test_unary_folds(self, a):
+        for op in (Opcode.SEXTB, Opcode.SEXTW, Opcode.SEXTL):
+            outcome = cpra.transform(op, [const(a)])
+            assert outcome.is_early
+            assert outcome.value == alu.evaluate_int(op, a)

@@ -1,0 +1,228 @@
+"""Unit tests for the functional emulator and trace format."""
+
+import pytest
+
+from repro.functional import (EmulationError, EmulationLimit, run_program)
+from repro.isa import (STACK_BASE, TEXT_BASE, assemble)
+from repro.isa.program import STACK_BASE as PROGRAM_STACK_BASE
+
+
+def run(source: str, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestBasicExecution:
+    def test_halt_immediately(self):
+        result = run(".text\nhalt\n")
+        assert result.halted
+        assert result.instruction_count == 0
+
+    def test_simple_arithmetic(self):
+        result = run(""".text
+        ldi r1, 6
+        ldi r2, 7
+        mul r3, r1, r2
+        halt
+""")
+        assert result.int_regs[3] == 42
+        assert result.instruction_count == 3
+
+    def test_zero_register_reads_zero(self):
+        result = run(""".text
+        add r1, r31, 5
+        halt
+""")
+        assert result.int_regs[1] == 5
+
+    def test_zero_register_writes_ignored(self):
+        result = run(""".text
+        ldi r31, 99
+        add r1, r31, 1
+        halt
+""")
+        assert result.int_regs[1] == 1
+
+    def test_stack_pointer_initialized(self):
+        result = run(".text\nmov r1, r30\nhalt\n")
+        assert result.int_regs[1] == PROGRAM_STACK_BASE == STACK_BASE
+
+    def test_instruction_budget(self):
+        with pytest.raises(EmulationLimit):
+            run(".text\nspin: br spin\nhalt\n", max_instructions=100)
+
+
+class TestControlFlow:
+    def test_conditional_loop(self):
+        result = run(""".text
+        ldi r1, 5
+        clr r2
+loop:   add r2, r2, r1
+        sub r1, r1, 1
+        bne r1, loop
+        halt
+""")
+        assert result.int_regs[2] == 15
+
+    def test_not_taken_branch_falls_through(self):
+        result = run(""".text
+        clr r1
+        bne r1, skip
+        ldi r2, 1
+skip:   halt
+""")
+        assert result.int_regs[2] == 1
+
+    def test_jsr_links_and_ret_returns(self):
+        result = run(""".text
+        jsr func
+        ldi r2, 10
+        halt
+func:   ldi r1, 5
+        ret
+""")
+        assert result.int_regs[1] == 5
+        assert result.int_regs[2] == 10
+        assert result.int_regs[26] == TEXT_BASE + 4
+
+    def test_jmp_indirect(self):
+        result = run(""".text
+        ldi r1, target
+        jmp r1
+        ldi r2, 99
+target: halt
+""")
+        assert result.int_regs[2] == 0
+
+    def test_branch_conditions(self):
+        result = run(""".text
+        ldi r1, -3
+        clr r2
+        blt r1, neg
+        ldi r2, 1
+neg:    bge r1, nonneg
+        ldi r3, 7
+nonneg: halt
+""")
+        assert result.int_regs[2] == 0  # blt taken
+        assert result.int_regs[3] == 7  # bge not taken
+
+
+class TestMemoryOps:
+    def test_store_then_load(self):
+        result = run(""".data
+buf:    .space 8
+.text
+        ldi r1, buf
+        ldi r2, 1234
+        stq r2, 0(r1)
+        ldq r3, 0(r1)
+        halt
+""")
+        assert result.int_regs[3] == 1234
+
+    def test_data_segment_initialization(self):
+        result = run(""".data
+vals:   .quad 11, 22
+.text
+        ldi r1, vals
+        ldq r2, 0(r1)
+        ldq r3, 8(r1)
+        halt
+""")
+        assert result.int_regs[2] == 11
+        assert result.int_regs[3] == 22
+
+    def test_byte_sign_extension(self):
+        result = run(""".data
+b:      .byte 0xff
+.text
+        ldi r1, b
+        ldb r2, 0(r1)
+        ldbu r3, 0(r1)
+        halt
+""")
+        assert result.int_regs[2] == -1
+        assert result.int_regs[3] == 255
+
+    def test_fp_load_store(self):
+        result = run(""".data
+d:      .double 2.5
+out:    .space 8
+.text
+        ldi r1, d
+        ldf f1, 0(r1)
+        fadd f2, f1, f1
+        ldi r2, out
+        stf f2, 0(r2)
+        halt
+""")
+        assert result.fp_regs[2] == 5.0
+        assert result.memory.load_double(0x100008) == 5.0  # 'out' label
+
+    def test_negative_address_raises(self):
+        with pytest.raises(EmulationError):
+            run(""".text
+        ldi r1, -100
+        ldq r2, 0(r1)
+        halt
+""")
+
+
+class TestTraceEntries:
+    def test_trace_records_pc_sequence(self):
+        result = run(".text\nnop\nnop\nhalt\n")
+        assert [e.pc for e in result.trace] == [TEXT_BASE, TEXT_BASE + 4]
+        assert [e.seq for e in result.trace] == [0, 1]
+
+    def test_branch_entry_fields(self):
+        result = run(""".text
+        ldi r1, 1
+        bne r1, target
+        nop
+target: halt
+""")
+        branch = result.trace[1]
+        assert branch.taken is True
+        assert branch.next_pc == TEXT_BASE + 12
+        assert branch.is_control
+
+    def test_load_entry_has_address_and_value(self):
+        result = run(""".data
+v:      .quad 77
+.text
+        ldi r1, v
+        ldq r2, 0(r1)
+        halt
+""")
+        load = result.trace[1]
+        assert load.is_load
+        assert load.addr == 0x100000
+        assert load.result == 77
+
+    def test_store_entry_value(self):
+        result = run(""".data
+buf:    .space 8
+.text
+        ldi r1, buf
+        ldi r2, 5
+        stq r2, 0(r1)
+        halt
+""")
+        store = result.trace[2]
+        assert store.is_store
+        assert store.store_value == 5
+
+    def test_store_value_on_non_store_raises(self):
+        result = run(".text\nnop\nhalt\n")
+        with pytest.raises(ValueError):
+            _ = result.trace[0].store_value
+
+    def test_next_pc_chains(self):
+        result = run(""".text
+        ldi r1, 3
+loop:   sub r1, r1, 1
+        bne r1, loop
+        halt
+""")
+        for earlier, later in zip(result.trace, result.trace[1:]):
+            assert earlier.next_pc == later.pc

@@ -1,0 +1,121 @@
+"""Smoke tests for the experiment harness (one per table/figure)."""
+
+import pytest
+
+from repro.experiments import (depth, feedback, latency, machine_models,
+                               runner, speedup, table1, table3, vf_delay)
+from repro.experiments.report import format_percent, format_table
+from repro.uarch import default_config
+
+FAST = ["mcf", "applu", "untoast"]  # one per suite, small traces
+
+
+class TestRunner:
+    def test_trace_memoized(self):
+        runner.clear_caches()
+        first = runner.get_trace("mcf")
+        second = runner.get_trace("mcf")
+        assert first is second
+
+    def test_stats_memoized(self):
+        runner.clear_caches()
+        config = default_config()
+        first = runner.run_workload("mcf", config)
+        second = runner.run_workload("mcf", config)
+        assert first is second
+
+    def test_speedup_helper(self):
+        config = default_config()
+        value = runner.speedup("mcf", config, config.with_optimizer())
+        assert 0.5 < value < 2.0
+
+    def test_geomean(self):
+        assert runner.geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            runner.geomean([])
+
+    def test_workload_names_filtering(self):
+        assert len(runner.workload_names()) == 22
+        assert len(runner.workload_names(suite="SPECfp")) == 6
+        assert runner.workload_names(subset=["untst"]) == ["untoast"]
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table("T", ["a", "bb"], [["x", 1.23456], ["yy", 2.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_format_percent(self):
+        assert format_percent(0.262) == "26.2%"
+
+
+class TestFigure6:
+    def test_rows_and_formatting(self):
+        rows = speedup.run(workloads=FAST)
+        assert len(rows) == 3
+        for row in rows:
+            assert 0.5 < row.speedup < 2.0
+        text = speedup.format(rows)
+        assert "Figure 6" in text
+        averages = speedup.suite_averages(rows)
+        assert set(averages) == {"SPECint", "SPECfp", "mediabench"}
+
+
+class TestTable1:
+    def test_inventory(self):
+        rows = table1.run()
+        assert len(rows) == 22
+        assert all(row.instructions > 1000 for row in rows)
+        assert "Table 1" in table1.format(rows)
+
+
+class TestTable3:
+    def test_rows_have_paper_reference(self):
+        rows = table3.run()
+        assert [row.suite for row in rows] == ["SPECint", "SPECfp",
+                                               "mediabench", "avg"]
+        for row in rows:
+            assert 0 <= row.exec_early <= 100
+            assert 0 <= row.loads_removed <= 100
+        text = table3.format(rows)
+        assert "26.0" in text  # the paper's avg exec-early appears
+
+
+class TestSensitivityFigures:
+    def test_figure8_bars(self):
+        rows = machine_models.run(workloads_per_suite=1)
+        assert len(rows) == 3
+        for row in rows:
+            assert set(row.bars) == set(machine_models.BAR_ORDER)
+        assert "Figure 8" in machine_models.format(rows)
+
+    def test_figure9_bars(self):
+        rows = feedback.run(workloads_per_suite=1)
+        for row in rows:
+            assert row.feedback_plus_opt > 0
+            assert row.feedback_only > 0
+        assert "Figure 9" in feedback.format(rows)
+
+    def test_figure10_bars_monotone_interface(self):
+        rows = depth.run(workloads_per_suite=1)
+        for row in rows:
+            assert len(row.bars) == 4
+        assert "Figure 10" in depth.format(rows)
+
+    def test_figure11_bars(self):
+        rows = latency.run(workloads_per_suite=1)
+        for row in rows:
+            # Fewer extra stages can only help (or tie).
+            assert row.bars[0] >= row.bars[4] - 0.05
+        assert "Figure 11" in latency.format(rows)
+
+    def test_figure12_bars_insensitive(self):
+        rows = vf_delay.run(workloads_per_suite=1)
+        for row in rows:
+            values = list(row.bars.values())
+            # Paper: essentially no sensitivity to feedback delay.
+            assert max(values) - min(values) < 0.2
+        assert "Figure 12" in vf_delay.format(rows)

@@ -1,0 +1,107 @@
+"""Unit tests for the sparse memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.functional import Memory
+
+
+class TestBasicAccess:
+    def test_unwritten_reads_zero(self):
+        assert Memory().load(0x1000, 8) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = Memory()
+        mem.store(0x1000, 0x1234, 8)
+        assert mem.load(0x1000, 8) == 0x1234
+
+    def test_little_endian_byte_order(self):
+        mem = Memory()
+        mem.store(0x1000, 0x0102, 2)
+        assert mem.load(0x1000, 1) == 0x02
+        assert mem.load(0x1001, 1) == 0x01
+
+    def test_signed_byte_load(self):
+        mem = Memory()
+        mem.store(0x10, 0xFF, 1)
+        assert mem.load(0x10, 1, signed=True) == -1
+        assert mem.load(0x10, 1, signed=False) == 255
+
+    def test_signed_word_load(self):
+        mem = Memory()
+        mem.store(0x10, 0x8000, 2)
+        assert mem.load(0x10, 2, signed=True) == -32768
+
+    def test_store_truncates_to_size(self):
+        mem = Memory()
+        mem.store(0x10, 0x1FF, 1)
+        assert mem.load(0x10, 1, signed=False) == 0xFF
+        assert mem.load(0x11, 1) == 0  # neighbour untouched
+
+    def test_negative_value_store(self):
+        mem = Memory()
+        mem.store(0x10, -1, 8)
+        assert mem.load(0x10, 8, signed=False) == 2 ** 64 - 1
+
+    def test_overlapping_stores(self):
+        mem = Memory()
+        mem.store(0x10, 0x1122334455667788, 8)
+        mem.store(0x12, 0xAA, 1)
+        assert mem.load(0x10, 8, signed=False) == 0x1122334455AA7788
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().load(-8, 8)
+        with pytest.raises(ValueError):
+            Memory().store(-8, 0, 8)
+
+    def test_initial_image(self):
+        mem = Memory({0x100: 0x2A})
+        assert mem.load(0x100, 1) == 42
+
+    def test_footprint_and_snapshot(self):
+        mem = Memory()
+        mem.store(0x10, 0xFFFF, 2)
+        assert mem.footprint() == 2
+        snap = mem.snapshot()
+        assert snap[0x10] == 0xFF
+        snap[0x10] = 0  # mutation must not leak back
+        assert mem.load(0x10, 1, signed=False) == 0xFF
+
+
+class TestDoubles:
+    def test_double_roundtrip(self):
+        mem = Memory()
+        mem.store_double(0x20, 3.14159)
+        assert mem.load_double(0x20) == 3.14159
+
+    def test_negative_double(self):
+        mem = Memory()
+        mem.store_double(0x20, -2.5)
+        assert mem.load_double(0x20) == -2.5
+
+    def test_double_bits(self):
+        mem = Memory()
+        assert mem.double_to_bits(0.0) == 0
+        assert mem.double_to_bits(1.0) == 0x3FF0000000000000
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 40),
+           st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+    def test_quad_roundtrip(self, addr, value):
+        mem = Memory()
+        mem.store(addr, value, 8)
+        assert mem.load(addr, 8, signed=True) == value
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.lists(st.tuples(st.integers(0, 63),
+                              st.integers(0, 255)), max_size=20))
+    def test_last_writer_wins(self, base, writes):
+        mem = Memory()
+        expected = {}
+        for offset, value in writes:
+            mem.store(base + offset, value, 1)
+            expected[offset] = value
+        for offset, value in expected.items():
+            assert mem.load(base + offset, 1, signed=False) == value

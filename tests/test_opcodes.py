@@ -1,0 +1,78 @@
+"""Unit tests for opcode metadata consistency."""
+
+from repro.isa import MNEMONIC_TO_OPCODE, OP_SPECS, OpClass, Opcode, spec_of
+
+
+class TestCoverage:
+    def test_every_opcode_has_a_spec(self):
+        for opcode in Opcode:
+            assert opcode in OP_SPECS
+
+    def test_mnemonics_unique_and_complete(self):
+        assert len(MNEMONIC_TO_OPCODE) == len(Opcode)
+        for mnemonic, opcode in MNEMONIC_TO_OPCODE.items():
+            assert spec_of(opcode).mnemonic == mnemonic
+
+
+class TestClassInvariants:
+    def test_simple_ops_are_single_cycle(self):
+        # 'Simple' is the paper's term for optimizer-executable ops:
+        # they must take exactly one cycle (footnote 1).
+        for opcode, spec in OP_SPECS.items():
+            if spec.simple:
+                assert spec.latency == 1, opcode
+
+    def test_complex_integer_ops_multi_cycle(self):
+        for opcode in (Opcode.MUL, Opcode.DIV, Opcode.REM):
+            spec = spec_of(opcode)
+            assert spec.op_class is OpClass.INT_COMPLEX
+            assert spec.latency > 1
+            assert not spec.simple
+
+    def test_loads_marked(self):
+        for opcode in (Opcode.LDB, Opcode.LDBU, Opcode.LDW, Opcode.LDWU,
+                       Opcode.LDL, Opcode.LDLU, Opcode.LDQ, Opcode.LDF):
+            spec = spec_of(opcode)
+            assert spec.is_load
+            assert spec.op_class is OpClass.MEM
+            assert spec.mem_size in (1, 2, 4, 8)
+
+    def test_stores_have_no_destination(self):
+        for opcode in (Opcode.STB, Opcode.STW, Opcode.STL, Opcode.STQ,
+                       Opcode.STF):
+            spec = spec_of(opcode)
+            assert spec.is_store
+            assert not spec.has_dst
+
+    def test_load_store_sizes_pair_up(self):
+        pairs = [(Opcode.LDB, Opcode.STB), (Opcode.LDW, Opcode.STW),
+                 (Opcode.LDL, Opcode.STL), (Opcode.LDQ, Opcode.STQ)]
+        for load, store in pairs:
+            assert spec_of(load).mem_size == spec_of(store).mem_size
+
+    def test_unsigned_loads_flagged(self):
+        assert not spec_of(Opcode.LDBU).mem_signed
+        assert spec_of(Opcode.LDB).mem_signed
+
+    def test_branches_have_conditions(self):
+        for opcode, spec in OP_SPECS.items():
+            if spec.is_branch:
+                assert spec.cond is not None, opcode
+                assert not spec.has_dst
+
+    def test_jumps(self):
+        assert spec_of(Opcode.JSR).has_dst  # the link register
+        assert spec_of(Opcode.RET).is_indirect
+        assert spec_of(Opcode.JMP).is_indirect
+        assert not spec_of(Opcode.BR).is_indirect
+
+    def test_fp_ops_write_fp(self):
+        assert spec_of(Opcode.FADD).writes_fp
+        assert spec_of(Opcode.ITOF).writes_fp
+        assert not spec_of(Opcode.FTOI).writes_fp  # writes an int reg
+
+    def test_commutativity_flags(self):
+        assert spec_of(Opcode.ADD).commutative
+        assert spec_of(Opcode.MUL).commutative
+        assert not spec_of(Opcode.SUB).commutative
+        assert not spec_of(Opcode.SLL).commutative

@@ -1,0 +1,91 @@
+"""End-to-end checks that headline paper results reproduce.
+
+Uses one representative workload per suite (the two the paper itself
+analyses in Section 5.2, plus a stencil) so the whole module stays
+fast; the full 22-benchmark sweep lives in the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_workload
+from repro.uarch import default_config
+
+BASE = default_config()
+OPT = BASE.with_optimizer()
+
+
+@pytest.fixture(scope="module")
+def mcf():
+    return run_workload("mcf", BASE), run_workload("mcf", OPT)
+
+
+@pytest.fixture(scope="module")
+def untoast():
+    return run_workload("untoast", BASE), run_workload("untoast", OPT)
+
+
+@pytest.fixture(scope="module")
+def applu():
+    return run_workload("applu", BASE), run_workload("applu", OPT)
+
+
+class TestSpeedupBand:
+    """Figure 6: speedups between 0.98 and 1.28."""
+
+    def test_mcf_speedup_in_band(self, mcf):
+        base, opt = mcf
+        assert 0.98 < base.cycles / opt.cycles < 1.30
+
+    def test_untoast_speedup_in_band(self, untoast):
+        base, opt = untoast
+        assert 0.98 < base.cycles / opt.cycles < 1.30
+
+    def test_applu_speedup_in_band(self, applu):
+        base, opt = applu
+        assert 0.98 < base.cycles / opt.cycles < 1.30
+
+
+class TestTable3Shape:
+    """Table 3: each effect present at a meaningful level."""
+
+    def test_early_execution_substantial(self, mcf):
+        _, opt = mcf
+        # Paper: roughly one in four instructions executes early.
+        assert opt.frac_early_executed > 0.15
+
+    def test_mispredict_recovery_nonzero(self, mcf):
+        _, opt = mcf
+        assert opt.mispredicts_recovered_early > 0
+
+    def test_address_generation_majority_applu(self, applu):
+        _, opt = applu
+        # SPECfp address generation: paper reports 71.2%.
+        assert opt.frac_mem_addr_gen > 0.5
+
+    def test_loads_removed_applu(self, applu):
+        _, opt = applu
+        # SPECfp RLE/SF: paper reports 21.7%.
+        assert opt.frac_loads_removed > 0.10
+
+
+class TestSection52Narratives:
+    def test_mcf_quicksort_uses_the_mbc(self, mcf):
+        _, opt = mcf
+        assert opt.mbc_hits > 0
+        assert opt.loads_removed > 0
+
+    def test_untoast_depth3_unlocks_filter_arrays(self):
+        # Figure 10's mediabench finding, on the paper's own example.
+        shallow = run_workload("untoast", OPT)
+        deep = run_workload("untoast", BASE.with_optimizer(add_depth=3))
+        assert deep.frac_loads_removed > shallow.frac_loads_removed
+        assert deep.cycles < shallow.cycles
+
+    def test_machine_invariants_hold(self, mcf, untoast, applu):
+        for base, opt in (mcf, untoast, applu):
+            assert base.retired == opt.retired
+            assert opt.early_executed <= opt.retired
+            assert opt.loads_removed <= opt.loads
+            assert opt.mem_addr_known <= opt.mem_ops
+            assert (opt.mispredicts_recovered_early
+                    <= opt.total_mispredicts)

@@ -1,0 +1,230 @@
+"""Integration tests for the cycle-level pipeline (baseline machine)."""
+
+import pytest
+
+from repro.functional import run_program
+from repro.isa import assemble
+from repro.uarch import default_config, simulate_trace
+from repro.uarch.pipeline import Pipeline
+
+
+def trace_of(source: str):
+    return run_program(assemble(source)).trace
+
+
+def simulate(source: str, config=None):
+    return simulate_trace(trace_of(source), config or default_config())
+
+
+class TestBasicProgress:
+    def test_retires_every_instruction(self):
+        stats = simulate(""".text
+        ldi r1, 10
+loop:   sub r1, r1, 1
+        bne r1, loop
+        halt
+""")
+        assert stats.retired == 21
+
+    def test_cycles_positive_and_bounded(self):
+        stats = simulate(".text\nnop\nnop\nnop\nhalt\n")
+        assert 0 < stats.cycles < 1000
+
+    def test_ipc_bounded_by_retire_width(self):
+        stats = simulate(""".text
+        ldi r1, 200
+loop:   sub r1, r1, 1
+        bne r1, loop
+        halt
+""")
+        assert stats.ipc <= default_config().retire_width
+
+    def test_empty_dependency_chain_parallelism(self):
+        # Eight independent ALU ops should overlap heavily compared to
+        # eight chained ones.
+        independent = simulate(""".text
+        ldi r1, 1
+        ldi r2, 1
+        ldi r3, 1
+        ldi r4, 1
+        ldi r5, 1
+        ldi r6, 1
+        ldi r7, 1
+        ldi r8, 1
+        halt
+""")
+        chained = simulate(""".text
+        ldi r1, 1
+        add r1, r1, 1
+        add r1, r1, 1
+        add r1, r1, 1
+        add r1, r1, 1
+        add r1, r1, 1
+        add r1, r1, 1
+        add r1, r1, 1
+        halt
+""")
+        assert independent.cycles <= chained.cycles
+
+
+class TestBranchTiming:
+    def _mispredict_heavy(self):
+        # An LCG's bit 4 is hard for gshare early on; more importantly,
+        # a RET with a corrupted RAS produces guaranteed mispredicts.
+        return """.text
+        ldi r1, 60
+        ldi r2, 1
+loop:   xor r2, r2, 1
+        beq r2, odd
+        add r3, r3, 1
+odd:    sub r1, r1, 1
+        bne r1, loop
+        halt
+"""
+
+    def test_min_branch_penalty_matches_table2(self):
+        assert default_config().min_branch_penalty() == 20
+
+    def test_mispredicts_cost_cycles(self):
+        base = simulate(self._mispredict_heavy())
+        # The same work with no branches in the loop body:
+        straight = simulate(""".text
+        ldi r1, 60
+loop:   xor r2, r2, 1
+        add r3, r3, 1
+        sub r1, r1, 1
+        bne r1, loop
+        halt
+""")
+        # The alternating branch is learned by gshare eventually, but
+        # early mispredicts must cost something.
+        assert base.cycles >= straight.cycles
+
+    def test_mispredict_counters(self):
+        stats = simulate(self._mispredict_heavy())
+        assert stats.cond_branches > 0
+        assert stats.cond_mispredicts >= 0
+        assert stats.total_mispredicts <= stats.cond_branches + \
+            stats.indirect_jumps
+
+
+class TestMemoryTiming:
+    def test_cache_miss_slower_than_hit(self):
+        # Two loads to the same line: second is a hit.
+        stats = simulate(""".data
+v:      .quad 1
+.text
+        ldi r1, v
+        ldq r2, 0(r1)
+        ldq r3, 0(r1)
+        halt
+""")
+        assert stats.dl1_misses >= 1
+        assert stats.dl1_hits >= 1
+
+    def test_store_to_load_forwarding_counted(self):
+        stats = simulate(""".data
+buf:    .space 8
+.text
+        ldi r1, buf
+        ldi r2, 7
+        stq r2, 0(r1)
+        ldq r3, 0(r1)
+        halt
+""")
+        assert stats.store_forwards_lsq >= 1
+
+    def test_pointer_chase_serializes(self):
+        chase = simulate(""".data
+d:      .quad 0
+c:      .quad d
+b:      .quad c
+a:      .quad b
+.text
+        ldi r1, a
+        ldq r1, 0(r1)
+        ldq r1, 0(r1)
+        ldq r1, 0(r1)
+        halt
+""")
+        parallel = simulate(""".data
+a:      .quad 1
+b:      .quad 2
+c:      .quad 3
+d:      .quad 4
+.text
+        ldi r1, a
+        ldq r2, 0(r1)
+        ldq r3, 8(r1)
+        ldq r4, 16(r1)
+        halt
+""")
+        assert parallel.cycles <= chase.cycles
+
+
+class TestStructuralLimits:
+    def test_scheduler_capacity_respected(self):
+        # A long chain of dependent multiplies cannot overflow the
+        # 8-entry complex-integer scheduler; the run must complete.
+        source = [".text", "        ldi r1, 3"]
+        for _ in range(40):
+            source.append("        mul r1, r1, r1")
+        source.append("        halt")
+        stats = simulate("\n".join(source))
+        assert stats.retired == 41
+
+    def test_rob_limits_inflight(self):
+        # One load miss at the head with hundreds of younger ALU ops:
+        # the window must cap and the run must finish.
+        lines = [".data", "far:  .quad 1", ".text",
+                 "        ldi r1, far", "        ldq r2, 0(r1)"]
+        for index in range(300):
+            lines.append(f"        add r{3 + index % 20}, r2, {index}")
+        lines.append("        halt")
+        stats = simulate("\n".join(lines))
+        assert stats.retired == 302
+
+    def test_stats_finalized(self):
+        stats = simulate(".text\nnop\nhalt\n")
+        assert stats.cycles > 0
+        assert stats.fetched >= stats.retired
+
+
+class TestDeterminism:
+    def test_same_trace_same_cycles(self):
+        source = """.text
+        ldi r1, 50
+loop:   sub r1, r1, 1
+        bne r1, loop
+        halt
+"""
+        trace = trace_of(source)
+        first = simulate_trace(trace, default_config())
+        second = simulate_trace(trace, default_config())
+        assert first.cycles == second.cycles
+
+    def test_machine_variants_differ(self):
+        config = default_config()
+        trace = trace_of(""".text
+        ldi r1, 100
+loop:   ldq r2, 0(r30)
+        add r3, r3, r2
+        sub r1, r1, 1
+        bne r1, loop
+        halt
+""")
+        base = simulate_trace(trace, config)
+        wide = simulate_trace(trace, config.execution_bound())
+        assert wide.cycles <= base.cycles
+
+
+class TestWatchdog:
+    def test_deadlock_detection_exists(self):
+        from repro.uarch import SimulationDeadlock
+        assert issubclass(SimulationDeadlock, Exception)
+
+    def test_pipeline_object_api(self):
+        trace = trace_of(".text\nnop\nhalt\n")
+        pipeline = Pipeline(trace, default_config())
+        stats = pipeline.run()
+        assert stats.retired == 1

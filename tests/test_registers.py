@@ -1,0 +1,79 @@
+"""Unit tests for repro.isa.registers."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+class TestRegisterSpaces:
+    def test_int_reg_indices(self):
+        assert R.int_reg(0) == 0
+        assert R.int_reg(31) == 31
+
+    def test_fp_reg_indices_offset(self):
+        assert R.fp_reg(0) == 32
+        assert R.fp_reg(31) == 63
+
+    def test_int_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.int_reg(32)
+        with pytest.raises(ValueError):
+            R.int_reg(-1)
+
+    def test_fp_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.fp_reg(32)
+
+    def test_is_int_reg(self):
+        assert R.is_int_reg(0)
+        assert R.is_int_reg(31)
+        assert not R.is_int_reg(32)
+        assert not R.is_int_reg(-1)
+
+    def test_is_fp_reg(self):
+        assert R.is_fp_reg(32)
+        assert R.is_fp_reg(63)
+        assert not R.is_fp_reg(31)
+        assert not R.is_fp_reg(64)
+
+    def test_zero_registers(self):
+        assert R.is_zero_reg(R.ZERO_REG)
+        assert R.is_zero_reg(R.FP_ZERO_REG)
+        assert not R.is_zero_reg(0)
+        assert not R.is_zero_reg(30)
+
+    def test_conventions(self):
+        assert R.RETURN_ADDR_REG == 26
+        assert R.STACK_POINTER_REG == 30
+
+
+class TestNames:
+    def test_reg_name_int(self):
+        assert R.reg_name(5) == "r5"
+        assert R.reg_name(31) == "r31"
+
+    def test_reg_name_fp(self):
+        assert R.reg_name(32) == "f0"
+        assert R.reg_name(63) == "f31"
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.reg_name(64)
+
+    def test_parse_reg_int(self):
+        assert R.parse_reg("r7") == 7
+        assert R.parse_reg("R7") == 7
+        assert R.parse_reg("  r31 ") == 31
+
+    def test_parse_reg_fp(self):
+        assert R.parse_reg("f2") == 34
+
+    @pytest.mark.parametrize("bad", ["x1", "r", "f", "r32", "f99", "r1.5",
+                                     "", "7", "rone"])
+    def test_parse_reg_rejects(self, bad):
+        with pytest.raises(ValueError):
+            R.parse_reg(bad)
+
+    def test_roundtrip_all_registers(self):
+        for index in range(R.NUM_ARCH_REGS):
+            assert R.parse_reg(R.reg_name(index)) == index

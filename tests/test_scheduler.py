@@ -1,0 +1,107 @@
+"""Unit tests for issue queues and the scheduler bank."""
+
+from repro.functional.emulator import TraceEntry
+from repro.isa import Opcode, Reg
+from repro.isa.instructions import Instruction
+from repro.uarch import DynInstr, IssueQueue, SchedulerBank, scheduler_for
+from repro.isa.opcodes import OpClass
+from repro.uarch.scheduler import (SCHED_COMPLEX, SCHED_FP, SCHED_INT,
+                                   SCHED_MEM)
+
+
+def make_di(seq: int, opcode=Opcode.ADD, deps=0) -> DynInstr:
+    instr = Instruction(opcode=opcode, dst=1, srcs=(Reg(2), Reg(3)),
+                        pc=0x1000 + seq * 4)
+    entry = TraceEntry(seq=seq, pc=instr.pc, instr=instr,
+                       src_values=(0, 0), result=0, addr=None, taken=None,
+                       next_pc=instr.pc + 4)
+    di = DynInstr(entry, fetch_cycle=0)
+    di.deps_remaining = deps
+    return di
+
+
+class TestSchedulerMapping:
+    def test_classes_route_to_expected_queues(self):
+        assert scheduler_for(OpClass.INT_SIMPLE) == SCHED_INT
+        assert scheduler_for(OpClass.BRANCH) == SCHED_INT
+        assert scheduler_for(OpClass.INT_COMPLEX) == SCHED_COMPLEX
+        assert scheduler_for(OpClass.FP) == SCHED_FP
+        assert scheduler_for(OpClass.MEM) == SCHED_MEM
+
+
+class TestIssueQueue:
+    def test_ready_instructions_selected_oldest_first(self):
+        queue = IssueQueue("int", entries=8, issue_width=2)
+        for seq in range(4):
+            queue.insert(make_di(seq))
+        selected = queue.select()
+        assert [di.seq for di in selected] == [0, 1]
+        assert len(queue) == 2
+
+    def test_blocked_instructions_stay(self):
+        queue = IssueQueue("int", entries=8, issue_width=4)
+        blocked = make_di(0, deps=1)
+        ready = make_di(1)
+        queue.insert(blocked)
+        queue.insert(ready)
+        selected = queue.select()
+        assert [di.seq for di in selected] == [1]
+        assert len(queue) == 1
+
+    def test_issue_width_limit(self):
+        queue = IssueQueue("int", entries=8, issue_width=1)
+        queue.insert(make_di(0))
+        queue.insert(make_di(1))
+        assert len(queue.select()) == 1
+        assert len(queue.select()) == 1
+        assert len(queue.select()) == 0
+
+    def test_capacity_enforced(self):
+        import pytest
+        queue = IssueQueue("int", entries=2, issue_width=1)
+        queue.insert(make_di(0))
+        queue.insert(make_di(1))
+        assert not queue.has_space
+        with pytest.raises(RuntimeError):
+            queue.insert(make_di(2))
+
+    def test_out_of_order_wakeup(self):
+        queue = IssueQueue("int", entries=8, issue_width=4)
+        older = make_di(0, deps=1)
+        younger = make_di(1)
+        queue.insert(older)
+        queue.insert(younger)
+        assert [d.seq for d in queue.select()] == [1]
+        older.deps_remaining = 0
+        assert [d.seq for d in queue.select()] == [0]
+
+
+class TestSchedulerBank:
+    def test_queue_for_routes_by_class(self):
+        bank = SchedulerBank(entries=8, n_simple=4, n_complex=1, n_fp=2,
+                             n_agen=2)
+        add = make_di(0, Opcode.ADD)
+        mul = make_di(1, Opcode.MUL)
+        assert bank.queue_for(add) is bank.queues[SCHED_INT]
+        assert bank.queue_for(mul) is bank.queues[SCHED_COMPLEX]
+
+    def test_select_all_respects_per_class_widths(self):
+        bank = SchedulerBank(entries=8, n_simple=2, n_complex=1, n_fp=2,
+                             n_agen=2)
+        for seq in range(4):
+            bank.queues[SCHED_INT].insert(make_di(seq))
+        for seq in range(4, 6):
+            bank.queues[SCHED_COMPLEX].insert(make_di(seq, Opcode.MUL))
+        issued = bank.select_all()
+        int_issued = [d for d in issued if d.sched_class is OpClass.INT_SIMPLE]
+        cplx_issued = [d for d in issued
+                       if d.sched_class is OpClass.INT_COMPLEX]
+        assert len(int_issued) == 2
+        assert len(cplx_issued) == 1
+
+    def test_total_occupancy(self):
+        bank = SchedulerBank(entries=8, n_simple=4, n_complex=1, n_fp=2,
+                             n_agen=2)
+        bank.queues[SCHED_INT].insert(make_di(0, deps=1))
+        bank.queues[SCHED_FP].insert(make_di(1, deps=1))
+        assert bank.total_occupancy() == 2

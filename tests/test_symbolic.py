@@ -1,0 +1,144 @@
+"""Unit and property tests for the symbolic value algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import symbolic
+from repro.core.symbolic import SymVal
+from repro.functional.alu import to_signed64
+
+i64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+scales = st.integers(min_value=0, max_value=3)
+pregs = st.integers(min_value=0, max_value=511)
+
+
+def syms(draw_const=True):
+    symbolic_vals = st.builds(SymVal, base=pregs, scale=scales, offset=i64)
+    if draw_const:
+        return st.one_of(symbolic_vals, st.builds(symbolic.const, i64))
+    return symbolic_vals
+
+
+class TestConstruction:
+    def test_const(self):
+        value = symbolic.const(42)
+        assert value.is_const
+        assert value.const_value == 42
+        assert not value.is_plain
+
+    def test_const_wraps_to_64_bits(self):
+        assert symbolic.const(2 ** 63).const_value == -(2 ** 63)
+
+    def test_plain(self):
+        value = symbolic.plain(17)
+        assert value.is_plain
+        assert not value.is_const
+        assert value.base == 17
+
+    def test_const_value_on_symbolic_raises(self):
+        with pytest.raises(ValueError):
+            symbolic.plain(1).const_value
+
+    def test_scale_range_enforced(self):
+        with pytest.raises(ValueError):
+            SymVal(base=1, scale=4)
+        with pytest.raises(ValueError):
+            SymVal(base=1, scale=-1)
+
+    def test_const_with_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SymVal(base=None, scale=1, offset=0)
+
+    def test_str_forms(self):
+        assert str(symbolic.const(5)) == "#5"
+        assert str(symbolic.plain(3)) == "p3"
+        assert "<<2" in str(SymVal(base=3, scale=2, offset=0))
+        assert "-4" in str(SymVal(base=3, scale=0, offset=-4))
+
+
+class TestEvaluate:
+    def test_const_ignores_base_value(self):
+        assert symbolic.const(9).evaluate(12345) == 9
+
+    def test_plain_passes_through(self):
+        assert symbolic.plain(1).evaluate(77) == 77
+
+    def test_full_form(self):
+        value = SymVal(base=1, scale=2, offset=5)
+        assert value.evaluate(10) == 45
+
+    @given(pregs, scales, i64, i64)
+    def test_evaluate_wraps(self, base, scale, offset, base_value):
+        value = SymVal(base=base, scale=scale, offset=offset)
+        expected = to_signed64((base_value << scale) + offset)
+        assert value.evaluate(base_value) == expected
+
+
+class TestAddConst:
+    @given(syms(), i64, i64)
+    def test_add_const_semantics(self, sym, add, base_value):
+        result = symbolic.add_const(sym, add)
+        assert result.evaluate(base_value) == to_signed64(
+            sym.evaluate(base_value) + add)
+
+    def test_preserves_base_and_scale(self):
+        value = SymVal(base=2, scale=1, offset=3)
+        result = symbolic.add_const(value, 4)
+        assert result.base == 2
+        assert result.scale == 1
+        assert result.offset == 7
+
+
+class TestShiftLeft:
+    @given(syms(draw_const=False), st.integers(0, 3), i64)
+    def test_shift_semantics_when_representable(self, sym, amount,
+                                                base_value):
+        result = symbolic.shift_left(sym, amount)
+        if result is not None:
+            assert result.evaluate(base_value) == to_signed64(
+                sym.evaluate(base_value) << amount)
+
+    def test_overflowing_scale_unrepresentable(self):
+        value = SymVal(base=1, scale=2, offset=0)
+        assert symbolic.shift_left(value, 2) is None
+        assert symbolic.shift_left(value, 1) is not None
+
+    @given(i64, st.integers(0, 10))
+    def test_const_always_shiftable(self, value, amount):
+        result = symbolic.shift_left(symbolic.const(value), amount)
+        assert result is not None
+        assert result.const_value == to_signed64(value << amount)
+
+    def test_negative_shift_rejected(self):
+        assert symbolic.shift_left(symbolic.plain(1), -1) is None
+
+
+class TestFold:
+    @given(syms(draw_const=False), i64)
+    def test_fold_equals_evaluate(self, sym, base_value):
+        folded = symbolic.fold(sym, base_value)
+        assert folded.is_const
+        assert folded.const_value == sym.evaluate(base_value)
+
+    def test_fold_example_from_paper(self):
+        # RAT holds r1 = p35 - 2; p35 turns out to be 15.
+        sym = SymVal(base=35, scale=0, offset=-2)
+        assert symbolic.fold(sym, 15).const_value == 13
+
+
+class TestAlgebraicProperties:
+    @given(syms(), i64, i64, i64)
+    def test_add_const_composes(self, sym, a, b, base_value):
+        one_step = symbolic.add_const(sym, to_signed64(a + b))
+        two_step = symbolic.add_const(symbolic.add_const(sym, a), b)
+        assert one_step.evaluate(base_value) == two_step.evaluate(base_value)
+
+    @given(syms(draw_const=False), i64)
+    def test_add_zero_identity(self, sym, base_value):
+        assert symbolic.add_const(sym, 0) == sym
+
+    @given(i64)
+    def test_immutability(self, value):
+        sym = symbolic.const(value)
+        with pytest.raises(Exception):
+            sym.offset = 0

@@ -1,0 +1,129 @@
+"""Tests for the 22 workload kernels (paper Table 1).
+
+Every kernel must assemble, run to completion deterministically, and
+exhibit the instruction-mix character its benchmark stands in for.
+"""
+
+import pytest
+
+from repro.functional import run_program
+from repro.isa import assemble
+from repro.isa.opcodes import OpClass
+from repro.workloads import (ALL_WORKLOADS, SUITES, build_program,
+                             build_trace, get_workload, suite_workloads)
+
+ALL_NAMES = [w.name for w in ALL_WORKLOADS]
+
+
+class TestRegistry:
+    def test_twenty_two_workloads(self):
+        assert len(ALL_WORKLOADS) == 22
+
+    def test_suite_sizes_match_table1(self):
+        assert len(suite_workloads("SPECint")) == 10
+        assert len(suite_workloads("SPECfp")) == 6
+        assert len(suite_workloads("mediabench")) == 6
+
+    def test_lookup_by_name_and_abbrev(self):
+        assert get_workload("mcf").name == "mcf"
+        assert get_workload("untst").name == "untoast"
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            get_workload("doom3")
+        with pytest.raises(KeyError):
+            suite_workloads("SPECjbb")
+
+    def test_names_unique(self):
+        assert len(set(ALL_NAMES)) == 22
+        abbrevs = [w.abbrev for w in ALL_WORKLOADS]
+        assert len(set(abbrevs)) == 22
+
+    def test_suites_cover_all(self):
+        assert {w.suite for w in ALL_WORKLOADS} == set(SUITES)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            get_workload("mcf").source(0)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryKernel:
+    def test_assembles(self, name):
+        program = build_program(name)
+        assert program.static_count() > 10
+
+    def test_runs_to_completion(self, name):
+        result = build_trace(name)
+        assert result.halted
+        assert 3_000 < result.instruction_count < 200_000
+
+    def test_deterministic(self, name):
+        first = build_trace(name)
+        second = build_trace(name)
+        assert first.instruction_count == second.instruction_count
+        addr = build_program(name).labels["result"]
+        assert (first.memory.load(addr, 8, signed=False)
+                == second.memory.load(addr, 8, signed=False))
+
+    def test_writes_nonzero_checksum(self, name):
+        result = build_trace(name)
+        addr = build_program(name).labels["result"]
+        assert result.memory.load(addr, 8, signed=False) != 0
+
+    def test_scale_grows_instruction_count(self, name):
+        small = build_trace(name, scale=1).instruction_count
+        large = build_trace(name, scale=2).instruction_count
+        assert large > small
+
+
+class TestInstructionMixes:
+    def _mix(self, name):
+        trace = build_trace(name).trace
+        counts = {"mem": 0, "fp": 0, "branch": 0, "total": len(trace)}
+        for entry in trace:
+            spec = entry.instr.spec
+            if spec.is_load or spec.is_store:
+                counts["mem"] += 1
+            if spec.op_class is OpClass.FP:
+                counts["fp"] += 1
+            if spec.is_branch or spec.is_jump:
+                counts["branch"] += 1
+        return counts
+
+    def test_specfp_kernels_use_fp(self):
+        for workload in suite_workloads("SPECfp"):
+            mix = self._mix(workload.name)
+            assert mix["fp"] / mix["total"] > 0.10, workload.name
+
+    def test_specint_kernels_mostly_integer(self):
+        for workload in suite_workloads("SPECint"):
+            if workload.name == "eon":
+                continue  # eon is the FP-flavoured SPECint benchmark
+            mix = self._mix(workload.name)
+            assert mix["fp"] / mix["total"] < 0.05, workload.name
+
+    def test_all_kernels_have_branches(self):
+        for workload in ALL_WORKLOADS:
+            mix = self._mix(workload.name)
+            assert mix["branch"] / mix["total"] > 0.05, workload.name
+
+    def test_memory_intensity_of_mcf(self):
+        mix = self._mix("mcf")
+        assert mix["mem"] / mix["total"] > 0.2
+
+    def test_untoast_touches_small_arrays(self):
+        # untoast's working set must fit the 128-entry MBC (Section 5.2).
+        result = build_trace("untoast")
+        addresses = {e.addr & ~7 for e in result.trace
+                     if e.addr is not None}
+        assert len(addresses) < 128
+
+
+class TestMcfSortsCorrectly:
+    def test_quicksort_produces_sorted_array(self):
+        program = build_program("mcf")
+        result = run_program(program)
+        base = program.labels["arr"]
+        values = [result.memory.load(base + 8 * i, 8) for i in range(200)]
+        assert values == sorted(values)
