@@ -1,0 +1,68 @@
+"""Sweep-engine scaling: wall-clock at jobs=1 vs jobs=cpu_count.
+
+Tracks the speedup the process-pool executor delivers on a 12-point
+design-space grid (4 workloads x 3 machine variants), plus the
+near-free cost of re-running the same grid against a warm artifact
+store.  Single-core machines still run the parallel leg (the pool is
+exercised; the speedup is just ~1x).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from conftest import publish
+
+from repro.engine.campaign import Campaign, parse_axis
+from repro.engine.pool import run_sweep
+from repro.uarch.config import default_config
+
+GRID_WORKLOADS = ["mcf", "gcc", "eon", "gap"]
+
+
+def _campaign() -> Campaign:
+    return Campaign.from_axes(
+        name="bench", workloads=GRID_WORKLOADS,
+        base=default_config().with_optimizer(),
+        axes=[parse_axis("optimizer.vf_delay=0,1")],
+        include_baseline=True)
+
+
+def _timed_sweep(points, jobs, store_dir):
+    started = time.perf_counter()
+    result = run_sweep(points, jobs=jobs, store_dir=store_dir)
+    return result, time.perf_counter() - started
+
+
+def test_sweep_parallel_speedup(benchmark):
+    points = _campaign().points()
+    ncpu = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory() as serial_store, \
+            tempfile.TemporaryDirectory() as parallel_store:
+        serial, serial_s = _timed_sweep(points, 1, serial_store)
+        parallel, parallel_s = benchmark.pedantic(
+            lambda: _timed_sweep(points, ncpu, parallel_store),
+            rounds=1, iterations=1)
+        cached, cached_s = _timed_sweep(points, ncpu, parallel_store)
+
+    assert [r.stats.to_json() for r in serial.results] == \
+        [r.stats.to_json() for r in parallel.results] == \
+        [r.stats.to_json() for r in cached.results]
+    assert cached.counters["emulations"] == 0
+    assert cached.counters["simulations"] == 0
+
+    lines = [
+        f"sweep grid: {len(points)} points "
+        f"({len(GRID_WORKLOADS)} workloads x 3 variants)",
+        f"jobs=1          : {serial_s:8.2f} s "
+        f"({serial.counters['emulations']} emulations, "
+        f"{serial.counters['simulations']} simulations)",
+        f"jobs={ncpu:<2d} (cold)  : {parallel_s:8.2f} s   "
+        f"speedup {serial_s / parallel_s:.2f}x",
+        f"jobs={ncpu:<2d} (warm)  : {cached_s:8.2f} s   "
+        f"speedup {serial_s / cached_s:.2f}x "
+        f"({cached.counters['stats_cache_hits']} store hits)",
+    ]
+    publish("sweep_parallel", "\n".join(lines))

@@ -1,3 +1,35 @@
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+version = re.search(r'^__version__ = "([^"]+)"', _init.read_text(),
+                    re.MULTILINE).group(1)
+
+setup(
+    name="repro-continuous-optimization",
+    version=version,
+    description="Reproduction of 'Continuous Optimization' (ISCA 2005): "
+                "a hardware dynamic optimizer in the rename stage of an "
+                "out-of-order processor",
+    long_description=(Path(__file__).parent / "README.md").read_text()
+    if (Path(__file__).parent / "README.md").exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Hardware",
+    ],
+)

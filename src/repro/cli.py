@@ -8,20 +8,34 @@ Commands
 ``fig6`` / ``fig8`` / ``fig9`` / ``fig10`` / ``fig11`` / ``fig12``
                          regenerate the paper's figures
 ``all``                  everything above, in order
+``sweep``                run an arbitrary design-space grid (JSON out)
 
+Global options: ``--jobs N`` fans simulation out across N worker
+processes (0 = all cores); ``--store DIR`` persists oracle traces and
+stats in a content-addressed artifact store so re-runs are near-free.
 Sensitivity figures accept ``--per-suite N`` to bound runtime (default:
 all workloads; the benchmark harness uses 2).  ``--scale N`` grows the
 dynamic instruction counts of every kernel.
+
+``sweep`` examples::
+
+    repro --jobs 4 --store .repro-store sweep --suite SPECint \\
+        --axis optimizer.vf_delay=0,1,5,10 --optimized --baseline
+    repro sweep --workloads mcf,gzip --axis sched_entries=8,16,32
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import quick_compare
-from .experiments import (depth, feedback, latency, machine_models, speedup,
-                          table1, table3, vf_delay)
+from .engine.campaign import Campaign, parse_axis
+from .engine.pool import run_sweep
+from .experiments import (depth, feedback, latency, machine_models, runner,
+                          speedup, table1, table3, vf_delay)
+from .uarch.config import default_config
 from .workloads import ALL_WORKLOADS
 
 _FIGURES = {
@@ -57,7 +71,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_table(module):
     def run(args) -> int:
-        rows = module.run(scale=args.scale)
+        rows = module.run(scale=args.scale, jobs=args.jobs)
         print(module.format(rows))
         return 0
     return run
@@ -66,14 +80,15 @@ def _cmd_table(module):
 def _cmd_figure(module):
     def run(args) -> int:
         rows = module.run(scale=args.scale,
-                          workloads_per_suite=args.per_suite)
+                          workloads_per_suite=args.per_suite,
+                          jobs=args.jobs)
         print(module.format(rows))
         return 0
     return run
 
 
 def _cmd_fig6(args) -> int:
-    rows = speedup.run(scale=args.scale)
+    rows = speedup.run(scale=args.scale, jobs=args.jobs)
     print(speedup.format(rows))
     return 0
 
@@ -86,6 +101,44 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    axes = [parse_axis(spec) for spec in args.axis or []]
+    base = default_config()
+    if args.optimized:
+        base = base.with_optimizer()
+    if args.scales is not None:
+        scales = [int(s) for s in args.scales.split(",")]
+    else:
+        scales = [args.scale]  # honour the global --scale option
+    campaign = Campaign.from_axes(
+        workloads=args.workloads.split(",") if args.workloads else None,
+        suite=args.suite, scales=scales,
+        base=base, axes=axes, include_baseline=args.baseline)
+
+    def progress(done: int, total: int, message: str) -> None:
+        print(f"[{done}/{total}] {message}", file=sys.stderr)
+
+    result = run_sweep(campaign.points(), jobs=args.jobs,
+                       store_dir=args.store,
+                       progress=progress if not args.quiet else None)
+    report = result.to_dict()
+    report["campaign"] = {
+        "workloads": list(campaign.workloads),
+        "scales": list(campaign.scales),
+        "variants": [label for label, _ in campaign.variants],
+    }
+    text = json.dumps(report, indent=2 if args.pretty else None,
+                      sort_keys=False)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(result.results)} points to {args.out}",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -95,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--per-suite", type=int, default=None,
                         help="limit sensitivity figures to N workloads "
                              "per suite")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation "
+                             "(0 = all cores, default 1)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent artifact store directory "
+                             "(traces + stats survive across runs)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list workloads").set_defaults(
         handler=_cmd_list)
@@ -108,11 +167,40 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_parser(name).set_defaults(handler=_cmd_figure(module))
     sub.add_parser("all", help="every table and figure").set_defaults(
         handler=_cmd_all)
+    sweep = sub.add_parser(
+        "sweep", help="run a (workload x scale x config) grid",
+        description="Run an arbitrary design-space grid and emit JSON "
+                    "results (per-point stats plus cache-hit counters).")
+    sweep.add_argument("--workloads", default=None,
+                       help="comma-separated names/abbreviations "
+                            "(default: all 22)")
+    sweep.add_argument("--suite", default=None,
+                       help="sweep one suite (SPECint/SPECfp/mediabench)")
+    sweep.add_argument("--scales", default=None,
+                       help="comma-separated scale factors (default: the "
+                            "global --scale value)")
+    sweep.add_argument("--axis", action="append", metavar="PATH=V1,V2,...",
+                       help="config axis, e.g. optimizer.vf_delay=0,1,5; "
+                            "repeatable (axes take a cartesian product)")
+    sweep.add_argument("--optimized", action="store_true",
+                       help="enable the continuous optimizer on the "
+                            "base config before applying axes")
+    sweep.add_argument("--baseline", action="store_true",
+                       help="also include the optimizer-off baseline "
+                            "as a variant")
+    sweep.add_argument("--out", default=None, metavar="FILE",
+                       help="write the JSON report here instead of stdout")
+    sweep.add_argument("--pretty", action="store_true",
+                       help="indent the JSON output")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-shard progress on stderr")
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    runner.configure(store_dir=args.store, jobs=args.jobs)
     return args.handler(args)
 
 

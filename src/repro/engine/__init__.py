@@ -1,0 +1,33 @@
+"""repro.engine: parallel sweep engine with a persistent artifact store.
+
+The engine turns the repo's one-figure-at-a-time experiment harness
+into a design-space-exploration tool:
+
+* :mod:`repro.engine.campaign` — declarative sweep specs: a grid of
+  ``(workload x scale x MachineConfig variant)`` points built from
+  named parameter axes (dotted config paths such as
+  ``optimizer.vf_delay``).
+* :mod:`repro.engine.store` — a content-addressed on-disk artifact
+  store keyed by stable hashes of ``(workload, scale)`` for oracle
+  traces and ``(workload, scale, config)`` for pipeline stats, so
+  repeated figures and resumed sweeps are near-free.
+* :mod:`repro.engine.pool` — a :class:`~concurrent.futures.\
+ProcessPoolExecutor` sharding layer that groups sweep points by
+  workload (one emulation per worker per workload), streams completed
+  results back with progress reporting, and counts cache hits.
+
+``experiments/runner.py`` is a thin in-memory cache over this engine,
+and ``repro sweep`` on the command line drives it directly.
+"""
+
+from .campaign import (Campaign, SweepPoint, apply_override, expand_axes,
+                       parse_axis)
+from .pool import PointResult, SweepResult, run_sweep
+from .store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "Campaign", "SweepPoint", "apply_override", "expand_axes",
+    "parse_axis",
+    "PointResult", "SweepResult", "run_sweep",
+]

@@ -1,0 +1,247 @@
+"""Process-pool sweep executor with per-worker trace reuse.
+
+:func:`run_sweep` executes a list of :class:`SweepPoint` grid points:
+
+* Points are **sharded by** ``(workload, scale)`` so every machine
+  variant of one workload lands on the same worker and shares a single
+  functional emulation (the trace is configuration-independent).
+* Shards run on a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs > 1``) or inline (``jobs == 1`` — byte-for-byte the same
+  code path, so serial and parallel sweeps are trivially
+  deterministic).  Completed shards stream back via ``as_completed``
+  and drive an optional progress callback.
+* When an :class:`~repro.engine.store.ArtifactStore` directory is
+  given, workers consult it before emulating or simulating anything
+  and persist whatever they compute, so a re-run of the same grid
+  performs **zero** emulations and simulations.
+
+Each worker process keeps a module-level trace cache; the pool
+initializer resets it so counters are exact per sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from ..uarch.stats import PipelineStats
+from ..uarch.pipeline import simulate_trace
+from ..workloads import build_trace
+from .campaign import SweepPoint
+from .store import ArtifactStore
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+_worker_store: ArtifactStore | None = None
+_worker_traces: dict = {}
+
+
+def _init_worker(store_dir: str | None) -> None:
+    """Pool initializer: bind the store and reset the trace cache."""
+    global _worker_store, _worker_traces
+    _worker_store = ArtifactStore(store_dir) if store_dir else None
+    _worker_traces = {}
+
+
+def _worker_get_trace(workload: str, scale: int) -> tuple[list, bool, bool]:
+    """The oracle trace plus (emulated, store_hit) flags."""
+    key = (workload, scale)
+    trace = _worker_traces.get(key)
+    if trace is not None:
+        return trace, False, False
+    store_hit = False
+    if _worker_store is not None:
+        trace = _worker_store.load_trace(workload, scale)
+        store_hit = trace is not None
+    emulated = trace is None
+    if emulated:
+        trace = build_trace(workload, scale).trace
+        if _worker_store is not None:
+            _worker_store.save_trace(workload, scale, trace)
+    _worker_traces[key] = trace
+    return trace, emulated, store_hit
+
+
+def _run_shard(shard: list[tuple[int, str, int, str, object]]
+               ) -> list[tuple[int, PipelineStats, dict]]:
+    """Execute one shard of (index, workload, scale, variant, config)."""
+    out = []
+    for index, workload, scale, variant, config in shard:
+        flags = {"emulated": False, "simulated": False,
+                 "trace_hit": False, "stats_hit": False}
+        stats = None
+        if _worker_store is not None:
+            stats = _worker_store.load_stats(workload, scale, config)
+            flags["stats_hit"] = stats is not None
+        if stats is None:
+            trace, emulated, trace_hit = _worker_get_trace(workload, scale)
+            flags["emulated"] = emulated
+            flags["trace_hit"] = trace_hit
+            stats = simulate_trace(trace, config)
+            flags["simulated"] = True
+            if _worker_store is not None:
+                _worker_store.save_stats(workload, scale, config, stats)
+        out.append((index, stats, flags))
+    return out
+
+
+def _prewarm_shard(shard: list[tuple[str, int]]
+                   ) -> list[tuple[str, int, int, bool]]:
+    """Ensure traces exist for (workload, scale) pairs; report lengths."""
+    out = []
+    for workload, scale in shard:
+        trace, emulated, _ = _worker_get_trace(workload, scale)
+        out.append((workload, scale, len(trace), emulated))
+    return out
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PointResult:
+    """One completed grid point."""
+
+    point: SweepPoint
+    stats: PipelineStats
+    emulated: bool
+    simulated: bool
+
+    @property
+    def from_cache(self) -> bool:
+        return not self.simulated
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, in grid order."""
+
+    results: list[PointResult]
+    counters: dict[str, int]
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    def stats_by_label(self) -> dict[str, PipelineStats]:
+        """``"workload@scale/variant" -> stats`` for easy lookup."""
+        return {r.point.label: r.stats for r in self.results}
+
+    def to_dict(self) -> dict:
+        """JSON-ready report: per-point summaries plus counters."""
+        return {
+            "jobs": self.jobs,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "counters": dict(self.counters),
+            "points": [
+                {
+                    "workload": r.point.workload,
+                    "scale": r.point.scale,
+                    "variant": r.point.variant,
+                    "config_key": r.point.config.cache_key(),
+                    "from_cache": r.from_cache,
+                    **r.stats.summary(),
+                }
+                for r in self.results
+            ],
+        }
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/1 serial, <=0 all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _make_shards(points: list[SweepPoint]
+                 ) -> list[list[tuple[int, str, int, str, object]]]:
+    shards: dict[tuple[str, int], list] = {}
+    for index, p in enumerate(points):
+        shards.setdefault((p.workload, p.scale), []).append(
+            (index, p.workload, p.scale, p.variant, p.config))
+    return list(shards.values())
+
+
+def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
+              store_dir: str | os.PathLike | None = None,
+              progress=None) -> SweepResult:
+    """Execute a sweep grid, optionally in parallel and/or persisted.
+
+    ``progress``, if given, is called after every completed shard as
+    ``progress(done_points, total_points, message)``.
+    """
+    jobs = resolve_jobs(jobs)
+    store_dir = os.fspath(store_dir) if store_dir is not None else None
+    shards = _make_shards(points)
+    started = time.perf_counter()
+    slots: list = [None] * len(points)
+    counters = {"points": len(points), "shards": len(shards),
+                "emulations": 0, "simulations": 0,
+                "trace_cache_hits": 0, "stats_cache_hits": 0}
+    done = 0
+
+    def _absorb(shard_out) -> str:
+        nonlocal done
+        for index, stats, flags in shard_out:
+            point = points[index]
+            slots[index] = PointResult(point=point, stats=stats,
+                                       emulated=flags["emulated"],
+                                       simulated=flags["simulated"])
+            counters["emulations"] += flags["emulated"]
+            counters["simulations"] += flags["simulated"]
+            counters["trace_cache_hits"] += flags["trace_hit"]
+            counters["stats_cache_hits"] += flags["stats_hit"]
+        done += len(shard_out)
+        first = points[shard_out[0][0]]
+        return f"{first.workload}@{first.scale} ({len(shard_out)} points)"
+
+    if jobs == 1 or len(shards) <= 1:
+        _init_worker(store_dir)
+        for shard in shards:
+            message = _absorb(_run_shard(shard))
+            if progress is not None:
+                progress(done, len(points), message)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
+                                 initializer=_init_worker,
+                                 initargs=(store_dir,)) as pool:
+            futures = [pool.submit(_run_shard, shard) for shard in shards]
+            for future in as_completed(futures):
+                message = _absorb(future.result())
+                if progress is not None:
+                    progress(done, len(points), message)
+
+    return SweepResult(results=slots, counters=counters,
+                       elapsed=time.perf_counter() - started, jobs=jobs)
+
+
+def run_trace_prewarm(pairs: list[tuple[str, int]], jobs: int | None,
+                      store_dir: str | os.PathLike) -> dict[str, int]:
+    """Emulate any missing oracle traces in parallel into a store.
+
+    Only useful with a persistent store: workers deposit the traces
+    there, and the caller's subsequent :func:`ArtifactStore.load_trace`
+    calls become unpickles instead of emulations.  Returns counters
+    ``{"traces": ..., "emulations": ...}``.
+    """
+    jobs = resolve_jobs(jobs)
+    store_dir = os.fspath(store_dir)
+    shards = [[pair] for pair in dict.fromkeys(pairs)]
+    counters = {"traces": len(shards), "emulations": 0}
+    if jobs == 1 or len(shards) <= 1:
+        _init_worker(store_dir)
+        outs = [_prewarm_shard(shard) for shard in shards]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
+                                 initializer=_init_worker,
+                                 initargs=(store_dir,)) as pool:
+            outs = list(pool.map(_prewarm_shard, shards))
+    for out in outs:
+        counters["emulations"] += sum(emulated for *_, emulated in out)
+    return counters

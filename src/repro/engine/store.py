@@ -1,0 +1,167 @@
+"""Content-addressed on-disk artifact store for traces and stats.
+
+Artifacts are keyed by a stable SHA-256 of their identity:
+
+* **traces** — ``(kind=trace, format, workload, scale)``.  The oracle
+  trace of a workload is configuration-independent, so every machine
+  variant in a sweep shares one stored emulation.
+* **stats** — ``(kind=stats, format, workload, scale, config)`` where
+  ``config`` is :meth:`MachineConfig.canonical_json`.  A timing result
+  is valid for exactly one machine configuration.
+
+Traces are pickled (they contain :class:`Instruction` objects); stats
+are canonical JSON.  Both are written atomically (temp file +
+``os.replace``) so concurrent workers sharing one store can never
+observe a torn artifact — at worst two workers race to write the same
+content to the same key, which is benign.
+
+``FORMAT_VERSION`` is baked into every key: changing the trace or
+stats schema automatically invalidates stale artifacts instead of
+deserializing garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from ..functional.emulator import TraceEntry
+from ..uarch.config import MachineConfig, canonical_json
+from ..uarch.stats import PipelineStats
+
+#: Bump when the TraceEntry / PipelineStats schema changes.
+FORMAT_VERSION = 1
+
+#: Fixed pickle protocol so identical traces serialize byte-identically
+#: regardless of the interpreter's default.
+PICKLE_PROTOCOL = 4
+
+
+def _digest(identity: dict) -> str:
+    return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+
+def trace_key(workload: str, scale: int) -> str:
+    """Stable content key for a workload's oracle trace."""
+    return _digest({"kind": "trace", "format": FORMAT_VERSION,
+                    "workload": workload, "scale": scale})
+
+
+def stats_key(workload: str, scale: int, config: MachineConfig) -> str:
+    """Stable content key for one simulation's stats."""
+    return _digest({"kind": "stats", "format": FORMAT_VERSION,
+                    "workload": workload, "scale": scale,
+                    "config": config.config_dict()})
+
+
+class ArtifactStore:
+    """Persists oracle traces and pipeline stats across runs.
+
+    Layout::
+
+        <root>/traces/<sha256>.pkl   pickled list[TraceEntry]
+        <root>/stats/<sha256>.json   canonical PipelineStats JSON
+
+    The store keeps hit/miss counters so callers (the sweep engine,
+    the CLI) can report how much work persistence saved.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self._traces = self.root / "traces"
+        self._stats = self.root / "stats"
+        self._traces.mkdir(parents=True, exist_ok=True)
+        self._stats.mkdir(parents=True, exist_ok=True)
+        self.trace_hits = 0
+        self.trace_misses = 0
+        self.stats_hits = 0
+        self.stats_misses = 0
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+
+    def load_trace(self, workload: str,
+                   scale: int) -> list[TraceEntry] | None:
+        """The stored oracle trace, or ``None`` on a miss."""
+        path = self._traces / f"{trace_key(workload, scale)}.pkl"
+        if not path.exists():
+            self.trace_misses += 1
+            return None
+        with path.open("rb") as fh:
+            trace = pickle.load(fh)
+        self.trace_hits += 1
+        return trace
+
+    def save_trace(self, workload: str, scale: int,
+                   trace: list[TraceEntry]) -> Path:
+        """Persist an oracle trace; returns the artifact path."""
+        path = self._traces / f"{trace_key(workload, scale)}.pkl"
+        payload = pickle.dumps(trace, protocol=PICKLE_PROTOCOL)
+        self._atomic_write(path, payload)
+        return path
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+
+    def load_stats(self, workload: str, scale: int,
+                   config: MachineConfig) -> PipelineStats | None:
+        """The stored simulation stats, or ``None`` on a miss."""
+        path = self._stats / f"{stats_key(workload, scale, config)}.json"
+        if not path.exists():
+            self.stats_misses += 1
+            return None
+        stats = PipelineStats.from_json(path.read_text())
+        self.stats_hits += 1
+        return stats
+
+    def save_stats(self, workload: str, scale: int, config: MachineConfig,
+                   stats: PipelineStats) -> Path:
+        """Persist simulation stats; returns the artifact path."""
+        path = self._stats / f"{stats_key(workload, scale, config)}.json"
+        self._atomic_write(path, stats.to_json().encode())
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance / reporting
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Hit/miss counters accumulated by this store instance."""
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "stats_hits": self.stats_hits,
+            "stats_misses": self.stats_misses,
+        }
+
+    def artifact_count(self) -> dict[str, int]:
+        """How many artifacts of each kind are on disk."""
+        return {
+            "traces": sum(1 for _ in self._traces.glob("*.pkl")),
+            "stats": sum(1 for _ in self._stats.glob("*.json")),
+        }
+
+    def clear(self) -> None:
+        """Delete every stored artifact (keeps the directories)."""
+        for path in (*self._traces.glob("*.pkl"),
+                     *self._stats.glob("*.json")):
+            path.unlink()
+
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise

@@ -18,13 +18,16 @@ All modules expose ``run(...) -> rows`` and ``format(rows) -> str``.
 
 from . import (ablation, depth, feedback, latency, machine_models, report,
                runner, speedup, table1, table3, vf_delay)
-from .runner import (clear_caches, geomean, get_trace, run_workload,
-                     speedup as workload_speedup, workload_names)
+from .runner import (active_store, clear_caches, configure, geomean,
+                     get_trace, prewarm, prewarm_suites, prewarm_traces,
+                     run_workload, speedup as workload_speedup,
+                     suite_lists, workload_names)
 
 __all__ = [
     "ablation",
     "depth", "feedback", "latency", "machine_models", "report", "runner",
     "speedup", "table1", "table3", "vf_delay",
-    "clear_caches", "geomean", "get_trace", "run_workload",
-    "workload_speedup", "workload_names",
+    "active_store", "clear_caches", "configure", "geomean", "get_trace",
+    "prewarm", "prewarm_suites", "prewarm_traces", "run_workload",
+    "workload_speedup", "suite_lists", "workload_names",
 ]

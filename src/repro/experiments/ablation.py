@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import SUITES, suite_workloads
+from ..workloads import SUITES
 from .report import format_table
-from .runner import geomean, run_workload
+from .runner import geomean, prewarm_suites, run_workload
 
 SCENARIOS = (
     ("feedback only", dict(enable_opt=False)),
@@ -36,15 +36,17 @@ class AblationRow:
     bars: dict[str, float]
 
 
-def run(scale: int = 1,
-        workloads_per_suite: int | None = None) -> list[AblationRow]:
+def run(scale: int = 1, workloads_per_suite: int | None = None,
+        jobs: int | None = None) -> list[AblationRow]:
     """Measure the ablation per suite."""
     base = default_config()
+    lists = prewarm_suites(
+        [base] + [base.with_optimizer(**overrides)
+                  for _, overrides in SCENARIOS],
+        scale, jobs, workloads_per_suite)
     rows = []
     for suite in SUITES:
-        suite_list = suite_workloads(suite)
-        if workloads_per_suite is not None:
-            suite_list = suite_list[:workloads_per_suite]
+        suite_list = lists[suite]
         bars = {}
         for label, overrides in SCENARIOS:
             config = base.with_optimizer(**overrides)

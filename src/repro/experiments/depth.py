@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import SUITES, suite_workloads
+from ..workloads import SUITES
 from .report import format_table
-from .runner import geomean, run_workload
+from .runner import geomean, prewarm_suites, run_workload
 
 SCENARIOS = (
     ("depth 0 (default)", 0, 0),
@@ -37,15 +37,17 @@ class DepthRow:
     bars: dict[str, float]
 
 
-def run(scale: int = 1,
-        workloads_per_suite: int | None = None) -> list[DepthRow]:
+def run(scale: int = 1, workloads_per_suite: int | None = None,
+        jobs: int | None = None) -> list[DepthRow]:
     """Measure Figure 10 per suite."""
     base = default_config()
+    lists = prewarm_suites(
+        [base] + [base.with_optimizer(add_depth=a, mem_depth=m)
+                  for _, a, m in SCENARIOS],
+        scale, jobs, workloads_per_suite)
     rows = []
     for suite in SUITES:
-        suite_list = suite_workloads(suite)
-        if workloads_per_suite is not None:
-            suite_list = suite_list[:workloads_per_suite]
+        suite_list = lists[suite]
         bars = {}
         for label, add_depth, mem_depth in SCENARIOS:
             config = base.with_optimizer(add_depth=add_depth,

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import SUITES, suite_workloads
+from ..workloads import SUITES
 from .report import format_table
-from .runner import geomean, run_workload
+from .runner import geomean, prewarm_suites, run_workload
 
 
 @dataclass(frozen=True)
@@ -26,17 +26,17 @@ class FeedbackRow:
     feedback_plus_opt: float
 
 
-def run(scale: int = 1,
-        workloads_per_suite: int | None = None) -> list[FeedbackRow]:
+def run(scale: int = 1, workloads_per_suite: int | None = None,
+        jobs: int | None = None) -> list[FeedbackRow]:
     """Measure Figure 9 per suite."""
     base = default_config()
     feedback_cfg = base.with_optimizer(enable_opt=False)
     full_cfg = base.with_optimizer()
+    lists = prewarm_suites([base, feedback_cfg, full_cfg], scale, jobs,
+                           workloads_per_suite)
     rows = []
     for suite in SUITES:
-        suite_list = suite_workloads(suite)
-        if workloads_per_suite is not None:
-            suite_list = suite_list[:workloads_per_suite]
+        suite_list = lists[suite]
         fb_values = []
         full_values = []
         for workload in suite_list:

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import SUITES, suite_workloads
+from ..workloads import SUITES
 from .report import format_table
-from .runner import geomean, run_workload
+from .runner import geomean, prewarm_suites, run_workload
 
 STAGE_COUNTS = (0, 2, 4)
 
@@ -27,15 +27,17 @@ class LatencyRow:
     bars: dict[int, float]
 
 
-def run(scale: int = 1,
-        workloads_per_suite: int | None = None) -> list[LatencyRow]:
+def run(scale: int = 1, workloads_per_suite: int | None = None,
+        jobs: int | None = None) -> list[LatencyRow]:
     """Measure Figure 11 per suite."""
     base = default_config()
+    lists = prewarm_suites(
+        [base] + [base.with_optimizer(opt_stages=s)
+                  for s in STAGE_COUNTS],
+        scale, jobs, workloads_per_suite)
     rows = []
     for suite in SUITES:
-        suite_list = suite_workloads(suite)
-        if workloads_per_suite is not None:
-            suite_list = suite_list[:workloads_per_suite]
+        suite_list = lists[suite]
         bars = {}
         for stages in STAGE_COUNTS:
             config = base.with_optimizer(opt_stages=stages)

@@ -19,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import SUITES, suite_workloads
+from ..workloads import SUITES
 from .report import format_table
-from .runner import geomean, run_workload
+from .runner import geomean, prewarm_suites, run_workload
 
 BAR_ORDER = ("fetch bound", "fetch bound + opt", "opt", "exec bound",
              "exec bound + opt")
@@ -46,15 +46,15 @@ def _configs():
     }
 
 
-def run(scale: int = 1,
-        workloads_per_suite: int | None = None) -> list[MachineModelRow]:
+def run(scale: int = 1, workloads_per_suite: int | None = None,
+        jobs: int | None = None) -> list[MachineModelRow]:
     """Measure Figure 8 (optionally on the first N workloads per suite)."""
     base, variants = _configs()
+    lists = prewarm_suites([base, *variants.values()], scale, jobs,
+                           workloads_per_suite)
     rows = []
     for suite in SUITES:
-        suite_list = suite_workloads(suite)
-        if workloads_per_suite is not None:
-            suite_list = suite_list[:workloads_per_suite]
+        suite_list = lists[suite]
         bars = {}
         for label, config in variants.items():
             values = []

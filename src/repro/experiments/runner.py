@@ -1,18 +1,33 @@
-"""Experiment runner: workload -> trace -> timing simulation, cached.
+"""Experiment runner: a thin in-memory cache over :mod:`repro.engine`.
 
-All experiment modules funnel through :func:`run_workload`, which
-memoizes both the functional traces (one emulation per workload/scale)
-and the timing results (one simulation per workload/scale/machine
-configuration).  Configurations are frozen dataclasses, so they key
-the cache directly; re-running a figure after a sweep costs nothing
-for overlapping points.
+All experiment modules funnel through :func:`run_workload`.  Lookups
+go memory -> artifact store -> compute:
+
+* the **in-memory caches** memoize traces and stats for the life of
+  the process (one emulation per workload/scale, one simulation per
+  workload/scale/machine configuration), keyed by the configs'
+  explicit :meth:`~repro.uarch.config.MachineConfig.cache_key` so
+  identity never depends on interpreter-local ``__hash__``;
+* the optional **persistent store** (:func:`configure` with a
+  directory, or ``repro --store DIR``) makes results survive across
+  processes, so re-running a figure after a sweep costs nothing;
+* :func:`prewarm` hands a whole grid to the engine's process pool
+  (``--jobs N``) and back-fills the in-memory cache, so experiment
+  modules keep their simple serial loops but fan the actual work out
+  across cores.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
+import shutil
+import tempfile
 from dataclasses import dataclass
 
+from ..engine.campaign import SweepPoint
+from ..engine.pool import resolve_jobs, run_sweep, run_trace_prewarm
+from ..engine.store import ArtifactStore
 from ..functional.emulator import TraceEntry
 from ..uarch.config import MachineConfig
 from ..uarch.pipeline import simulate_trace
@@ -20,34 +35,151 @@ from ..uarch.stats import PipelineStats
 from ..workloads import ALL_WORKLOADS, build_trace, get_workload
 
 _trace_cache: dict[tuple[str, int], list[TraceEntry]] = {}
-_stats_cache: dict[tuple[str, int, MachineConfig], PipelineStats] = {}
+_stats_cache: dict[tuple[str, int, str], PipelineStats] = {}
+_store: ArtifactStore | None = None
+_default_jobs: int = 1
+_scratch_store: ArtifactStore | None = None
 
 
-def clear_caches() -> None:
-    """Drop all memoized traces and simulation results."""
+def _prewarm_store_dir() -> str:
+    """Where parallel prewarms exchange artifacts with their workers.
+
+    The configured store when there is one; otherwise a process-lifetime
+    scratch store, so consecutive prewarms (e.g. ``repro --jobs N all``)
+    emulate each oracle trace once instead of once per experiment.
+    """
+    global _scratch_store
+    if _store is not None:
+        return str(_store.root)
+    if _scratch_store is None:
+        scratch_dir = tempfile.mkdtemp(prefix="repro-scratch-")
+        atexit.register(shutil.rmtree, scratch_dir, ignore_errors=True)
+        _scratch_store = ArtifactStore(scratch_dir)
+    return str(_scratch_store.root)
+
+
+def configure(store_dir: str | None = None,
+              jobs: int | None = None) -> None:
+    """Set the process-wide artifact store and default parallelism.
+
+    ``store_dir=None`` leaves the store untouched; ``jobs=None``
+    leaves the default job count untouched.  The CLI calls this once
+    from its global ``--store`` / ``--jobs`` options.
+    """
+    global _store, _default_jobs
+    if store_dir is not None:
+        _store = ArtifactStore(store_dir)
+    if jobs is not None:
+        _default_jobs = resolve_jobs(jobs)
+
+
+def active_store() -> ArtifactStore | None:
+    """The configured artifact store, if any."""
+    return _store
+
+
+def default_jobs() -> int:
+    """The configured default worker count (1 = serial)."""
+    return _default_jobs
+
+
+def clear_caches(*, detach_store: bool = False) -> None:
+    """Drop all memoized traces and simulation results.
+
+    ``detach_store=True`` additionally forgets the configured store,
+    the scratch store, and the default job count (the scratch
+    directory itself is removed at process exit).
+    """
+    global _store, _scratch_store, _default_jobs
     _trace_cache.clear()
     _stats_cache.clear()
+    if detach_store:
+        _store = None
+        _scratch_store = None
+        _default_jobs = 1
 
 
 def get_trace(name: str, scale: int = 1) -> list[TraceEntry]:
-    """The oracle trace for a workload (memoized)."""
+    """The oracle trace for a workload (memory -> store -> emulate)."""
     key = (name, scale)
     trace = _trace_cache.get(key)
+    if trace is None and _store is not None:
+        trace = _store.load_trace(name, scale)
+    if trace is None and _scratch_store is not None:
+        trace = _scratch_store.load_trace(name, scale)
     if trace is None:
         trace = build_trace(name, scale).trace
-        _trace_cache[key] = trace
+        if _store is not None:
+            _store.save_trace(name, scale, trace)
+    _trace_cache[key] = trace
     return trace
 
 
 def run_workload(name: str, config: MachineConfig,
                  scale: int = 1) -> PipelineStats:
-    """Simulate one workload on one machine configuration (memoized)."""
-    key = (name, scale, config)
+    """Simulate one workload on one machine configuration (cached)."""
+    key = (name, scale, config.cache_key())
     stats = _stats_cache.get(key)
+    if stats is None and _store is not None:
+        stats = _store.load_stats(name, scale, config)
     if stats is None:
         stats = simulate_trace(get_trace(name, scale), config)
-        _stats_cache[key] = stats
+        if _store is not None:
+            _store.save_stats(name, scale, config, stats)
+    _stats_cache[key] = stats
     return stats
+
+
+def prewarm(names: list[str], configs: list[MachineConfig],
+            scale: int = 1, jobs: int | None = None) -> dict | None:
+    """Fan a (workload x config) grid out to worker processes.
+
+    Runs every not-yet-cached point through the engine's process pool
+    and back-fills the in-memory stats cache, so subsequent
+    :func:`run_workload` calls for the grid are pure lookups.  A no-op
+    (returns ``None``) when the effective job count is 1 — the lazy
+    serial path handles that case with no pool overhead.  Returns the
+    sweep counters otherwise.
+    """
+    jobs = _default_jobs if jobs is None else resolve_jobs(jobs)
+    if jobs <= 1:
+        return None
+    unique_configs: dict[str, MachineConfig] = {}
+    for config in configs:
+        unique_configs.setdefault(config.cache_key(), config)
+    points = [
+        SweepPoint(workload=name, scale=scale, variant=key, config=config)
+        for name in dict.fromkeys(names)
+        for key, config in unique_configs.items()
+        if (name, scale, key) not in _stats_cache
+    ]
+    if not points:
+        return None
+    result = run_sweep(points, jobs=jobs, store_dir=_prewarm_store_dir())
+    for point_result in result.results:
+        point = point_result.point
+        _stats_cache[(point.workload, point.scale, point.variant)] = \
+            point_result.stats
+    return result.counters
+
+
+def prewarm_traces(names: list[str], scale: int = 1,
+                   jobs: int | None = None) -> dict | None:
+    """Emulate missing oracle traces in parallel into a store.
+
+    Workers hand traces back through the configured store (or the
+    process-lifetime scratch store), where :func:`get_trace` picks
+    them up as unpickles instead of emulations.  A no-op with one job.
+    """
+    jobs = _default_jobs if jobs is None else resolve_jobs(jobs)
+    if jobs <= 1:
+        return None
+    pairs = [(name, scale) for name in dict.fromkeys(names)
+             if (name, scale) not in _trace_cache]
+    if not pairs:
+        return None
+    return run_trace_prewarm(pairs, jobs=jobs,
+                             store_dir=_prewarm_store_dir())
 
 
 def speedup(name: str, baseline: MachineConfig, variant: MachineConfig,
@@ -63,6 +195,36 @@ def geomean(values: list[float]) -> float:
     if not values:
         raise ValueError("geomean of no values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def suite_lists(workloads_per_suite: int | None = None) -> dict[str, list]:
+    """Per-suite workload lists honouring the ``--per-suite`` bound.
+
+    The shared prelude of every per-suite figure: all suites' workload
+    objects, each list optionally truncated to the first N entries.
+    """
+    from ..workloads import SUITES, suite_workloads
+    lists = {suite: suite_workloads(suite) for suite in SUITES}
+    if workloads_per_suite is not None:
+        lists = {suite: wl[:workloads_per_suite]
+                 for suite, wl in lists.items()}
+    return lists
+
+
+def prewarm_suites(configs: list[MachineConfig], scale: int = 1,
+                   jobs: int | None = None,
+                   workloads_per_suite: int | None = None
+                   ) -> dict[str, list]:
+    """Prewarm a per-suite figure's whole grid; returns its suite lists.
+
+    The common opening move of every sensitivity figure: fan the
+    (suite workloads x configs) grid out to workers, then iterate the
+    returned lists serially against the warm cache.
+    """
+    lists = suite_lists(workloads_per_suite)
+    prewarm([w.name for wl in lists.values() for w in wl],
+            configs, scale, jobs)
+    return lists
 
 
 def workload_names(suite: str | None = None,

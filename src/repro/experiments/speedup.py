@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from ..uarch.config import default_config
 from ..workloads import ALL_WORKLOADS, SUITES, get_workload
 from .report import format_table
-from .runner import geomean, run_workload
+from .runner import geomean, prewarm, run_workload
 
 
 @dataclass(frozen=True)
@@ -30,12 +30,13 @@ class SpeedupRow:
         return self.baseline_cycles / self.optimized_cycles
 
 
-def run(scale: int = 1,
-        workloads: list[str] | None = None) -> list[SpeedupRow]:
+def run(scale: int = 1, workloads: list[str] | None = None,
+        jobs: int | None = None) -> list[SpeedupRow]:
     """Measure Figure 6 for the given workloads (default: all 22)."""
     base_cfg = default_config()
     opt_cfg = base_cfg.with_optimizer()
     names = workloads or [w.name for w in ALL_WORKLOADS]
+    prewarm(names, [base_cfg, opt_cfg], scale, jobs)
     rows = []
     for name in names:
         workload = get_workload(name)

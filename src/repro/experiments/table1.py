@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from ..workloads import ALL_WORKLOADS
 from .report import format_table
-from .runner import get_trace
+from .runner import get_trace, prewarm_traces
 
 
 @dataclass(frozen=True)
@@ -25,8 +25,9 @@ class Table1Row:
     instructions: int
 
 
-def run(scale: int = 1) -> list[Table1Row]:
+def run(scale: int = 1, jobs: int | None = None) -> list[Table1Row]:
     """Build the workload inventory with measured instruction counts."""
+    prewarm_traces([w.name for w in ALL_WORKLOADS], scale, jobs)
     rows = []
     for workload in ALL_WORKLOADS:
         trace = get_trace(workload.name, scale)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from ..uarch.config import default_config
 from ..workloads import SUITES, suite_workloads
 from .report import format_table
-from .runner import run_workload
+from .runner import prewarm, run_workload
 
 #: The paper's Table 3 values, for side-by-side reporting.
 PAPER_TABLE3 = {
@@ -41,9 +41,11 @@ class Table3Row:
     loads_removed: float
 
 
-def run(scale: int = 1) -> list[Table3Row]:
+def run(scale: int = 1, jobs: int | None = None) -> list[Table3Row]:
     """Measure Table 3 across the full workload."""
     opt_cfg = default_config().with_optimizer()
+    names = [w.name for suite in SUITES for w in suite_workloads(suite)]
+    prewarm(names, [opt_cfg], scale, jobs)
     rows: list[Table3Row] = []
     all_metrics: list[tuple[float, float, float, float]] = []
     for suite in SUITES:

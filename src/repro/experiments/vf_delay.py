@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import SUITES, suite_workloads
+from ..workloads import SUITES
 from .report import format_table
-from .runner import geomean, run_workload
+from .runner import geomean, prewarm_suites, run_workload
 
 DELAYS = (0, 1, 5, 10)
 
@@ -26,15 +26,16 @@ class VFDelayRow:
     bars: dict[int, float]
 
 
-def run(scale: int = 1,
-        workloads_per_suite: int | None = None) -> list[VFDelayRow]:
+def run(scale: int = 1, workloads_per_suite: int | None = None,
+        jobs: int | None = None) -> list[VFDelayRow]:
     """Measure Figure 12 per suite."""
     base = default_config()
+    lists = prewarm_suites(
+        [base] + [base.with_optimizer(vf_delay=d) for d in DELAYS],
+        scale, jobs, workloads_per_suite)
     rows = []
     for suite in SUITES:
-        suite_list = suite_workloads(suite)
-        if workloads_per_suite is not None:
-            suite_list = suite_list[:workloads_per_suite]
+        suite_list = lists[suite]
         bars = {}
         for delay in DELAYS:
             config = base.with_optimizer(vf_delay=delay)

@@ -19,11 +19,43 @@ exactly as in Section 4.2: enabling the optimizer adds
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+
+def canonical_json(data: dict) -> str:
+    """The repo-wide canonical JSON form: sorted keys, no whitespace.
+
+    Every content-addressed key and persisted artifact must go through
+    this one function so serialized identities can never drift apart.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+class _StableKeyMixin:
+    """Explicit cross-process identity for frozen config dataclasses.
+
+    ``dataclass`` ``__hash__`` is only stable within one interpreter;
+    anything persisted to disk or shipped to a worker process must key
+    on an explicit canonical serialization instead.
+    """
+
+    def config_dict(self) -> dict:
+        """A plain nested dict of every field (JSON-serializable)."""
+        return asdict(self)
+
+    def canonical_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace."""
+        return canonical_json(self.config_dict())
+
+    def cache_key(self) -> str:
+        """A stable content hash of this configuration."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
 
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(_StableKeyMixin):
     """Geometry and latency of one cache level."""
 
     size_bytes: int
@@ -46,7 +78,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class OptimizerConfig:
+class OptimizerConfig(_StableKeyMixin):
     """Continuous-optimizer parameters (Sections 3 and 6)."""
 
     #: Master switch: False gives the paper's baseline machine.
@@ -76,7 +108,7 @@ class OptimizerConfig:
 
 
 @dataclass(frozen=True)
-class MachineConfig:
+class MachineConfig(_StableKeyMixin):
     """Full simulated machine configuration (paper Table 2)."""
 
     # widths

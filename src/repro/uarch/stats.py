@@ -11,7 +11,10 @@ Covers everything the paper's evaluation reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+from .config import canonical_json
 
 
 @dataclass
@@ -107,6 +110,33 @@ class PipelineStats:
         if self.loads == 0:
             return 0.0
         return self.loads_removed / self.loads
+
+    # ------------------------------------------------------------------
+    # serialization (the engine's artifact store persists stats as JSON)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Every counter as a plain dict (JSON-serializable)."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineStats":
+        """Rebuild a stats block from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown PipelineStats fields: "
+                             f"{sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineStats":
+        """Rebuild a stats block from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> dict[str, float]:
         """A flat dict of headline metrics for reports."""

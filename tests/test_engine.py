@@ -1,0 +1,312 @@
+"""Tests for the sweep engine: store, campaign, pool, runner glue."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.engine.campaign import (Campaign, SweepPoint, apply_override,
+                                   expand_axes, parse_axis)
+from repro.engine.pool import resolve_jobs, run_sweep
+from repro.engine.store import (ArtifactStore, PICKLE_PROTOCOL, stats_key,
+                                trace_key)
+from repro.experiments import runner
+from repro.uarch.config import MachineConfig, default_config
+from repro.uarch.pipeline import simulate_trace
+from repro.uarch.stats import PipelineStats
+from repro.workloads import build_trace
+
+WORKLOADS = ["mcf", "gcc"]
+
+
+@pytest.fixture(scope="module")
+def mcf_trace():
+    return build_trace("mcf", 1).trace
+
+
+@pytest.fixture(scope="module")
+def mcf_stats(mcf_trace):
+    return simulate_trace(mcf_trace, default_config())
+
+
+def small_campaign() -> Campaign:
+    base = default_config()
+    return Campaign.from_axes(
+        name="test", workloads=WORKLOADS,
+        base=base.with_optimizer(),
+        axes=[parse_axis("optimizer.vf_delay=0,1")],
+        include_baseline=True)
+
+
+class TestConfigKeys:
+    def test_cache_key_is_stable_and_content_addressed(self):
+        assert default_config().cache_key() == \
+            MachineConfig().cache_key()
+
+    def test_cache_key_differs_across_configs(self):
+        base = default_config()
+        assert base.cache_key() != base.with_optimizer().cache_key()
+        assert base.cache_key() != base.fetch_bound().cache_key()
+
+    def test_canonical_json_round_trips(self):
+        config = default_config().with_optimizer(vf_delay=5)
+        data = json.loads(config.canonical_json())
+        assert data["optimizer"]["vf_delay"] == 5
+        assert data["il1"]["size_bytes"] == 64 * 1024
+
+    def test_store_keys_depend_on_every_coordinate(self):
+        base = default_config()
+        keys = {
+            trace_key("mcf", 1), trace_key("mcf", 2), trace_key("gcc", 1),
+            stats_key("mcf", 1, base),
+            stats_key("mcf", 1, base.with_optimizer()),
+            stats_key("mcf", 2, base),
+        }
+        assert len(keys) == 6
+
+
+class TestStatsSerialization:
+    def test_round_trip_preserves_everything(self, mcf_stats):
+        clone = PipelineStats.from_json(mcf_stats.to_json())
+        assert clone == mcf_stats
+        assert clone.to_json() == mcf_stats.to_json()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PipelineStats.from_dict({"cycles": 1, "warp_drive": 9})
+
+
+class TestArtifactStore:
+    def test_trace_round_trip_byte_identical(self, tmp_path, mcf_trace):
+        store = ArtifactStore(tmp_path / "a")
+        path = store.save_trace("mcf", 1, mcf_trace)
+        loaded = store.load_trace("mcf", 1)
+        assert loaded == mcf_trace
+        # re-serializing the loaded trace reproduces the artifact
+        # byte-for-byte (content-addressed storage is stable)
+        assert pickle.dumps(loaded, protocol=PICKLE_PROTOCOL) == \
+            path.read_bytes()
+        other = ArtifactStore(tmp_path / "b")
+        assert other.save_trace("mcf", 1, loaded).read_bytes() == \
+            path.read_bytes()
+
+    def test_stats_round_trip_byte_identical(self, tmp_path, mcf_stats):
+        store = ArtifactStore(tmp_path)
+        config = default_config()
+        path = store.save_stats("mcf", 1, config, mcf_stats)
+        loaded = store.load_stats("mcf", 1, config)
+        assert loaded == mcf_stats
+        assert store.save_stats("mcf", 1, config,
+                                loaded).read_bytes() == path.read_bytes()
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load_trace("mcf", 1) is None
+        assert store.load_stats("mcf", 1, default_config()) is None
+        assert store.counters() == {"trace_hits": 0, "trace_misses": 1,
+                                    "stats_hits": 0, "stats_misses": 1}
+
+    def test_clear_and_artifact_count(self, tmp_path, mcf_stats):
+        store = ArtifactStore(tmp_path)
+        store.save_stats("mcf", 1, default_config(), mcf_stats)
+        assert store.artifact_count() == {"traces": 0, "stats": 1}
+        store.clear()
+        assert store.artifact_count() == {"traces": 0, "stats": 0}
+
+
+class TestCampaign:
+    def test_grid_size_and_order(self):
+        campaign = small_campaign()
+        points = campaign.points()
+        assert campaign.size == len(points) == 2 * 1 * 3
+        assert [p.workload for p in points[:3]] == ["mcf"] * 3
+        assert points[0].variant == "baseline"
+
+    def test_apply_override_nested(self):
+        config = apply_override(default_config(), "optimizer.vf_delay", 7)
+        assert config.optimizer.vf_delay == 7
+        assert default_config().optimizer.vf_delay == 1
+
+    def test_apply_override_toplevel(self):
+        assert apply_override(default_config(),
+                              "sched_entries", 16).sched_entries == 16
+
+    def test_apply_override_bad_path(self):
+        with pytest.raises(AttributeError):
+            apply_override(default_config(), "optimizer.warp", 1)
+
+    def test_apply_override_type_mismatch(self):
+        with pytest.raises(TypeError):
+            apply_override(default_config(), "sched_entries", 1.5)
+
+    def test_parse_axis(self):
+        assert parse_axis("optimizer.vf_delay=0,1,5") == \
+            ("optimizer.vf_delay", [0, 1, 5])
+        assert parse_axis("optimizer.verify=true,false") == \
+            ("optimizer.verify", [True, False])
+        with pytest.raises(ValueError):
+            parse_axis("no-equals-sign")
+
+    def test_expand_axes_cartesian_product(self):
+        variants = expand_axes(default_config(),
+                               [("optimizer.vf_delay", [0, 1]),
+                                ("sched_entries", [8, 16])])
+        assert len(variants) == 4
+        assert variants[0][0] == "optimizer.vf_delay=0,sched_entries=8"
+        labels = [label for label, _ in variants]
+        assert len(set(labels)) == 4
+
+    def test_workload_abbreviations_canonicalized(self):
+        campaign = Campaign.from_axes(workloads=["untst"])
+        assert campaign.workloads == ("untoast",)
+
+    def test_include_baseline_keeps_explicit_axis_variants(self):
+        # sched_entries=8 equals the baseline config, but it was asked
+        # for by name, so it must stay in the grid under its own label
+        campaign = Campaign.from_axes(
+            workloads=["mcf"], axes=[("sched_entries", [8, 16])],
+            include_baseline=True)
+        assert [label for label, _ in campaign.variants] == \
+            ["baseline", "sched_entries=8", "sched_entries=16"]
+
+    def test_include_baseline_dedupes_implicit_base(self):
+        campaign = Campaign.from_axes(workloads=["mcf"],
+                                      include_baseline=True)
+        assert [label for label, _ in campaign.variants] == ["baseline"]
+
+
+class TestSweepPool:
+    def test_parallel_matches_serial(self, tmp_path):
+        points = small_campaign().points()
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=4)
+        assert [r.point for r in serial.results] == \
+            [r.point for r in parallel.results]
+        assert [r.stats.to_json() for r in serial.results] == \
+            [r.stats.to_json() for r in parallel.results]
+        assert serial.counters["simulations"] == len(points)
+        # one emulation per workload, never per variant
+        assert serial.counters["emulations"] == len(WORKLOADS)
+        assert parallel.counters["emulations"] == len(WORKLOADS)
+
+    def test_second_run_hits_store_with_zero_emulations(self, tmp_path):
+        points = small_campaign().points()
+        first = run_sweep(points, jobs=1, store_dir=tmp_path)
+        assert first.counters["emulations"] == len(WORKLOADS)
+        second = run_sweep(points, jobs=4, store_dir=tmp_path)
+        assert second.counters["emulations"] == 0
+        assert second.counters["simulations"] == 0
+        assert second.counters["stats_cache_hits"] == len(points)
+        assert [r.stats.to_json() for r in first.results] == \
+            [r.stats.to_json() for r in second.results]
+        assert all(r.from_cache for r in second.results)
+
+    def test_progress_callback_streams_to_completion(self):
+        points = small_campaign().points()
+        seen = []
+        run_sweep(points, jobs=2,
+                  progress=lambda done, total, msg: seen.append(
+                      (done, total)))
+        assert seen[-1] == (len(points), len(points))
+        assert [done for done, _ in seen] == \
+            sorted(done for done, _ in seen)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+
+    def test_to_dict_is_json_ready(self):
+        points = small_campaign().points()
+        report = run_sweep(points, jobs=1).to_dict()
+        parsed = json.loads(json.dumps(report))
+        assert len(parsed["points"]) == len(points)
+        assert parsed["counters"]["points"] == len(points)
+        assert {"workload", "scale", "variant", "cycles",
+                "ipc"} <= set(parsed["points"][0])
+
+
+class TestRunnerIntegration:
+    def setup_method(self):
+        runner.clear_caches(detach_store=True)
+
+    def teardown_method(self):
+        runner.clear_caches(detach_store=True)
+
+    def test_run_workload_uses_store(self, tmp_path):
+        runner.configure(store_dir=tmp_path)
+        config = default_config()
+        stats = runner.run_workload("mcf", config)
+        runner.clear_caches()
+        runner.configure(store_dir=tmp_path)
+        store = runner.active_store()
+        again = runner.run_workload("mcf", config)
+        assert again == stats
+        assert store.stats_hits == 1
+
+    def test_prewarm_fills_stats_cache(self, tmp_path):
+        runner.configure(store_dir=tmp_path)
+        base = default_config()
+        counters = runner.prewarm(WORKLOADS, [base, base.with_optimizer()],
+                                  jobs=2)
+        assert counters["simulations"] == 4
+        # everything below must be pure cache lookups
+        assert runner.active_store().stats_misses == 0
+        for name in WORKLOADS:
+            lazy = runner.run_workload(name, base)
+            assert lazy.cycles > 0
+        assert runner.active_store().stats_misses == 0
+
+    def test_prewarm_serial_is_noop(self):
+        assert runner.prewarm(WORKLOADS, [default_config()], jobs=1) is None
+
+    def test_cache_keyed_by_content_not_identity(self):
+        config_a = default_config().with_optimizer(vf_delay=1)
+        config_b = MachineConfig().with_optimizer(vf_delay=1)
+        stats = runner.run_workload("mcf", config_a)
+        assert runner.run_workload("mcf", config_b) is stats
+
+    def test_prewarms_share_traces_without_a_store(self):
+        # consecutive parallel prewarms (repro --jobs N all) must not
+        # re-emulate traces: the scratch store carries them across pools
+        base = default_config()
+        first = runner.prewarm(WORKLOADS, [base], jobs=2)
+        assert first["emulations"] == len(WORKLOADS)
+        second = runner.prewarm(WORKLOADS, [base.with_optimizer()],
+                                jobs=2)
+        assert second["emulations"] == 0
+
+
+class TestSweepCli:
+    def teardown_method(self):
+        # main() configures the process-global store; detach it so
+        # later tests do not keep writing into this test's tmpdir
+        runner.clear_caches(detach_store=True)
+
+    def test_sweep_command_emits_json_with_counters(self, tmp_path,
+                                                    capsys):
+        from repro.cli import main
+        out_file = tmp_path / "sweep.json"
+        argv = ["--jobs", "2", "--store", str(tmp_path / "store"),
+                "sweep", "--workloads", "mcf,gcc",
+                "--axis", "optimizer.vf_delay=0,1",
+                "--axis", "optimizer.opt_stages=0,2",
+                "--optimized", "--quiet", "--out", str(out_file)]
+        assert main(argv) == 0
+        report = json.loads(out_file.read_text())
+        assert len(report["points"]) == 8
+        assert report["counters"]["emulations"] == 2
+        assert report["campaign"]["workloads"] == ["mcf", "gcc"]
+        # second run: the store satisfies everything
+        assert main(argv) == 0
+        report = json.loads(out_file.read_text())
+        assert report["counters"]["emulations"] == 0
+        assert report["counters"]["simulations"] == 0
+        assert report["counters"]["stats_cache_hits"] == 8
+
+    def test_sweep_honours_global_scale(self, capsys):
+        from repro.cli import main
+        assert main(["--scale", "2", "sweep", "--workloads", "mcf",
+                     "--quiet"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [p["scale"] for p in report["points"]] == [2]
