@@ -1,0 +1,103 @@
+"""Segmented-sweep scaling: one long workload across all workers.
+
+The flat sweep engine shards by workload, so a grid dominated by a
+single long kernel is bound by one worker no matter how many cores
+exist.  This benchmark runs exactly that worst case — one scaled-up
+mcf kernel, three machine variants — and shows `--segment-insns`
+fanning it out: the trace is split into fixed-instruction segments,
+(config x segment) units spread across the pool, and per-segment
+partial stats merge into whole-run stats.  A warm re-run against the
+same store must perform zero emulation and zero segment simulations.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from conftest import publish
+
+from repro.engine.campaign import Campaign, parse_axis
+from repro.engine.pool import run_sweep
+from repro.engine.segments import run_segmented_sweep
+from repro.uarch.config import default_config
+
+WORKLOAD = "mcf"
+SCALE = 8
+SEGMENT_INSNS = 20_000
+
+EXACT_FIELDS = ("retired", "fetched", "loads", "mem_ops",
+                "cond_branches", "indirect_jumps")
+
+
+def _campaign() -> Campaign:
+    return Campaign.from_axes(
+        name="bench-segmented", workloads=[WORKLOAD], scales=[SCALE],
+        base=default_config().with_optimizer(),
+        axes=[parse_axis("optimizer.vf_delay=0,1")],
+        include_baseline=True)
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_segmented_sweep_speedup(benchmark):
+    points = _campaign().points()
+    ncpu = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory() as flat_store, \
+            tempfile.TemporaryDirectory() as serial_store, \
+            tempfile.TemporaryDirectory() as parallel_store:
+        # flat engine: one workload == one shard == one busy worker
+        flat, flat_s = _timed(
+            lambda: run_sweep(points, jobs=ncpu, store_dir=flat_store))
+        serial, serial_s = _timed(
+            lambda: run_segmented_sweep(points, SEGMENT_INSNS, jobs=1,
+                                        store_dir=serial_store))
+        parallel, parallel_s = benchmark.pedantic(
+            lambda: _timed(
+                lambda: run_segmented_sweep(points, SEGMENT_INSNS,
+                                            jobs=ncpu,
+                                            store_dir=parallel_store)),
+            rounds=1, iterations=1)
+        warm, warm_s = _timed(
+            lambda: run_segmented_sweep(points, SEGMENT_INSNS, jobs=ncpu,
+                                        store_dir=parallel_store))
+
+    # segmented results are deterministic across job counts and reruns
+    assert [r.stats.to_json() for r in serial.results] == \
+        [r.stats.to_json() for r in parallel.results] == \
+        [r.stats.to_json() for r in warm.results]
+    # the warm run served everything from the store
+    assert warm.counters["emulations"] == 0
+    assert warm.counters["segment_simulations"] == 0
+    # instruction/event counters match the monolithic timing run exactly
+    for seg_result, flat_result in zip(parallel.results, flat.results):
+        for name in EXACT_FIELDS:
+            assert getattr(seg_result.stats, name) == \
+                getattr(flat_result.stats, name), name
+    if ncpu >= 2:
+        # the whole point: segments beat the one-worker-per-workload
+        # bound on a long single-workload grid
+        assert parallel_s < serial_s
+
+    segments = parallel.counters["segments"]
+    lines = [
+        f"single-workload grid: {len(points)} points "
+        f"({WORKLOAD}@{SCALE}, "
+        f"{parallel.results[0].stats.retired} instructions, "
+        f"{segments} segments of {SEGMENT_INSNS})",
+        f"flat jobs={ncpu:<2d}       : {flat_s:8.2f} s "
+        f"(workload-sharded: one busy worker)",
+        f"segmented jobs=1    : {serial_s:8.2f} s",
+        f"segmented jobs={ncpu:<2d}   : {parallel_s:8.2f} s   "
+        f"speedup {serial_s / parallel_s:.2f}x over serial, "
+        f"{flat_s / parallel_s:.2f}x over flat",
+        f"segmented warm      : {warm_s:8.2f} s   "
+        f"({warm.counters['segment_stats_hits']} segment-stats hits, "
+        f"0 emulations, 0 simulations)",
+    ]
+    publish("segmented_sweep", "\n".join(lines))

@@ -9,19 +9,28 @@ Commands
                          regenerate the paper's figures
 ``all``                  everything above, in order
 ``sweep``                run an arbitrary design-space grid (JSON out)
+``store gc`` / ``store info``
+                         maintain the artifact store (LRU size cap)
 
 Global options: ``--jobs N`` fans simulation out across N worker
 processes (0 = all cores); ``--store DIR`` persists oracle traces and
-stats in a content-addressed artifact store so re-runs are near-free.
-Sensitivity figures accept ``--per-suite N`` to bound runtime (default:
-all workloads; the benchmark harness uses 2).  ``--scale N`` grows the
-dynamic instruction counts of every kernel.
+stats in a content-addressed artifact store so re-runs are near-free;
+``--segment-insns N`` splits every trace into N-instruction segments
+that parallelize *within* a workload (see README "Segmented
+simulation" for the semantics); ``--store-max-bytes N`` enforces an
+LRU size cap on the store after each sweep.  Sensitivity figures
+accept ``--per-suite N`` to bound runtime (default: all workloads; the
+benchmark harness uses 2).  ``--scale N`` grows the dynamic
+instruction counts of every kernel.
 
 ``sweep`` examples::
 
     repro --jobs 4 --store .repro-store sweep --suite SPECint \\
         --axis optimizer.vf_delay=0,1,5,10 --optimized --baseline
     repro sweep --workloads mcf,gzip --axis sched_entries=8,16,32
+    repro --jobs 0 --store .repro-store --segment-insns 100000 \\
+        sweep --workloads mcf --scales 64
+    repro --store .repro-store store gc --max-bytes 500000000
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ import sys
 from . import quick_compare
 from .engine.campaign import Campaign, parse_axis
 from .engine.pool import run_sweep
+from .engine.store import ArtifactStore
 from .experiments import (depth, feedback, latency, machine_models, runner,
                           speedup, table1, table3, vf_delay)
 from .uarch.config import default_config
@@ -101,6 +111,18 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _check_store_cap(args) -> None:
+    """Enforce ``--store-max-bytes`` on the store after a sweep."""
+    if args.store is None or args.store_max_bytes is None:
+        return
+    report = ArtifactStore(args.store).gc(args.store_max_bytes)
+    if report["evicted"]:
+        print(f"store over {args.store_max_bytes} bytes; evicted "
+              f"{report['evicted']} LRU artifacts "
+              f"({report['freed_bytes']} bytes freed, "
+              f"{report['remaining_bytes']} remaining)", file=sys.stderr)
+
+
 def _cmd_sweep(args) -> int:
     axes = [parse_axis(spec) for spec in args.axis or []]
     base = default_config()
@@ -120,7 +142,9 @@ def _cmd_sweep(args) -> int:
 
     result = run_sweep(campaign.points(), jobs=args.jobs,
                        store_dir=args.store,
-                       progress=progress if not args.quiet else None)
+                       progress=progress if not args.quiet else None,
+                       segment_insns=args.segment_insns)
+    _check_store_cap(args)
     report = result.to_dict()
     report["campaign"] = {
         "workloads": list(campaign.workloads),
@@ -139,6 +163,29 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _require_store(args) -> ArtifactStore:
+    if args.store is None:
+        raise SystemExit("store commands need the global --store DIR "
+                         "option (e.g. repro --store .repro-store "
+                         "store gc --max-bytes 1000000)")
+    return ArtifactStore(args.store)
+
+
+def _cmd_store_gc(args) -> int:
+    store = _require_store(args)
+    report = store.gc(args.max_bytes)
+    print(json.dumps(report))
+    return 0
+
+
+def _cmd_store_info(args) -> int:
+    store = _require_store(args)
+    print(json.dumps({"root": str(store.root),
+                      "total_bytes": store.total_bytes(),
+                      "artifacts": store.artifact_count()}))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -154,6 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="persistent artifact store directory "
                              "(traces + stats survive across runs)")
+    parser.add_argument("--segment-insns", type=int, default=None,
+                        metavar="N",
+                        help="split every trace into N-instruction "
+                             "segments simulated independently and "
+                             "merged (parallelizes within a workload; "
+                             "cycle counts carry per-segment cold-start "
+                             "+ drain overhead)")
+    parser.add_argument("--store-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="after each sweep, LRU-evict store "
+                             "artifacts until the store is <= N bytes")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list workloads").set_defaults(
         handler=_cmd_list)
@@ -195,12 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-shard progress on stderr")
     sweep.set_defaults(handler=_cmd_sweep)
+    store = sub.add_parser(
+        "store", help="artifact-store maintenance",
+        description="Maintain the --store directory: inspect its size "
+                    "or LRU-evict artifacts down to a byte cap.")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used artifacts")
+    store_gc.add_argument("--max-bytes", type=int, required=True,
+                          help="target store size in bytes")
+    store_gc.set_defaults(handler=_cmd_store_gc)
+    store_sub.add_parser("info", help="store size and artifact counts") \
+        .set_defaults(handler=_cmd_store_info)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    runner.configure(store_dir=args.store, jobs=args.jobs)
+    runner.configure(store_dir=args.store, jobs=args.jobs,
+                     segment_insns=args.segment_insns)
     return args.handler(args)
 
 

@@ -15,6 +15,10 @@ into a design-space-exploration tool:
 ProcessPoolExecutor` sharding layer that groups sweep points by
   workload (one emulation per worker per workload), streams completed
   results back with progress reporting, and counts cache hits.
+* :mod:`repro.engine.segments` — intra-workload sharding: traces are
+  split into fixed-instruction-count segments (checkpointed streaming
+  emulation, per-segment partial stats, associative merge) so a single
+  long workload fans out across every worker.
 
 ``experiments/runner.py`` is a thin in-memory cache over this engine,
 and ``repro sweep`` on the command line drives it directly.
@@ -23,6 +27,8 @@ and ``repro sweep`` on the command line drives it directly.
 from .campaign import (Campaign, SweepPoint, apply_override, expand_axes,
                        parse_axis)
 from .pool import PointResult, SweepResult, run_sweep
+from .segments import (SegmentPlan, plan_segments, run_segmented_sweep,
+                       simulate_workload_segmented)
 from .store import ArtifactStore
 
 __all__ = [
@@ -30,4 +36,6 @@ __all__ = [
     "Campaign", "SweepPoint", "apply_override", "expand_axes",
     "parse_axis",
     "PointResult", "SweepResult", "run_sweep",
+    "SegmentPlan", "plan_segments", "run_segmented_sweep",
+    "simulate_workload_segmented",
 ]

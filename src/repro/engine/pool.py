@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..uarch.stats import PipelineStats
 from ..uarch.pipeline import simulate_trace
@@ -105,12 +105,18 @@ def _prewarm_shard(shard: list[tuple[str, int]]
 
 @dataclass(frozen=True)
 class PointResult:
-    """One completed grid point."""
+    """One completed grid point.
+
+    ``segments``/``segments_from_cache`` are filled by the segmented
+    engine (:mod:`repro.engine.segments`); a flat sweep leaves them 0.
+    """
 
     point: SweepPoint
     stats: PipelineStats
     emulated: bool
     simulated: bool
+    segments: int = 0
+    segments_from_cache: int = 0
 
     @property
     def from_cache(self) -> bool:
@@ -143,6 +149,9 @@ class SweepResult:
                     "variant": r.point.variant,
                     "config_key": r.point.config.cache_key(),
                     "from_cache": r.from_cache,
+                    **({"segments": r.segments,
+                        "segment_cache_hits": r.segments_from_cache}
+                       if r.segments else {}),
                     **r.stats.summary(),
                 }
                 for r in self.results
@@ -170,12 +179,23 @@ def _make_shards(points: list[SweepPoint]
 
 def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
               store_dir: str | os.PathLike | None = None,
-              progress=None) -> SweepResult:
+              progress=None, segment_insns: int | None = None
+              ) -> SweepResult:
     """Execute a sweep grid, optionally in parallel and/or persisted.
 
     ``progress``, if given, is called after every completed shard as
     ``progress(done_points, total_points, message)``.
+
+    ``segment_insns`` switches to the segmented engine
+    (:func:`repro.engine.segments.run_segmented_sweep`): traces are
+    split into fixed-instruction-count segments that parallelize
+    *within* a workload, at the cost of per-segment cold-start/drain
+    effects on cycle counts.
     """
+    if segment_insns is not None:
+        from .segments import run_segmented_sweep
+        return run_segmented_sweep(points, segment_insns, jobs=jobs,
+                                   store_dir=store_dir, progress=progress)
     jobs = resolve_jobs(jobs)
     store_dir = os.fspath(store_dir) if store_dir is not None else None
     shards = _make_shards(points)

@@ -1,0 +1,386 @@
+"""Intra-workload sharding: segmented trace planning and simulation.
+
+The plain sweep engine (:mod:`repro.engine.pool`) parallelizes only
+*across* grid points, so one long workload bounds a sweep's wall-clock
+time.  This module decomposes each ``(workload, scale)`` trace into
+fixed-instruction-count **segments** that fan out across all workers:
+
+1. **Planning** (:func:`plan_segments`) streams the functional
+   emulator's lazy :meth:`~repro.functional.emulator.Emulator.\
+iter_trace` through ``itertools.islice`` windows, persisting each
+   window as a segment-trace artifact plus an architectural
+   :class:`~repro.functional.emulator.Checkpoint` at every boundary.
+   A killed or partial run resumes from the last stored checkpoint
+   instead of replaying the prefix; a **manifest** artifact (written
+   last) marks the segmentation complete, so re-planning an already
+   segmented workload costs zero emulation.
+2. **Simulation** (:func:`run_segmented_sweep`) schedules
+   ``(config, segment)`` units through the same process pool the flat
+   sweep uses — sharded by segment so every machine variant of one
+   segment shares a single unpickle — consulting the store for
+   per-segment partial stats first.
+3. **Reduction** merges each point's per-segment partials with the
+   associative :meth:`PipelineStats.merge`, in segment order.
+
+Semantics: each segment starts a **cold** microarchitecture (empty
+caches/predictors) and ends with a full pipeline drain, so instruction
+and event counters merge exactly while cycle counts carry a per-segment
+fill+drain overhead (see README "Segmented simulation").
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from itertools import islice
+
+from ..functional.emulator import Emulator
+from ..uarch.config import MachineConfig
+from ..uarch.pipeline import simulate_trace
+from ..uarch.stats import PipelineStats
+from ..workloads import build_program
+from .campaign import SweepPoint
+from .pool import PointResult, SweepResult, resolve_jobs
+from .store import ArtifactStore
+
+#: Matches ``workloads.build_trace``'s budget for monolithic emulation.
+DEFAULT_MAX_INSTRUCTIONS = 20_000_000
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """A completed segmentation of one ``(workload, scale)`` trace."""
+
+    workload: str
+    scale: int
+    segment_insns: int
+    lengths: tuple[int, ...]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.lengths)
+
+    def to_manifest(self) -> dict:
+        return {"workload": self.workload, "scale": self.scale,
+                "segment_insns": self.segment_insns,
+                "num_segments": self.num_segments,
+                "total_instructions": self.total_instructions,
+                "lengths": list(self.lengths)}
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "SegmentPlan":
+        return cls(workload=manifest["workload"], scale=manifest["scale"],
+                   segment_insns=manifest["segment_insns"],
+                   lengths=tuple(manifest["lengths"]))
+
+
+# ----------------------------------------------------------------------
+# planning: emulate (or resume) one workload into segment artifacts
+# ----------------------------------------------------------------------
+
+def plan_segments(workload: str, scale: int, segment_insns: int,
+                  store: ArtifactStore,
+                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                  ) -> tuple[SegmentPlan, dict[str, int]]:
+    """Ensure every segment trace of a workload exists in *store*.
+
+    Returns the plan plus counters describing what the call actually
+    did: ``emulated_instructions`` (0 on a fully cached re-run) and
+    ``resumed_at`` (the segment index emulation restarted from, i.e.
+    how much prefix the checkpoints saved).
+    """
+    if segment_insns <= 0:
+        raise ValueError(f"segment_insns must be > 0, got {segment_insns}")
+    counters = {"emulated_instructions": 0, "resumed_at": 0}
+    manifest = store.load_manifest(workload, scale, segment_insns)
+    if manifest is not None:
+        plan = SegmentPlan.from_manifest(manifest)
+        if all(store.has_segment_trace(workload, scale, segment_insns, i)
+               for i in range(plan.num_segments)):
+            return plan, counters
+        # Some segment got evicted (store gc); fall through and rebuild.
+
+    # Longest contiguous prefix of segment traces already on disk.
+    ready = 0
+    while store.has_segment_trace(workload, scale, segment_insns, ready):
+        ready += 1
+    emulator = Emulator(build_program(workload, scale),
+                        max_instructions=max_instructions)
+    # Resume from the newest checkpoint at or before the first gap
+    # (checkpoint i = architectural state at the start of segment i;
+    # index 0 is the reset state, so it is never stored).
+    resume = ready
+    while resume > 0:
+        state = store.load_checkpoint(workload, scale, segment_insns,
+                                      resume)
+        if state is not None:
+            emulator.restore(state)
+            break
+        resume -= 1
+    counters["resumed_at"] = resume
+    # Segments before the resume point were stored by a previous run,
+    # and only the final segment of a trace can be short — so every
+    # kept prefix segment is exactly segment_insns long.
+    lengths = [segment_insns] * resume
+    stream = emulator.iter_trace()
+    index = resume
+    while True:
+        segment = list(islice(stream, segment_insns))
+        if not segment:
+            break
+        store.save_segment_trace(workload, scale, segment_insns, index,
+                                 segment)
+        counters["emulated_instructions"] += len(segment)
+        lengths.append(len(segment))
+        index += 1
+        if len(segment) < segment_insns:
+            break  # a short segment means the program halted inside it
+        store.save_checkpoint(workload, scale, segment_insns, index,
+                              emulator.checkpoint())
+    plan = SegmentPlan(workload=workload, scale=scale,
+                       segment_insns=segment_insns, lengths=tuple(lengths))
+    store.save_manifest(workload, scale, segment_insns, plan.to_manifest())
+    return plan, counters
+
+
+# ----------------------------------------------------------------------
+# one point, serially (the runner's --segment-insns path)
+# ----------------------------------------------------------------------
+
+def simulate_workload_segmented(workload: str, config: MachineConfig,
+                                scale: int, segment_insns: int,
+                                store: ArtifactStore,
+                                max_instructions: int =
+                                DEFAULT_MAX_INSTRUCTIONS) -> PipelineStats:
+    """Plan + simulate one workload/config pair segment by segment.
+
+    Serial counterpart of :func:`run_segmented_sweep` used by the
+    experiment runner; every per-segment artifact goes through *store*
+    so later sweeps (or re-runs) reuse the work.
+    """
+    plan, _ = plan_segments(workload, scale, segment_insns, store,
+                            max_instructions)
+    partials = []
+    for index in range(plan.num_segments):
+        stats = store.load_segment_stats(workload, scale, segment_insns,
+                                         index, config)
+        if stats is None:
+            trace = store.load_segment_trace(workload, scale,
+                                             segment_insns, index)
+            if trace is None:
+                raise RuntimeError(
+                    f"segment trace {workload}@{scale}#{index} missing "
+                    f"from store {store.root} right after planning")
+            stats = simulate_trace(trace, config)
+            store.save_segment_stats(workload, scale, segment_insns,
+                                     index, config, stats)
+        partials.append(stats)
+    if not partials:
+        return PipelineStats()
+    return PipelineStats.merge_all(partials)
+
+
+# ----------------------------------------------------------------------
+# worker side (module-level so ProcessPoolExecutor can pickle them)
+# ----------------------------------------------------------------------
+
+_worker_store: ArtifactStore | None = None
+
+
+def _init_worker(store_dir: str) -> None:
+    global _worker_store
+    _worker_store = ArtifactStore(store_dir)
+
+
+def _plan_task(task: tuple[str, int, int, int]
+               ) -> tuple[str, int, dict, dict]:
+    """Plan one (workload, scale); returns its manifest + counters."""
+    workload, scale, segment_insns, max_instructions = task
+    plan, counters = plan_segments(workload, scale, segment_insns,
+                                   _worker_store, max_instructions)
+    return workload, scale, plan.to_manifest(), counters
+
+
+def _simulate_shard(shard: tuple[str, int, int, int, list]
+                    ) -> list[tuple[int, int, PipelineStats, bool]]:
+    """Simulate one segment for every config that needs it.
+
+    ``shard`` is ``(workload, scale, segment_insns, seg_index,
+    [(point_index, config), ...])``; the segment trace is unpickled at
+    most once no matter how many machine variants consume it.
+    """
+    workload, scale, segment_insns, seg_index, items = shard
+    out = []
+    trace = None
+    for point_index, config in items:
+        stats = _worker_store.load_segment_stats(
+            workload, scale, segment_insns, seg_index, config)
+        hit = stats is not None
+        if stats is None:
+            if trace is None:
+                trace = _worker_store.load_segment_trace(
+                    workload, scale, segment_insns, seg_index)
+                if trace is None:
+                    raise RuntimeError(
+                        f"segment trace {workload}@{scale}#{seg_index} "
+                        f"missing from store {_worker_store.root}")
+            stats = simulate_trace(trace, config)
+            _worker_store.save_segment_stats(workload, scale, segment_insns,
+                                             seg_index, config, stats)
+        out.append((point_index, seg_index, stats, hit))
+    return out
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def run_segmented_sweep(points: list[SweepPoint], segment_insns: int,
+                        jobs: int | None = 1,
+                        store_dir: str | os.PathLike | None = None,
+                        progress=None,
+                        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                        ) -> SweepResult:
+    """Execute a sweep grid with intra-workload segment parallelism.
+
+    Drop-in alternative to :func:`repro.engine.pool.run_sweep` (same
+    ``SweepResult`` shape): a single long workload fans out across all
+    ``jobs`` workers instead of serializing on one.  Segment artifacts
+    (traces, checkpoints, partial stats) live in the store at
+    *store_dir* — or a run-scoped temporary store when omitted — so a
+    re-run against the same store performs zero emulation and zero
+    segment simulations.
+
+    ``progress(done_units, total_units, message)`` is called after
+    every completed planning task and simulation shard.
+    """
+    if segment_insns <= 0:
+        raise ValueError(f"segment_insns must be > 0, got {segment_insns}")
+    jobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+    scratch_dir = None
+    if store_dir is None:
+        scratch_dir = tempfile.mkdtemp(prefix="repro-segments-")
+        store_dir = scratch_dir
+    store_dir = os.fspath(store_dir)
+    try:
+        return _run_segmented(points, segment_insns, jobs, store_dir,
+                              progress, max_instructions, started)
+    finally:
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
+
+
+def _dispatch_units(units: list, worker, absorb, jobs: int, store_dir: str,
+                    progress, total: int) -> None:
+    """Run *worker* over *units* inline or on a process pool.
+
+    ``absorb(result) -> (done, message)`` folds each completed unit
+    into the caller's state; ``progress(done, total, message)`` is
+    invoked after each one.  ``jobs == 1`` (or a single unit) uses the
+    same worker code inline, so serial and parallel runs are
+    byte-for-byte identical.
+    """
+    if jobs == 1 or len(units) <= 1:
+        _init_worker(store_dir)
+        for unit in units:
+            done, message = absorb(worker(unit))
+            if progress is not None:
+                progress(done, total, message)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(units)),
+                                 initializer=_init_worker,
+                                 initargs=(store_dir,)) as pool:
+            futures = [pool.submit(worker, unit) for unit in units]
+            for future in as_completed(futures):
+                done, message = absorb(future.result())
+                if progress is not None:
+                    progress(done, total, message)
+
+
+def _run_segmented(points: list[SweepPoint], segment_insns: int, jobs: int,
+                   store_dir: str, progress, max_instructions: int,
+                   started: float) -> SweepResult:
+    counters = {"points": len(points), "segment_insns": segment_insns,
+                "emulations": 0, "emulated_instructions": 0,
+                "segments": 0, "segment_simulations": 0,
+                "segment_stats_hits": 0, "simulations": 0}
+
+    # ---- phase 1: plan every distinct (workload, scale) --------------
+    pairs = list(dict.fromkeys((p.workload, p.scale) for p in points))
+    tasks = [(workload, scale, segment_insns, max_instructions)
+             for workload, scale in pairs]
+    plans: dict[tuple[str, int], SegmentPlan] = {}
+
+    def _absorb_plan(result) -> tuple[int, str]:
+        workload, scale, manifest, plan_counters = result
+        plans[(workload, scale)] = SegmentPlan.from_manifest(manifest)
+        counters["emulations"] += plan_counters["emulated_instructions"] > 0
+        counters["emulated_instructions"] += \
+            plan_counters["emulated_instructions"]
+        return len(plans), (f"planned {workload}@{scale} "
+                            f"({plans[(workload, scale)].num_segments} "
+                            f"segments)")
+
+    _dispatch_units(tasks, _plan_task, _absorb_plan, jobs, store_dir,
+                    progress, total=len(tasks))
+
+    # ---- phase 2: fan (config x segment) units across workers --------
+    shards: dict[tuple[str, int, int], list] = {}
+    for index, point in enumerate(points):
+        plan = plans[(point.workload, point.scale)]
+        for seg_index in range(plan.num_segments):
+            shards.setdefault(
+                (point.workload, point.scale, seg_index),
+                []).append((index, point.config))
+    shard_list = [(workload, scale, segment_insns, seg_index, items)
+                  for (workload, scale, seg_index), items
+                  in shards.items()]
+    counters["segments"] = sum(plan.num_segments
+                               for plan in plans.values())
+    total_units = sum(len(items) for items in shards.values())
+    partials: list[dict[int, PipelineStats]] = [{} for _ in points]
+    hits_per_point = [0] * len(points)
+    done = 0
+
+    def _absorb_shard(shard_out) -> tuple[int, str]:
+        nonlocal done
+        for point_index, seg_index, stats, hit in shard_out:
+            partials[point_index][seg_index] = stats
+            counters["segment_stats_hits"] += hit
+            counters["segment_simulations"] += not hit
+            hits_per_point[point_index] += hit
+        done += len(shard_out)
+        first_point = points[shard_out[0][0]]
+        seg_index = shard_out[0][1]
+        return done, (f"{first_point.workload}@{first_point.scale} "
+                      f"segment {seg_index} ({len(shard_out)} configs)")
+
+    _dispatch_units(shard_list, _simulate_shard, _absorb_shard, jobs,
+                    store_dir, progress, total=total_units)
+
+    # ---- phase 3: reduce per-segment partials in segment order -------
+    counters["simulations"] = counters["segment_simulations"]
+    results = []
+    for index, point in enumerate(points):
+        plan = plans[(point.workload, point.scale)]
+        ordered = [partials[index][seg]
+                   for seg in range(plan.num_segments)]
+        stats = (PipelineStats.merge_all(ordered) if ordered
+                 else PipelineStats())
+        results.append(PointResult(
+            point=point, stats=stats,
+            emulated=False,  # planning emulates per workload, not per point
+            simulated=hits_per_point[index] < plan.num_segments,
+            segments=plan.num_segments,
+            segments_from_cache=hits_per_point[index]))
+    return SweepResult(results=results, counters=counters,
+                       elapsed=time.perf_counter() - started, jobs=jobs)

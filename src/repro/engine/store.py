@@ -8,12 +8,31 @@ Artifacts are keyed by a stable SHA-256 of their identity:
 * **stats** — ``(kind=stats, format, workload, scale, config)`` where
   ``config`` is :meth:`MachineConfig.canonical_json`.  A timing result
   is valid for exactly one machine configuration.
+* **segment-level artifacts** — the segmented engine
+  (:mod:`repro.engine.segments`) splits a trace into
+  fixed-instruction-count segments and stores, per
+  ``(workload, scale, segment_insns)``:
 
-Traces are pickled (they contain :class:`Instruction` objects); stats
-are canonical JSON.  Both are written atomically (temp file +
-``os.replace``) so concurrent workers sharing one store can never
-observe a torn artifact — at worst two workers race to write the same
-content to the same key, which is benign.
+  - ``segment trace`` *i* — the ``list[TraceEntry]`` slice,
+  - ``checkpoint`` *i* — the emulator's architectural state at the
+    start of segment *i* (so a killed planning run resumes without
+    replaying the prefix),
+  - ``segment stats`` *i* ``x config`` — one segment's partial
+    :class:`PipelineStats`,
+  - a ``manifest`` — segment count and lengths, written only when the
+    whole trace has been segmented (its presence means planning is
+    complete).
+
+Traces and checkpoints are pickled (they contain
+:class:`Instruction` objects / memory images); stats and manifests are
+canonical JSON.  All writes are atomic (temp file + ``os.replace``) so
+concurrent workers sharing one store can never observe a torn
+artifact — at worst two workers race to write the same content to the
+same key, which is benign.
+
+Every successful load touches the artifact's mtime, giving the
+least-recently-used eviction order that :meth:`ArtifactStore.gc`
+uses to enforce a size cap.
 
 ``FORMAT_VERSION`` is baked into every key: changing the trace or
 stats schema automatically invalidates stale artifacts instead of
@@ -23,12 +42,13 @@ deserializing garbage.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
 from pathlib import Path
 
-from ..functional.emulator import TraceEntry
+from ..functional.emulator import Checkpoint, TraceEntry
 from ..uarch.config import MachineConfig, canonical_json
 from ..uarch.stats import PipelineStats
 
@@ -57,13 +77,48 @@ def stats_key(workload: str, scale: int, config: MachineConfig) -> str:
                     "config": config.config_dict()})
 
 
+def segment_trace_key(workload: str, scale: int, segment_insns: int,
+                      index: int) -> str:
+    """Stable content key for one trace segment."""
+    return _digest({"kind": "segment-trace", "format": FORMAT_VERSION,
+                    "workload": workload, "scale": scale,
+                    "segment_insns": segment_insns, "index": index})
+
+
+def checkpoint_key(workload: str, scale: int, segment_insns: int,
+                   index: int) -> str:
+    """Stable content key for the checkpoint starting segment *index*."""
+    return _digest({"kind": "checkpoint", "format": FORMAT_VERSION,
+                    "workload": workload, "scale": scale,
+                    "segment_insns": segment_insns, "index": index})
+
+
+def segment_stats_key(workload: str, scale: int, segment_insns: int,
+                      index: int, config: MachineConfig) -> str:
+    """Stable content key for one segment's partial stats."""
+    return _digest({"kind": "segment-stats", "format": FORMAT_VERSION,
+                    "workload": workload, "scale": scale,
+                    "segment_insns": segment_insns, "index": index,
+                    "config": config.config_dict()})
+
+
+def manifest_key(workload: str, scale: int, segment_insns: int) -> str:
+    """Stable content key for a completed segmentation's manifest."""
+    return _digest({"kind": "segment-manifest", "format": FORMAT_VERSION,
+                    "workload": workload, "scale": scale,
+                    "segment_insns": segment_insns})
+
+
 class ArtifactStore:
     """Persists oracle traces and pipeline stats across runs.
 
     Layout::
 
-        <root>/traces/<sha256>.pkl   pickled list[TraceEntry]
-        <root>/stats/<sha256>.json   canonical PipelineStats JSON
+        <root>/traces/<sha256>.pkl       pickled list[TraceEntry]
+        <root>/stats/<sha256>.json       canonical PipelineStats JSON
+        <root>/segments/<sha256>.pkl     pickled segment list[TraceEntry]
+        <root>/checkpoints/<sha256>.pkl  pickled emulator Checkpoint
+        <root>/manifests/<sha256>.json   segmentation manifest JSON
 
     The store keeps hit/miss counters so callers (the sweep engine,
     the CLI) can report how much work persistence saved.
@@ -73,12 +128,23 @@ class ArtifactStore:
         self.root = Path(root)
         self._traces = self.root / "traces"
         self._stats = self.root / "stats"
-        self._traces.mkdir(parents=True, exist_ok=True)
-        self._stats.mkdir(parents=True, exist_ok=True)
+        self._segments = self.root / "segments"
+        self._checkpoints = self.root / "checkpoints"
+        self._manifests = self.root / "manifests"
+        for directory in self._directories():
+            directory.mkdir(parents=True, exist_ok=True)
         self.trace_hits = 0
         self.trace_misses = 0
         self.stats_hits = 0
         self.stats_misses = 0
+        self.segment_trace_hits = 0
+        self.segment_trace_misses = 0
+        self.segment_stats_hits = 0
+        self.segment_stats_misses = 0
+
+    def _directories(self) -> tuple[Path, ...]:
+        return (self._traces, self._stats, self._segments,
+                self._checkpoints, self._manifests)
 
     # ------------------------------------------------------------------
     # traces
@@ -88,11 +154,10 @@ class ArtifactStore:
                    scale: int) -> list[TraceEntry] | None:
         """The stored oracle trace, or ``None`` on a miss."""
         path = self._traces / f"{trace_key(workload, scale)}.pkl"
-        if not path.exists():
+        trace = self._load_pickle(path)
+        if trace is None:
             self.trace_misses += 1
             return None
-        with path.open("rb") as fh:
-            trace = pickle.load(fh)
         self.trace_hits += 1
         return trace
 
@@ -112,18 +177,122 @@ class ArtifactStore:
                    config: MachineConfig) -> PipelineStats | None:
         """The stored simulation stats, or ``None`` on a miss."""
         path = self._stats / f"{stats_key(workload, scale, config)}.json"
-        if not path.exists():
+        text = self._load_text(path)
+        if text is None:
             self.stats_misses += 1
             return None
-        stats = PipelineStats.from_json(path.read_text())
         self.stats_hits += 1
-        return stats
+        return PipelineStats.from_json(text)
 
     def save_stats(self, workload: str, scale: int, config: MachineConfig,
                    stats: PipelineStats) -> Path:
         """Persist simulation stats; returns the artifact path."""
         path = self._stats / f"{stats_key(workload, scale, config)}.json"
         self._atomic_write(path, stats.to_json().encode())
+        return path
+
+    # ------------------------------------------------------------------
+    # segment traces
+    # ------------------------------------------------------------------
+
+    def _segment_trace_path(self, workload: str, scale: int,
+                            segment_insns: int, index: int) -> Path:
+        key = segment_trace_key(workload, scale, segment_insns, index)
+        return self._segments / f"{key}.pkl"
+
+    def has_segment_trace(self, workload: str, scale: int,
+                          segment_insns: int, index: int) -> bool:
+        """Whether segment *index*'s trace is on disk (no counters)."""
+        return self._segment_trace_path(workload, scale, segment_insns,
+                                        index).exists()
+
+    def load_segment_trace(self, workload: str, scale: int,
+                           segment_insns: int,
+                           index: int) -> list[TraceEntry] | None:
+        """One stored trace segment, or ``None`` on a miss."""
+        path = self._segment_trace_path(workload, scale, segment_insns,
+                                        index)
+        trace = self._load_pickle(path)
+        if trace is None:
+            self.segment_trace_misses += 1
+            return None
+        self.segment_trace_hits += 1
+        return trace
+
+    def save_segment_trace(self, workload: str, scale: int,
+                           segment_insns: int, index: int,
+                           trace: list[TraceEntry]) -> Path:
+        """Persist one trace segment; returns the artifact path."""
+        path = self._segment_trace_path(workload, scale, segment_insns,
+                                        index)
+        payload = pickle.dumps(trace, protocol=PICKLE_PROTOCOL)
+        self._atomic_write(path, payload)
+        return path
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def load_checkpoint(self, workload: str, scale: int, segment_insns: int,
+                        index: int) -> Checkpoint | None:
+        """The emulator state at the start of segment *index*, if stored."""
+        key = checkpoint_key(workload, scale, segment_insns, index)
+        return self._load_pickle(self._checkpoints / f"{key}.pkl")
+
+    def save_checkpoint(self, workload: str, scale: int, segment_insns: int,
+                        index: int, state: Checkpoint) -> Path:
+        """Persist an emulator checkpoint; returns the artifact path."""
+        key = checkpoint_key(workload, scale, segment_insns, index)
+        path = self._checkpoints / f"{key}.pkl"
+        self._atomic_write(path, pickle.dumps(state,
+                                              protocol=PICKLE_PROTOCOL))
+        return path
+
+    # ------------------------------------------------------------------
+    # segment stats
+    # ------------------------------------------------------------------
+
+    def load_segment_stats(self, workload: str, scale: int,
+                           segment_insns: int, index: int,
+                           config: MachineConfig) -> PipelineStats | None:
+        """One segment's stored partial stats, or ``None`` on a miss."""
+        key = segment_stats_key(workload, scale, segment_insns, index,
+                                config)
+        text = self._load_text(self._stats / f"{key}.json")
+        if text is None:
+            self.segment_stats_misses += 1
+            return None
+        self.segment_stats_hits += 1
+        return PipelineStats.from_json(text)
+
+    def save_segment_stats(self, workload: str, scale: int,
+                           segment_insns: int, index: int,
+                           config: MachineConfig,
+                           stats: PipelineStats) -> Path:
+        """Persist one segment's partial stats; returns the path."""
+        key = segment_stats_key(workload, scale, segment_insns, index,
+                                config)
+        path = self._stats / f"{key}.json"
+        self._atomic_write(path, stats.to_json().encode())
+        return path
+
+    # ------------------------------------------------------------------
+    # segmentation manifests
+    # ------------------------------------------------------------------
+
+    def load_manifest(self, workload: str, scale: int,
+                      segment_insns: int) -> dict | None:
+        """A completed segmentation's manifest, or ``None``."""
+        key = manifest_key(workload, scale, segment_insns)
+        text = self._load_text(self._manifests / f"{key}.json")
+        return None if text is None else json.loads(text)
+
+    def save_manifest(self, workload: str, scale: int, segment_insns: int,
+                      manifest: dict) -> Path:
+        """Persist a segmentation manifest; returns the artifact path."""
+        key = manifest_key(workload, scale, segment_insns)
+        path = self._manifests / f"{key}.json"
+        self._atomic_write(path, canonical_json(manifest).encode())
         return path
 
     # ------------------------------------------------------------------
@@ -137,6 +306,10 @@ class ArtifactStore:
             "trace_misses": self.trace_misses,
             "stats_hits": self.stats_hits,
             "stats_misses": self.stats_misses,
+            "segment_trace_hits": self.segment_trace_hits,
+            "segment_trace_misses": self.segment_trace_misses,
+            "segment_stats_hits": self.segment_stats_hits,
+            "segment_stats_misses": self.segment_stats_misses,
         }
 
     def artifact_count(self) -> dict[str, int]:
@@ -144,13 +317,95 @@ class ArtifactStore:
         return {
             "traces": sum(1 for _ in self._traces.glob("*.pkl")),
             "stats": sum(1 for _ in self._stats.glob("*.json")),
+            "segments": sum(1 for _ in self._segments.glob("*.pkl")),
+            "checkpoints": sum(1 for _ in self._checkpoints.glob("*.pkl")),
+            "manifests": sum(1 for _ in self._manifests.glob("*.json")),
         }
+
+    def _artifact_paths(self) -> list[Path]:
+        return [path
+                for directory in self._directories()
+                for pattern in ("*.pkl", "*.json")
+                for path in directory.glob(pattern)]
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of every stored artifact."""
+        total = 0
+        for path in self._artifact_paths():
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:
+                continue  # concurrently evicted
+        return total
+
+    def gc(self, max_bytes: int) -> dict[str, int]:
+        """Evict least-recently-used artifacts until <= *max_bytes*.
+
+        "Use" is the artifact's mtime: loads touch it, so recently
+        read artifacts survive.  Returns eviction counters::
+
+            {"scanned": ..., "evicted": ..., "freed_bytes": ...,
+             "remaining_bytes": ...}
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        total = 0
+        for path in self._artifact_paths():
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda item: item[0])
+        report = {"scanned": len(entries), "evicted": 0, "freed_bytes": 0,
+                  "remaining_bytes": total}
+        for _, size, path in entries:
+            if report["remaining_bytes"] <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            report["evicted"] += 1
+            report["freed_bytes"] += size
+            report["remaining_bytes"] -= size
+        return report
 
     def clear(self) -> None:
         """Delete every stored artifact (keeps the directories)."""
-        for path in (*self._traces.glob("*.pkl"),
-                     *self._stats.glob("*.json")):
+        for path in self._artifact_paths():
             path.unlink()
+
+    # ------------------------------------------------------------------
+    # I/O helpers
+    # ------------------------------------------------------------------
+
+    def _load_pickle(self, path: Path):
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        self._touch(path)
+        return payload
+
+    def _load_text(self, path: Path) -> str | None:
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        self._touch(path)
+        return text
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Record a use for LRU eviction; losing the race is harmless."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
 
     def _atomic_write(self, path: Path, payload: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent,

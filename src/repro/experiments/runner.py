@@ -35,9 +35,13 @@ from ..uarch.stats import PipelineStats
 from ..workloads import ALL_WORKLOADS, build_trace, get_workload
 
 _trace_cache: dict[tuple[str, int], list[TraceEntry]] = {}
-_stats_cache: dict[tuple[str, int, str], PipelineStats] = {}
+#: keyed (workload, scale, config cache_key, segment_insns or 0) — the
+#: last element keeps monolithic and segmented results distinct (their
+#: cycle counts legitimately differ).
+_stats_cache: dict[tuple[str, int, str, int], PipelineStats] = {}
 _store: ArtifactStore | None = None
 _default_jobs: int = 1
+_segment_insns: int | None = None
 _scratch_store: ArtifactStore | None = None
 
 
@@ -59,18 +63,27 @@ def _prewarm_store_dir() -> str:
 
 
 def configure(store_dir: str | None = None,
-              jobs: int | None = None) -> None:
+              jobs: int | None = None,
+              segment_insns: int | None = None) -> None:
     """Set the process-wide artifact store and default parallelism.
 
     ``store_dir=None`` leaves the store untouched; ``jobs=None``
-    leaves the default job count untouched.  The CLI calls this once
-    from its global ``--store`` / ``--jobs`` options.
+    leaves the default job count untouched; ``segment_insns`` turns on
+    segmented simulation (every workload's trace is split into
+    fixed-instruction-count segments — see
+    :mod:`repro.engine.segments`).  The CLI calls this once from its
+    global ``--store`` / ``--jobs`` / ``--segment-insns`` options.
     """
-    global _store, _default_jobs
+    global _store, _default_jobs, _segment_insns
     if store_dir is not None:
         _store = ArtifactStore(store_dir)
     if jobs is not None:
         _default_jobs = resolve_jobs(jobs)
+    if segment_insns is not None:
+        if segment_insns <= 0:
+            raise ValueError(
+                f"segment_insns must be > 0, got {segment_insns}")
+        _segment_insns = segment_insns
 
 
 def active_store() -> ArtifactStore | None:
@@ -83,20 +96,26 @@ def default_jobs() -> int:
     return _default_jobs
 
 
+def default_segment_insns() -> int | None:
+    """The configured segment size (None = monolithic simulation)."""
+    return _segment_insns
+
+
 def clear_caches(*, detach_store: bool = False) -> None:
     """Drop all memoized traces and simulation results.
 
     ``detach_store=True`` additionally forgets the configured store,
-    the scratch store, and the default job count (the scratch
-    directory itself is removed at process exit).
+    the scratch store, the default job count, and the segment size
+    (the scratch directory itself is removed at process exit).
     """
-    global _store, _scratch_store, _default_jobs
+    global _store, _scratch_store, _default_jobs, _segment_insns
     _trace_cache.clear()
     _stats_cache.clear()
     if detach_store:
         _store = None
         _scratch_store = None
         _default_jobs = 1
+        _segment_insns = None
 
 
 def get_trace(name: str, scale: int = 1) -> list[TraceEntry]:
@@ -117,15 +136,30 @@ def get_trace(name: str, scale: int = 1) -> list[TraceEntry]:
 
 def run_workload(name: str, config: MachineConfig,
                  scale: int = 1) -> PipelineStats:
-    """Simulate one workload on one machine configuration (cached)."""
-    key = (name, scale, config.cache_key())
+    """Simulate one workload on one machine configuration (cached).
+
+    With a configured ``segment_insns`` the simulation runs segmented
+    (per-segment artifacts land in the store, merged stats are
+    returned); otherwise monolithically.
+    """
+    key = (name, scale, config.cache_key(), _segment_insns or 0)
     stats = _stats_cache.get(key)
-    if stats is None and _store is not None:
-        stats = _store.load_stats(name, scale, config)
-    if stats is None:
-        stats = simulate_trace(get_trace(name, scale), config)
+    if stats is not None:
+        return stats
+    if _segment_insns:
+        from ..engine.segments import simulate_workload_segmented
+        if _store is None:
+            _prewarm_store_dir()  # materializes the scratch store
+        store = _store if _store is not None else _scratch_store
+        stats = simulate_workload_segmented(name, config, scale,
+                                            _segment_insns, store=store)
+    else:
         if _store is not None:
-            _store.save_stats(name, scale, config, stats)
+            stats = _store.load_stats(name, scale, config)
+        if stats is None:
+            stats = simulate_trace(get_trace(name, scale), config)
+            if _store is not None:
+                _store.save_stats(name, scale, config, stats)
     _stats_cache[key] = stats
     return stats
 
@@ -144,6 +178,7 @@ def prewarm(names: list[str], configs: list[MachineConfig],
     jobs = _default_jobs if jobs is None else resolve_jobs(jobs)
     if jobs <= 1:
         return None
+    segment = _segment_insns or 0
     unique_configs: dict[str, MachineConfig] = {}
     for config in configs:
         unique_configs.setdefault(config.cache_key(), config)
@@ -151,15 +186,16 @@ def prewarm(names: list[str], configs: list[MachineConfig],
         SweepPoint(workload=name, scale=scale, variant=key, config=config)
         for name in dict.fromkeys(names)
         for key, config in unique_configs.items()
-        if (name, scale, key) not in _stats_cache
+        if (name, scale, key, segment) not in _stats_cache
     ]
     if not points:
         return None
-    result = run_sweep(points, jobs=jobs, store_dir=_prewarm_store_dir())
+    result = run_sweep(points, jobs=jobs, store_dir=_prewarm_store_dir(),
+                       segment_insns=_segment_insns)
     for point_result in result.results:
         point = point_result.point
-        _stats_cache[(point.workload, point.scale, point.variant)] = \
-            point_result.stats
+        _stats_cache[(point.workload, point.scale, point.variant,
+                      segment)] = point_result.stats
     return result.counters
 
 
@@ -191,9 +227,18 @@ def speedup(name: str, baseline: MachineConfig, variant: MachineConfig,
 
 
 def geomean(values: list[float]) -> float:
-    """Geometric mean (the conventional speedup aggregate)."""
+    """Geometric mean (the conventional speedup aggregate).
+
+    Raises a descriptive :class:`ValueError` for the two inputs the
+    formula cannot handle (instead of a bare ``ZeroDivisionError`` /
+    "math domain error"): an empty list and non-positive values.
+    """
     if not values:
-        raise ValueError("geomean of no values")
+        raise ValueError("geomean() requires at least one value")
+    bad = [v for v in values if v <= 0]
+    if bad:
+        raise ValueError(f"geomean() requires strictly positive values; "
+                         f"got {bad}")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

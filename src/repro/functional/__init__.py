@@ -7,13 +7,13 @@ and the continuous optimizer both consume these traces.
 """
 
 from . import alu
-from .emulator import (EmulationError, EmulationLimit, EmulationResult,
-                       Emulator, TraceEntry, run_program)
+from .emulator import (Checkpoint, EmulationError, EmulationLimit,
+                       EmulationResult, Emulator, TraceEntry, run_program)
 from .memory import Memory
 
 __all__ = [
     "alu",
-    "EmulationError", "EmulationLimit", "EmulationResult", "Emulator",
-    "TraceEntry", "run_program",
+    "Checkpoint", "EmulationError", "EmulationLimit", "EmulationResult",
+    "Emulator", "TraceEntry", "run_program",
     "Memory",
 ]

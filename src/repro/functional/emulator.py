@@ -1,8 +1,7 @@
 """Architectural (functional) emulator and dynamic trace format.
 
-The emulator executes a :class:`~repro.isa.program.Program` to
-completion and records a :class:`TraceEntry` per retired instruction.
-The trace is both
+The emulator executes a :class:`~repro.isa.program.Program` and records
+a :class:`TraceEntry` per retired instruction.  The trace is both
 
 * the **oracle**: true values, effective addresses, and branch outcomes
   used to verify every optimization the continuous optimizer performs
@@ -12,11 +11,24 @@ The trace is both
 
 This mirrors the paper's SimpleScalar-based methodology, where a
 functional core drives a detailed custom timing model.
+
+The trace can be produced two ways:
+
+* :meth:`Emulator.run` materializes the whole stream as an
+  :class:`EmulationResult` (the original API), or
+* :meth:`Emulator.iter_trace` yields entries **lazily** from the
+  current architectural state, and :meth:`Emulator.checkpoint` /
+  :meth:`Emulator.restore` snapshot that state (registers, memory,
+  PC, retired-instruction count) so emulation of trace segment *k*
+  can start from segment *k-1*'s boundary without replaying the
+  prefix.  This is what the segmented sweep engine
+  (:mod:`repro.engine.segments`) builds on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..isa.instructions import Imm, Instruction, Reg
 from ..isa.opcodes import OpClass, Opcode
@@ -72,6 +84,25 @@ class TraceEntry:
         return self.src_values[0]
 
 
+@dataclass(frozen=True)
+class Checkpoint:
+    """A resumable snapshot of architectural state.
+
+    Captures everything :meth:`Emulator.restore` needs to continue
+    execution exactly where :meth:`Emulator.checkpoint` left off:
+    registers, the sparse memory image, the PC, and the dynamic
+    instruction count (so trace ``seq`` numbers keep running across
+    segment boundaries).
+    """
+
+    pc: int
+    instret: int
+    halted: bool
+    int_regs: tuple[int, ...]
+    fp_regs: tuple[float, ...]
+    memory_image: dict[int, int]
+
+
 @dataclass
 class EmulationResult:
     """Everything the emulator produced for one program run."""
@@ -98,29 +129,77 @@ class Emulator:
         self._int_regs[STACK_POINTER_REG] = STACK_BASE
         self._memory = Memory(program.data)
         self._pc = program.entry
+        self._instret = 0
+        self._halted = False
 
     @property
     def memory(self) -> Memory:
         return self._memory
 
+    @property
+    def halted(self) -> bool:
+        """Whether execution has reached ``halt``."""
+        return self._halted
+
+    @property
+    def instruction_count(self) -> int:
+        """Dynamic instructions retired so far (the next entry's seq)."""
+        return self._instret
+
     def run(self) -> EmulationResult:
         """Run until ``halt`` (or the instruction budget is exhausted)."""
-        trace: list[TraceEntry] = []
-        halted = False
-        while True:
-            if len(trace) >= self._max_instructions:
-                raise EmulationLimit(
-                    f"exceeded {self._max_instructions} dynamic instructions"
-                    f" at pc={self._pc:#x}")
-            entry = self.step(len(trace))
-            if entry is None:
-                halted = True
-                break
-            trace.append(entry)
-        return EmulationResult(trace=trace, halted=halted,
+        trace = list(self.iter_trace())
+        return EmulationResult(trace=trace, halted=self._halted,
                                int_regs=list(self._int_regs),
                                fp_regs=list(self._fp_regs),
                                memory=self._memory)
+
+    def iter_trace(self) -> Iterator[TraceEntry]:
+        """Lazily yield trace entries from the current state.
+
+        The generator advances architectural state one instruction per
+        item pulled, so a consumer that stops after *n* items leaves
+        the emulator exactly *n* instructions further along — at which
+        point :meth:`checkpoint` captures a clean segment boundary.
+        Resuming iteration (from the same generator or a fresh one)
+        continues the stream with monotonically increasing ``seq``.
+        """
+        while not self._halted:
+            if self._instret >= self._max_instructions:
+                raise EmulationLimit(
+                    f"exceeded {self._max_instructions} dynamic instructions"
+                    f" at pc={self._pc:#x}")
+            entry = self.step(self._instret)
+            if entry is None:
+                self._halted = True
+                return
+            self._instret += 1
+            yield entry
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore of architectural state
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the architectural state for a later :meth:`restore`."""
+        return Checkpoint(pc=self._pc, instret=self._instret,
+                          halted=self._halted,
+                          int_regs=tuple(self._int_regs),
+                          fp_regs=tuple(self._fp_regs),
+                          memory_image=self._memory.snapshot())
+
+    def restore(self, state: Checkpoint) -> None:
+        """Rewind/forward the emulator to a :meth:`checkpoint` state.
+
+        The checkpoint must come from an emulator running the same
+        program; nothing about the static code image is snapshotted.
+        """
+        self._pc = state.pc
+        self._instret = state.instret
+        self._halted = state.halted
+        self._int_regs = list(state.int_regs)
+        self._fp_regs = list(state.fp_regs)
+        self._memory = Memory(state.memory_image)
 
     # ------------------------------------------------------------------
     # single-step execution

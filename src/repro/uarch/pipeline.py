@@ -22,12 +22,24 @@ documented in DESIGN.md):
 * **Stores** complete at address generation + 1 (write-buffer
   semantics); their cache-line touch happens at issue so later loads
   see warm lines.
+
+The pipeline consumes **any iterable** of trace entries — a fully
+materialized list or the emulator's lazy :meth:`iter_trace` stream —
+pulling entries only as fetch bandwidth allows, so a trace never has
+to exist in memory all at once.  When the stream ends the machine
+performs a deterministic drain: fetch stops, every in-flight
+instruction retires, and the final cycle count includes the drain.
+Per-segment runs of a split trace therefore produce exact instruction
+and event counters (each entry is fetched/issued/retired exactly once
+across segments) while cycle counts carry one pipeline-fill + drain
+overhead per segment (see ``PipelineStats.merge``).
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
+from typing import Iterable
 
 from ..functional.emulator import TraceEntry
 from ..isa.opcodes import OpClass, Opcode
@@ -37,7 +49,7 @@ from .config import MachineConfig
 from .dyninstr import DynInstr
 from .regfile import OutOfRegisters, PhysRegFile
 from .rename import BaselineRenamer, Renamer
-from .scheduler import SCHED_MEM, SchedulerBank, scheduler_for
+from .scheduler import SchedulerBank
 from .stats import PipelineStats
 
 _BLOCK_SHIFT = 3  # 8-byte blocks for memory-dependence tracking
@@ -53,10 +65,13 @@ class SimulationDeadlock(Exception):
 class Pipeline:
     """One simulated machine executing one dynamic trace."""
 
-    def __init__(self, trace: list[TraceEntry], config: MachineConfig,
+    def __init__(self, trace: Iterable[TraceEntry], config: MachineConfig,
                  renamer: Renamer | None = None,
                  prf: PhysRegFile | None = None):
-        self.trace = trace
+        self._trace_iter = iter(trace)
+        # One-entry lookahead: fetch peeks at the next entry's PC for
+        # block-boundary decisions before committing to consume it.
+        self._pending: TraceEntry | None = next(self._trace_iter, None)
         self.config = config
         self.prf = prf if prf is not None else PhysRegFile(config.num_pregs)
         if renamer is None:
@@ -74,7 +89,6 @@ class Pipeline:
         self.stats = PipelineStats()
         self.now = 0
         # front end
-        self._cursor = 0
         self._frontend: deque[tuple[int, DynInstr]] = deque()
         self._frontend_cap = config.frontend_depth * config.fetch_width
         self._fetch_blocked_by: DynInstr | None = None
@@ -96,9 +110,9 @@ class Pipeline:
     # ==================================================================
 
     def run(self) -> PipelineStats:
-        """Simulate the whole trace; returns the filled-in stats."""
-        total = len(self.trace)
-        while self.stats.retired < total:
+        """Simulate until the trace is exhausted **and** fully drained."""
+        stats = self.stats
+        while self._pending is not None or stats.retired < stats.fetched:
             self.now += 1
             self._writeback()
             self._issue()
@@ -109,7 +123,8 @@ class Pipeline:
             if self.now - self._last_retire_cycle > 500_000:
                 raise SimulationDeadlock(
                     f"no retirement since cycle {self._last_retire_cycle} "
-                    f"(now {self.now}, retired {self.stats.retired}/{total}, "
+                    f"(now {self.now}, retired "
+                    f"{stats.retired}/{stats.fetched} fetched, "
                     f"rob {len(self._rob)}, "
                     f"head {self._rob[0] if self._rob else None})")
         self.stats.cycles = self.now
@@ -354,12 +369,11 @@ class Pipeline:
             stats.fetch_icache_stall_cycles += 1
             return
         fetched = 0
-        trace = self.trace
         block_mask = ~(config.fetch_width * 4 - 1)
         block_start = -1
-        while (fetched < config.fetch_width and self._cursor < len(trace)
+        while (fetched < config.fetch_width and self._pending is not None
                and len(self._frontend) < self._frontend_cap):
-            entry = trace[self._cursor]
+            entry = self._pending
             if block_start < 0:
                 block_start = entry.pc & block_mask
             elif entry.pc & block_mask != block_start:
@@ -374,7 +388,7 @@ class Pipeline:
                     # I-cache miss: this group ends; resume after fill.
                     self._fetch_resume_cycle = self.now + latency
                     break
-            self._cursor += 1
+            self._pending = next(self._trace_iter, None)
             di = DynInstr(entry, fetch_cycle=self.now)
             self._frontend.append((self.now + config.frontend_depth, di))
             stats.fetched += 1
@@ -425,12 +439,14 @@ class Pipeline:
             self._last_retire_cycle = self.now
 
 
-def simulate_trace(trace: list[TraceEntry],
+def simulate_trace(trace: Iterable[TraceEntry],
                    config: MachineConfig) -> PipelineStats:
     """Simulate *trace* on *config*'s machine and return its stats.
 
-    Builds the optimizing renamer when ``config.optimizer.enabled``,
-    otherwise the baseline renamer.
+    *trace* may be a materialized list or any lazy iterable (e.g. the
+    emulator's ``iter_trace()`` stream).  Builds the optimizing
+    renamer when ``config.optimizer.enabled``, otherwise the baseline
+    renamer.
     """
     prf = PhysRegFile(config.num_pregs)
     if config.optimizer.enabled:

@@ -13,8 +13,13 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, fields
+from typing import Iterable
 
 from .config import canonical_json
+
+#: Counters combined with ``max`` (not ``+``) by :meth:`PipelineStats.merge`:
+#: peak values, not event counts.
+_MERGE_MAX_FIELDS = frozenset({"preg_high_water"})
 
 
 @dataclass
@@ -112,6 +117,44 @@ class PipelineStats:
         return self.loads_removed / self.loads
 
     # ------------------------------------------------------------------
+    # merging (segmented simulation combines per-segment partials)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        """Combine two partial stats blocks into one (associative).
+
+        Event counters add; peak counters (``preg_high_water``) take
+        the max; ``extra`` entries add per key.  Merging the stats of
+        consecutive trace segments yields the whole run's instruction
+        and event counters exactly; the summed ``cycles`` includes one
+        pipeline fill + drain per segment, so derived rates (IPC,
+        miss rates) are approximations of the monolithic run.
+        """
+        merged = PipelineStats()
+        for spec in fields(self):
+            if spec.name == "extra":
+                continue
+            a = getattr(self, spec.name)
+            b = getattr(other, spec.name)
+            setattr(merged, spec.name,
+                    max(a, b) if spec.name in _MERGE_MAX_FIELDS else a + b)
+        extra = dict(self.extra)
+        for key, value in other.extra.items():
+            extra[key] = extra.get(key, 0) + value
+        merged.extra = extra
+        return merged
+
+    @classmethod
+    def merge_all(cls, parts: Iterable["PipelineStats"]) -> "PipelineStats":
+        """Fold any number of partial stats blocks into one."""
+        merged: PipelineStats | None = None
+        for part in parts:
+            merged = part if merged is None else merged.merge(part)
+        if merged is None:
+            raise ValueError("merge_all of no stats")
+        return merged
+
+    # ------------------------------------------------------------------
     # serialization (the engine's artifact store persists stats as JSON)
     # ------------------------------------------------------------------
 
@@ -125,13 +168,15 @@ class PipelineStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineStats":
-        """Rebuild a stats block from :meth:`to_dict` output."""
+        """Rebuild a stats block from :meth:`to_dict` output.
+
+        Forward/backward compatible: unknown keys are ignored and
+        missing ones take their defaults, so artifacts written by an
+        older or newer stats schema still load (the store's
+        ``FORMAT_VERSION`` guards genuinely incompatible changes).
+        """
         known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown PipelineStats fields: "
-                             f"{sorted(unknown)}")
-        return cls(**data)
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     @classmethod
     def from_json(cls, text: str) -> "PipelineStats":

@@ -1,6 +1,6 @@
 """Unit tests for the gshare/BTB/RAS front-end predictor."""
 
-from repro.isa import Opcode, Reg, assemble
+from repro.isa import Opcode, Reg
 from repro.isa.instructions import Instruction
 from repro.uarch import (BranchTargetBuffer, FrontEndPredictor,
                          GsharePredictor, ReturnAddressStack)

@@ -7,8 +7,6 @@ throughout: if the optimizer ever produced a wrong value, address, or
 branch direction, the run itself would raise ``VerificationError``.
 """
 
-import pytest
-
 from repro.functional import run_program
 from repro.isa import assemble
 from repro.uarch import default_config, optimized_config, simulate_trace

@@ -16,7 +16,6 @@ test is a direct machine-checked proof obligation for the paper's
 claim, across thousands of random dataflow shapes.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.functional import run_program

@@ -1,7 +1,5 @@
 """Integration tests for the cycle-level pipeline (baseline machine)."""
 
-import pytest
-
 from repro.functional import run_program
 from repro.isa import assemble
 from repro.uarch import default_config, simulate_trace

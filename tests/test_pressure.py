@@ -5,8 +5,6 @@ must never deadlock rename: under pressure it sheds hint state (MBC
 entries, then symbolic RAT entries), which is always safe.
 """
 
-import pytest
-
 from repro.functional import run_program
 from repro.isa import assemble
 from repro.uarch import PhysRegFile, optimized_config, simulate_trace
@@ -79,7 +77,6 @@ class TestPressureRelief:
 
 class TestAblationConfig:
     def test_rle_sf_can_be_disabled(self):
-        from repro.experiments.runner import clear_caches
         source = """.data
 v:      .quad 7
 .text

@@ -7,7 +7,6 @@ exhibit the instruction-mix character its benchmark stands in for.
 import pytest
 
 from repro.functional import run_program
-from repro.isa import assemble
 from repro.isa.opcodes import OpClass
 from repro.workloads import (ALL_WORKLOADS, SUITES, build_program,
                              build_trace, get_workload, suite_workloads)
