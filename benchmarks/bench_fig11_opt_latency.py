@@ -9,9 +9,12 @@ from conftest import publish
 from repro.experiments import latency
 
 
-def test_fig11_optimizer_latency(benchmark):
+def test_fig11_optimizer_latency(benchmark, smoke):
+    per_suite = 1 if smoke else 2
     rows = benchmark.pedantic(latency.run, rounds=1, iterations=1,
-                              kwargs={"workloads_per_suite": 2})
-    for row in rows:
-        assert row.bars[0] >= row.bars[4] - 0.05  # graceful degradation
-    publish("fig11_opt_latency", latency.format(rows))
+                              kwargs={"workloads_per_suite": per_suite})
+    if not smoke:
+        for row in rows:
+            # graceful degradation with extra rename stages
+            assert row.bars[0] >= row.bars[4] - 0.05
+    publish("fig11_opt_latency", latency.format(rows), smoke)

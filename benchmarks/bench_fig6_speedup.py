@@ -10,14 +10,18 @@ from conftest import publish
 from repro.experiments import speedup
 
 
-def test_fig6_speedup_over_baseline(benchmark):
-    rows = benchmark.pedantic(speedup.run, rounds=1, iterations=1)
-    assert len(rows) == 22
+def test_fig6_speedup_over_baseline(benchmark, smoke):
+    kwargs = {"workloads_per_suite": 1} if smoke else {}
+    rows = benchmark.pedantic(speedup.run, rounds=1, iterations=1,
+                              kwargs=kwargs)
+    assert len(rows) == (3 if smoke else 22)
     values = [row.speedup for row in rows]
-    # Shape: nearly all benchmarks at or above break-even, a clear win
-    # at the top, nothing catastrophically slower.
-    assert min(values) > 0.90
-    assert max(values) > 1.08
-    averages = speedup.suite_averages(rows)
-    assert all(avg > 0.97 for avg in averages.values())
-    publish("fig6_speedup", speedup.format(rows))
+    assert all(v > 0 for v in values)
+    if not smoke:
+        # Shape: nearly all benchmarks at or above break-even, a clear
+        # win at the top, nothing catastrophically slower.
+        assert min(values) > 0.90
+        assert max(values) > 1.08
+        averages = speedup.suite_averages(rows)
+        assert all(avg > 0.97 for avg in averages.values())
+    publish("fig6_speedup", speedup.format(rows), smoke)

@@ -1,0 +1,76 @@
+"""Design-space search efficiency: halving vs exhaustive grid.
+
+Successive halving's promise is ranking candidates on cheap truncated
+runs so full simulations are spent only on finalists.  This benchmark
+searches an ``optimizer.enabled x vf_delay x add_depth`` space on mcf
+with both strategies (separate stores — no shared artifacts) and
+reports how many full-budget evaluations each needed to land on the
+same winner, plus the near-free cost of resuming a finished search
+from its store manifest.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from conftest import publish
+
+from repro.engine.search import SearchSpace, run_search
+
+DIMS = ["optimizer.enabled=false,true", "optimizer.vf_delay=0,5,10",
+        "optimizer.add_depth=0..1"]
+SMOKE_DIMS = ["optimizer.enabled=false,true", "optimizer.vf_delay=0,10"]
+WORKLOADS = ("mcf",)
+
+
+def _timed_search(space, strategy, store, **kwargs):
+    started = time.perf_counter()
+    result = run_search(space, workloads=WORKLOADS, strategy=strategy,
+                        store_dir=store, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def test_search_halving_vs_grid(benchmark, smoke):
+    space = SearchSpace.from_specs(SMOKE_DIMS if smoke else DIMS)
+    with tempfile.TemporaryDirectory() as grid_store, \
+            tempfile.TemporaryDirectory() as halving_store:
+        grid, grid_s = _timed_search(space, "grid", grid_store)
+        halving, halving_s = benchmark.pedantic(
+            lambda: _timed_search(space, "halving", halving_store,
+                                  budget=space.size, seed=0),
+            rounds=1, iterations=1)
+        resumed, resumed_s = _timed_search(space, "halving",
+                                           halving_store,
+                                           budget=space.size, seed=0)
+
+    # both strategies pick the optimizer-enabled region as the winner
+    assert dict(grid.best.candidate.assignment)[
+        "optimizer.enabled"] is True
+    assert dict(halving.best.candidate.assignment)[
+        "optimizer.enabled"] is True
+    # the resumed search replays its ledger: zero new work
+    assert resumed.counters["evaluations"] == 0
+    assert resumed.counters["simulations"] == 0
+    assert resumed.counters["evaluations_reused"] == \
+        halving.counters["evaluations"]
+
+    grid_full = sum(1 for e in grid.evaluations if e.full)
+    halving_full = sum(1 for e in halving.evaluations if e.full)
+    assert halving_full <= grid_full
+
+    lines = [
+        f"search space: {space.size} candidates on "
+        f"{', '.join(WORKLOADS)}",
+        f"grid     : {grid_s:8.2f} s   {grid_full} full evaluations, "
+        f"{grid.counters['simulations']} simulations",
+        f"halving  : {halving_s:8.2f} s   {halving_full} full + "
+        f"{len(halving.evaluations) - halving_full} truncated "
+        f"evaluations, {halving.counters['simulations']} simulations",
+        f"resumed  : {resumed_s:8.2f} s   "
+        f"{resumed.counters['evaluations_reused']} ledger replays, "
+        f"0 simulations",
+        f"winner   : {halving.best.candidate.label} "
+        f"(geomean-ipc {halving.best.score:.4f})",
+    ]
+    publish("search_strategies", "\n".join(lines), smoke)

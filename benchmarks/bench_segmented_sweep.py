@@ -26,14 +26,17 @@ from repro.uarch.config import default_config
 WORKLOAD = "mcf"
 SCALE = 8
 SEGMENT_INSNS = 20_000
+#: --smoke budget: a short trace split into a handful of segments.
+SMOKE_SCALE = 2
+SMOKE_SEGMENT_INSNS = 5_000
 
 EXACT_FIELDS = ("retired", "fetched", "loads", "mem_ops",
                 "cond_branches", "indirect_jumps")
 
 
-def _campaign() -> Campaign:
+def _campaign(scale) -> Campaign:
     return Campaign.from_axes(
-        name="bench-segmented", workloads=[WORKLOAD], scales=[SCALE],
+        name="bench-segmented", workloads=[WORKLOAD], scales=[scale],
         base=default_config().with_optimizer(),
         axes=[parse_axis("optimizer.vf_delay=0,1")],
         include_baseline=True)
@@ -45,8 +48,10 @@ def _timed(fn):
     return result, time.perf_counter() - started
 
 
-def test_segmented_sweep_speedup(benchmark):
-    points = _campaign().points()
+def test_segmented_sweep_speedup(benchmark, smoke):
+    scale = SMOKE_SCALE if smoke else SCALE
+    segment_insns = SMOKE_SEGMENT_INSNS if smoke else SEGMENT_INSNS
+    points = _campaign(scale).points()
     ncpu = os.cpu_count() or 1
     with tempfile.TemporaryDirectory() as flat_store, \
             tempfile.TemporaryDirectory() as serial_store, \
@@ -55,16 +60,16 @@ def test_segmented_sweep_speedup(benchmark):
         flat, flat_s = _timed(
             lambda: run_sweep(points, jobs=ncpu, store_dir=flat_store))
         serial, serial_s = _timed(
-            lambda: run_segmented_sweep(points, SEGMENT_INSNS, jobs=1,
+            lambda: run_segmented_sweep(points, segment_insns, jobs=1,
                                         store_dir=serial_store))
         parallel, parallel_s = benchmark.pedantic(
             lambda: _timed(
-                lambda: run_segmented_sweep(points, SEGMENT_INSNS,
+                lambda: run_segmented_sweep(points, segment_insns,
                                             jobs=ncpu,
                                             store_dir=parallel_store)),
             rounds=1, iterations=1)
         warm, warm_s = _timed(
-            lambda: run_segmented_sweep(points, SEGMENT_INSNS, jobs=ncpu,
+            lambda: run_segmented_sweep(points, segment_insns, jobs=ncpu,
                                         store_dir=parallel_store))
 
     # segmented results are deterministic across job counts and reruns
@@ -79,17 +84,18 @@ def test_segmented_sweep_speedup(benchmark):
         for name in EXACT_FIELDS:
             assert getattr(seg_result.stats, name) == \
                 getattr(flat_result.stats, name), name
-    if ncpu >= 2:
+    if ncpu >= 2 and not smoke:
         # the whole point: segments beat the one-worker-per-workload
-        # bound on a long single-workload grid
+        # bound on a long single-workload grid (tiny smoke traces are
+        # dominated by pool startup, so the timing claim is full-only)
         assert parallel_s < serial_s
 
     segments = parallel.counters["segments"]
     lines = [
         f"single-workload grid: {len(points)} points "
-        f"({WORKLOAD}@{SCALE}, "
+        f"({WORKLOAD}@{scale}, "
         f"{parallel.results[0].stats.retired} instructions, "
-        f"{segments} segments of {SEGMENT_INSNS})",
+        f"{segments} segments of {segment_insns})",
         f"flat jobs={ncpu:<2d}       : {flat_s:8.2f} s "
         f"(workload-sharded: one busy worker)",
         f"segmented jobs=1    : {serial_s:8.2f} s",
@@ -100,4 +106,4 @@ def test_segmented_sweep_speedup(benchmark):
         f"({warm.counters['segment_stats_hits']} segment-stats hits, "
         f"0 emulations, 0 simulations)",
     ]
-    publish("segmented_sweep", "\n".join(lines))
+    publish("segmented_sweep", "\n".join(lines), smoke)

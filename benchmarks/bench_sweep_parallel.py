@@ -22,9 +22,9 @@ from repro.uarch.config import default_config
 GRID_WORKLOADS = ["mcf", "gcc", "eon", "gap"]
 
 
-def _campaign() -> Campaign:
+def _campaign(workloads) -> Campaign:
     return Campaign.from_axes(
-        name="bench", workloads=GRID_WORKLOADS,
+        name="bench", workloads=workloads,
         base=default_config().with_optimizer(),
         axes=[parse_axis("optimizer.vf_delay=0,1")],
         include_baseline=True)
@@ -36,8 +36,9 @@ def _timed_sweep(points, jobs, store_dir):
     return result, time.perf_counter() - started
 
 
-def test_sweep_parallel_speedup(benchmark):
-    points = _campaign().points()
+def test_sweep_parallel_speedup(benchmark, smoke):
+    workloads = GRID_WORKLOADS[:2] if smoke else GRID_WORKLOADS
+    points = _campaign(workloads).points()
     ncpu = os.cpu_count() or 1
     with tempfile.TemporaryDirectory() as serial_store, \
             tempfile.TemporaryDirectory() as parallel_store:
@@ -55,7 +56,7 @@ def test_sweep_parallel_speedup(benchmark):
 
     lines = [
         f"sweep grid: {len(points)} points "
-        f"({len(GRID_WORKLOADS)} workloads x 3 variants)",
+        f"({len(workloads)} workloads x 3 variants)",
         f"jobs=1          : {serial_s:8.2f} s "
         f"({serial.counters['emulations']} emulations, "
         f"{serial.counters['simulations']} simulations)",
@@ -65,4 +66,4 @@ def test_sweep_parallel_speedup(benchmark):
         f"speedup {serial_s / cached_s:.2f}x "
         f"({cached.counters['stats_cache_hits']} store hits)",
     ]
-    publish("sweep_parallel", "\n".join(lines))
+    publish("sweep_parallel", "\n".join(lines), smoke)

@@ -5,7 +5,10 @@ from conftest import publish
 from repro.experiments import table1
 
 
-def test_table1_workload_inventory(benchmark):
-    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
-    assert len(rows) == 22
-    publish("table1_workloads", table1.format(rows))
+def test_table1_workload_inventory(benchmark, smoke):
+    kwargs = {"workloads_per_suite": 1} if smoke else {}
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1,
+                              kwargs=kwargs)
+    assert len(rows) == (3 if smoke else 22)
+    assert all(row.instructions > 0 for row in rows)
+    publish("table1_workloads", table1.format(rows), smoke)

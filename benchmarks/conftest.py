@@ -5,17 +5,46 @@ Formatted result tables are printed (visible with ``pytest -s``) and
 written to ``benchmarks/results/`` so EXPERIMENTS.md can reference
 them.  The experiment runner memoizes traces and simulations, so the
 baseline runs are shared across figures within one pytest session.
+
+``--smoke`` runs every bench in a tiny-budget mode: one workload per
+suite, minimal scales/budgets, and paper-shape assertions skipped
+(tiny subsets do not reproduce the paper's aggregate shapes — smoke
+mode only proves the perf scripts still *run*).  CI's ``bench-smoke``
+job uses it so these scripts cannot silently rot; full-budget runs
+stay the default locally::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --smoke
 """
 
 from __future__ import annotations
 
 import pathlib
 
+import pytest
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def publish(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="tiny-budget mode: 1 workload/suite, shape asserts off "
+             "(used by CI's bench-smoke job)")
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """Whether the harness runs in tiny-budget smoke mode."""
+    return request.config.getoption("--smoke")
+
+
+def publish(name: str, text: str, smoke: bool = False) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    Smoke-mode outputs land in ``<name>.smoke.txt`` so tiny-budget CI
+    runs never clobber the committed full-budget tables.
+    """
     print("\n" + text + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    suffix = ".smoke.txt" if smoke else ".txt"
+    (RESULTS_DIR / f"{name}{suffix}").write_text(text + "\n")

@@ -9,6 +9,9 @@ Commands
                          regenerate the paper's figures
 ``all``                  everything above, in order
 ``sweep``                run an arbitrary design-space grid (JSON out)
+``search``               design-space search: find the best config in
+                         a dimension space (grid/random/halving)
+``autotune``             recover Figure 10's best config via search
 ``store gc`` / ``store info``
                          maintain the artifact store (LRU size cap)
 
@@ -31,6 +34,15 @@ instruction counts of every kernel.
     repro --jobs 0 --store .repro-store --segment-insns 100000 \\
         sweep --workloads mcf --scales 64
     repro --store .repro-store store gc --max-bytes 500000000
+
+``search`` examples::
+
+    repro --jobs 4 --store .repro-store search --workloads mcf,gcc \\
+        --dim optimizer.enabled=false,true --dim sched_entries=8..32:8 \\
+        --strategy halving --budget 8
+    repro search --suite mediabench --dim optimizer.add_depth=0..3 \\
+        --strategy random --budget 4 --seed 7 --objective weighted-ipc \\
+        --weight untoast=4
 """
 
 from __future__ import annotations
@@ -42,11 +54,15 @@ import sys
 from . import quick_compare
 from .engine.campaign import Campaign, parse_axis
 from .engine.pool import run_sweep
+from .engine.search import (DEFAULT_RUNG_INSNS, OBJECTIVES, STRATEGIES,
+                            SearchSpace, format_result, make_objective,
+                            resolve_search_workloads, run_search)
 from .engine.store import ArtifactStore
-from .experiments import (depth, feedback, latency, machine_models, runner,
-                          speedup, table1, table3, vf_delay)
+from .experiments import (autotune, depth, feedback, latency,
+                          machine_models, runner, speedup, table1, table3,
+                          vf_delay)
 from .uarch.config import default_config
-from .workloads import ALL_WORKLOADS
+from .workloads import ALL_WORKLOADS, get_workload
 
 _FIGURES = {
     "fig8": machine_models,
@@ -123,19 +139,38 @@ def _check_store_cap(args) -> None:
               f"{report['remaining_bytes']} remaining)", file=sys.stderr)
 
 
+def _usage_error(command: str, error: Exception) -> int:
+    """Report a bad-arguments failure the way argparse does (exit 2)."""
+    print(f"repro {command}: error: {error}", file=sys.stderr)
+    return 2
+
+
+def _parse_scales(args) -> list[int]:
+    """The --scales list, falling back to the global --scale option."""
+    if args.scales is None:
+        return [args.scale]
+    try:
+        return [int(s) for s in args.scales.split(",")]
+    except ValueError:
+        raise ValueError(f"bad --scales {args.scales!r}; expected "
+                         f"comma-separated integers") from None
+
+
 def _cmd_sweep(args) -> int:
-    axes = [parse_axis(spec) for spec in args.axis or []]
     base = default_config()
     if args.optimized:
         base = base.with_optimizer()
-    if args.scales is not None:
-        scales = [int(s) for s in args.scales.split(",")]
-    else:
-        scales = [args.scale]  # honour the global --scale option
-    campaign = Campaign.from_axes(
-        workloads=args.workloads.split(",") if args.workloads else None,
-        suite=args.suite, scales=scales,
-        base=base, axes=axes, include_baseline=args.baseline)
+    try:
+        scales = _parse_scales(args)
+        axes = [parse_axis(spec) for spec in args.axis or []]
+        campaign = Campaign.from_axes(
+            workloads=args.workloads.split(",") if args.workloads else None,
+            suite=args.suite, scales=scales,
+            base=base, axes=axes, include_baseline=args.baseline)
+    except (ValueError, TypeError, AttributeError, KeyError) as error:
+        # bad --axis syntax, unknown config path, wrong value type,
+        # unknown workload: a readable one-liner, not a traceback
+        return _usage_error("sweep", error)
 
     def progress(done: int, total: int, message: str) -> None:
         print(f"[{done}/{total}] {message}", file=sys.stderr)
@@ -161,6 +196,100 @@ def _cmd_sweep(args) -> int:
     else:
         print(text)
     return 0
+
+
+def _parse_weights(specs: list[str] | None) -> dict[str, float]:
+    weights = {}
+    for spec in specs or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name or not value:
+            raise ValueError(f"bad weight {spec!r}; expected "
+                             f"'workload=value'")
+        # canonicalize abbreviations (and reject unknown workloads):
+        # scoring looks weights up by canonical name, so 'untst=4'
+        # must weight 'untoast', not be silently ignored
+        weights[get_workload(name.strip()).name] = float(value)
+    return weights
+
+
+def _search_progress(event: dict) -> None:
+    """Stream search progress to stderr, one line per evaluation."""
+    if event["kind"] != "evaluation":
+        return
+    budget = (f"first {event['limit_insns']} insns"
+              if event["limit_insns"] else "full")
+    source = "ledger" if event["from_ledger"] else "ran"
+    print(f"[search] {event['candidate']}  score {event['score']:.4f}  "
+          f"({budget}, {source})", file=sys.stderr)
+
+
+def _cmd_search(args) -> int:
+    if args.segment_insns is not None:
+        # search evaluations run monolithic traces (halving has its own
+        # truncation budget); silently ignoring the flag would fake
+        # intra-workload sharding the user asked for
+        return _usage_error("search", ValueError(
+            "--segment-insns is not supported by search; use "
+            "--rung-insns to control halving's truncated budgets"))
+    base = default_config()
+    if args.optimized:
+        base = base.with_optimizer()
+    try:
+        # all argument validation happens here; a failure inside the
+        # search itself must surface as a traceback, not be disguised
+        # as a usage error
+        scales = tuple(_parse_scales(args))
+        space = SearchSpace.from_specs(args.dim)
+        workloads = resolve_search_workloads(
+            args.workloads.split(",") if args.workloads else None,
+            args.suite)
+        objective = make_objective(args.objective,
+                                   _parse_weights(args.weight))
+        if args.budget is not None and args.budget <= 0:
+            raise ValueError(f"--budget must be > 0, got {args.budget}")
+        if args.rung_insns <= 0:
+            raise ValueError(f"--rung-insns must be > 0, "
+                             f"got {args.rung_insns}")
+    except (ValueError, TypeError, AttributeError, KeyError) as error:
+        return _usage_error("search", error)
+    result = run_search(
+        space, workloads=workloads, scales=scales, base=base,
+        strategy=args.strategy, budget=args.budget,
+        objective=objective, seed=args.seed,
+        rung_insns=args.rung_insns, jobs=args.jobs,
+        store_dir=args.store,
+        progress=None if args.quiet else _search_progress)
+    _check_store_cap(args)
+    report = json.dumps(result.to_dict(),
+                        indent=2 if args.pretty else None)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {len(result.evaluations)} evaluations to "
+              f"{args.out}", file=sys.stderr)
+    if args.json:
+        print(report)
+    else:
+        print(format_result(result, top=args.top))
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    if args.segment_insns is not None:
+        return _usage_error("autotune", ValueError(
+            "--segment-insns is not supported by autotune"))
+    per_suite = 2 if args.per_suite is None else args.per_suite
+    if per_suite <= 0:
+        return _usage_error("autotune", ValueError(
+            f"--per-suite must be > 0, got {per_suite}"))
+    report = autotune.run(scale=args.scale,
+                          workloads_per_suite=per_suite,
+                          jobs=args.jobs, strategy=args.strategy,
+                          seed=args.seed, store_dir=args.store,
+                          progress=None if args.quiet
+                          else _search_progress)
+    print(autotune.format(report))
+    return 0 if report.matches_paper else 1
 
 
 def _require_store(args) -> ArtifactStore:
@@ -253,6 +382,73 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-shard progress on stderr")
     sweep.set_defaults(handler=_cmd_sweep)
+    search = sub.add_parser(
+        "search", help="design-space search for the best config",
+        description="Search a dimension space for the MachineConfig "
+                    "maximizing an objective; streams per-evaluation "
+                    "progress and, with --store, resumes a killed "
+                    "search from its manifest.")
+    search.add_argument("--dim", action="append", required=True,
+                        metavar="PATH=LO..HI[:STEP]|PATH=V1,V2,...",
+                        help="search dimension: int range "
+                             "(sched_entries=8..32:8) or categorical "
+                             "(optimizer.enabled=false,true); repeatable")
+    search.add_argument("--workloads", default=None,
+                        help="comma-separated names/abbreviations to "
+                             "score candidates on")
+    search.add_argument("--suite", default=None,
+                        help="score candidates on one whole suite")
+    search.add_argument("--scales", default=None,
+                        help="comma-separated scale factors (default: "
+                             "the global --scale value)")
+    search.add_argument("--strategy", default="random",
+                        choices=list(STRATEGIES),
+                        help="grid (exhaustive), random (seeded "
+                             "sampling), or halving (short-budget "
+                             "rungs, full-run finals)")
+    search.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="max candidates to consider (default: the "
+                             "whole space)")
+    search.add_argument("--objective", default="geomean-ipc",
+                        choices=list(OBJECTIVES),
+                        help="score to maximize across workloads")
+    search.add_argument("--weight", action="append", metavar="WORKLOAD=W",
+                        help="weighted-ipc workload weight; repeatable "
+                             "(unlisted workloads weigh 1.0)")
+    search.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for random/halving sampling")
+    search.add_argument("--rung-insns", type=int,
+                        default=DEFAULT_RUNG_INSNS, metavar="N",
+                        help="halving's first-rung instruction budget "
+                             "(doubles per rung; default "
+                             f"{DEFAULT_RUNG_INSNS})")
+    search.add_argument("--optimized", action="store_true",
+                        help="enable the continuous optimizer on the "
+                             "base config before searching")
+    search.add_argument("--top", type=int, default=5,
+                        help="ranked candidates in the human report")
+    search.add_argument("--json", action="store_true",
+                        help="emit the JSON report on stdout instead "
+                             "of the human summary")
+    search.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    search.add_argument("--pretty", action="store_true",
+                        help="indent the JSON report")
+    search.add_argument("--quiet", action="store_true",
+                        help="suppress per-evaluation progress on "
+                             "stderr")
+    search.set_defaults(handler=_cmd_search)
+    autotune_parser = sub.add_parser(
+        "autotune", help="recover Figure 10's best config via search",
+        description="Search the optimizer's dependence-depth space on "
+                    "mediabench and report whether the winner matches "
+                    "the paper's Figure 10 (exit 1 if it does not).")
+    autotune_parser.add_argument("--strategy", default="halving",
+                                 choices=list(STRATEGIES))
+    autotune_parser.add_argument("--seed", type=int, default=0)
+    autotune_parser.add_argument("--quiet", action="store_true",
+                                 help="suppress per-evaluation progress")
+    autotune_parser.set_defaults(handler=_cmd_autotune)
     store = sub.add_parser(
         "store", help="artifact-store maintenance",
         description="Maintain the --store directory: inspect its size "

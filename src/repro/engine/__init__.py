@@ -19,14 +19,22 @@ ProcessPoolExecutor` sharding layer that groups sweep points by
   split into fixed-instruction-count segments (checkpointed streaming
   emulation, per-segment partial stats, associative merge) so a single
   long workload fans out across every worker.
+* :mod:`repro.engine.search` — design-space search over the axes a
+  ``Campaign`` sweeps: int-range/categorical dimensions, grid /
+  seeded-random / successive-halving strategies, pluggable objectives,
+  streaming per-evaluation progress, and store-ledgered resume.
 
 ``experiments/runner.py`` is a thin in-memory cache over this engine,
-and ``repro sweep`` on the command line drives it directly.
+and ``repro sweep`` / ``repro search`` on the command line drive it
+directly.
 """
 
 from .campaign import (Campaign, SweepPoint, apply_override, expand_axes,
                        parse_axis)
-from .pool import PointResult, SweepResult, run_sweep
+from .pool import PointResult, SweepResult, run_sweep, run_sweep_iter
+from .search import (Candidate, Categorical, Evaluation, IntRange,
+                     SearchResult, SearchSpace, make_objective, parse_dim,
+                     run_search)
 from .segments import (SegmentPlan, plan_segments, run_segmented_sweep,
                        simulate_workload_segmented)
 from .store import ArtifactStore
@@ -35,7 +43,10 @@ __all__ = [
     "ArtifactStore",
     "Campaign", "SweepPoint", "apply_override", "expand_axes",
     "parse_axis",
-    "PointResult", "SweepResult", "run_sweep",
+    "PointResult", "SweepResult", "run_sweep", "run_sweep_iter",
+    "Candidate", "Categorical", "Evaluation", "IntRange",
+    "SearchResult", "SearchSpace", "make_objective", "parse_dim",
+    "run_search",
     "SegmentPlan", "plan_segments", "run_segmented_sweep",
     "simulate_workload_segmented",
 ]

@@ -52,12 +52,26 @@ def apply_override(config, path: str, value):
         child = apply_override(getattr(config, head), rest, value)
         return replace(config, **{head: child})
     current = getattr(config, head)
-    if current is not None and not isinstance(value, type(current)) \
-            and not (isinstance(current, bool) == isinstance(value, bool)
-                     and isinstance(current, int) and isinstance(value, int)):
+    if current is not None and not _value_compatible(current, value):
         raise TypeError(f"{path}: expected {type(current).__name__}, "
                         f"got {type(value).__name__} ({value!r})")
     return replace(config, **{head: value})
+
+
+def _value_compatible(current, value) -> bool:
+    """Whether *value* may replace *current* on a config field.
+
+    ``bool`` is checked before ``int``: ``isinstance(True, int)`` holds
+    in Python, so a plain isinstance test would silently accept
+    ``True`` for an int field (and ``1`` for a bool field) — both are
+    almost certainly typos in an axis spec, and both would change the
+    config's canonical JSON identity.
+    """
+    if isinstance(current, bool) or isinstance(value, bool):
+        return isinstance(current, bool) and isinstance(value, bool)
+    if isinstance(current, int) and isinstance(value, int):
+        return True
+    return isinstance(value, type(current))
 
 
 def _parse_value(text: str):

@@ -1,6 +1,8 @@
 """Process-pool sweep executor with per-worker trace reuse.
 
-:func:`run_sweep` executes a list of :class:`SweepPoint` grid points:
+:func:`run_sweep_iter` executes a list of :class:`SweepPoint` grid
+points **incrementally**, yielding each completed point as soon as its
+shard finishes; :func:`run_sweep` is the collect-everything wrapper:
 
 * Points are **sharded by** ``(workload, scale)`` so every machine
   variant of one workload lands on the same worker and shares a single
@@ -8,12 +10,18 @@
 * Shards run on a :class:`concurrent.futures.ProcessPoolExecutor`
   (``jobs > 1``) or inline (``jobs == 1`` — byte-for-byte the same
   code path, so serial and parallel sweeps are trivially
-  deterministic).  Completed shards stream back via ``as_completed``
-  and drive an optional progress callback.
+  deterministic).  Completed shards stream back via ``as_completed``;
+  a consumer that stops iterating early (``break`` / ``close()``)
+  abandons only the not-yet-consumed results — already-submitted
+  shards still run to completion so their artifacts land in the store.
 * When an :class:`~repro.engine.store.ArtifactStore` directory is
   given, workers consult it before emulating or simulating anything
   and persist whatever they compute, so a re-run of the same grid
   performs **zero** emulations and simulations.
+* ``limit_insns`` simulates only each trace's first N instructions —
+  the cheap-evaluation budget the search engine's successive-halving
+  rungs use (:mod:`repro.engine.search`).  Truncated stats are stored
+  under budget-specific keys, never mixed with full-run stats.
 
 Each worker process keeps a module-level trace cache; the pool
 initializer resets it so counters are exact per sweep.
@@ -25,6 +33,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..uarch.stats import PipelineStats
 from ..uarch.pipeline import simulate_trace
@@ -66,25 +75,35 @@ def _worker_get_trace(workload: str, scale: int) -> tuple[list, bool, bool]:
     return trace, emulated, store_hit
 
 
-def _run_shard(shard: list[tuple[int, str, int, str, object]]
+def _run_shard(shard: list[tuple[int, str, int, str, object]],
+               limit_insns: int | None = None
                ) -> list[tuple[int, PipelineStats, dict]]:
-    """Execute one shard of (index, workload, scale, variant, config)."""
+    """Execute one shard of (index, workload, scale, variant, config).
+
+    ``limit_insns`` truncates every trace to its first N instructions
+    before simulating (the search engine's cheap-evaluation budget);
+    truncated stats go into the store under budget-specific keys.
+    """
     out = []
     for index, workload, scale, variant, config in shard:
         flags = {"emulated": False, "simulated": False,
                  "trace_hit": False, "stats_hit": False}
         stats = None
         if _worker_store is not None:
-            stats = _worker_store.load_stats(workload, scale, config)
+            stats = _worker_store.load_stats(workload, scale, config,
+                                             limit_insns=limit_insns)
             flags["stats_hit"] = stats is not None
         if stats is None:
             trace, emulated, trace_hit = _worker_get_trace(workload, scale)
             flags["emulated"] = emulated
             flags["trace_hit"] = trace_hit
+            if limit_insns is not None:
+                trace = trace[:limit_insns]
             stats = simulate_trace(trace, config)
             flags["simulated"] = True
             if _worker_store is not None:
-                _worker_store.save_stats(workload, scale, config, stats)
+                _worker_store.save_stats(workload, scale, config, stats,
+                                         limit_insns=limit_insns)
         out.append((index, stats, flags))
     return out
 
@@ -168,13 +187,86 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _make_shards(points: list[SweepPoint]
+def _make_shards(points: list[SweepPoint], by_point: bool = False
                  ) -> list[list[tuple[int, str, int, str, object]]]:
+    if by_point:
+        return [[(index, p.workload, p.scale, p.variant, p.config)]
+                for index, p in enumerate(points)]
     shards: dict[tuple[str, int], list] = {}
     for index, p in enumerate(points):
         shards.setdefault((p.workload, p.scale), []).append(
             (index, p.workload, p.scale, p.variant, p.config))
     return list(shards.values())
+
+
+def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
+                   store_dir: str | os.PathLike | None = None,
+                   counters: dict | None = None,
+                   limit_insns: int | None = None,
+                   shard_by_point: bool = False
+                   ) -> Iterator[tuple[int, PointResult]]:
+    """Execute a sweep grid incrementally, yielding per-point results.
+
+    A generator over ``(grid_index, PointResult)`` pairs in
+    **completion order** (shards finish whenever their worker does;
+    within a shard, points come back in grid order).  The caller can
+    stop consuming at any time — an early ``break`` abandons only the
+    results it has not read; shards already submitted to the pool run
+    to completion so their artifacts still land in the store.
+
+    ``counters``, if given, is a dict the generator updates in place
+    (``points``/``shards``/``emulations``/``simulations``/
+    ``trace_cache_hits``/``stats_cache_hits``) — read it after
+    exhausting the iterator for final totals.
+
+    ``limit_insns`` simulates only each trace's first N instructions:
+    the search engine's successive-halving rungs use this to buy cheap
+    candidate rankings before promoting survivors to full runs.
+
+    ``shard_by_point`` makes every grid point its own shard, so many
+    variants of one workload spread across all workers instead of
+    serializing on one.  Only sensible with a *store* whose traces are
+    already present (each worker process unpickles a workload's trace
+    once and caches it) — see :func:`run_trace_prewarm`; without a
+    store it would re-emulate per point.  The search engine uses this
+    for candidate batches, which are exactly the many-variants/
+    few-workloads shape.
+    """
+    jobs = resolve_jobs(jobs)
+    store_dir = os.fspath(store_dir) if store_dir is not None else None
+    shards = _make_shards(points, by_point=shard_by_point)
+    if counters is None:
+        counters = {}
+    counters.update({"points": len(points), "shards": len(shards),
+                     "emulations": 0, "simulations": 0,
+                     "trace_cache_hits": 0, "stats_cache_hits": 0})
+
+    def _absorb(shard_out) -> list[tuple[int, PointResult]]:
+        absorbed = []
+        for index, stats, flags in shard_out:
+            point = points[index]
+            result = PointResult(point=point, stats=stats,
+                                 emulated=flags["emulated"],
+                                 simulated=flags["simulated"])
+            counters["emulations"] += flags["emulated"]
+            counters["simulations"] += flags["simulated"]
+            counters["trace_cache_hits"] += flags["trace_hit"]
+            counters["stats_cache_hits"] += flags["stats_hit"]
+            absorbed.append((index, result))
+        return absorbed
+
+    if jobs == 1 or len(shards) <= 1:
+        _init_worker(store_dir)
+        for shard in shards:
+            yield from _absorb(_run_shard(shard, limit_insns))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
+                                 initializer=_init_worker,
+                                 initargs=(store_dir,)) as pool:
+            futures = [pool.submit(_run_shard, shard, limit_insns)
+                       for shard in shards]
+            for future in as_completed(futures):
+                yield from _absorb(future.result())
 
 
 def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
@@ -183,8 +275,9 @@ def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
               ) -> SweepResult:
     """Execute a sweep grid, optionally in parallel and/or persisted.
 
-    ``progress``, if given, is called after every completed shard as
-    ``progress(done_points, total_points, message)``.
+    Collects :func:`run_sweep_iter` into a :class:`SweepResult` in
+    grid order.  ``progress``, if given, is called after every
+    completed point as ``progress(done_points, total_points, label)``.
 
     ``segment_insns`` switches to the segmented engine
     (:func:`repro.engine.segments.run_segmented_sweep`): traces are
@@ -196,49 +289,20 @@ def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
         from .segments import run_segmented_sweep
         return run_segmented_sweep(points, segment_insns, jobs=jobs,
                                    store_dir=store_dir, progress=progress)
-    jobs = resolve_jobs(jobs)
-    store_dir = os.fspath(store_dir) if store_dir is not None else None
-    shards = _make_shards(points)
     started = time.perf_counter()
     slots: list = [None] * len(points)
-    counters = {"points": len(points), "shards": len(shards),
-                "emulations": 0, "simulations": 0,
-                "trace_cache_hits": 0, "stats_cache_hits": 0}
+    counters: dict = {}
     done = 0
-
-    def _absorb(shard_out) -> str:
-        nonlocal done
-        for index, stats, flags in shard_out:
-            point = points[index]
-            slots[index] = PointResult(point=point, stats=stats,
-                                       emulated=flags["emulated"],
-                                       simulated=flags["simulated"])
-            counters["emulations"] += flags["emulated"]
-            counters["simulations"] += flags["simulated"]
-            counters["trace_cache_hits"] += flags["trace_hit"]
-            counters["stats_cache_hits"] += flags["stats_hit"]
-        done += len(shard_out)
-        first = points[shard_out[0][0]]
-        return f"{first.workload}@{first.scale} ({len(shard_out)} points)"
-
-    if jobs == 1 or len(shards) <= 1:
-        _init_worker(store_dir)
-        for shard in shards:
-            message = _absorb(_run_shard(shard))
-            if progress is not None:
-                progress(done, len(points), message)
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
-                                 initializer=_init_worker,
-                                 initargs=(store_dir,)) as pool:
-            futures = [pool.submit(_run_shard, shard) for shard in shards]
-            for future in as_completed(futures):
-                message = _absorb(future.result())
-                if progress is not None:
-                    progress(done, len(points), message)
-
+    for index, result in run_sweep_iter(points, jobs=jobs,
+                                        store_dir=store_dir,
+                                        counters=counters):
+        slots[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, len(points), result.point.label)
     return SweepResult(results=slots, counters=counters,
-                       elapsed=time.perf_counter() - started, jobs=jobs)
+                       elapsed=time.perf_counter() - started,
+                       jobs=resolve_jobs(jobs))
 
 
 def run_trace_prewarm(pairs: list[tuple[str, int]], jobs: int | None,

@@ -23,6 +23,13 @@ Artifacts are keyed by a stable SHA-256 of their identity:
     whole trace has been segmented (its presence means planning is
     complete).
 
+* **search manifests** — the design-space search engine
+  (:mod:`repro.engine.search`) keeps a per-search evaluation ledger
+  keyed by the search's identity (space + workloads + scales + base
+  config + objective), rewritten atomically after every completed
+  candidate evaluation so a killed ``repro search`` resumes without
+  re-scoring anything.
+
 Traces and checkpoints are pickled (they contain
 :class:`Instruction` objects / memory images); stats and manifests are
 canonical JSON.  All writes are atomic (temp file + ``os.replace``) so
@@ -70,11 +77,34 @@ def trace_key(workload: str, scale: int) -> str:
                     "workload": workload, "scale": scale})
 
 
-def stats_key(workload: str, scale: int, config: MachineConfig) -> str:
-    """Stable content key for one simulation's stats."""
-    return _digest({"kind": "stats", "format": FORMAT_VERSION,
-                    "workload": workload, "scale": scale,
-                    "config": config.config_dict()})
+def stats_key(workload: str, scale: int, config: MachineConfig,
+              limit_insns: int | None = None) -> str:
+    """Stable content key for one simulation's stats.
+
+    ``limit_insns`` identifies a truncated-trace simulation (the
+    search engine's cheap-evaluation budget); it is folded into the
+    key only when set, so full-run keys are unchanged.
+    """
+    identity = {"kind": "stats", "format": FORMAT_VERSION,
+                "workload": workload, "scale": scale,
+                "config": config.config_dict()}
+    if limit_insns is not None:
+        identity["limit_insns"] = limit_insns
+    return _digest(identity)
+
+
+def search_manifest_key(identity: dict) -> str:
+    """Stable content key for a design-space search's manifest.
+
+    *identity* pins everything that makes two searches share
+    evaluations: the space, workloads, scales, base config, and
+    objective (see :meth:`repro.engine.search.SearchSpace.identity`).
+    The strategy is deliberately absent — a random search and a
+    halving search over the same space reuse each other's completed
+    evaluations.
+    """
+    return _digest({"kind": "search-manifest", "format": FORMAT_VERSION,
+                    "identity": identity})
 
 
 def segment_trace_key(workload: str, scale: int, segment_insns: int,
@@ -174,10 +204,11 @@ class ArtifactStore:
     # ------------------------------------------------------------------
 
     def load_stats(self, workload: str, scale: int,
-                   config: MachineConfig) -> PipelineStats | None:
+                   config: MachineConfig,
+                   limit_insns: int | None = None) -> PipelineStats | None:
         """The stored simulation stats, or ``None`` on a miss."""
-        path = self._stats / f"{stats_key(workload, scale, config)}.json"
-        text = self._load_text(path)
+        key = stats_key(workload, scale, config, limit_insns)
+        text = self._load_text(self._stats / f"{key}.json")
         if text is None:
             self.stats_misses += 1
             return None
@@ -185,9 +216,11 @@ class ArtifactStore:
         return PipelineStats.from_json(text)
 
     def save_stats(self, workload: str, scale: int, config: MachineConfig,
-                   stats: PipelineStats) -> Path:
+                   stats: PipelineStats,
+                   limit_insns: int | None = None) -> Path:
         """Persist simulation stats; returns the artifact path."""
-        path = self._stats / f"{stats_key(workload, scale, config)}.json"
+        key = stats_key(workload, scale, config, limit_insns)
+        path = self._stats / f"{key}.json"
         self._atomic_write(path, stats.to_json().encode())
         return path
 
@@ -291,6 +324,35 @@ class ArtifactStore:
                       manifest: dict) -> Path:
         """Persist a segmentation manifest; returns the artifact path."""
         key = manifest_key(workload, scale, segment_insns)
+        path = self._manifests / f"{key}.json"
+        self._atomic_write(path, canonical_json(manifest).encode())
+        return path
+
+    # ------------------------------------------------------------------
+    # search manifests
+    # ------------------------------------------------------------------
+
+    def load_search_manifest(self, identity: dict) -> dict | None:
+        """A design-space search's evaluation ledger, or ``None``.
+
+        The manifest maps evaluation keys (candidate label + budget)
+        to recorded scores; the search engine consults it first so a
+        killed search resumes where it left off (see
+        :mod:`repro.engine.search`).
+        """
+        key = search_manifest_key(identity)
+        text = self._load_text(self._manifests / f"{key}.json")
+        return None if text is None else json.loads(text)
+
+    def save_search_manifest(self, identity: dict,
+                             manifest: dict) -> Path:
+        """Persist a search's evaluation ledger; returns the path.
+
+        Written atomically after **every** completed evaluation, so
+        the on-disk manifest always reflects a consistent prefix of
+        the search.
+        """
+        key = search_manifest_key(identity)
         path = self._manifests / f"{key}.json"
         self._atomic_write(path, canonical_json(manifest).encode())
         return path

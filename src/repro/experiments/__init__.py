@@ -11,20 +11,22 @@ Module        Paper result
 ``depth``     Figure 10 — intra-bundle dependence-depth sweep
 ``latency``   Figure 11 — optimizer pipeline-latency sweep
 ``vf_delay``  Figure 12 — feedback transmission-delay sweep
+``autotune``  Figure 10's best config, recovered by design-space search
 ============  =======================================================
 
 All modules expose ``run(...) -> rows`` and ``format(rows) -> str``.
 """
 
-from . import (ablation, depth, feedback, latency, machine_models, report,
-               runner, speedup, table1, table3, vf_delay)
+from . import (ablation, autotune, depth, feedback, latency,
+               machine_models, report, runner, speedup, table1, table3,
+               vf_delay)
 from .runner import (active_store, clear_caches, configure, geomean,
                      get_trace, prewarm, prewarm_suites, prewarm_traces,
                      run_workload, speedup as workload_speedup,
                      suite_lists, workload_names)
 
 __all__ = [
-    "ablation",
+    "ablation", "autotune",
     "depth", "feedback", "latency", "machine_models", "report", "runner",
     "speedup", "table1", "table3", "vf_delay",
     "active_store", "clear_caches", "configure", "geomean", "get_trace",

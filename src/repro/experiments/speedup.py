@@ -10,9 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import ALL_WORKLOADS, SUITES, get_workload
+from ..workloads import SUITES, get_workload
 from .report import format_table
-from .runner import geomean, prewarm, run_workload
+from .runner import geomean, prewarm, run_workload, suite_lists
 
 
 @dataclass(frozen=True)
@@ -31,11 +31,20 @@ class SpeedupRow:
 
 
 def run(scale: int = 1, workloads: list[str] | None = None,
-        jobs: int | None = None) -> list[SpeedupRow]:
-    """Measure Figure 6 for the given workloads (default: all 22)."""
+        jobs: int | None = None,
+        workloads_per_suite: int | None = None) -> list[SpeedupRow]:
+    """Measure Figure 6 for the given workloads (default: all 22).
+
+    ``workloads_per_suite`` (ignored when *workloads* is explicit)
+    bounds the run to each suite's first N kernels — the benchmark
+    harness's ``--smoke`` budget.
+    """
     base_cfg = default_config()
     opt_cfg = base_cfg.with_optimizer()
-    names = workloads or [w.name for w in ALL_WORKLOADS]
+    names = workloads
+    if names is None:
+        lists = suite_lists(workloads_per_suite)
+        names = [w.name for wl in lists.values() for w in wl]
     prewarm(names, [base_cfg, opt_cfg], scale, jobs)
     rows = []
     for name in names:

@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..workloads import ALL_WORKLOADS
 from .report import format_table
-from .runner import get_trace, prewarm_traces
+from .runner import get_trace, prewarm_traces, suite_lists
 
 
 @dataclass(frozen=True)
@@ -25,11 +24,18 @@ class Table1Row:
     instructions: int
 
 
-def run(scale: int = 1, jobs: int | None = None) -> list[Table1Row]:
-    """Build the workload inventory with measured instruction counts."""
-    prewarm_traces([w.name for w in ALL_WORKLOADS], scale, jobs)
+def run(scale: int = 1, jobs: int | None = None,
+        workloads_per_suite: int | None = None) -> list[Table1Row]:
+    """Build the workload inventory with measured instruction counts.
+
+    ``workloads_per_suite`` bounds the inventory to each suite's first
+    N kernels (the benchmark harness's ``--smoke`` budget).
+    """
+    selected = [w for wl in suite_lists(workloads_per_suite).values()
+                for w in wl]
+    prewarm_traces([w.name for w in selected], scale, jobs)
     rows = []
-    for workload in ALL_WORKLOADS:
+    for workload in selected:
         trace = get_trace(workload.name, scale)
         rows.append(Table1Row(suite=workload.suite, name=workload.name,
                               abbrev=workload.abbrev,

@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..uarch.config import default_config
-from ..workloads import SUITES, suite_workloads
+from ..workloads import SUITES
 from .report import format_table
-from .runner import prewarm, run_workload
+from .runner import prewarm, run_workload, suite_lists
 
 #: The paper's Table 3 values, for side-by-side reporting.
 PAPER_TABLE3 = {
@@ -41,16 +41,22 @@ class Table3Row:
     loads_removed: float
 
 
-def run(scale: int = 1, jobs: int | None = None) -> list[Table3Row]:
-    """Measure Table 3 across the full workload."""
+def run(scale: int = 1, jobs: int | None = None,
+        workloads_per_suite: int | None = None) -> list[Table3Row]:
+    """Measure Table 3 across the full workload.
+
+    ``workloads_per_suite`` bounds each suite to its first N kernels
+    (the benchmark harness's ``--smoke`` budget).
+    """
     opt_cfg = default_config().with_optimizer()
-    names = [w.name for suite in SUITES for w in suite_workloads(suite)]
+    lists = suite_lists(workloads_per_suite)
+    names = [w.name for suite in SUITES for w in lists[suite]]
     prewarm(names, [opt_cfg], scale, jobs)
     rows: list[Table3Row] = []
     all_metrics: list[tuple[float, float, float, float]] = []
     for suite in SUITES:
         metrics = []
-        for workload in suite_workloads(suite):
+        for workload in lists[suite]:
             stats = run_workload(workload.name, opt_cfg, scale)
             metrics.append((100 * stats.frac_early_executed,
                             100 * stats.frac_mispredicts_recovered,

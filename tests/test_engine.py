@@ -151,6 +151,25 @@ class TestCampaign:
         with pytest.raises(TypeError):
             apply_override(default_config(), "sched_entries", 1.5)
 
+    def test_apply_override_rejects_bool_for_int_field(self):
+        # regression: isinstance(True, int) holds, so a plain
+        # isinstance check silently accepted True for int fields
+        with pytest.raises(TypeError, match="expected int, got bool"):
+            apply_override(default_config(), "sched_entries", True)
+        with pytest.raises(TypeError, match="expected int, got bool"):
+            apply_override(default_config(), "optimizer.vf_delay", False)
+
+    def test_apply_override_rejects_int_for_bool_field(self):
+        with pytest.raises(TypeError, match="expected bool, got int"):
+            apply_override(default_config(), "optimizer.enabled", 1)
+
+    def test_apply_override_accepts_matching_kinds(self):
+        config = apply_override(default_config(),
+                                "optimizer.enabled", True)
+        assert config.optimizer.enabled is True
+        assert apply_override(default_config(), "sched_entries",
+                              32).sched_entries == 32
+
     def test_parse_axis(self):
         assert parse_axis("optimizer.vf_delay=0,1,5") == \
             ("optimizer.vf_delay", [0, 1, 5])
