@@ -1,0 +1,53 @@
+"""Differential-fuzz throughput over the synthetic workload families.
+
+The fuzzing harness is only useful if a meaningful seed sweep fits in
+developer/CI time, so this benchmark measures programs-per-second and
+instructions-per-second of ``repro fuzz`` style runs (every program
+costs one emulation plus four pipeline runs: optimizer on/off,
+monolithic and segmented) and reports the per-family breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import publish
+
+from repro.engine.differential import run_fuzz
+from repro.workloads.synth import FAMILIES
+
+SEEDS = range(0, 4)
+SMOKE_SEEDS = range(0, 1)
+
+
+def test_fuzz_throughput(benchmark, smoke):
+    seeds = SMOKE_SEEDS if smoke else SEEDS
+
+    def run():
+        started = time.perf_counter()
+        fuzz = run_fuzz(seeds, small=smoke)
+        return fuzz, time.perf_counter() - started
+
+    fuzz, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fuzz.ok, [p.workload for p in fuzz.failed]
+
+    per_family: dict[str, list] = {family: [] for family in FAMILIES}
+    for report in fuzz.programs:
+        family = report.workload.split(":")[1].split("@")[0]
+        per_family[family].append(report.instructions)
+    total_insns = sum(p.instructions for p in fuzz.programs)
+    lines = [
+        "Differential fuzz throughput",
+        f"programs: {len(fuzz.programs)}  (families x seeds "
+        f"{len(FAMILIES)} x {len(seeds)})",
+        f"elapsed: {elapsed:.2f} s  "
+        f"({len(fuzz.programs) / elapsed:.2f} programs/s, "
+        f"{total_insns / elapsed:,.0f} oracle insns/s differentially "
+        f"checked)",
+        "",
+        f"{'family':10s} {'programs':>8s} {'insns/program':>14s}",
+    ]
+    for family, counts in per_family.items():
+        mean = sum(counts) / len(counts) if counts else 0
+        lines.append(f"{family:10s} {len(counts):8d} {mean:14.0f}")
+    publish("synth_fuzz_throughput", "\n".join(lines), smoke)

@@ -12,6 +12,9 @@ Commands
 ``search``               design-space search: find the best config in
                          a dimension space (grid/random/halving)
 ``autotune``             recover Figure 10's best config via search
+``fuzz``                 differential-check seeded synthetic programs
+                         (emulator vs pipeline, optimizer on/off,
+                         segmented vs monolithic)
 ``store gc`` / ``store info``
                          maintain the artifact store (LRU size cap)
 
@@ -43,6 +46,17 @@ instruction counts of every kernel.
     repro search --suite mediabench --dim optimizer.add_depth=0..3 \\
         --strategy random --budget 4 --seed 7 --objective weighted-ipc \\
         --weight untoast=4
+
+``fuzz`` examples::
+
+    repro fuzz --seeds 0:50
+    repro fuzz --budget-small --seeds 0:4 --families mixed,branchy
+
+Synthetic workloads (``synth:<family>@seed=N[,param=V,...]``) are
+first-class workload names everywhere a paper kernel is accepted::
+
+    repro sweep --suite synth --axis optimizer.enabled=false,true
+    repro run synth:ptrchase@seed=3
 """
 
 from __future__ import annotations
@@ -62,7 +76,7 @@ from .experiments import (autotune, depth, feedback, latency,
                           machine_models, runner, speedup, table1, table3,
                           vf_delay)
 from .uarch.config import default_config
-from .workloads import ALL_WORKLOADS, get_workload
+from .workloads import ALL_WORKLOADS, get_workload, synth
 
 _FIGURES = {
     "fig8": machine_models,
@@ -77,6 +91,10 @@ def _cmd_list(_args) -> int:
     for workload in ALL_WORKLOADS:
         print(f"{workload.suite:11s}  {workload.name:13s} "
               f"({workload.abbrev})  {workload.description}")
+    for name in synth.DEFAULT_ROSTER:
+        workload = get_workload(name)
+        print(f"{workload.suite:11s}  {workload.name:26s} "
+              f"{workload.description}")
     return 0
 
 
@@ -145,6 +163,20 @@ def _usage_error(command: str, error: Exception) -> int:
     return 2
 
 
+def _split_workloads(text: str) -> list[str]:
+    """Split a ``--workloads`` list on commas — or semicolons.
+
+    Parameterized synth names contain commas
+    (``synth:mixed@seed=0,mem=40``), so a list holding one may use
+    ``;`` as the separator instead; with any semicolon present, commas
+    are treated as part of the names.  A trailing separator marks a
+    single parameterized name: ``--workloads 'synth:mixed@seed=0,mem=40;'``.
+    """
+    separator = ";" if ";" in text else ","
+    return [part for part in (p.strip() for p in text.split(separator))
+            if part]
+
+
 def _parse_scales(args) -> list[int]:
     """The --scales list, falling back to the global --scale option."""
     if args.scales is None:
@@ -164,7 +196,8 @@ def _cmd_sweep(args) -> int:
         scales = _parse_scales(args)
         axes = [parse_axis(spec) for spec in args.axis or []]
         campaign = Campaign.from_axes(
-            workloads=args.workloads.split(",") if args.workloads else None,
+            workloads=_split_workloads(args.workloads)
+            if args.workloads else None,
             suite=args.suite, scales=scales,
             base=base, axes=axes, include_baseline=args.baseline)
     except (ValueError, TypeError, AttributeError, KeyError) as error:
@@ -201,7 +234,9 @@ def _cmd_sweep(args) -> int:
 def _parse_weights(specs: list[str] | None) -> dict[str, float]:
     weights = {}
     for spec in specs or []:
-        name, sep, value = spec.partition("=")
+        # rpartition: synth workload names legitimately contain '='
+        # (synth:ilp@seed=0=2.5 weights synth:ilp@seed=0 at 2.5)
+        name, sep, value = spec.rpartition("=")
         if not sep or not name or not value:
             raise ValueError(f"bad weight {spec!r}; expected "
                              f"'workload=value'")
@@ -241,7 +276,7 @@ def _cmd_search(args) -> int:
         scales = tuple(_parse_scales(args))
         space = SearchSpace.from_specs(args.dim)
         workloads = resolve_search_workloads(
-            args.workloads.split(",") if args.workloads else None,
+            _split_workloads(args.workloads) if args.workloads else None,
             args.suite)
         objective = make_objective(args.objective,
                                    _parse_weights(args.weight))
@@ -290,6 +325,57 @@ def _cmd_autotune(args) -> int:
                           else _search_progress)
     print(autotune.format(report))
     return 0 if report.matches_paper else 1
+
+
+def _parse_seed_range(text: str) -> range:
+    lo_text, sep, hi_text = text.partition(":")
+    try:
+        if sep:
+            lo, hi = int(lo_text), int(hi_text)
+        else:
+            lo, hi = 0, int(lo_text)
+    except ValueError:
+        raise ValueError(f"bad --seeds {text!r}; expected 'LO:HI' "
+                         f"(half-open) or a bare count") from None
+    if hi <= lo:
+        raise ValueError(f"empty seed range {text!r}")
+    return range(lo, hi)
+
+
+def _cmd_fuzz(args) -> int:
+    from .engine.differential import (DEFAULT_SEGMENT_INSNS,
+                                      format_report, run_fuzz)
+    from .workloads.synth import FAMILIES
+    try:
+        seeds = _parse_seed_range(args.seeds)
+        if args.families:
+            families = tuple(f.strip() for f in args.families.split(","))
+            unknown = [f for f in families if f not in FAMILIES]
+            if unknown:
+                raise ValueError(f"unknown families {unknown}; "
+                                 f"known: {list(FAMILIES)}")
+        else:
+            families = FAMILIES
+    except ValueError as error:
+        return _usage_error("fuzz", error)
+
+    def progress(report, done, total):
+        verdict = "ok" if report.ok else "FAIL"
+        print(f"[{done}/{total}] {report.workload}@{report.scale} "
+              f"({report.instructions} insns) {verdict}",
+              file=sys.stderr)
+
+    fuzz = run_fuzz(seeds, families=families, scale=args.scale,
+                    small=args.budget_small,
+                    segment_insns=args.segment_insns
+                    or DEFAULT_SEGMENT_INSNS,
+                    progress=None if args.quiet else progress)
+    if args.json:
+        print(json.dumps(fuzz.to_dict(),
+                         indent=2 if args.pretty else None))
+    else:
+        print(format_report(fuzz))
+    return 0 if fuzz.ok else 1
 
 
 def _require_store(args) -> ArtifactStore:
@@ -360,7 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "results (per-point stats plus cache-hit counters).")
     sweep.add_argument("--workloads", default=None,
                        help="comma-separated names/abbreviations "
-                            "(default: all 22)")
+                            "(default: all 22); use ';' as the "
+                            "separator when listing parameterized "
+                            "synth names that contain commas")
     sweep.add_argument("--suite", default=None,
                        help="sweep one suite (SPECint/SPECfp/mediabench)")
     sweep.add_argument("--scales", default=None,
@@ -395,7 +483,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "(optimizer.enabled=false,true); repeatable")
     search.add_argument("--workloads", default=None,
                         help="comma-separated names/abbreviations to "
-                             "score candidates on")
+                             "score candidates on (';' separator for "
+                             "parameterized synth names with commas)")
     search.add_argument("--suite", default=None,
                         help="score candidates on one whole suite")
     search.add_argument("--scales", default=None,
@@ -449,6 +538,29 @@ def build_parser() -> argparse.ArgumentParser:
     autotune_parser.add_argument("--quiet", action="store_true",
                                  help="suppress per-evaluation progress")
     autotune_parser.set_defaults(handler=_cmd_autotune)
+    fuzz = sub.add_parser(
+        "fuzz", help="differential-check synthetic programs",
+        description="Generate seeded synthetic programs and check, "
+                    "for each: emulator state == optimizer-on pipeline "
+                    "retirement; optimizer on == optimizer off; "
+                    "segmented == monolithic counters.  Exit 1 if any "
+                    "check disagrees.")
+    fuzz.add_argument("--seeds", default="0:8", metavar="LO:HI",
+                      help="half-open seed range per family "
+                           "(default 0:8; a bare N means 0:N)")
+    fuzz.add_argument("--families", default=None,
+                      help="comma-separated synth families "
+                           "(default: all five)")
+    fuzz.add_argument("--budget-small", action="store_true",
+                      help="tiny program parameters (CI smoke budget)")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the JSON report instead of the "
+                           "human summary")
+    fuzz.add_argument("--pretty", action="store_true",
+                      help="indent the JSON report")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-program progress on stderr")
+    fuzz.set_defaults(handler=_cmd_fuzz)
     store = sub.add_parser(
         "store", help="artifact-store maintenance",
         description="Maintain the --store directory: inspect its size "

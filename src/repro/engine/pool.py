@@ -177,6 +177,27 @@ class SweepResult:
             ],
         }
 
+    def ledger_json(self) -> str:
+        """Canonical JSON of the sweep's *deterministic* content.
+
+        Strips everything that legitimately varies between otherwise
+        identical runs — wall-clock, worker count, cache-hit
+        provenance — and keeps the full per-point stats in grid order.
+        Two runs of the same grid must produce **byte-identical**
+        ledgers regardless of ``jobs`` or store warmth; the
+        determinism test suite pins exactly that.
+        """
+        from ..uarch.config import canonical_json
+        return canonical_json({
+            "points": [
+                {"workload": r.point.workload, "scale": r.point.scale,
+                 "variant": r.point.variant,
+                 "config_key": r.point.config.cache_key(),
+                 "stats": r.stats.to_dict()}
+                for r in self.results
+            ],
+        })
+
 
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``--jobs`` value: ``None``/1 serial, <=0 all cores."""

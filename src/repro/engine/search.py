@@ -213,18 +213,27 @@ class SearchSpace:
 
 @dataclass(frozen=True)
 class GeomeanIPC:
-    """Geometric-mean IPC across every evaluated point."""
+    """Geometric-mean IPC across every evaluated point.
+
+    Zero-IPC degenerate points (an adversarial synthetic program that
+    retires nothing, or a zero-length truncation budget) are clamped
+    to ``floor`` instead of zeroing the whole score: a candidate set
+    containing one degenerate workload must still be *rankable* on the
+    healthy ones, and a hard 0.0 for every candidate would make the
+    search pick arbitrarily.
+    """
 
     name: str = "geomean-ipc"
+    floor: float = 1e-9
 
     def score(self, results: list[PointResult]) -> float:
-        values = [r.stats.ipc for r in results]
-        if not values or any(v <= 0 for v in values):
+        values = [max(r.stats.ipc, self.floor) for r in results]
+        if not values:
             return 0.0
         return math.exp(sum(math.log(v) for v in values) / len(values))
 
     def identity(self) -> dict:
-        return {"name": self.name}
+        return {"name": self.name, "floor": self.floor}
 
 
 @dataclass(frozen=True)
@@ -344,6 +353,11 @@ class _Evaluator:
 
     def _completed(self, candidate: Candidate, results: list[PointResult],
                    limit_insns: int | None) -> Evaluation:
+        # Results stream back in shard-completion order, which depends
+        # on worker timing; fix the order before scoring so float
+        # accumulation (and the ledgered point dict) is byte-identical
+        # between jobs=1 and jobs=N runs.
+        results = sorted(results, key=lambda r: r.point.label)
         score = self.objective.score(results)
         summaries = {f"{r.point.workload}@{r.point.scale}":
                      {"ipc": round(r.stats.ipc, 4),
@@ -522,6 +536,35 @@ class SearchResult:
         """Full-budget evaluations, best first."""
         return sorted((e for e in self.evaluations if e.full),
                       key=lambda e: e.score, reverse=True)
+
+    def ledger_json(self) -> str:
+        """Canonical JSON of the search's *deterministic* content.
+
+        Strips wall-clock, worker count, counters, and ledger-reuse
+        provenance; keeps every evaluation (candidate, budget, score,
+        per-point numbers) in evaluation order plus the winner.  Two
+        searches over the same space with the same seed must produce
+        byte-identical ledgers regardless of ``jobs``.
+        """
+        from ..uarch.config import canonical_json
+        return canonical_json({
+            "strategy": self.strategy,
+            "objective": self.objective,
+            "space": self.space.identity(),
+            "seed": self.seed,
+            "budget": self.budget,
+            "workloads": list(self.workloads),
+            "scales": list(self.scales),
+            "best": {"candidate": self.best.candidate.label,
+                     "score": self.best.score},
+            "evaluations": [
+                {"candidate": e.candidate.label,
+                 "limit_insns": e.limit_insns,
+                 "score": e.score,
+                 "points": e.points}
+                for e in self.evaluations
+            ],
+        })
 
     def to_dict(self) -> dict:
         """JSON-ready report."""

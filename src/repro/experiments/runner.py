@@ -120,6 +120,9 @@ def clear_caches(*, detach_store: bool = False) -> None:
 
 def get_trace(name: str, scale: int = 1) -> list[TraceEntry]:
     """The oracle trace for a workload (memory -> store -> emulate)."""
+    # Canonicalize abbreviations and default-equivalent synth
+    # spellings: cache and store keys must name one program one way.
+    name = get_workload(name).name
     key = (name, scale)
     trace = _trace_cache.get(key)
     if trace is None and _store is not None:
@@ -142,6 +145,7 @@ def run_workload(name: str, config: MachineConfig,
     (per-segment artifacts land in the store, merged stats are
     returned); otherwise monolithically.
     """
+    name = get_workload(name).name
     key = (name, scale, config.cache_key(), _segment_insns or 0)
     stats = _stats_cache.get(key)
     if stats is not None:
@@ -220,21 +224,39 @@ def prewarm_traces(names: list[str], scale: int = 1,
 
 def speedup(name: str, baseline: MachineConfig, variant: MachineConfig,
             scale: int = 1) -> float:
-    """Cycle-count speedup of *variant* over *baseline* for a workload."""
+    """Cycle-count speedup of *variant* over *baseline* for a workload.
+
+    Degenerate zero-cycle runs (an empty program retires nothing, so
+    both machines take zero cycles) count as speedup 1.0 instead of
+    dividing by zero; adversarial synthetic programs surface exactly
+    this case.
+    """
     base = run_workload(name, baseline, scale)
     opt = run_workload(name, variant, scale)
+    if opt.cycles == 0:
+        return 1.0 if base.cycles == 0 else math.inf
     return base.cycles / opt.cycles
 
 
-def geomean(values: list[float]) -> float:
+def geomean(values: list[float], floor: float | None = None) -> float:
     """Geometric mean (the conventional speedup aggregate).
 
     Raises a descriptive :class:`ValueError` for the two inputs the
     formula cannot handle (instead of a bare ``ZeroDivisionError`` /
     "math domain error"): an empty list and non-positive values.
+
+    ``floor`` opts into clamping instead of raising: every value below
+    it (including zero-IPC degenerate points from adversarial
+    synthetic workloads) is replaced by ``floor``, so one empty
+    program drags an aggregate toward the floor without poisoning it
+    into an exception or a hard zero.
     """
     if not values:
         raise ValueError("geomean() requires at least one value")
+    if floor is not None:
+        if floor <= 0:
+            raise ValueError(f"geomean() floor must be > 0, got {floor}")
+        values = [max(v, floor) for v in values]
     bad = [v for v in values if v <= 0]
     if bad:
         raise ValueError(f"geomean() requires strictly positive values; "

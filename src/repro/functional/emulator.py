@@ -27,6 +27,7 @@ The trace can be produced two ways:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -116,6 +117,74 @@ class EmulationResult:
     @property
     def instruction_count(self) -> int:
         return len(self.trace)
+
+    def state_dict(self) -> dict:
+        """Canonical comparable form of the final architectural state.
+
+        FP registers are compared as IEEE-754 bit patterns so the form
+        is total (NaNs compare by identity of representation, not by
+        ``==``).  This is the emulator side of the differential
+        harness's state checks; :class:`ArchState` produces the same
+        shape from the retirement side.
+        """
+        return _state_dict(self.int_regs, self.fp_regs,
+                           self.memory.snapshot())
+
+
+def _state_dict(int_regs, fp_regs, memory_image: dict[int, int]) -> dict:
+    bits = [struct.unpack("<Q", struct.pack("<d", v))[0] for v in fp_regs]
+    # Zero bytes are indistinguishable from never-written addresses
+    # architecturally (BSS semantics), so drop them before comparing.
+    image = {addr: byte for addr, byte in memory_image.items() if byte}
+    return {"int_regs": tuple(int_regs), "fp_bits": tuple(bits),
+            "memory": image}
+
+
+class ArchState:
+    """Architectural state replayed entry-by-entry at **retirement**.
+
+    The timing pipeline is trace-driven, so it never recomputes
+    values — but it does decide *which* entries retire and in what
+    order.  Feeding every retired :class:`TraceEntry` through an
+    ``ArchState`` rebuilds the architectural registers and memory that
+    retirement order implies; if the pipeline drops, duplicates, or
+    reorders entries (across segments, optimizer variants, or drain
+    paths), the final state diverges from the emulator's.  The
+    differential harness (:mod:`repro.engine.differential`) compares
+    exactly that.
+    """
+
+    def __init__(self, program: Program):
+        self.int_regs = [0] * NUM_INT_REGS
+        self.fp_regs = [0.0] * NUM_FP_REGS
+        self.int_regs[STACK_POINTER_REG] = STACK_BASE
+        self.memory = Memory(program.data)
+        self.applied = 0
+
+    def apply(self, entry: TraceEntry) -> None:
+        """Fold one retired trace entry into the architectural state."""
+        instr = entry.instr
+        spec = instr.spec
+        if spec.is_store:
+            if instr.opcode is Opcode.STF:
+                self.memory.store_double(entry.addr,
+                                         float(entry.store_value))
+            else:
+                self.memory.store(entry.addr, int(entry.store_value),
+                                  spec.mem_size)
+        elif instr.dst is not None and entry.result is not None:
+            dst = instr.dst
+            if not is_zero_reg(dst):
+                if is_fp_reg(dst):
+                    self.fp_regs[dst - NUM_INT_REGS] = float(entry.result)
+                else:
+                    self.int_regs[dst] = alu.to_signed64(int(entry.result))
+        self.applied += 1
+
+    def state_dict(self) -> dict:
+        """The same canonical form as :meth:`EmulationResult.state_dict`."""
+        return _state_dict(self.int_regs, self.fp_regs,
+                           self.memory.snapshot())
 
 
 class Emulator:

@@ -61,3 +61,25 @@ class Program:
     def static_count(self) -> int:
         """Number of static instructions in the program."""
         return len(self.instructions)
+
+    def validate(self) -> None:
+        """Check static control-flow sanity of the program.
+
+        Every direct branch/call target must land on an instruction
+        boundary inside the text segment.  Hand-written kernels rarely
+        get this wrong, but a *generated* program (the synthetic
+        workload families) should fail here, at build time, with the
+        offending instruction named — not later as a baffling
+        emulation error halfway through a fuzz sweep.  Raises
+        :class:`ValueError`.
+        """
+        for instr in self.instructions:
+            if instr.target is None:
+                continue
+            try:
+                self.pc_to_index(int(instr.target))
+            except IndexError:
+                raise ValueError(
+                    f"control transfer to {int(instr.target):#x} "
+                    f"outside the text segment: {instr.text!r} "
+                    f"at pc {instr.pc:#x}") from None

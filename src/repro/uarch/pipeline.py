@@ -41,7 +41,7 @@ import heapq
 from collections import deque
 from typing import Iterable
 
-from ..functional.emulator import TraceEntry
+from ..functional.emulator import ArchState, TraceEntry
 from ..isa.opcodes import OpClass, Opcode
 from .branch_predictor import FrontEndPredictor
 from .caches import MemoryHierarchy
@@ -67,7 +67,8 @@ class Pipeline:
 
     def __init__(self, trace: Iterable[TraceEntry], config: MachineConfig,
                  renamer: Renamer | None = None,
-                 prf: PhysRegFile | None = None):
+                 prf: PhysRegFile | None = None,
+                 arch_state: ArchState | None = None):
         self._trace_iter = iter(trace)
         # One-entry lookahead: fetch peeks at the next entry's PC for
         # block-boundary decisions before committing to consume it.
@@ -104,6 +105,11 @@ class Pipeline:
         self._waiting_on_store: dict[int, list[DynInstr]] = {}
         self._last_writer: dict[int, DynInstr] = {}
         self._last_retire_cycle = 0
+        # Optional retirement-side architectural replay: every retired
+        # entry is folded into *arch_state* in retirement order, so the
+        # differential harness can compare the state this machine's
+        # retirement implies against the emulator's final state.
+        self._arch_state = arch_state
 
     # ==================================================================
     # main loop
@@ -425,6 +431,8 @@ class Pipeline:
                and rob[0].completed and rob[0].complete_cycle <= self.now):
             di = rob.popleft()
             di.retired = True
+            if self._arch_state is not None:
+                self._arch_state.apply(di.entry)
             self.renamer.on_retire(di)
             if di.is_store:
                 size = di.instr.spec.mem_size
@@ -439,6 +447,25 @@ class Pipeline:
             self._last_retire_cycle = self.now
 
 
+def make_pipeline(trace: Iterable[TraceEntry], config: MachineConfig,
+                  arch_state: ArchState | None = None) -> Pipeline:
+    """Build a :class:`Pipeline` with the config-appropriate renamer.
+
+    ``arch_state``, if given, receives every retired entry in
+    retirement order (see :class:`~repro.functional.emulator.\
+ArchState`); the differential harness uses this to audit retirement
+    against the architectural oracle.
+    """
+    prf = PhysRegFile(config.num_pregs)
+    if config.optimizer.enabled:
+        from ..core.optimizer import OptimizingRenamer
+        renamer: Renamer = OptimizingRenamer(prf, config)
+    else:
+        renamer = BaselineRenamer(prf)
+    return Pipeline(trace, config, renamer=renamer, prf=prf,
+                    arch_state=arch_state)
+
+
 def simulate_trace(trace: Iterable[TraceEntry],
                    config: MachineConfig) -> PipelineStats:
     """Simulate *trace* on *config*'s machine and return its stats.
@@ -448,10 +475,4 @@ def simulate_trace(trace: Iterable[TraceEntry],
     renamer when ``config.optimizer.enabled``, otherwise the baseline
     renamer.
     """
-    prf = PhysRegFile(config.num_pregs)
-    if config.optimizer.enabled:
-        from ..core.optimizer import OptimizingRenamer
-        renamer: Renamer = OptimizingRenamer(prf, config)
-    else:
-        renamer = BaselineRenamer(prf)
-    return Pipeline(trace, config, renamer=renamer, prf=prf).run()
+    return make_pipeline(trace, config).run()

@@ -21,6 +21,16 @@ from .config import canonical_json
 #: peak values, not event counts.
 _MERGE_MAX_FIELDS = frozenset({"preg_high_water"})
 
+#: Counters that merge **exactly** across trace segments for any
+#: machine configuration: each trace entry is fetched/retired exactly
+#: once no matter how the trace is split, so these are invariant under
+#: segmentation.  (Cycle counts, cache/predictor/optimizer counters
+#: are not: every segment restarts a cold microarchitecture.)  The
+#: differential harness and the segmentation tests both check against
+#: this list.
+EXACT_MERGE_FIELDS = ("retired", "fetched", "loads", "mem_ops",
+                      "cond_branches", "indirect_jumps")
+
 
 @dataclass
 class PipelineStats:

@@ -6,12 +6,13 @@ its dominant loop structure (see DESIGN.md for the substitution
 rationale and ``common.py`` for shared helpers).
 """
 
+from . import synth
 from .common import Workload, lcg_python, lcg_step
-from .suites import (ALL_WORKLOADS, SUITES, build_program, build_trace,
-                     get_workload, suite_workloads)
+from .suites import (ALL_SUITES, ALL_WORKLOADS, SUITES, build_program,
+                     build_trace, get_workload, suite_workloads)
 
 __all__ = [
-    "Workload", "lcg_python", "lcg_step",
-    "ALL_WORKLOADS", "SUITES", "build_program", "build_trace",
-    "get_workload", "suite_workloads",
+    "Workload", "lcg_python", "lcg_step", "synth",
+    "ALL_SUITES", "ALL_WORKLOADS", "SUITES", "build_program",
+    "build_trace", "get_workload", "suite_workloads",
 ]

@@ -1,19 +1,33 @@
-"""Workload registry: the paper's Table 1 experimental workload.
+"""Workload registry: the paper's Table 1 workload plus ``synth``.
 
-Groups the 22 kernels by suite (SPECint, SPECfp, mediabench) and
-provides lookup, assembly, and trace-generation helpers used by the
-experiment harness and the benchmarks.
+Groups the 22 hand-written kernels by suite (SPECint, SPECfp,
+mediabench) and provides lookup, assembly, and trace-generation
+helpers used by the experiment harness and the benchmarks.
+
+On top of the fixed paper workloads, any name of the form
+``synth:<family>@seed=N[,k=v,...]`` resolves **on the fly** to a
+seeded synthetic program (:mod:`repro.workloads.synth`), and the
+``synth`` suite names a default roster of them — so every consumer of
+this registry (``run_workload``, sweeps, searches, segmented
+simulation, the artifact store) handles generated programs exactly
+like the hand-written ones.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..functional.emulator import EmulationResult, run_program
 from ..isa.assembler import assemble
 from ..isa.program import Program
-from . import mediabench, specfp, specint
+from . import mediabench, specfp, specint, synth
 from .common import Workload
 
+#: The paper's three fixed suites (Table 1).
 SUITES = ("SPECint", "SPECfp", "mediabench")
+
+#: Every suite the registry can enumerate, including the synthetic one.
+ALL_SUITES = SUITES + (synth.SUITE,)
 
 ALL_WORKLOADS: list[Workload] = (
     specint.WORKLOADS + specfp.WORKLOADS + mediabench.WORKLOADS)
@@ -22,25 +36,40 @@ _BY_NAME = {workload.name: workload for workload in ALL_WORKLOADS}
 _BY_ABBREV = {workload.abbrev: workload for workload in ALL_WORKLOADS}
 
 
+@lru_cache(maxsize=512)
+def _synth_workload(name: str) -> Workload:
+    return synth.workload_for(name)
+
+
 def get_workload(name: str) -> Workload:
-    """Look a workload up by full name or paper abbreviation."""
+    """Look a workload up by full name, paper abbreviation, or
+    canonical ``synth:`` spelling (resolved dynamically)."""
     workload = _BY_NAME.get(name) or _BY_ABBREV.get(name)
+    if workload is None and name.startswith(synth.PREFIX):
+        return _synth_workload(name)
     if workload is None:
         raise KeyError(f"unknown workload {name!r}; known: "
-                       f"{sorted(_BY_NAME)}")
+                       f"{sorted(_BY_NAME)} plus 'synth:...' names")
     return workload
 
 
 def suite_workloads(suite: str) -> list[Workload]:
-    """All workloads belonging to *suite*."""
+    """All workloads belonging to *suite* (``synth`` = default roster)."""
+    if suite == synth.SUITE:
+        return synth.roster_workloads()
     if suite not in SUITES:
-        raise KeyError(f"unknown suite {suite!r}; known: {SUITES}")
+        raise KeyError(f"unknown suite {suite!r}; known: {ALL_SUITES}")
     return [w for w in ALL_WORKLOADS if w.suite == suite]
 
 
 def build_program(name: str, scale: int = 1) -> Program:
-    """Assemble the named workload at *scale*."""
-    return assemble(get_workload(name).source(scale))
+    """Assemble the named workload at *scale* (statically validated)."""
+    program = assemble(get_workload(name).source(scale))
+    # Synthetic programs are machine-generated; catch a generator bug
+    # (a branch into the data segment, say) here with the instruction
+    # named instead of deep inside an emulation.
+    program.validate()
+    return program
 
 
 def build_trace(name: str, scale: int = 1,

@@ -1,0 +1,18 @@
+"""Shared fixtures and options for the tier-1 suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden stats snapshots under tests/golden/ "
+             "instead of diffing against them (commit the result)")
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    """Whether golden snapshot tests should refresh their files."""
+    return request.config.getoption("--update-golden")

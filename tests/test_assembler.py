@@ -296,3 +296,16 @@ class TestProgramContainer:
         program = assemble(".text\nnop\n")
         with pytest.raises(KeyError):
             program.label_address("missing")
+
+    def test_validate_accepts_text_targets(self):
+        program = assemble(".text\nloop: sub r1, r1, 1\n"
+                           "bne r1, loop\nhalt\n")
+        program.validate()  # no exception
+
+    def test_validate_rejects_branch_into_data(self):
+        # 'arr' resolves to a data-segment address; branching there is
+        # a generator bug that must be named at build time.
+        program = assemble(".data\narr: .quad 1\n.text\n"
+                           "beq r1, arr\nhalt\n")
+        with pytest.raises(ValueError, match="outside the text"):
+            program.validate()

@@ -17,7 +17,10 @@ class TestParser:
         out = capsys.readouterr().out
         assert "mcf" in out
         assert "untoast" in out
-        assert out.count("\n") == 22
+        assert "synth:mixed@seed=0" in out
+        # 22 paper kernels + the default synth roster
+        from repro.workloads.synth import DEFAULT_ROSTER
+        assert out.count("\n") == 22 + len(DEFAULT_ROSTER)
 
     def test_run_command(self, capsys):
         assert main(["run", "untoast"]) == 0

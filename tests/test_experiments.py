@@ -34,6 +34,29 @@ class TestRunner:
         with pytest.raises(ValueError):
             runner.geomean([])
 
+    def test_geomean_floor_clamps_degenerate_values(self):
+        # Regression: adversarial synth programs (e.g. the empty
+        # synth:branchy@...,iters=0 program) produce zero-IPC points;
+        # with a floor they drag the aggregate down instead of
+        # raising, without one they still raise loudly.
+        assert runner.geomean([0.0, 4.0], floor=1.0) \
+            == pytest.approx(2.0)
+        assert runner.geomean([2.0, 8.0], floor=1e-9) \
+            == pytest.approx(4.0)  # healthy values unaffected
+        with pytest.raises(ValueError):
+            runner.geomean([0.0, 4.0])
+        with pytest.raises(ValueError):
+            runner.geomean([1.0], floor=0.0)
+
+    def test_speedup_of_degenerate_empty_program_is_one(self):
+        # The empty synthetic program retires nothing on both
+        # machines; speedup must be 1.0, not a ZeroDivisionError.
+        runner.clear_caches()
+        config = default_config()
+        value = runner.speedup("synth:branchy@seed=0,iters=0", config,
+                               config.with_optimizer())
+        assert value == 1.0
+
     def test_workload_names_filtering(self):
         assert len(runner.workload_names()) == 22
         assert len(runner.workload_names(suite="SPECfp")) == 6

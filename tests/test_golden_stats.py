@@ -1,0 +1,96 @@
+"""Golden-stats snapshot regression suite.
+
+Every workload in :data:`GOLDEN_WORKLOADS` is simulated on the
+baseline machine configuration and its full
+:meth:`PipelineStats.to_json` compared against a committed snapshot
+under ``tests/golden/``.  Any behavioural change in the emulator, the
+assembler, a workload kernel, the synthetic generator, or the timing
+model shows up as a counter-level diff here — deliberately strict, so
+unintentional drift cannot hide inside an aggregate.
+
+Refreshing after an *intentional* change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_stats.py \
+        --update-golden
+
+then review and commit the rewritten ``tests/golden/*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.uarch.config import default_config
+from repro.uarch.pipeline import simulate_trace
+from repro.uarch.stats import PipelineStats
+from repro.workloads import build_trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: One kernel per paper suite plus one synthetic program per family —
+#: broad enough to cover every workload generator, small enough that
+#: the snapshot pass stays cheap.
+GOLDEN_WORKLOADS = (
+    "mcf",  # SPECint
+    "equake",  # SPECfp
+    "untoast",  # mediabench
+    "synth:ptrchase@seed=0",
+    "synth:stream@seed=0",
+    "synth:branchy@seed=0",
+    "synth:ilp@seed=0",
+    "synth:mixed@seed=0",
+)
+
+
+def golden_path(name: str) -> pathlib.Path:
+    safe = name.replace(":", "_").replace("@", "_").replace(",", "_") \
+        .replace("=", "-")
+    return GOLDEN_DIR / f"{safe}.baseline.json"
+
+
+def compute_stats(name: str) -> PipelineStats:
+    return simulate_trace(build_trace(name).trace, default_config())
+
+
+@pytest.mark.parametrize("name", GOLDEN_WORKLOADS)
+def test_baseline_stats_match_golden_snapshot(name, update_golden):
+    stats = compute_stats(name)
+    path = golden_path(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(stats.to_json() + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; generate it with "
+        f"pytest tests/test_golden_stats.py --update-golden")
+    expected = PipelineStats.from_json(path.read_text())
+    current = stats.to_dict()
+    recorded = expected.to_dict()
+    if current != recorded:
+        diffs = {key: (recorded[key], current[key])
+                 for key in recorded
+                 if recorded[key] != current.get(key)}
+        pytest.fail(f"{name}: stats drifted from golden snapshot "
+                    f"(recorded, current): {diffs}; if intentional, "
+                    f"refresh with --update-golden")
+
+
+def test_golden_directory_has_no_orphans():
+    """Every committed snapshot corresponds to a listed workload."""
+    expected = {golden_path(name).name for name in GOLDEN_WORKLOADS}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual <= expected, (
+        f"orphaned golden snapshots: {sorted(actual - expected)}")
+
+
+def test_snapshots_are_canonical_json():
+    """Snapshots stay byte-stable: canonical JSON, trailing newline."""
+    for path in GOLDEN_DIR.glob("*.json"):
+        text = path.read_text()
+        assert text.endswith("\n"), path.name
+        data = json.loads(text)
+        assert PipelineStats.from_dict(data).to_json() == text.strip(), \
+            path.name

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the ALU and the CP/RA core.
+
+Two invariants carry the paper's whole correctness story and are
+checked here over randomized 64-bit inputs instead of hand-picked
+examples:
+
+* **EARLY is the ALU** — whenever :func:`repro.core.cpra.transform`
+  decides an instruction executes early, the value it produces must
+  equal :func:`repro.functional.alu.evaluate_int` on the same inputs
+  (the rename-stage ALUs *are* the execution ALUs).
+* **REWRITTEN re-evaluates to plain execution** — whenever the
+  transform emits a symbolic ``(base << scale) + offset`` form,
+  substituting the base register's eventual value must reproduce
+  exactly what the out-of-order core would have computed.
+
+Plus the :mod:`repro.functional.alu` algebra the above leans on:
+64-bit wrap-around, signed/unsigned reinterpretation, commutativity
+as declared per opcode, and truncating division identities.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cpra, symbolic
+from repro.functional import alu
+from repro.isa.opcodes import OP_SPECS, BranchCond, Opcode
+
+int64 = st.integers(min_value=alu.INT64_MIN, max_value=alu.INT64_MAX)
+small_shift = st.integers(min_value=0, max_value=3)
+
+#: Binary integer opcodes evaluate_int understands.
+_BINARY_OPS = sorted(
+    (op for op, spec in OP_SPECS.items()
+     if (spec.num_srcs == 2 and spec.has_dst
+         and alu.is_int_alu_op(op))
+     or op in (Opcode.MUL, Opcode.DIV, Opcode.REM)),
+    key=lambda op: op.value)
+
+#: Opcodes the CP/RA transform handles with two sources.
+_TRANSFORM_OPS = sorted(
+    (Opcode.ADD, Opcode.SUB, Opcode.S4ADD, Opcode.S8ADD, Opcode.SLL,
+     Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.BIC,
+     Opcode.SRL, Opcode.SRA, Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT,
+     Opcode.CMPLE, Opcode.CMPULT, Opcode.CMPULE),
+    key=lambda op: op.value)
+
+
+class TestAluAlgebra:
+    @given(value=st.integers())
+    def test_to_signed64_is_idempotent_and_in_range(self, value):
+        wrapped = alu.to_signed64(value)
+        assert alu.INT64_MIN <= wrapped <= alu.INT64_MAX
+        assert alu.to_signed64(wrapped) == wrapped
+        assert alu.to_unsigned64(wrapped) == value % (1 << 64)
+
+    @given(a=int64, b=int64,
+           op=st.sampled_from(_BINARY_OPS))
+    def test_results_stay_in_signed64_range(self, a, b, op):
+        result = alu.evaluate_int(op, a, b)
+        assert alu.INT64_MIN <= result <= alu.INT64_MAX
+
+    @given(a=int64, b=int64,
+           op=st.sampled_from([op for op in _BINARY_OPS
+                               if OP_SPECS[op].commutative]))
+    def test_declared_commutativity_holds(self, a, b, op):
+        assert alu.evaluate_int(op, a, b) == alu.evaluate_int(op, b, a)
+
+    @given(a=int64, b=int64)
+    def test_sub_inverts_add(self, a, b):
+        total = alu.evaluate_int(Opcode.ADD, a, b)
+        assert alu.evaluate_int(Opcode.SUB, total, b) == a
+
+    @given(a=int64, b=int64)
+    def test_div_rem_reconstruct_dividend(self, a, b):
+        quotient = alu.evaluate_int(Opcode.DIV, a, b)
+        remainder = alu.evaluate_int(Opcode.REM, a, b)
+        if b != 0 and (a, b) != (alu.INT64_MIN, -1):
+            assert quotient * b + remainder == a
+        else:
+            # division by zero and the overflow case are defined as 0
+            assert (quotient, remainder) == ((0, 0) if b == 0
+                                             else (alu.INT64_MIN, 0))
+
+    @given(a=int64, shift=st.integers(min_value=0, max_value=63))
+    def test_scaled_adds_match_shift_plus_add(self, a, shift):
+        assert alu.evaluate_int(Opcode.S4ADD, a, 0) \
+            == alu.evaluate_int(Opcode.SLL, a, 2)
+        assert alu.evaluate_int(Opcode.SRL, a, shift) \
+            == alu.to_signed64(alu.to_unsigned64(a) >> shift)
+
+    @given(value=int64)
+    def test_branch_conditions_match_comparisons(self, value):
+        assert alu.branch_taken(BranchCond.EQ, value) == (value == 0)
+        assert alu.branch_taken(BranchCond.NE, value) == (value != 0)
+        assert alu.branch_taken(BranchCond.LT, value) == (value < 0)
+        assert alu.branch_taken(BranchCond.GE, value) == (value >= 0)
+        assert alu.branch_taken(BranchCond.LE, value) == (value <= 0)
+        assert alu.branch_taken(BranchCond.GT, value) == (value > 0)
+        assert alu.branch_taken(BranchCond.ALWAYS, value)
+
+    @given(value=int64, size=st.sampled_from([1, 2, 4]))
+    def test_sign_extend_roundtrips_low_bytes(self, value, size):
+        extended = alu.sign_extend(value, size)
+        bits = size * 8
+        assert -(1 << (bits - 1)) <= extended < (1 << (bits - 1))
+        assert extended % (1 << bits) == value % (1 << bits)
+
+
+class TestEarlyEqualsAlu:
+    """EARLY outcomes must carry exactly the ALU-computed value."""
+
+    @given(a=int64, b=int64, op=st.sampled_from(_TRANSFORM_OPS))
+    @settings(max_examples=300)
+    def test_constant_inputs_fold_to_alu_result(self, a, b, op):
+        outcome = cpra.transform(op, [symbolic.const(a),
+                                      symbolic.const(b)])
+        expected = alu.evaluate_int(op, alu.to_signed64(a),
+                                    alu.to_signed64(b))
+        if outcome.is_early:
+            assert outcome.value == expected
+            assert outcome.sym is not None
+            assert outcome.sym.is_const
+            assert outcome.sym.const_value == expected
+        else:
+            # Only MUL may decline constant-constant folding: it is a
+            # multi-cycle op, early only via power-of-two strength
+            # reduction.  Every single-cycle transform op must fold.
+            assert outcome.kind is cpra.Kind.PLAIN
+            assert op is Opcode.MUL
+
+    @given(value=int64)
+    def test_mov_of_constant_is_early_identity(self, value):
+        outcome = cpra.transform(Opcode.MOV, [symbolic.const(value)])
+        assert outcome.is_early
+        assert outcome.value == alu.to_signed64(value)
+
+
+class TestRewrittenReevaluates:
+    """REWRITTEN symbolic forms must re-evaluate to plain execution."""
+
+    @given(base_value=int64, const=int64, preg=st.integers(0, 511),
+           scale=small_shift,
+           op=st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.S4ADD,
+                               Opcode.S8ADD, Opcode.SLL, Opcode.MUL]))
+    @settings(max_examples=300)
+    def test_symbolic_result_matches_execution(self, base_value, const,
+                                               preg, scale, op):
+        # Source 0 is a symbolic value (base << scale), source 1 a
+        # constant — the shape CP/RA reassociates.
+        sym = symbolic.SymVal(base=preg, scale=scale, offset=0)
+        resolved0 = sym.evaluate(base_value)
+        outcome = cpra.transform(op, [sym, symbolic.const(const)])
+        expected = alu.evaluate_int(op, resolved0,
+                                    alu.to_signed64(const))
+        if outcome.is_rewritten:
+            assert outcome.sym is not None
+            assert outcome.sym.evaluate(base_value) == expected
+        elif outcome.is_early:
+            assert outcome.value == expected
+
+    @given(base_value=int64, const=int64, preg=st.integers(0, 511))
+    def test_constant_plus_symbolic_commutes(self, base_value, const,
+                                             preg):
+        sym = symbolic.plain(preg)
+        outcome = cpra.transform(Opcode.ADD,
+                                 [symbolic.const(const), sym])
+        assert outcome.is_rewritten
+        assert outcome.sym.evaluate(base_value) \
+            == alu.evaluate_int(Opcode.ADD, base_value,
+                                alu.to_signed64(const))
+
+    @given(base_value=int64, preg=st.integers(0, 511),
+           factor_log2=st.integers(0, 8))
+    def test_strength_reduced_multiply_matches(self, base_value, preg,
+                                               factor_log2):
+        factor = 1 << factor_log2
+        outcome = cpra.transform(Opcode.MUL,
+                                 [symbolic.plain(preg),
+                                  symbolic.const(factor)])
+        expected = alu.evaluate_int(Opcode.MUL, base_value, factor)
+        if outcome.is_rewritten:
+            assert outcome.strength_reduced
+            assert outcome.sym.evaluate(base_value) == expected
+
+    @given(base_value=int64, preg=st.integers(0, 511),
+           offset=int64, scale=small_shift, extra=int64)
+    def test_symval_add_const_algebra(self, base_value, preg, offset,
+                                      scale, extra):
+        sym = symbolic.SymVal(base=preg, scale=scale,
+                              offset=alu.to_signed64(offset))
+        bumped = symbolic.add_const(sym, extra)
+        assert bumped.evaluate(base_value) == alu.to_signed64(
+            sym.evaluate(base_value) + extra)
+
+    @given(base_value=int64, preg=st.integers(0, 511),
+           scale=small_shift, amount=small_shift)
+    def test_symval_shift_left_algebra(self, base_value, preg, scale,
+                                       amount):
+        sym = symbolic.SymVal(base=preg, scale=scale, offset=0)
+        shifted = symbolic.shift_left(sym, amount)
+        if scale + amount > symbolic.MAX_SCALE:
+            assert shifted is None
+        else:
+            assert shifted.evaluate(base_value) == alu.evaluate_int(
+                Opcode.SLL, sym.evaluate(base_value), amount)

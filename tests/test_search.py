@@ -156,9 +156,18 @@ class TestObjectives:
                    _fake_result("b", 400, 100)]   # ipc 4.0
         assert GeomeanIPC().score(results) == pytest.approx(2.0)
 
-    def test_geomean_degenerate_is_zero(self):
+    def test_geomean_degenerate_clamps_to_floor(self):
+        # A zero-IPC point (adversarial synth program that retires
+        # nothing) clamps to the floor instead of zeroing the score:
+        # candidates must stay rankable on their healthy workloads.
         assert GeomeanIPC().score([]) == 0.0
-        assert GeomeanIPC().score([_fake_result("a", 0, 100)]) == 0.0
+        floor = GeomeanIPC().floor
+        assert GeomeanIPC().score(
+            [_fake_result("a", 0, 100)]) == pytest.approx(floor)
+        mixed = GeomeanIPC().score([_fake_result("a", 0, 100),
+                                    _fake_result("b", 400, 100)])
+        assert mixed == pytest.approx((floor * 4.0) ** 0.5)
+        assert mixed > 0.0
 
     def test_weighted_ipc_defaults_to_uniform(self):
         results = [_fake_result("a", 100, 100),
@@ -299,6 +308,23 @@ class TestStrategies:
             [e.score for e in parallel.evaluations]
         assert parallel.best.candidate.label == \
             serial.best.candidate.label
+
+    def test_degenerate_workload_keeps_search_rankable(self, tmp_path):
+        # Regression: a zero-IPC workload (the empty adversarial synth
+        # program) used to zero every candidate's geomean score, so
+        # the search picked arbitrarily.  With the objective floor the
+        # healthy workload still differentiates the candidates.
+        space = SearchSpace.from_specs(["sched_entries=2,8"])
+        result = run_search(
+            space,
+            workloads=("synth:ilp@seed=0",
+                       "synth:branchy@seed=0,iters=0"),
+            strategy="grid", store_dir=tmp_path)
+        scores = {e.candidate.label: e.score
+                  for e in result.evaluations}
+        assert all(score > 0 for score in scores.values())
+        assert scores["sched_entries=8"] != scores["sched_entries=2"]
+        assert result.best.score == max(scores.values())
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError):
