@@ -15,6 +15,13 @@ Commands
 ``fuzz``                 differential-check seeded synthetic programs
                          (emulator vs pipeline, optimizer on/off,
                          segmented vs monolithic)
+``serve``                async streaming results service: run sweeps,
+                         searches, segmented sweeps, and fuzz
+                         campaigns as named concurrent jobs over one
+                         shared store (JSON-lines event streams over
+                         HTTP)
+``watch``                tail one job's event stream from a running
+                         ``repro serve``
 ``store gc`` / ``store info``
                          maintain the artifact store (LRU size cap)
 
@@ -52,6 +59,14 @@ instruction counts of every kernel.
     repro fuzz --seeds 0:50
     repro fuzz --budget-small --seeds 0:4 --families mixed,branchy
 
+``serve`` / ``watch`` examples::
+
+    repro --store .repro-store --jobs 4 serve --port 8787
+    curl -X POST http://127.0.0.1:8787/jobs -d \\
+        '{"kind": "sweep", "workloads": ["mcf"], \\
+          "axes": ["optimizer.enabled=false,true"]}'
+    repro watch j1 --url http://127.0.0.1:8787
+
 Synthetic workloads (``synth:<family>@seed=N[,param=V,...]``) are
 first-class workload names everywhere a paper kernel is accepted::
 
@@ -66,7 +81,8 @@ import json
 import sys
 
 from . import quick_compare
-from .engine.campaign import Campaign, parse_axis
+from .engine.campaign import Campaign, parse_axis, split_workloads
+from .engine.events import format_event
 from .engine.pool import run_sweep
 from .engine.search import (DEFAULT_RUNG_INSNS, OBJECTIVES, STRATEGIES,
                             SearchSpace, format_result, make_objective,
@@ -163,18 +179,10 @@ def _usage_error(command: str, error: Exception) -> int:
     return 2
 
 
-def _split_workloads(text: str) -> list[str]:
-    """Split a ``--workloads`` list on commas — or semicolons.
-
-    Parameterized synth names contain commas
-    (``synth:mixed@seed=0,mem=40``), so a list holding one may use
-    ``;`` as the separator instead; with any semicolon present, commas
-    are treated as part of the names.  A trailing separator marks a
-    single parameterized name: ``--workloads 'synth:mixed@seed=0,mem=40;'``.
-    """
-    separator = ";" if ";" in text else ","
-    return [part for part in (p.strip() for p in text.split(separator))
-            if part]
+#: ``--workloads`` splitting lives beside the campaign spec code now
+#: (the service's job specs need it too); the name is kept for the
+#: handlers below.
+_split_workloads = split_workloads
 
 
 def _parse_scales(args) -> list[int]:
@@ -205,8 +213,8 @@ def _cmd_sweep(args) -> int:
         # unknown workload: a readable one-liner, not a traceback
         return _usage_error("sweep", error)
 
-    def progress(done: int, total: int, message: str) -> None:
-        print(f"[{done}/{total}] {message}", file=sys.stderr)
+    def progress(event) -> None:
+        print(format_event(event), file=sys.stderr)
 
     result = run_sweep(campaign.points(), jobs=args.jobs,
                        store_dir=args.store,
@@ -247,15 +255,10 @@ def _parse_weights(specs: list[str] | None) -> dict[str, float]:
     return weights
 
 
-def _search_progress(event: dict) -> None:
+def _search_progress(event) -> None:
     """Stream search progress to stderr, one line per evaluation."""
-    if event["kind"] != "evaluation":
-        return
-    budget = (f"first {event['limit_insns']} insns"
-              if event["limit_insns"] else "full")
-    source = "ledger" if event["from_ledger"] else "ran"
-    print(f"[search] {event['candidate']}  score {event['score']:.4f}  "
-          f"({budget}, {source})", file=sys.stderr)
+    if event.kind == "evaluation":
+        print(format_event(event), file=sys.stderr)
 
 
 def _cmd_search(args) -> int:
@@ -359,11 +362,8 @@ def _cmd_fuzz(args) -> int:
     except ValueError as error:
         return _usage_error("fuzz", error)
 
-    def progress(report, done, total):
-        verdict = "ok" if report.ok else "FAIL"
-        print(f"[{done}/{total}] {report.workload}@{report.scale} "
-              f"({report.instructions} insns) {verdict}",
-              file=sys.stderr)
+    def progress(event):
+        print(format_event(event), file=sys.stderr)
 
     fuzz = run_fuzz(seeds, families=families, scale=args.scale,
                     small=args.budget_small,
@@ -397,8 +397,67 @@ def _cmd_store_info(args) -> int:
     store = _require_store(args)
     print(json.dumps({"root": str(store.root),
                       "total_bytes": store.total_bytes(),
-                      "artifacts": store.artifact_count()}))
+                      "artifacts": store.artifact_count(),
+                      "orphaned": store.orphan_info()}))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .engine.service import run_service
+
+    def announce(host: str, port: int, store_dir: str) -> None:
+        # announced on stdout (and flushed) so scripts — CI's service
+        # smoke job — can parse the ephemeral port
+        print(f"serving on http://{host}:{port} (store: {store_dir})",
+              flush=True)
+
+    try:
+        return asyncio.run(run_service(
+            store_dir=args.store, jobs=args.jobs,
+            max_concurrent_jobs=args.max_jobs, host=args.host,
+            port=args.port, announce=announce))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        return 0
+    except (OSError, ValueError) as error:
+        # a busy port, unbindable --host, or bad --max-jobs deserves
+        # the same one-line treatment every other bad CLI input gets
+        return _usage_error("serve", error)
+
+
+def _cmd_watch(args) -> int:
+    from .engine.service import watch_job
+
+    def on_event(event) -> None:
+        if args.json:
+            print(event.to_json_line(), flush=True)
+        else:
+            print(format_event(event), flush=True)
+
+    try:
+        last = watch_job(args.url, args.job, on_event,
+                         timeout=args.timeout)
+    except ValueError as error:
+        # ServiceError (bad job id, HTTP errors) subclasses
+        # ValueError; a bare ValueError is an unknown event kind from
+        # a newer server — either way, a clean exit beats a traceback
+        print(f"repro watch: error: {error}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as error:
+        print(f"repro watch: cannot reach {args.url}: {error}",
+              file=sys.stderr)
+        return 2
+    if last is not None and last.kind == "job-finished":
+        return 0
+    if last is not None and last.kind == "job-failed":
+        return 1
+    # the stream ended without a terminal event: a severed connection
+    # or server restart, not a job verdict — report a client error
+    print(f"repro watch: stream for {args.job} ended without a "
+          f"terminal event", file=sys.stderr)
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -561,6 +620,39 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress per-program progress on stderr")
     fuzz.set_defaults(handler=_cmd_fuzz)
+    serve = sub.add_parser(
+        "serve", help="async streaming results service",
+        description="Run sweeps, searches, segmented sweeps, and fuzz "
+                    "campaigns as named concurrent jobs over one "
+                    "shared artifact store; JSON-lines event streams "
+                    "over HTTP (POST /jobs, GET /jobs, "
+                    "GET /jobs/<id>/events, DELETE /jobs/<id>).  Uses "
+                    "the global --store and --jobs options.")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port (0 = ephemeral; the actual port "
+                            "is announced on stdout; default 8787)")
+    serve.add_argument("--max-jobs", type=int, default=4, metavar="N",
+                       help="jobs executing concurrently; excess "
+                            "submissions queue (default 4)")
+    serve.set_defaults(handler=_cmd_serve)
+    watch = sub.add_parser(
+        "watch", help="tail one job's event stream",
+        description="Connect to a running `repro serve` and stream a "
+                    "job's events (history first, then live) until "
+                    "the job ends.  Exit 0 on job-finished, 1 on "
+                    "job-failed/cancelled, 2 on client errors.")
+    watch.add_argument("job", help="job id (e.g. j1)")
+    watch.add_argument("--url", default="http://127.0.0.1:8787",
+                       help="service base URL "
+                            "(default http://127.0.0.1:8787)")
+    watch.add_argument("--json", action="store_true",
+                       help="print raw JSON-lines events instead of "
+                            "the human rendering")
+    watch.add_argument("--timeout", type=float, default=600.0,
+                       help="socket timeout in seconds (default 600)")
+    watch.set_defaults(handler=_cmd_watch)
     store = sub.add_parser(
         "store", help="artifact-store maintenance",
         description="Maintain the --store directory: inspect its size "

@@ -23,15 +23,29 @@ ProcessPoolExecutor` sharding layer that groups sweep points by
   ``Campaign`` sweeps: int-range/categorical dimensions, grid /
   seeded-random / successive-halving strategies, pluggable objectives,
   streaming per-evaluation progress, and store-ledgered resume.
+* :mod:`repro.engine.events` — the unified typed event vocabulary
+  every engine producer streams through its ``progress=`` callback
+  (``point`` / ``evaluation`` / ``segment`` / ``finding`` / job
+  lifecycle), with a stable JSON-lines wire form.
+* :mod:`repro.engine.service` — the async streaming results service:
+  a :class:`~repro.engine.service.JobManager` running sweeps,
+  searches, segmented sweeps, and fuzz campaigns as named concurrent
+  jobs over one shared store, plus the stdlib HTTP front end behind
+  ``repro serve`` / ``repro watch``.
 
 ``experiments/runner.py`` is a thin in-memory cache over this engine,
-and ``repro sweep`` / ``repro search`` on the command line drive it
-directly.
+and ``repro sweep`` / ``repro search`` / ``repro serve`` on the
+command line drive it directly.
 """
 
 from .campaign import (Campaign, SweepPoint, apply_override, expand_axes,
-                       parse_axis)
-from .pool import PointResult, SweepResult, run_sweep, run_sweep_iter
+                       parse_axis, split_workloads)
+from .events import (EvaluationEvent, Event, FindingEvent,
+                     JobFailedEvent, JobFinishedEvent, JobStartedEvent,
+                     PointEvent, SegmentEvent, event_from_dict,
+                     event_from_json_line, format_event)
+from .pool import (ExecutionContext, PointResult, SweepResult, run_sweep,
+                   run_sweep_iter)
 from .search import (Candidate, Categorical, Evaluation, IntRange,
                      SearchResult, SearchSpace, make_objective, parse_dim,
                      run_search)
@@ -39,14 +53,36 @@ from .segments import (SegmentPlan, plan_segments, run_segmented_sweep,
                        simulate_workload_segmented)
 from .store import ArtifactStore
 
+#: Service symbols resolve lazily (PEP 562): importing the engine for
+#: a plain sweep must not pay for asyncio + the HTTP server machinery.
+_SERVICE_EXPORTS = ("JobManager", "ServiceError", "ServiceServer",
+                    "run_service", "watch_job")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from . import service
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
+
 __all__ = [
     "ArtifactStore",
     "Campaign", "SweepPoint", "apply_override", "expand_axes",
-    "parse_axis",
-    "PointResult", "SweepResult", "run_sweep", "run_sweep_iter",
+    "parse_axis", "split_workloads",
+    "Event", "PointEvent", "EvaluationEvent", "SegmentEvent",
+    "FindingEvent", "JobStartedEvent", "JobFinishedEvent",
+    "JobFailedEvent", "event_from_dict", "event_from_json_line",
+    "format_event",
+    "ExecutionContext", "PointResult", "SweepResult", "run_sweep",
+    "run_sweep_iter",
     "Candidate", "Categorical", "Evaluation", "IntRange",
     "SearchResult", "SearchSpace", "make_objective", "parse_dim",
     "run_search",
     "SegmentPlan", "plan_segments", "run_segmented_sweep",
     "simulate_workload_segmented",
+    # service symbols are deliberately NOT in __all__: a star-import
+    # would resolve each name through __getattr__ and eagerly load
+    # asyncio + the HTTP machinery — exactly what the lazy export
+    # below avoids.  Import them explicitly (or from .service).
 ]

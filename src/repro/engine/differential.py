@@ -39,6 +39,7 @@ from ..uarch.pipeline import make_pipeline
 from ..uarch.stats import EXACT_MERGE_FIELDS, PipelineStats
 from ..workloads import build_program, get_workload
 from ..workloads.synth import FAMILIES, fuzz_specs
+from .events import FindingEvent
 
 #: Default segment length the segmented-vs-monolithic check uses.
 DEFAULT_SEGMENT_INSNS = 2000
@@ -246,13 +247,13 @@ def check_workload(name: str, scale: int = 1,
 def run_fuzz(seeds: range, families: tuple[str, ...] = FAMILIES,
              scale: int = 1, small: bool = False,
              segment_insns: int = DEFAULT_SEGMENT_INSNS,
-             progress: Callable[[ProgramReport, int, int], None]
+             progress: Callable[[FindingEvent], None]
              | None = None) -> FuzzReport:
     """Differential-check every ``(family, seed)`` synthetic program.
 
     ``small=True`` shrinks every family's parameters to smoke budgets
-    (CI's ``fuzz-smoke`` job).  ``progress``, if given, is called as
-    ``progress(report, done, total)`` after each program.
+    (CI's ``fuzz-smoke`` job).  ``progress``, if given, receives one
+    :class:`~repro.engine.events.FindingEvent` per checked program.
     """
     specs = fuzz_specs(seeds, families=families, small=small)
     fuzz = FuzzReport()
@@ -263,7 +264,12 @@ def run_fuzz(seeds: range, families: tuple[str, ...] = FAMILIES,
                                 * DEFAULT_MAX_INSTRUCTIONS)
         fuzz.programs.append(report)
         if progress is not None:
-            progress(report, index + 1, len(specs))
+            progress(FindingEvent(
+                workload=report.workload, scale=report.scale,
+                instructions=report.instructions, ok=report.ok,
+                done=index + 1, total=len(specs),
+                failures=tuple(f"{c.name}: {c.detail}"
+                               for c in report.failures)))
     return fuzz
 
 

@@ -12,8 +12,10 @@ shard finishes; :func:`run_sweep` is the collect-everything wrapper:
   code path, so serial and parallel sweeps are trivially
   deterministic).  Completed shards stream back via ``as_completed``;
   a consumer that stops iterating early (``break`` / ``close()``)
-  abandons only the not-yet-consumed results — already-submitted
-  shards still run to completion so their artifacts land in the store.
+  abandons the not-yet-consumed results — shards already *executing*
+  finish (their artifacts land in the store), still-queued shards are
+  cancelled, so a cancelled service job stops near its next completed
+  shard instead of running the whole grid.
 * When an :class:`~repro.engine.store.ArtifactStore` directory is
   given, workers consult it before emulating or simulating anything
   and persist whatever they compute, so a re-run of the same grid
@@ -21,16 +23,26 @@ shard finishes; :func:`run_sweep` is the collect-everything wrapper:
 * ``limit_insns`` simulates only each trace's first N instructions —
   the cheap-evaluation budget the search engine's successive-halving
   rungs use (:mod:`repro.engine.search`).  Truncated stats are stored
-  under budget-specific keys, never mixed with full-run stats.
+  under budget-specific keys — except when the budget does not
+  actually truncate the trace, in which case the result *is* the full
+  run's and is stored under the full-run key so later full-budget
+  evaluations reuse it instead of re-simulating identical work.
 
-Each worker process keeps a module-level trace cache; the pool
-initializer resets it so counters are exact per sweep.
+All execution state lives in an explicit :class:`ExecutionContext`
+(store binding + bounded LRU trace cache + counters), one per sweep:
+the serial path builds a context local to each generator, so two
+interleaved ``jobs=1`` sweeps — exactly what the streaming service
+(:mod:`repro.engine.service`) produces — can never clobber each
+other's store or corrupt each other's hit/miss accounting; each pool
+worker process builds one in its initializer.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Iterator
@@ -39,83 +51,199 @@ from ..uarch.stats import PipelineStats
 from ..uarch.pipeline import simulate_trace
 from ..workloads import build_trace
 from .campaign import SweepPoint
+from .events import PointEvent
 from .store import ArtifactStore
+
+#: How pool worker processes are started (``None`` = the platform
+#: default, i.e. fork on Linux).  See :func:`set_worker_start_method`.
+_MP_CONTEXT = None
+
+
+def set_worker_start_method(method):
+    """Choose the start method for every subsequent worker pool.
+
+    The single-threaded CLI keeps the platform default (fork on
+    Linux — cheapest startup).  The streaming service switches the
+    process to ``"spawn"``: its job bodies run on executor threads,
+    and ``fork()`` in a multi-threaded process can inherit a lock
+    another thread held mid-operation, deadlocking the child.
+
+    *method* is a start-method name, ``None`` for the platform
+    default, or a context object a previous call returned.  Returns
+    the **displaced** context so a scoped user (the service) can
+    restore exactly what it found rather than clobbering another
+    user's choice.
+    """
+    global _MP_CONTEXT
+    previous = _MP_CONTEXT
+    if method is None or isinstance(method, str):
+        _MP_CONTEXT = (multiprocessing.get_context(method)
+                       if method is not None else None)
+    else:
+        _MP_CONTEXT = method
+    return previous
+
+
+def _pool_kwargs() -> dict:
+    return {"mp_context": _MP_CONTEXT} if _MP_CONTEXT is not None else {}
+
+
+#: Default cap on driver/worker-cached traces.  Shards are grouped by
+#: ``(workload, scale)``, so one cached trace already covers a whole
+#: shard; a handful absorbs per-point sharding's re-visits while
+#: keeping a long-lived ``repro serve`` process from holding every
+#: trace it ever emulated.
+DEFAULT_TRACE_CACHE = 8
+
+
+class ExecutionContext:
+    """Per-sweep execution state: store, trace cache, eviction counter.
+
+    Replaces the old module-level ``_worker_store``/``_worker_traces``
+    globals, which made interleaved serial sweeps clobber each other's
+    store binding (and grew without bound in a long-lived driver).
+    One context belongs to exactly one sweep on the driver side, or to
+    one worker process on the pool side.
+
+    The trace cache is a **bounded LRU** keyed ``(workload, scale)``:
+    at most *max_cached_traces* traces stay resident
+    (``None`` = unbounded); evictions are counted in
+    ``trace_evictions`` and only cost a store unpickle (or, with no
+    store, a re-emulation) on the next touch — results are unaffected.
+    """
+
+    def __init__(self, store_dir: str | os.PathLike | None = None,
+                 max_cached_traces: int | None = DEFAULT_TRACE_CACHE):
+        if max_cached_traces is not None and max_cached_traces < 1:
+            raise ValueError(f"max_cached_traces must be >= 1 or None, "
+                             f"got {max_cached_traces}")
+        self.store = (ArtifactStore(store_dir)
+                      if store_dir is not None else None)
+        self.max_cached_traces = max_cached_traces
+        self._traces: OrderedDict[tuple[str, int], list] = OrderedDict()
+        self.trace_evictions = 0
+
+    @property
+    def cached_traces(self) -> int:
+        return len(self._traces)
+
+    def get_trace(self, workload: str,
+                  scale: int) -> tuple[list, bool, bool]:
+        """The oracle trace plus (emulated, store_hit) flags."""
+        key = (workload, scale)
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._traces.move_to_end(key)
+            return trace, False, False
+        store_hit = False
+        if self.store is not None:
+            trace = self.store.load_trace(workload, scale)
+            store_hit = trace is not None
+        emulated = trace is None
+        if emulated:
+            trace = build_trace(workload, scale).trace
+            if self.store is not None:
+                self.store.save_trace(workload, scale, trace)
+        self._traces[key] = trace
+        if self.max_cached_traces is not None:
+            while len(self._traces) > self.max_cached_traces:
+                self._traces.popitem(last=False)
+                self.trace_evictions += 1
+        return trace, emulated, store_hit
+
+    def run_shard(self, shard: list[tuple[int, str, int, str, object]],
+                  limit_insns: int | None = None
+                  ) -> list[tuple[int, PipelineStats, dict]]:
+        """Execute one shard of (index, workload, scale, variant, config).
+
+        ``limit_insns`` truncates every trace to its first N
+        instructions before simulating (the search engine's
+        cheap-evaluation budget).  Truncated stats go into the store
+        under budget-specific keys — unless the trace is no longer
+        than the budget, in which case the "truncated" run is exactly
+        the full run and is loaded from / saved under the **full-run**
+        key, so a successive-halving promotion to the full budget is a
+        stats cache hit instead of a duplicate simulation + artifact.
+        """
+        out = []
+        for index, workload, scale, variant, config in shard:
+            flags = {"emulated": False, "simulated": False,
+                     "trace_hit": False, "stats_hit": False}
+            stats = None
+            if self.store is not None:
+                stats = self.store.load_stats(workload, scale, config,
+                                              limit_insns=limit_insns)
+                flags["stats_hit"] = stats is not None
+            if stats is None:
+                trace, emulated, trace_hit = self.get_trace(workload,
+                                                            scale)
+                flags["emulated"] = emulated
+                flags["trace_hit"] = trace_hit
+                effective_limit = limit_insns
+                if limit_insns is not None and len(trace) <= limit_insns:
+                    # the budget doesn't truncate this trace: alias to
+                    # the full-run key.  Detecting this needs the
+                    # trace length, so a store whose trace artifact
+                    # was gc-evicted (full-run stats still present)
+                    # pays one trace rebuild before the aliased hit —
+                    # a deliberate trade-off vs persisting lengths as
+                    # their own artifact kind
+                    effective_limit = None
+                    if self.store is not None:
+                        stats = self.store.load_stats(workload, scale,
+                                                      config)
+                        flags["stats_hit"] = stats is not None
+                if stats is None:
+                    if effective_limit is not None:
+                        trace = trace[:effective_limit]
+                    stats = simulate_trace(trace, config)
+                    flags["simulated"] = True
+                    if self.store is not None:
+                        self.store.save_stats(
+                            workload, scale, config, stats,
+                            limit_insns=effective_limit)
+            out.append((index, stats, flags))
+        return out
+
+    def prewarm_shard(self, shard: list[tuple[str, int]]
+                      ) -> list[tuple[str, int, int, bool]]:
+        """Ensure traces exist for (workload, scale) pairs + lengths."""
+        out = []
+        for workload, scale in shard:
+            trace, emulated, _ = self.get_trace(workload, scale)
+            out.append((workload, scale, len(trace), emulated))
+        return out
+
 
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
 
-_worker_store: ArtifactStore | None = None
-_worker_traces: dict = {}
+#: One context per worker *process* (set by the pool initializer).  A
+#: module global is the only channel ``ProcessPoolExecutor`` offers,
+#: but each worker process belongs to exactly one pool — i.e. one
+#: sweep — so unlike the old driver-side globals this is genuinely
+#: per-sweep state.
+_worker_context: ExecutionContext | None = None
 
 
-def _init_worker(store_dir: str | None) -> None:
-    """Pool initializer: bind the store and reset the trace cache."""
-    global _worker_store, _worker_traces
-    _worker_store = ArtifactStore(store_dir) if store_dir else None
-    _worker_traces = {}
-
-
-def _worker_get_trace(workload: str, scale: int) -> tuple[list, bool, bool]:
-    """The oracle trace plus (emulated, store_hit) flags."""
-    key = (workload, scale)
-    trace = _worker_traces.get(key)
-    if trace is not None:
-        return trace, False, False
-    store_hit = False
-    if _worker_store is not None:
-        trace = _worker_store.load_trace(workload, scale)
-        store_hit = trace is not None
-    emulated = trace is None
-    if emulated:
-        trace = build_trace(workload, scale).trace
-        if _worker_store is not None:
-            _worker_store.save_trace(workload, scale, trace)
-    _worker_traces[key] = trace
-    return trace, emulated, store_hit
+def _init_worker(store_dir: str | None,
+                 max_cached_traces: int | None = DEFAULT_TRACE_CACHE
+                 ) -> None:
+    """Pool initializer: build this worker process's context."""
+    global _worker_context
+    _worker_context = ExecutionContext(store_dir, max_cached_traces)
 
 
 def _run_shard(shard: list[tuple[int, str, int, str, object]],
                limit_insns: int | None = None
                ) -> list[tuple[int, PipelineStats, dict]]:
-    """Execute one shard of (index, workload, scale, variant, config).
-
-    ``limit_insns`` truncates every trace to its first N instructions
-    before simulating (the search engine's cheap-evaluation budget);
-    truncated stats go into the store under budget-specific keys.
-    """
-    out = []
-    for index, workload, scale, variant, config in shard:
-        flags = {"emulated": False, "simulated": False,
-                 "trace_hit": False, "stats_hit": False}
-        stats = None
-        if _worker_store is not None:
-            stats = _worker_store.load_stats(workload, scale, config,
-                                             limit_insns=limit_insns)
-            flags["stats_hit"] = stats is not None
-        if stats is None:
-            trace, emulated, trace_hit = _worker_get_trace(workload, scale)
-            flags["emulated"] = emulated
-            flags["trace_hit"] = trace_hit
-            if limit_insns is not None:
-                trace = trace[:limit_insns]
-            stats = simulate_trace(trace, config)
-            flags["simulated"] = True
-            if _worker_store is not None:
-                _worker_store.save_stats(workload, scale, config, stats,
-                                         limit_insns=limit_insns)
-        out.append((index, stats, flags))
-    return out
+    return _worker_context.run_shard(shard, limit_insns)
 
 
 def _prewarm_shard(shard: list[tuple[str, int]]
                    ) -> list[tuple[str, int, int, bool]]:
-    """Ensure traces exist for (workload, scale) pairs; report lengths."""
-    out = []
-    for workload, scale in shard:
-        trace, emulated, _ = _worker_get_trace(workload, scale)
-        out.append((workload, scale, len(trace), emulated))
-    return out
+    return _worker_context.prewarm_shard(shard)
 
 
 # ----------------------------------------------------------------------
@@ -224,20 +352,29 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
                    store_dir: str | os.PathLike | None = None,
                    counters: dict | None = None,
                    limit_insns: int | None = None,
-                   shard_by_point: bool = False
+                   shard_by_point: bool = False,
+                   max_cached_traces: int | None = DEFAULT_TRACE_CACHE
                    ) -> Iterator[tuple[int, PointResult]]:
     """Execute a sweep grid incrementally, yielding per-point results.
 
     A generator over ``(grid_index, PointResult)`` pairs in
     **completion order** (shards finish whenever their worker does;
     within a shard, points come back in grid order).  The caller can
-    stop consuming at any time — an early ``break`` abandons only the
-    results it has not read; shards already submitted to the pool run
-    to completion so their artifacts still land in the store.
+    stop consuming at any time — an early ``break`` abandons the
+    results it has not read; shards already executing on workers
+    finish (their artifacts still land in the store) while still-
+    queued shards are cancelled.
+
+    The generator is fully **re-entrant**: every invocation owns a
+    private :class:`ExecutionContext`, so interleaving two serial
+    sweeps against two different stores (the streaming service's
+    normal mode) keeps their stores, caches, and counters disjoint.
 
     ``counters``, if given, is a dict the generator updates in place
     (``points``/``shards``/``emulations``/``simulations``/
-    ``trace_cache_hits``/``stats_cache_hits``) — read it after
+    ``trace_cache_hits``/``stats_cache_hits``/``trace_evictions`` —
+    the last counts driver-side LRU evictions, always 0 on the pool
+    path where eviction happens inside workers) — read it after
     exhausting the iterator for final totals.
 
     ``limit_insns`` simulates only each trace's first N instructions:
@@ -252,6 +389,9 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
     store it would re-emulate per point.  The search engine uses this
     for candidate batches, which are exactly the many-variants/
     few-workloads shape.
+
+    ``max_cached_traces`` bounds every context's LRU trace cache
+    (``None`` = unbounded).
     """
     jobs = resolve_jobs(jobs)
     store_dir = os.fspath(store_dir) if store_dir is not None else None
@@ -260,7 +400,8 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
         counters = {}
     counters.update({"points": len(points), "shards": len(shards),
                      "emulations": 0, "simulations": 0,
-                     "trace_cache_hits": 0, "stats_cache_hits": 0})
+                     "trace_cache_hits": 0, "stats_cache_hits": 0,
+                     "trace_evictions": 0})
 
     def _absorb(shard_out) -> list[tuple[int, PointResult]]:
         absorbed = []
@@ -277,28 +418,45 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
         return absorbed
 
     if jobs == 1 or len(shards) <= 1:
-        _init_worker(store_dir)
+        context = ExecutionContext(store_dir, max_cached_traces)
         for shard in shards:
-            yield from _absorb(_run_shard(shard, limit_insns))
+            shard_out = context.run_shard(shard, limit_insns)
+            # before the yields: a consumer that breaks mid-shard
+            # must still see this shard's evictions
+            counters["trace_evictions"] = context.trace_evictions
+            yield from _absorb(shard_out)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
-                                 initializer=_init_worker,
-                                 initargs=(store_dir,)) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
+                                   initializer=_init_worker,
+                                   initargs=(store_dir,
+                                             max_cached_traces),
+                                   **_pool_kwargs())
+        try:
             futures = [pool.submit(_run_shard, shard, limit_insns)
                        for shard in shards]
             for future in as_completed(futures):
                 yield from _absorb(future.result())
+        finally:
+            # an abandoned generator (early break / close(), or a
+            # cancelled service job) must not run the rest of the
+            # grid: shards already *executing* finish (their
+            # artifacts land in the store), still-queued shards are
+            # cancelled
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
               store_dir: str | os.PathLike | None = None,
-              progress=None, segment_insns: int | None = None
+              progress=None, segment_insns: int | None = None,
+              max_cached_traces: int | None = DEFAULT_TRACE_CACHE
               ) -> SweepResult:
     """Execute a sweep grid, optionally in parallel and/or persisted.
 
     Collects :func:`run_sweep_iter` into a :class:`SweepResult` in
     grid order.  ``progress``, if given, is called after every
-    completed point as ``progress(done_points, total_points, label)``.
+    completed point with a :class:`~repro.engine.events.PointEvent`
+    (or, on the segmented path, per completed unit with a
+    :class:`~repro.engine.events.SegmentEvent`).
 
     ``segment_insns`` switches to the segmented engine
     (:func:`repro.engine.segments.run_segmented_sweep`): traces are
@@ -316,11 +474,15 @@ def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
     done = 0
     for index, result in run_sweep_iter(points, jobs=jobs,
                                         store_dir=store_dir,
-                                        counters=counters):
+                                        counters=counters,
+                                        max_cached_traces=
+                                        max_cached_traces):
         slots[index] = result
         done += 1
         if progress is not None:
-            progress(done, len(points), result.point.label)
+            progress(PointEvent(label=result.point.label, done=done,
+                                total=len(points),
+                                from_cache=result.from_cache))
     return SweepResult(results=slots, counters=counters,
                        elapsed=time.perf_counter() - started,
                        jobs=resolve_jobs(jobs))
@@ -340,12 +502,13 @@ def run_trace_prewarm(pairs: list[tuple[str, int]], jobs: int | None,
     shards = [[pair] for pair in dict.fromkeys(pairs)]
     counters = {"traces": len(shards), "emulations": 0}
     if jobs == 1 or len(shards) <= 1:
-        _init_worker(store_dir)
-        outs = [_prewarm_shard(shard) for shard in shards]
+        context = ExecutionContext(store_dir)
+        outs = [context.prewarm_shard(shard) for shard in shards]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
                                  initializer=_init_worker,
-                                 initargs=(store_dir,)) as pool:
+                                 initargs=(store_dir,),
+                                 **_pool_kwargs()) as pool:
             outs = list(pool.map(_prewarm_shard, shards))
     for out in outs:
         counters["emulations"] += sum(emulated for *_, emulated in out)

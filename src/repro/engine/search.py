@@ -41,8 +41,9 @@ from dataclasses import dataclass, field
 from ..uarch.config import MachineConfig, default_config
 from ..workloads import get_workload, suite_workloads
 from .campaign import SweepPoint, _parse_value, apply_override
-from .pool import (PointResult, resolve_jobs, run_sweep_iter,
-                   run_trace_prewarm)
+from .events import EvaluationEvent, PointEvent
+from .pool import (DEFAULT_TRACE_CACHE, PointResult, resolve_jobs,
+                   run_sweep_iter, run_trace_prewarm)
 from .store import ArtifactStore
 
 # ----------------------------------------------------------------------
@@ -335,7 +336,7 @@ class _Evaluator:
                     limit_insns: int | None) -> str:
         return f"{candidate.label}@{limit_insns or 'full'}"
 
-    def _emit(self, event: dict) -> None:
+    def _emit(self, event) -> None:
         if self.progress is not None:
             self.progress(event)
 
@@ -346,9 +347,10 @@ class _Evaluator:
                                 limit_insns=limit_insns,
                                 points=entry.get("points", {}),
                                 from_ledger=True)
-        self._emit({"kind": "evaluation", "candidate": candidate.label,
-                    "score": evaluation.score,
-                    "limit_insns": limit_insns, "from_ledger": True})
+        self._emit(EvaluationEvent(candidate=candidate.label,
+                                   score=evaluation.score,
+                                   limit_insns=limit_insns,
+                                   from_ledger=True))
         return evaluation
 
     def _completed(self, candidate: Candidate, results: list[PointResult],
@@ -371,9 +373,9 @@ class _Evaluator:
             # at evaluation granularity
             self.store.save_search_manifest(
                 self.identity, {"evaluations": self.ledger})
-        self._emit({"kind": "evaluation", "candidate": candidate.label,
-                    "score": score, "limit_insns": limit_insns,
-                    "from_ledger": False})
+        self._emit(EvaluationEvent(candidate=candidate.label,
+                                   score=score, limit_insns=limit_insns,
+                                   from_ledger=False))
         return Evaluation(candidate=candidate, score=score,
                           limit_insns=limit_insns, points=summaries)
 
@@ -423,18 +425,23 @@ class _Evaluator:
                 {i: [] for i, _ in pending}
             by_index = dict(pending)
             sweep_counters: dict = {}
+            # per-point shards cycle every worker through the whole
+            # (workload x scale) set once per candidate, so the trace
+            # cache must hold the full set or cyclic reuse would
+            # thrash an 8-entry LRU into all-misses
+            cache_slots = max(per_candidate, DEFAULT_TRACE_CACHE)
             for index, result in run_sweep_iter(
                     points, jobs=self.jobs, store_dir=self.store_dir,
                     counters=sweep_counters, limit_insns=limit_insns,
-                    shard_by_point=fine):
+                    shard_by_point=fine,
+                    max_cached_traces=cache_slots):
                 batch_index = owners[index]
                 bucket = gathered[batch_index]
                 bucket.append(result)
-                self._emit({"kind": "point",
-                            "candidate": by_index[batch_index].label,
-                            "point": result.point.label,
-                            "done": len(bucket),
-                            "total": per_candidate})
+                self._emit(PointEvent(
+                    label=result.point.label, done=len(bucket),
+                    total=per_candidate, from_cache=result.from_cache,
+                    candidate=by_index[batch_index].label))
                 if len(bucket) == per_candidate:
                     slots[batch_index] = self._completed(
                         by_index[batch_index], bucket, limit_insns)
@@ -636,8 +643,10 @@ def run_search(space: SearchSpace, *, workloads: tuple[str, ...],
 
     ``budget`` caps the number of **candidates considered** (grid:
     first N in grid order; random/halving: N seeded samples); ``None``
-    considers the whole space.  ``progress``, if given, receives
-    per-point and per-evaluation event dicts as they happen.  With
+    considers the whole space.  ``progress``, if given, receives typed
+    :class:`~repro.engine.events.PointEvent` /
+    :class:`~repro.engine.events.EvaluationEvent` objects as they
+    happen.  With
     ``store_dir`` every completed evaluation is ledgered in a search
     manifest, so re-running a killed search resumes where it stopped.
     Without one, a run-scoped scratch store still carries traces and

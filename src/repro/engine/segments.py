@@ -44,6 +44,7 @@ from ..uarch.pipeline import simulate_trace
 from ..uarch.stats import PipelineStats
 from ..workloads import build_program
 from .campaign import SweepPoint
+from .events import SegmentEvent
 from .pool import PointResult, SweepResult, resolve_jobs
 from .store import ArtifactStore
 
@@ -192,6 +193,12 @@ def simulate_workload_segmented(workload: str, config: MachineConfig,
 # worker side (module-level so ProcessPoolExecutor can pickle them)
 # ----------------------------------------------------------------------
 
+#: One store binding per worker *process* (set by the pool
+#: initializer).  Segment workers never touch whole-workload traces,
+#: so they need no :class:`~repro.engine.pool.ExecutionContext` — and
+#: the serial path passes an explicit per-call store instead of this
+#: global, so two interleaved segmented sweeps in one driver process
+#: stay disjoint.
 _worker_store: ArtifactStore | None = None
 
 
@@ -200,16 +207,19 @@ def _init_worker(store_dir: str) -> None:
     _worker_store = ArtifactStore(store_dir)
 
 
-def _plan_task(task: tuple[str, int, int, int]
+def _plan_task(task: tuple[str, int, int, int],
+               store: ArtifactStore | None = None
                ) -> tuple[str, int, dict, dict]:
     """Plan one (workload, scale); returns its manifest + counters."""
+    store = store if store is not None else _worker_store
     workload, scale, segment_insns, max_instructions = task
     plan, counters = plan_segments(workload, scale, segment_insns,
-                                   _worker_store, max_instructions)
+                                   store, max_instructions)
     return workload, scale, plan.to_manifest(), counters
 
 
-def _simulate_shard(shard: tuple[str, int, int, int, list]
+def _simulate_shard(shard: tuple[str, int, int, int, list],
+                    store: ArtifactStore | None = None
                     ) -> list[tuple[int, int, PipelineStats, bool]]:
     """Simulate one segment for every config that needs it.
 
@@ -217,24 +227,25 @@ def _simulate_shard(shard: tuple[str, int, int, int, list]
     [(point_index, config), ...])``; the segment trace is unpickled at
     most once no matter how many machine variants consume it.
     """
+    store = store if store is not None else _worker_store
     workload, scale, segment_insns, seg_index, items = shard
     out = []
     trace = None
     for point_index, config in items:
-        stats = _worker_store.load_segment_stats(
+        stats = store.load_segment_stats(
             workload, scale, segment_insns, seg_index, config)
         hit = stats is not None
         if stats is None:
             if trace is None:
-                trace = _worker_store.load_segment_trace(
+                trace = store.load_segment_trace(
                     workload, scale, segment_insns, seg_index)
                 if trace is None:
                     raise RuntimeError(
                         f"segment trace {workload}@{scale}#{seg_index} "
-                        f"missing from store {_worker_store.root}")
+                        f"missing from store {store.root}")
             stats = simulate_trace(trace, config)
-            _worker_store.save_segment_stats(workload, scale, segment_insns,
-                                             seg_index, config, stats)
+            store.save_segment_stats(workload, scale, segment_insns,
+                                     seg_index, config, stats)
         out.append((point_index, seg_index, stats, hit))
     return out
 
@@ -259,8 +270,10 @@ def run_segmented_sweep(points: list[SweepPoint], segment_insns: int,
     re-run against the same store performs zero emulation and zero
     segment simulations.
 
-    ``progress(done_units, total_units, message)`` is called after
-    every completed planning task and simulation shard.
+    ``progress`` receives one
+    :class:`~repro.engine.events.SegmentEvent` after every completed
+    planning task (``phase="plan"``) and simulation shard
+    (``phase="simulate"``).
     """
     if segment_insns <= 0:
         raise ValueError(f"segment_insns must be > 0, got {segment_insns}")
@@ -280,30 +293,44 @@ def run_segmented_sweep(points: list[SweepPoint], segment_insns: int,
 
 
 def _dispatch_units(units: list, worker, absorb, jobs: int, store_dir: str,
-                    progress, total: int) -> None:
+                    progress, total: int, phase: str) -> None:
     """Run *worker* over *units* inline or on a process pool.
 
     ``absorb(result) -> (done, message)`` folds each completed unit
-    into the caller's state; ``progress(done, total, message)`` is
-    invoked after each one.  ``jobs == 1`` (or a single unit) uses the
-    same worker code inline, so serial and parallel runs are
-    byte-for-byte identical.
+    into the caller's state; ``progress`` receives one
+    :class:`~repro.engine.events.SegmentEvent` (tagged *phase*) per
+    completed unit.  ``jobs == 1`` (or a single unit) uses the same
+    worker code inline — against a call-local store, never a module
+    global, so interleaved serial sweeps stay disjoint — making
+    serial and parallel runs byte-for-byte identical.
     """
+    def emit(done: int, message: str) -> None:
+        if progress is not None:
+            progress(SegmentEvent(message=message, done=done,
+                                  total=total, phase=phase))
+
     if jobs == 1 or len(units) <= 1:
-        _init_worker(store_dir)
+        store = ArtifactStore(store_dir)
         for unit in units:
-            done, message = absorb(worker(unit))
-            if progress is not None:
-                progress(done, total, message)
+            done, message = absorb(worker(unit, store=store))
+            emit(done, message)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(units)),
-                                 initializer=_init_worker,
-                                 initargs=(store_dir,)) as pool:
+        from .pool import _pool_kwargs
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(units)),
+                                   initializer=_init_worker,
+                                   initargs=(store_dir,),
+                                   **_pool_kwargs())
+        try:
             futures = [pool.submit(worker, unit) for unit in units]
             for future in as_completed(futures):
                 done, message = absorb(future.result())
-                if progress is not None:
-                    progress(done, total, message)
+                emit(done, message)
+        finally:
+            # a consumer that bails (a cancelled service job raising
+            # from its progress callback) stops near the next
+            # completed unit: running units finish, queued units are
+            # cancelled
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def _run_segmented(points: list[SweepPoint], segment_insns: int, jobs: int,
@@ -331,7 +358,7 @@ def _run_segmented(points: list[SweepPoint], segment_insns: int, jobs: int,
                             f"segments)")
 
     _dispatch_units(tasks, _plan_task, _absorb_plan, jobs, store_dir,
-                    progress, total=len(tasks))
+                    progress, total=len(tasks), phase="plan")
 
     # ---- phase 2: fan (config x segment) units across workers --------
     shards: dict[tuple[str, int, int], list] = {}
@@ -365,7 +392,8 @@ def _run_segmented(points: list[SweepPoint], segment_insns: int, jobs: int,
                       f"segment {seg_index} ({len(shard_out)} configs)")
 
     _dispatch_units(shard_list, _simulate_shard, _absorb_shard, jobs,
-                    store_dir, progress, total=total_units)
+                    store_dir, progress, total=total_units,
+                    phase="simulate")
 
     # ---- phase 3: reduce per-segment partials in segment order -------
     counters["simulations"] = counters["segment_simulations"]

@@ -1,0 +1,856 @@
+"""Async streaming results service: named concurrent engine jobs.
+
+The :class:`JobManager` runs sweeps, design-space searches, segmented
+sweeps, and fuzz campaigns as **named concurrent jobs** sharing one
+artifact store.  Each job emits the engine's unified typed event
+stream (:mod:`repro.engine.events`) — buffered per job, so a client
+that attaches late replays history before tailing live events.  This
+is only sound because sweep execution state lives in per-sweep
+:class:`~repro.engine.pool.ExecutionContext` objects: two jobs
+interleaving in one process can no longer clobber each other's store
+binding or hit/miss accounting.
+
+Two front ends expose the manager:
+
+* ``repro serve`` — :class:`ServiceServer`, a small stdlib-only HTTP
+  server (hand-rolled on :func:`asyncio.start_server`) speaking
+  JSON over four endpoints::
+
+      POST   /jobs             submit {"kind": ..., ...spec} -> 201
+      GET    /jobs             job summaries
+      GET    /jobs/<id>/events JSON-lines event stream (replays
+                               history, then tails until the job ends)
+      DELETE /jobs/<id>        request cancellation
+
+* ``repro watch`` — :func:`watch_job`, a blocking client that tails
+  one job's event stream and pretty-prints it.
+
+Execution model: job bodies are the engine's synchronous,
+process-pool-driven entry points, so the manager runs each in a
+thread (``run_in_executor``) and marshals its events back onto the
+event loop with ``call_soon_threadsafe``.  Cancellation is
+cooperative — a ``DELETE`` sets the job's cancel flag, which the job
+body observes at its next event emission or completed point.  A
+client disconnecting mid-stream detaches only that stream; the job —
+and everything else already submitted — keeps running.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import hashlib
+import json
+import shutil
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Callable
+
+from ..uarch.config import default_config
+from ..workloads.synth import FAMILIES
+from .campaign import Campaign, parse_axis, split_workloads
+from .differential import DEFAULT_SEGMENT_INSNS, run_fuzz
+from .events import (Event, JobFailedEvent, JobFinishedEvent,
+                     JobStartedEvent)
+from .pool import resolve_jobs, run_sweep, set_worker_start_method
+from .search import (STRATEGIES, SearchSpace, make_objective,
+                     resolve_search_workloads, run_search)
+from .segments import run_segmented_sweep
+
+JOB_KINDS = ("sweep", "search", "segments", "fuzz")
+
+#: Recognized spec keys per job kind.  Submissions naming anything
+#: else are rejected with a 400: a typo (``"workload"``) would
+#: otherwise be dropped on the floor and — for sweeps — silently
+#: expand the grid to all 22 kernels.
+_COMMON_KEYS = frozenset({"kind", "name"})
+_SPEC_KEYS = {
+    "sweep": _COMMON_KEYS | {"workloads", "suite", "scales", "axes",
+                             "optimized", "baseline"},
+    "segments": _COMMON_KEYS | {"workloads", "suite", "scales", "axes",
+                                "optimized", "baseline",
+                                "segment_insns"},
+    "search": _COMMON_KEYS | {"workloads", "suite", "scales", "dims",
+                              "strategy", "budget", "objective",
+                              "weights", "seed", "rung_insns",
+                              "optimized"},
+    "fuzz": _COMMON_KEYS | {"seeds", "families", "scale", "small",
+                            "segment_insns"},
+}
+
+#: Job states.  ``cancelled`` is terminal; ``pending`` jobs sit in the
+#: executor queue waiting for a thread.
+TERMINAL_STATES = ("finished", "failed", "cancelled")
+
+
+class JobCancelled(Exception):
+    """Raised inside a job body when its cancel flag is observed."""
+
+
+class ServiceError(ValueError):
+    """A client-facing error (bad spec, unknown job) with an HTTP status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Job:
+    """One named unit of engine work plus its buffered event history."""
+
+    id: str
+    kind: str
+    name: str
+    spec: dict
+    status: str = "pending"
+    events: list[Event] = field(default_factory=list)
+    result: dict | None = None
+    error: str = ""
+    cancel: threading.Event = field(default_factory=threading.Event)
+
+    def summary(self) -> dict:
+        """JSON-ready state snapshot (the ``GET /jobs`` row)."""
+        summary = {"id": self.id, "kind": self.kind, "name": self.name,
+                   "status": self.status, "events": len(self.events)}
+        if self.error:
+            summary["error"] = self.error
+        return summary
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# job bodies (run on executor threads; emit via a thread-safe callback)
+# ----------------------------------------------------------------------
+
+
+def _spec_scales(spec: dict) -> list[int]:
+    """The spec's scales as a validated int list.
+
+    A string would otherwise be iterated character by character
+    (``"12"`` -> scales 1 and 2) — reject anything but a list/tuple
+    of integers, in keeping with the submit-time strictness that
+    rejects unknown keys.
+    """
+    scales = spec.get("scales", [1])
+    if not isinstance(scales, (list, tuple)) or not scales:
+        raise ValueError(f"scales must be a non-empty list of "
+                         f"integers, got {scales!r}")
+    return [int(s) for s in scales]
+
+
+def _campaign_from_spec(spec: dict) -> Campaign:
+    base = default_config()
+    if spec.get("optimized"):
+        base = base.with_optimizer()
+    workloads = spec.get("workloads")
+    if isinstance(workloads, str):
+        workloads = split_workloads(workloads)
+    return Campaign.from_axes(
+        workloads=workloads, suite=spec.get("suite"),
+        scales=_spec_scales(spec), base=base,
+        axes=[parse_axis(s) for s in spec.get("axes", [])],
+        include_baseline=bool(spec.get("baseline", False)))
+
+
+def _sweep_body(spec: dict, store_dir: str, jobs: int,
+                emit: Callable[[Event], None]) -> dict:
+    # emit() raises JobCancelled when the cancel flag is set and
+    # run_sweep calls it after every completed point, so cancellation
+    # needs no extra plumbing here
+    points = _campaign_from_spec(spec).points()
+    sweep = run_sweep(points, jobs=jobs, store_dir=store_dir,
+                      progress=emit)
+    ledger = sweep.ledger_json()
+    return {"points": len(points), "counters": dict(sweep.counters),
+            "ledger": ledger, "ledger_sha256": _sha256(ledger)}
+
+
+def _segments_body(spec: dict, store_dir: str, jobs: int,
+                   emit: Callable[[Event], None]) -> dict:
+    segment_insns = int(spec["segment_insns"])  # validated at submit
+    points = _campaign_from_spec(spec).points()
+    sweep = run_segmented_sweep(points, segment_insns, jobs=jobs,
+                                store_dir=store_dir, progress=emit)
+    ledger = sweep.ledger_json()
+    return {"points": len(points), "counters": dict(sweep.counters),
+            "ledger": ledger, "ledger_sha256": _sha256(ledger)}
+
+
+def _search_body(spec: dict, store_dir: str, jobs: int,
+                 emit: Callable[[Event], None]) -> dict:
+    space = SearchSpace.from_specs(list(spec["dims"]))
+    workloads_spec = spec.get("workloads")
+    if isinstance(workloads_spec, str):
+        workloads_spec = split_workloads(workloads_spec)
+    workloads = resolve_search_workloads(workloads_spec,
+                                         spec.get("suite"))
+    base = default_config()
+    if spec.get("optimized"):
+        base = base.with_optimizer()
+    kwargs = {}
+    if spec.get("rung_insns"):
+        kwargs["rung_insns"] = int(spec["rung_insns"])
+    budget = spec.get("budget")
+    result = run_search(
+        space, workloads=workloads,
+        scales=tuple(_spec_scales(spec)),
+        base=base, strategy=spec.get("strategy", "random"),
+        budget=int(budget) if budget is not None else None,
+        objective=make_objective(spec.get("objective", "geomean-ipc"),
+                                 spec.get("weights")),
+        seed=int(spec.get("seed", 0)), jobs=jobs, store_dir=store_dir,
+        progress=emit, **kwargs)
+    ledger = result.ledger_json()
+    return {"best": result.best.candidate.label,
+            "score": result.best.score,
+            "evaluations": len(result.evaluations),
+            "counters": dict(result.counters),
+            "ledger": ledger, "ledger_sha256": _sha256(ledger)}
+
+
+def _fuzz_body(spec: dict, store_dir: str, jobs: int,
+               emit: Callable[[Event], None]) -> dict:
+    seeds = spec.get("seeds", [0, 8])
+    families = spec.get("families")
+    fuzz = run_fuzz(
+        range(int(seeds[0]), int(seeds[1])),
+        **({"families": tuple(families)} if families else {}),
+        scale=int(spec.get("scale", 1)),
+        small=bool(spec.get("small", False)),
+        segment_insns=int(spec.get("segment_insns",
+                                   DEFAULT_SEGMENT_INSNS)),
+        progress=emit)
+    return {"ok": fuzz.ok, "programs": len(fuzz.programs),
+            "failed": len(fuzz.failed)}
+
+
+_JOB_BODIES = {"sweep": _sweep_body, "segments": _segments_body,
+               "search": _search_body, "fuzz": _fuzz_body}
+
+
+# ----------------------------------------------------------------------
+# the job manager
+# ----------------------------------------------------------------------
+
+
+class JobManager:
+    """Run engine jobs concurrently over one shared artifact store.
+
+    ``store_dir=None`` creates a manager-lifetime scratch store
+    (removed on :meth:`close`).  ``jobs`` is the worker-process count
+    each job's sweeps use (1 = serial in the job's thread);
+    ``max_concurrent_jobs`` bounds how many jobs execute at once —
+    excess submissions queue in ``pending`` state.
+
+    Not thread-safe by itself: all public coroutines must run on one
+    event loop.  Job bodies run on executor threads and communicate
+    only through ``call_soon_threadsafe``.
+    """
+
+    def __init__(self, store_dir: str | None = None, jobs: int = 1,
+                 max_concurrent_jobs: int = 4,
+                 max_finished_jobs: int = 64,
+                 max_active_jobs: int = 128):
+        if max_concurrent_jobs < 1:
+            raise ValueError(f"max_concurrent_jobs must be >= 1, "
+                             f"got {max_concurrent_jobs}")
+        if max_finished_jobs < 1:
+            raise ValueError(f"max_finished_jobs must be >= 1, "
+                             f"got {max_finished_jobs}")
+        if max_active_jobs < 1:
+            raise ValueError(f"max_active_jobs must be >= 1, "
+                             f"got {max_active_jobs}")
+        self.max_finished_jobs = max_finished_jobs
+        self.max_active_jobs = max_active_jobs
+        self._scratch_dir: str | None = None
+        if store_dir is None:
+            self._scratch_dir = tempfile.mkdtemp(prefix="repro-serve-")
+            atexit.register(shutil.rmtree, self._scratch_dir,
+                            ignore_errors=True)
+            store_dir = self._scratch_dir
+        self.store_dir = str(store_dir)
+        self.jobs = jobs
+        self._set_spawn = resolve_jobs(jobs) > 1
+        if self._set_spawn:
+            # job bodies run on executor threads; forking a worker
+            # pool from a multi-threaded process can inherit a lock
+            # held mid-operation by another thread and deadlock the
+            # child, so the service's pools use spawn (close()
+            # restores whatever this displaced — the setting must
+            # not outlive the manager or clobber another user's)
+            self._displaced_context = set_worker_start_method("spawn")
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrent_jobs,
+            thread_name_prefix="repro-job")
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._sequence = 0
+        self._changed = asyncio.Event()
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- submission ----------------------------------------------------
+
+    async def submit(self, spec: dict) -> Job:
+        """Validate *spec*, register a job, and start it. Returns it."""
+        if not isinstance(spec, dict):
+            raise ServiceError("job spec must be a JSON object")
+        kind = spec.get("kind")
+        if kind not in JOB_KINDS:
+            raise ServiceError(f"unknown job kind {kind!r}; expected "
+                               f"one of {', '.join(JOB_KINDS)}")
+        # backpressure: running + queued jobs are bounded, the same
+        # unbounded-growth class the trace cache and finished-job
+        # history fixes address
+        active = sum(1 for job in self._jobs.values()
+                     if job.status not in TERMINAL_STATES)
+        if active >= self.max_active_jobs:
+            raise ServiceError(
+                f"job queue full ({active} active jobs); retry after "
+                f"some finish or are cancelled", status=429)
+        unknown = sorted(set(spec) - _SPEC_KEYS[kind])
+        if unknown:
+            raise ServiceError(
+                f"unknown {kind} spec keys {unknown}; known: "
+                f"{sorted(_SPEC_KEYS[kind] - _COMMON_KEYS)}")
+        self._sequence += 1
+        job_id = f"j{self._sequence}"
+        name = str(spec.get("name") or job_id)
+        job = Job(id=job_id, kind=kind, name=name,
+                  spec={k: v for k, v in spec.items()
+                        if k not in ("kind", "name")})
+        # surface bad specs as a 400 now, not a failed job later: build
+        # the campaign/space eagerly (cheap — no simulation happens)
+        try:
+            if kind in ("sweep", "segments"):
+                # .size, not .points(): a huge grid must not be
+                # materialized on the event loop just to validate
+                campaign = _campaign_from_spec(job.spec)
+                if kind == "segments" \
+                        and int(job.spec.get("segment_insns", 0)) <= 0:
+                    raise ValueError("segments job needs "
+                                     "segment_insns > 0")
+                if campaign.size == 0:
+                    raise ValueError("sweep spec names an empty grid")
+            elif kind == "search":
+                if not job.spec.get("dims"):
+                    raise ValueError("search job needs a dims list")
+                _spec_scales(job.spec)
+                SearchSpace.from_specs(list(job.spec["dims"]))
+                resolve_search_workloads(
+                    split_workloads(job.spec["workloads"])
+                    if isinstance(job.spec.get("workloads"), str)
+                    else job.spec.get("workloads"),
+                    job.spec.get("suite"))
+                strategy = job.spec.get("strategy", "random")
+                if strategy not in STRATEGIES:
+                    raise ValueError(
+                        f"unknown strategy {strategy!r}; expected "
+                        f"one of {', '.join(STRATEGIES)}")
+                make_objective(job.spec.get("objective", "geomean-ipc"),
+                               job.spec.get("weights"))
+                int(job.spec.get("seed", 0))
+                for bound in ("budget", "rung_insns"):
+                    value = job.spec.get(bound)
+                    if value is not None and int(value) <= 0:
+                        raise ValueError(f"{bound} must be > 0, "
+                                         f"got {value}")
+            elif kind == "fuzz":
+                seeds = job.spec.get("seeds", [0, 8])
+                # a string like "19" would pass a bare len()==2 check
+                # and fuzz range(1, 9) — same class _spec_scales guards
+                if not isinstance(seeds, (list, tuple)) \
+                        or len(seeds) != 2 \
+                        or int(seeds[0]) >= int(seeds[1]):
+                    raise ValueError(f"bad fuzz seeds {seeds!r}; "
+                                     f"expected [lo, hi) with lo < hi")
+                int(job.spec.get("scale", 1))
+                unknown = [f for f in job.spec.get("families", [])
+                           if f not in FAMILIES]
+                if unknown:
+                    raise ValueError(f"unknown families {unknown}; "
+                                     f"known: {list(FAMILIES)}")
+        except ServiceError:
+            raise
+        except (ValueError, TypeError, AttributeError, KeyError) as err:
+            raise ServiceError(str(err)) from err
+        self._jobs[job_id] = job
+        self._order.append(job_id)
+        task = asyncio.create_task(self._run(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return job
+
+    async def _run(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+
+        def emit(event: Event) -> None:
+            """Thread-safe publish; doubles as the cancel checkpoint."""
+            if job.cancel.is_set():
+                raise JobCancelled()
+            loop.call_soon_threadsafe(self._append, job, event)
+
+        body = _JOB_BODIES[job.kind]
+
+        def execute():
+            """The executor callable: lifecycle + the job body.
+
+            Runs only once a thread is free, so a job queued behind
+            ``max_concurrent_jobs`` stays ``pending`` (and emits no
+            ``job-started``) until it genuinely starts — and a cancel
+            that lands while it queues skips the body entirely.
+            """
+            if job.cancel.is_set():
+                raise JobCancelled()
+            loop.call_soon_threadsafe(self._mark_running, job)
+            return body(job.spec, self.store_dir, self.jobs, emit)
+
+        try:
+            result = await loop.run_in_executor(self._executor, execute)
+        except JobCancelled:
+            job.status = "cancelled"
+            self._append(job, JobFailedEvent(job=job.id,
+                                             error="cancelled",
+                                             cancelled=True))
+        except Exception as error:
+            job.status = "failed"
+            job.error = f"{type(error).__name__}: {error}"
+            self._append(job, JobFailedEvent(job=job.id,
+                                             error=job.error))
+        else:
+            job.result = result
+            job.status = "finished"
+            self._append(job, JobFinishedEvent(job=job.id,
+                                               result=result))
+        self._prune_finished()
+
+    def _mark_running(self, job: Job) -> None:
+        """Flip pending -> running + job-started (on the loop thread).
+
+        Scheduled from the executor thread before the body's first
+        event, so ``call_soon_threadsafe`` FIFO ordering guarantees
+        ``job-started`` precedes everything the body emits.
+        """
+        if job.status == "pending":
+            job.status = "running"
+            self._append(job, JobStartedEvent(job=job.id,
+                                              job_kind=job.kind,
+                                              name=job.name))
+
+    def _append(self, job: Job, event: Event) -> None:
+        """Record an event and wake every waiting stream (loop thread)."""
+        job.events.append(event)
+        changed, self._changed = self._changed, asyncio.Event()
+        changed.set()
+
+    def _prune_finished(self) -> None:
+        """Cap retained terminal jobs at ``max_finished_jobs``.
+
+        A long-lived server would otherwise hold every job's full
+        event history — including each job-finished event's embedded
+        ledger — forever (the same unbounded-growth class the
+        engine's trace cache fix addresses).  Oldest terminal jobs go
+        first; live streams over a pruned job keep their reference
+        and drain normally, but new lookups 404.
+        """
+        terminal = [job_id for job_id in self._order
+                    if self._jobs[job_id].status in TERMINAL_STATES]
+        for job_id in terminal[:-self.max_finished_jobs]:
+            del self._jobs[job_id]
+            self._order.remove(job_id)
+
+    # -- consumption ---------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"no such job {job_id!r}", status=404)
+        return job
+
+    def list_jobs(self) -> list[dict]:
+        """Summaries in submission order."""
+        return [self._jobs[job_id].summary() for job_id in self._order]
+
+    async def events(self, job_id: str,
+                     heartbeat: float | None = None
+                     ) -> AsyncIterator[Event | None]:
+        """Replay a job's event history, then tail it live.
+
+        Terminates after the job's terminal event (``job-finished`` /
+        ``job-failed``).  A consumer abandoning this iterator detaches
+        nothing but itself — the job keeps running.
+
+        With *heartbeat* set, yields ``None`` whenever that many
+        seconds pass without an event — the HTTP stream turns those
+        into blank keep-alive lines so a client watching a queued or
+        slow job can tell "nothing happened yet" from a dead server.
+        """
+        job = self.get(job_id)
+        index = 0
+        while True:
+            waiter = self._changed
+            while index < len(job.events):
+                event = job.events[index]
+                index += 1
+                yield event
+            if job.status in TERMINAL_STATES \
+                    and index >= len(job.events):
+                return
+            if heartbeat is None:
+                await waiter.wait()
+            else:
+                try:
+                    await asyncio.wait_for(waiter.wait(), heartbeat)
+                # asyncio.TimeoutError only merged into the builtin
+                # on 3.11; setup.py still supports 3.10
+                except (TimeoutError, asyncio.TimeoutError):
+                    yield None
+
+    async def cancel(self, job_id: str) -> Job:
+        """Request cancellation; returns the job (state may lag).
+
+        Cancellation is cooperative: the job flips to ``cancelled``
+        when its body observes the flag at the next emitted event or
+        completed point.  Cancelling a terminal job is a no-op.
+        """
+        job = self.get(job_id)
+        if job.status not in TERMINAL_STATES:
+            job.cancel.set()
+        return job
+
+    async def wait(self, job_id: str) -> Job:
+        """Block until a job reaches a terminal state (test helper)."""
+        job = self.get(job_id)
+        while job.status not in TERMINAL_STATES:
+            waiter = self._changed
+            await waiter.wait()
+        return job
+
+    async def close(self) -> None:
+        """Cancel everything, stop the executor, drop a scratch store."""
+        for job in self._jobs.values():
+            if job.status not in TERMINAL_STATES:
+                job.cancel.set()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        if self._set_spawn:
+            set_worker_start_method(self._displaced_context)
+        if self._scratch_dir is not None:
+            shutil.rmtree(self._scratch_dir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# HTTP front end (stdlib only: asyncio.start_server + hand-rolled HTTP)
+# ----------------------------------------------------------------------
+
+_MAX_BODY_BYTES = 1 << 20  # a job spec has no business being > 1 MiB
+
+
+class ServiceServer:
+    """JSON-over-HTTP front end for a :class:`JobManager`.
+
+    Responses are ``Connection: close`` (one request per connection) —
+    event streams are framed by connection close, so a client needs no
+    chunked-transfer decoding: read lines until EOF.
+    """
+
+    #: Blank keep-alive line cadence on idle event streams, so a
+    #: client's socket timeout only fires when the server is actually
+    #: gone — not while a queued job waits for a thread.
+    HEARTBEAT_SECONDS = 15.0
+
+    #: A stream write must drain within this long; a client that
+    #: stopped reading (dead network, stuck process) would otherwise
+    #: pin its connection task and fd forever — the write-side twin
+    #: of ``REQUEST_READ_SECONDS``.
+    STREAM_WRITE_SECONDS = 60.0
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0,
+                 heartbeat_seconds: float = HEARTBEAT_SECONDS):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.heartbeat_seconds = heartbeat_seconds
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port (for ``port=0``)."""
+        self._server = await asyncio.start_server(self._handle,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- request plumbing ----------------------------------------------
+
+    #: A client gets this long to deliver a complete request; a
+    #: stalled or never-writing connection (a scanner, slowloris)
+    #: must not pin a task and a file descriptor forever.
+    REQUEST_READ_SECONDS = 30.0
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader
+                            ) -> tuple[str, str, bytes]:
+        """Parse one request; raises ServiceError on protocol errors.
+
+        A client-side protocol error is a 400/413, never a 500 — 5xx
+        would mislead clients that retry on server errors.
+        """
+
+        async def readline(what: str) -> bytes:
+            try:
+                return await reader.readline()
+            except ValueError as error:
+                # the StreamReader's 64 KiB line limit: a client
+                # problem, not a server one
+                raise ServiceError(f"{what} too long",
+                                   status=413) from error
+
+        request = await readline("request line")
+        parts = request.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ServiceError("bad request line")
+        method, target, _version = parts
+        length = 0
+        while True:
+            line = await readline("header line")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    raise ServiceError(f"bad Content-Length "
+                                       f"{value.strip()!r}")
+        if length > _MAX_BODY_BYTES:
+            raise ServiceError("request body too large", status=413)
+        body = (await reader.readexactly(length)) if length else b""
+        return method.upper(), target, body
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, body = await asyncio.wait_for(
+                    self._read_request(reader),
+                    self.REQUEST_READ_SECONDS)
+            except (TimeoutError, asyncio.TimeoutError):
+                return  # stalled client: just drop the connection
+            await self._route(method, target, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except ServiceError as error:
+            await self._respond(writer, error.status,
+                                {"error": str(error)})
+        except Exception as error:  # never kill the accept loop
+            await self._respond(
+                writer, 500,
+                {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        target = target.split("?", 1)[0]
+        segments = [s for s in target.split("/") if s]
+        if segments == ["jobs"] and method == "POST":
+            try:
+                spec = json.loads(body.decode() or "null")
+            except json.JSONDecodeError as error:
+                raise ServiceError(f"bad JSON body: {error}") from error
+            job = await self.manager.submit(spec)
+            return await self._respond(writer, 201, job.summary())
+        if segments == ["jobs"] and method == "GET":
+            return await self._respond(
+                writer, 200, {"jobs": self.manager.list_jobs()})
+        if len(segments) == 2 and segments[0] == "jobs" \
+                and method == "DELETE":
+            job = await self.manager.cancel(segments[1])
+            return await self._respond(writer, 200, job.summary())
+        if len(segments) == 3 and segments[0] == "jobs" \
+                and segments[2] == "events" and method == "GET":
+            return await self._stream_events(segments[1], writer)
+        raise ServiceError(f"no route for {method} {target}",
+                           status=404)
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int,
+                       payload: dict) -> None:
+        reasons = {200: "OK", 201: "Created", 400: "Bad Request",
+                   404: "Not Found", 413: "Payload Too Large",
+                   429: "Too Many Requests",
+                   500: "Internal Server Error"}
+        body = (json.dumps(payload) + "\n").encode()
+        head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _stream_events(self, job_id: str,
+                             writer: asyncio.StreamWriter) -> None:
+        self.manager.get(job_id)  # 404 before any bytes go out
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Cache-Control: no-store\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        try:
+            async for event in self.manager.events(
+                    job_id, heartbeat=self.heartbeat_seconds):
+                line = ("\n" if event is None  # keep-alive
+                        else event.to_json_line() + "\n")
+                writer.write(line.encode())
+                await asyncio.wait_for(writer.drain(),
+                                       self.STREAM_WRITE_SECONDS)
+        except (TimeoutError, asyncio.TimeoutError):
+            return  # client stopped reading: treat as disconnected
+        except (ConnectionError, OSError):
+            # client disconnected mid-stream: drop only this stream —
+            # the job (and everything already submitted) keeps running
+            return
+        except Exception:
+            # anything else after the headers went out (e.g. the job
+            # was pruned between our lookup and the iterator's) must
+            # NOT become a second HTTP response inside the ndjson
+            # body; closing the connection is the stream's normal
+            # termination signal
+            return
+
+
+async def run_service(store_dir: str | None = None, jobs: int = 1,
+                      max_concurrent_jobs: int = 4,
+                      host: str = "127.0.0.1", port: int = 8787,
+                      announce: Callable[[str, int, str], None]
+                      | None = None,
+                      shutdown: asyncio.Event | None = None) -> int:
+    """Run a manager + HTTP server until *shutdown* (or cancellation).
+
+    The coroutine behind ``repro serve``: *announce* is called once
+    with ``(host, actual_port, store_dir)`` after binding (``port=0``
+    picks an ephemeral port).  Without a *shutdown* event it serves
+    until cancelled (Ctrl-C under ``asyncio.run``); with one — how
+    tests drive it — it stops when the event is set.
+    """
+    manager = JobManager(store_dir=store_dir, jobs=jobs,
+                         max_concurrent_jobs=max_concurrent_jobs)
+    server = ServiceServer(manager, host=host, port=port)
+    try:
+        # start() inside the try: a busy port must still tear the
+        # manager (and its scratch store) down on the way out
+        actual_port = await server.start()
+        if announce is not None:
+            announce(host, actual_port, manager.store_dir)
+        if shutdown is not None:
+            await shutdown.wait()
+        else:
+            await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        await manager.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# blocking client (the `repro watch` front end; also used by tests)
+# ----------------------------------------------------------------------
+
+
+def _connect(url: str, timeout: float):
+    """An ``HTTPConnection`` for a service base URL (shared plumbing)."""
+    import http.client
+    import urllib.parse
+    parsed = urllib.parse.urlsplit(url if "//" in url
+                                   else f"http://{url}")
+    if not parsed.hostname:
+        raise ServiceError(f"bad service URL {url!r}")
+    return http.client.HTTPConnection(parsed.hostname,
+                                      parsed.port or 80,
+                                      timeout=timeout)
+
+
+def _error_from(response) -> ServiceError:
+    """The server's JSON error body as a client-side ServiceError."""
+    try:
+        detail = json.loads(response.read().decode() or "{}")
+    except json.JSONDecodeError:
+        detail = {}
+    return ServiceError(detail.get("error", f"HTTP {response.status}"),
+                        status=response.status)
+
+
+def request_json(url: str, method: str, path: str,
+                 payload: dict | None = None,
+                 timeout: float = 30.0) -> dict:
+    """One blocking JSON request against a running service."""
+    conn = _connect(url, timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"}
+                     if body else {})
+        response = conn.getresponse()
+        if response.status >= 400:
+            raise _error_from(response)
+        return json.loads(response.read().decode() or "{}")
+    finally:
+        conn.close()
+
+
+def watch_job(url: str, job_id: str,
+              on_event: Callable[[Event], None],
+              timeout: float = 600.0) -> Event | None:
+    """Tail one job's event stream until it ends; returns the last event.
+
+    Decodes the JSON-lines stream back into typed events and hands
+    each to *on_event*.  Returns the stream's final event (normally
+    ``job-finished`` or ``job-failed``), or ``None`` for an empty
+    stream.
+    """
+    from .events import event_from_json_line
+    conn = _connect(url, timeout)
+    last: Event | None = None
+    try:
+        conn.request("GET", f"/jobs/{job_id}/events")
+        response = conn.getresponse()
+        if response.status != 200:
+            raise _error_from(response)
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            line = line.decode().strip()
+            if not line:
+                continue
+            last = event_from_json_line(line)
+            on_event(last)
+    finally:
+        conn.close()
+    return last

@@ -53,6 +53,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 
 from ..functional.emulator import Checkpoint, TraceEntry
@@ -65,6 +66,11 @@ FORMAT_VERSION = 1
 #: Fixed pickle protocol so identical traces serialize byte-identically
 #: regardless of the interpreter's default.
 PICKLE_PROTOCOL = 4
+
+#: Writer temp files older than this are presumed orphaned by a killed
+#: process and swept during :meth:`ArtifactStore.gc`; younger ones may
+#: belong to an in-flight concurrent writer and are left alone.
+ORPHAN_AGE_SECONDS = 60.0
 
 
 def _digest(identity: dict) -> str:
@@ -390,29 +396,83 @@ class ArtifactStore:
                 for pattern in ("*.pkl", "*.json")
                 for path in directory.glob(pattern)]
 
+    def _orphan_paths(self) -> list[Path]:
+        """Writer temp files (``.<name>.<rand>``) left on disk.
+
+        :meth:`_atomic_write` names its temp files with a leading dot,
+        so a killed writer leaves exactly one dotfile behind; healthy
+        artifacts never start with a dot.
+        """
+        return [path
+                for directory in self._directories()
+                for path in directory.glob(".*")
+                if path.is_file()]
+
+    def orphan_info(self) -> dict[str, int]:
+        """Count and total size of writer temp files on disk."""
+        files = byte_count = 0
+        for path in self._orphan_paths():
+            try:
+                byte_count += path.stat().st_size
+            except FileNotFoundError:
+                continue
+            files += 1
+        return {"files": files, "bytes": byte_count}
+
     def total_bytes(self) -> int:
-        """Total on-disk size of every stored artifact."""
+        """Total on-disk size of every file under the store.
+
+        Includes orphaned writer temp files — they consume real disk,
+        so a size report that skipped them would under-count exactly
+        when a killed run left the most garbage behind.
+        """
         total = 0
-        for path in self._artifact_paths():
+        for path in self._artifact_paths() + self._orphan_paths():
             try:
                 total += path.stat().st_size
             except FileNotFoundError:
                 continue  # concurrently evicted
         return total
 
-    def gc(self, max_bytes: int) -> dict[str, int]:
+    def gc(self, max_bytes: int,
+           orphan_age_seconds: float = ORPHAN_AGE_SECONDS
+           ) -> dict[str, int]:
         """Evict least-recently-used artifacts until <= *max_bytes*.
 
         "Use" is the artifact's mtime: loads touch it, so recently
-        read artifacts survive.  Returns eviction counters::
+        read artifacts survive.  Orphaned writer temp files older than
+        *orphan_age_seconds* are swept first (a concurrent in-flight
+        writer's temp file is younger than that and survives, but its
+        bytes count toward ``remaining_bytes`` so the cap holds for
+        actual disk use).  Returns eviction counters::
 
             {"scanned": ..., "evicted": ..., "freed_bytes": ...,
-             "remaining_bytes": ...}
+             "remaining_bytes": ..., "orphans_swept": ...}
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        report = {"scanned": 0, "evicted": 0, "freed_bytes": 0,
+                  "remaining_bytes": 0, "orphans_swept": 0}
+        now = time.time()
+        kept_orphan_bytes = 0
+        for path in self._orphan_paths():
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue
+            if now - stat.st_mtime < orphan_age_seconds:
+                # possibly an in-flight writer; keep — but its bytes
+                # still occupy disk, so they count against the budget
+                kept_orphan_bytes += stat.st_size
+                continue
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            report["orphans_swept"] += 1
+            report["freed_bytes"] += stat.st_size
         entries = []
-        total = 0
+        total = kept_orphan_bytes
         for path in self._artifact_paths():
             try:
                 stat = path.stat()
@@ -421,8 +481,8 @@ class ArtifactStore:
             entries.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
         entries.sort(key=lambda item: item[0])
-        report = {"scanned": len(entries), "evicted": 0, "freed_bytes": 0,
-                  "remaining_bytes": total}
+        report["scanned"] = len(entries)
+        report["remaining_bytes"] = total
         for _, size, path in entries:
             if report["remaining_bytes"] <= max_bytes:
                 break
@@ -436,9 +496,17 @@ class ArtifactStore:
         return report
 
     def clear(self) -> None:
-        """Delete every stored artifact (keeps the directories)."""
-        for path in self._artifact_paths():
-            path.unlink()
+        """Delete every stored artifact (keeps the directories).
+
+        Orphaned writer temp files go too — a caller emptying the
+        store is not racing its own in-flight writer, and "clear"
+        leaving bytes behind would contradict ``total_bytes()``.
+        ``missing_ok``: a concurrent GC (another process sharing the
+        store) may evict a file between our directory scan and the
+        unlink — that is a success, not an error.
+        """
+        for path in self._artifact_paths() + self._orphan_paths():
+            path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # I/O helpers

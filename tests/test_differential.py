@@ -146,11 +146,13 @@ class TestHarnessCanFail:
 class TestRunFuzz:
     def test_small_budget_sweep_over_all_families(self):
         events = []
-        fuzz = run_fuzz(range(0, 2), small=True,
-                        progress=lambda r, d, t: events.append((d, t)))
+        fuzz = run_fuzz(range(0, 2), small=True, progress=events.append)
         assert fuzz.ok
         assert len(fuzz.programs) == 2 * len(FAMILIES)
-        assert events[-1] == (len(fuzz.programs), len(fuzz.programs))
+        assert all(e.kind == "finding" and e.ok and not e.failures
+                   for e in events)
+        assert (events[-1].done, events[-1].total) == \
+            (len(fuzz.programs), len(fuzz.programs))
         assert "0 failed" in format_report(fuzz)
 
     def test_family_subset(self):

@@ -1,13 +1,16 @@
 """Tests for the sweep engine: store, campaign, pool, runner glue."""
 
 import json
+import os
 import pickle
+import time
 
 import pytest
 
-from repro.engine.campaign import (Campaign, apply_override,
+from repro.engine.campaign import (Campaign, SweepPoint, apply_override,
                                    expand_axes, parse_axis)
-from repro.engine.pool import resolve_jobs, run_sweep
+from repro.engine.pool import (ExecutionContext, SweepResult,
+                               resolve_jobs, run_sweep, run_sweep_iter)
 from repro.engine.store import (ArtifactStore, PICKLE_PROTOCOL, stats_key,
                                 trace_key)
 from repro.experiments import runner
@@ -125,6 +128,50 @@ class TestArtifactStore:
         store.clear()
         assert sum(store.artifact_count().values()) == 0
 
+    def test_clear_survives_concurrent_eviction(self, tmp_path,
+                                                mcf_stats, monkeypatch):
+        # a concurrent gc may delete a file between clear()'s listing
+        # and its unlink; that must count as success, not crash
+        store = ArtifactStore(tmp_path)
+        store.save_stats("mcf", 1, default_config(), mcf_stats)
+        ghost = store._stats / ("0" * 8)  # listed but never on disk
+        listed = store._artifact_paths() + [ghost]
+        monkeypatch.setattr(store, "_artifact_paths", lambda: listed)
+        store.clear()
+        assert sum(store.artifact_count().values()) == 0
+
+    def test_clear_sweeps_orphans_too(self, tmp_path, mcf_stats):
+        store = ArtifactStore(tmp_path)
+        kept = store.save_stats("mcf", 1, default_config(), mcf_stats)
+        (store._stats / f".{kept.name}.x1").write_bytes(b"zzz")
+        store.clear()
+        assert store.total_bytes() == 0
+        assert store.orphan_info() == {"files": 0, "bytes": 0}
+
+    def test_gc_sweeps_aged_orphan_temp_files(self, tmp_path, mcf_stats):
+        store = ArtifactStore(tmp_path)
+        kept = store.save_stats("mcf", 1, default_config(), mcf_stats)
+        # a killed writer leaves `.name.rand` behind; a live one's temp
+        # file looks identical but is young
+        orphan = store._stats / f".{kept.name}.dead01"
+        orphan.write_bytes(b"x" * 100)
+        old = time.time() - 300
+        os.utime(orphan, (old, old))
+        in_flight = store._stats / f".{kept.name}.live01"
+        in_flight.write_bytes(b"y" * 40)
+        assert store.orphan_info() == {"files": 2, "bytes": 140}
+        assert store.total_bytes() >= kept.stat().st_size + 140
+        report = store.gc(max_bytes=10 ** 9)
+        assert report["orphans_swept"] == 1
+        assert report["evicted"] == 0
+        assert report["freed_bytes"] == 100
+        assert not orphan.exists()
+        assert in_flight.exists()  # presumed in-flight: left alone
+        assert kept.exists()
+        # the surviving temp file's bytes still occupy disk, so they
+        # count against the budget the caller asked for
+        assert report["remaining_bytes"] == kept.stat().st_size + 40
+
 
 class TestCampaign:
     def test_grid_size_and_order(self):
@@ -232,15 +279,17 @@ class TestSweepPool:
             [r.stats.to_json() for r in second.results]
         assert all(r.from_cache for r in second.results)
 
-    def test_progress_callback_streams_to_completion(self):
+    def test_progress_callback_streams_point_events(self):
         points = small_campaign().points()
-        seen = []
-        run_sweep(points, jobs=2,
-                  progress=lambda done, total, msg: seen.append(
-                      (done, total)))
-        assert seen[-1] == (len(points), len(points))
-        assert [done for done, _ in seen] == \
-            sorted(done for done, _ in seen)
+        events = []
+        run_sweep(points, jobs=2, progress=events.append)
+        assert all(e.kind == "point" for e in events)
+        assert (events[-1].done, events[-1].total) == \
+            (len(points), len(points))
+        assert [e.done for e in events] == \
+            sorted(e.done for e in events)
+        assert {e.label for e in events} == \
+            {p.label for p in points}
 
     def test_resolve_jobs(self):
         assert resolve_jobs(None) == 1
@@ -255,6 +304,150 @@ class TestSweepPool:
         assert parsed["counters"]["points"] == len(points)
         assert {"workload", "scale", "variant", "cycles",
                 "ipc"} <= set(parsed["points"][0])
+
+
+class TestExecutionContext:
+    """The per-sweep context: re-entrancy, bounded cache, aliasing."""
+
+    def test_interleaved_serial_sweeps_stay_disjoint(self, tmp_path):
+        # the headline bug: two jobs=1 generators advanced in lockstep
+        # used to share module-global store/cache state, so the second
+        # generator's store silently absorbed the first's artifacts
+        # and corrupted its hit/miss accounting
+        store_a, store_b = tmp_path / "a", tmp_path / "b"
+        points_a = [SweepPoint(w, 1, "base", default_config())
+                    for w in ("mcf", "gcc")]
+        points_b = [SweepPoint(w, 1, "base", default_config())
+                    for w in ("eon", "twolf")]
+        counters_a, counters_b = {}, {}
+        gen_a = run_sweep_iter(points_a, jobs=1, store_dir=store_a,
+                               counters=counters_a)
+        gen_b = run_sweep_iter(points_b, jobs=1, store_dir=store_b,
+                               counters=counters_b)
+        results_a, results_b = [], []
+        for _ in points_a:  # one shard per point: strict interleave
+            results_a.append(next(gen_a))
+            results_b.append(next(gen_b))
+        assert list(gen_a) == [] and list(gen_b) == []
+        # per-sweep counters stayed disjoint
+        assert counters_a["emulations"] == 2
+        assert counters_b["emulations"] == 2
+        assert counters_a["trace_cache_hits"] == 0
+        assert counters_b["trace_cache_hits"] == 0
+        # each store holds exactly its own sweep's artifacts
+        for workload in ("mcf", "gcc"):
+            assert (ArtifactStore(store_a)
+                    .load_trace(workload, 1)) is not None
+            assert (ArtifactStore(store_b)
+                    .load_trace(workload, 1)) is None
+        for workload in ("eon", "twolf"):
+            assert (ArtifactStore(store_b)
+                    .load_trace(workload, 1)) is not None
+            assert (ArtifactStore(store_a)
+                    .load_trace(workload, 1)) is None
+        # and the interleaved results equal isolated serial runs
+        isolated = run_sweep(points_a, jobs=1,
+                             store_dir=tmp_path / "iso")
+        interleaved = SweepResult(
+            results=[r for _, r in sorted(results_a)],
+            counters=counters_a)
+        assert interleaved.ledger_json() == isolated.ledger_json()
+
+    def test_trace_cache_is_bounded_lru(self):
+        context = ExecutionContext(max_cached_traces=1)
+        first, emulated, _ = context.get_trace("mcf", 1)
+        assert emulated
+        context.get_trace("gcc", 1)
+        assert context.cached_traces == 1
+        assert context.trace_evictions == 1
+        # the evicted trace is re-emulated on the next touch, and the
+        # result is unchanged
+        again, emulated, _ = context.get_trace("mcf", 1)
+        assert emulated
+        assert pickle.dumps(again, protocol=PICKLE_PROTOCOL) == \
+            pickle.dumps(first, protocol=PICKLE_PROTOCOL)
+
+    def test_bounded_cache_prefers_store_over_emulation(self, tmp_path):
+        context = ExecutionContext(store_dir=tmp_path,
+                                   max_cached_traces=1)
+        context.get_trace("mcf", 1)
+        context.get_trace("gcc", 1)  # evicts mcf from memory
+        _, emulated, store_hit = context.get_trace("mcf", 1)
+        assert not emulated and store_hit  # an unpickle, not a re-run
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError, match="max_cached_traces"):
+            ExecutionContext(max_cached_traces=0)
+
+    def test_capped_sweep_matches_uncapped(self, tmp_path):
+        points = [SweepPoint(w, 1, "base", default_config())
+                  for w in ("mcf", "gcc", "eon")]
+        capped = run_sweep(points, jobs=1, max_cached_traces=1,
+                           store_dir=tmp_path / "capped")
+        uncapped = run_sweep(points, jobs=1, max_cached_traces=None,
+                             store_dir=tmp_path / "uncapped")
+        assert capped.ledger_json() == uncapped.ledger_json()
+
+    def test_eviction_counter_reaches_sweep_counters(self, tmp_path):
+        points = [SweepPoint(w, 1, "base", default_config())
+                  for w in ("mcf", "gcc", "eon")]
+        counters = {}
+        list(run_sweep_iter(points, jobs=1, store_dir=tmp_path,
+                            counters=counters, max_cached_traces=1))
+        assert counters["trace_evictions"] == 2
+
+    def test_abandoned_pool_generator_does_not_block(self, tmp_path):
+        # closing a parallel generator early must not run the whole
+        # grid (queued shards are cancelled; executing ones finish) —
+        # and a later sweep against the same store completes the rest
+        points = [SweepPoint(w, 1, "base", default_config())
+                  for w in ("mcf", "gcc", "eon", "gap")]
+        generator = run_sweep_iter(points, jobs=2, store_dir=tmp_path)
+        first = next(generator)
+        assert first is not None
+        generator.close()
+        result = run_sweep(points, jobs=2, store_dir=tmp_path)
+        assert len(result.results) == len(points)
+        assert all(r.stats.cycles > 0 for r in result.results)
+
+
+class TestLimitKeyAliasing:
+    """Short-trace truncated runs alias to the full-run stats key."""
+
+    BIG = 10 ** 9  # far beyond any tier-1 trace length
+
+    def _run(self, tmp_path, limit_insns):
+        counters = {}
+        results = list(run_sweep_iter(
+            [SweepPoint("mcf", 1, "base", default_config())],
+            jobs=1, store_dir=tmp_path, counters=counters,
+            limit_insns=limit_insns))
+        return counters, results[0][1].stats
+
+    def test_promotion_to_full_budget_is_a_stats_hit(self, tmp_path):
+        first, truncated_stats = self._run(tmp_path, self.BIG)
+        assert first["simulations"] == 1
+        # the "truncated" run covered the whole trace, so the full-run
+        # evaluation (a halving promotion) must reuse its stats
+        promoted, full_stats = self._run(tmp_path, None)
+        assert promoted["simulations"] == 0
+        assert promoted["stats_cache_hits"] == 1
+        assert full_stats == truncated_stats
+
+    def test_next_rung_budget_is_also_a_stats_hit(self, tmp_path):
+        self._run(tmp_path, self.BIG)
+        doubled, _ = self._run(tmp_path, self.BIG * 2)
+        assert doubled["simulations"] == 0
+        assert doubled["stats_cache_hits"] == 1
+
+    def test_real_truncation_keeps_budget_specific_keys(self, tmp_path):
+        # a budget that actually truncates must NOT alias: truncated
+        # stats are rankings, never full results
+        truncated, truncated_stats = self._run(tmp_path, 2000)
+        assert truncated["simulations"] == 1
+        full, full_stats = self._run(tmp_path, None)
+        assert full["simulations"] == 1
+        assert full_stats != truncated_stats
 
 
 class TestRunnerIntegration:

@@ -283,17 +283,35 @@ class TestStrategies:
         assert rung and len(finals) == 2
         assert result.best in finals
 
-    def test_progress_streams_per_evaluation(self, tmp_path):
+    def test_halving_short_trace_rungs_promote_for_free(self, tmp_path):
+        # rung budgets beyond the trace length alias to the full-run
+        # stats key, so the finals re-simulate nothing: 4 candidates
+        # on 1 workload = exactly 4 simulations for the whole search
+        result = run_search(toy_space(), workloads=WORKLOADS,
+                            strategy="halving", budget=4, seed=0,
+                            rung_insns=10 ** 9, store_dir=tmp_path)
+        assert result.counters["simulations"] == 4 * len(WORKLOADS)
+        finals = [e for e in result.evaluations if e.full]
+        rungs = [e for e in result.evaluations if not e.full]
+        assert rungs and finals
+        # a final's score equals its rung score: same full trace
+        rung_scores = {e.candidate.label: e.score for e in rungs}
+        for final in finals:
+            assert final.score == rung_scores[final.candidate.label]
+
+    def test_progress_streams_typed_events(self, tmp_path):
         events = []
         result = run_search(toy_space(), workloads=WORKLOADS,
                             strategy="grid", store_dir=tmp_path,
                             progress=events.append)
-        evaluations = [e for e in events if e["kind"] == "evaluation"]
-        points = [e for e in events if e["kind"] == "point"]
+        evaluations = [e for e in events if e.kind == "evaluation"]
+        points = [e for e in events if e.kind == "point"]
         assert len(evaluations) == len(result.evaluations) == 4
         # per-point streaming arrives before each evaluation completes
-        assert points and points[0]["total"] == len(WORKLOADS)
-        labels = [e["candidate"] for e in evaluations]
+        assert points and points[0].total == len(WORKLOADS)
+        # every point event is tagged with its owning candidate
+        assert all(p.candidate for p in points)
+        labels = [e.candidate for e in evaluations]
         assert labels == [e.candidate.label for e in result.evaluations]
 
     def test_parallel_evaluation_matches_serial(self, tmp_path):

@@ -1,0 +1,627 @@
+"""Tests for the async streaming results service and its HTTP front end.
+
+The acceptance bar (ISSUE 5): two concurrent jobs — one sweep, one
+search — run to completion over one shared store via the service, and
+their canonical ledgers are byte-identical to the same work run
+serially through the engine (what the CLI does).  That only holds
+because sweep state lives in per-sweep ``ExecutionContext`` objects,
+so these tests double as the end-to-end regression for the
+shared-state clobbering fix.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine.campaign import Campaign, parse_axis
+from repro.engine.events import (EVENT_TYPES, EvaluationEvent,
+                                 FindingEvent, PointEvent,
+                                 event_from_dict, event_from_json_line,
+                                 format_event)
+from repro.engine.pool import run_sweep
+from repro.engine.search import SearchSpace, run_search
+from repro.engine.service import (JobManager, ServiceError,
+                                  ServiceServer, request_json,
+                                  run_service, watch_job)
+from repro.uarch.config import default_config
+
+SWEEP_SPEC = {"kind": "sweep", "workloads": ["mcf"],
+              "axes": ["optimizer.vf_delay=0,1"], "optimized": True}
+SEARCH_SPEC = {"kind": "search", "workloads": ["gcc"],
+               "dims": ["optimizer.enabled=false,true"],
+               "strategy": "grid"}
+#: Enough programs that cancellation/disconnect can land mid-run.
+LONG_FUZZ_SPEC = {"kind": "fuzz", "seeds": [0, 40], "small": True,
+                  "families": ["ilp"]}
+
+
+def serial_sweep_ledger(store_dir) -> str:
+    """The same work ``SWEEP_SPEC`` names, run serially (CLI path)."""
+    campaign = Campaign.from_axes(
+        workloads=SWEEP_SPEC["workloads"],
+        base=default_config().with_optimizer(),
+        axes=[parse_axis(spec) for spec in SWEEP_SPEC["axes"]])
+    return run_sweep(campaign.points(), jobs=1,
+                     store_dir=store_dir).ledger_json()
+
+
+def serial_search_ledger(store_dir) -> str:
+    """The same work ``SEARCH_SPEC`` names, run serially (CLI path)."""
+    return run_search(
+        SearchSpace.from_specs(SEARCH_SPEC["dims"]),
+        workloads=("gcc",), strategy="grid", jobs=1,
+        store_dir=store_dir).ledger_json()
+
+
+# ----------------------------------------------------------------------
+# event vocabulary
+# ----------------------------------------------------------------------
+
+
+class TestEvents:
+    def test_json_line_round_trip(self):
+        for event in (PointEvent(label="mcf@1/base", done=1, total=4,
+                                 from_cache=True, candidate="a=1"),
+                      EvaluationEvent(candidate="a=1", score=1.25,
+                                      limit_insns=2000),
+                      FindingEvent(workload="synth:ilp@seed=0", scale=1,
+                                   instructions=900, ok=False, done=2,
+                                   total=5, failures=("x: boom",))):
+            decoded = event_from_json_line(event.to_json_line())
+            assert decoded == event
+            assert decoded.kind == event.kind
+
+    def test_every_kind_has_a_distinct_discriminator(self):
+        assert len(EVENT_TYPES) == 7
+        assert {"point", "evaluation", "segment", "finding",
+                "job-started", "job-finished",
+                "job-failed"} == set(EVENT_TYPES)
+
+    def test_unknown_kind_rejected_unknown_fields_dropped(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "telemetry"})
+        event = event_from_dict({"kind": "point", "label": "x",
+                                 "done": 1, "total": 2,
+                                 "added_in_v9": "ignored"})
+        assert event == PointEvent(label="x", done=1, total=2)
+
+    def test_missing_required_field_is_a_value_error(self):
+        # a decoding problem must surface as ValueError (what clients
+        # catch), never a raw TypeError from the dataclass call
+        with pytest.raises(ValueError, match="bad 'point' event"):
+            event_from_dict({"kind": "point", "label": "x"})
+
+    def test_format_event_renders_every_kind(self):
+        for cls_kind, payload in (
+                ("point", {"label": "mcf@1/base", "done": 1,
+                           "total": 2}),
+                ("segment", {"message": "planned mcf@1", "done": 1,
+                             "total": 3}),
+                ("finding", {"workload": "w", "scale": 1,
+                             "instructions": 5, "ok": True, "done": 1,
+                             "total": 1}),
+                ("job-started", {"job": "j1", "job_kind": "sweep"}),
+                ("job-finished", {"job": "j1", "result": {"points": 2,
+                                                          "ledger": "x"}}),
+                ("job-failed", {"job": "j1", "error": "boom"})):
+            line = format_event(event_from_dict({"kind": cls_kind,
+                                                 **payload}))
+            assert line and "ledger" not in line
+
+
+def test_engine_import_does_not_load_service():
+    # cli.py keeps serve/watch imports lazy; the engine package must
+    # not undo that by eagerly importing asyncio + the HTTP machinery
+    import pathlib
+    import subprocess
+    import sys
+    src = str(pathlib.Path(__file__).parents[1] / "src")
+    code = ("import sys, repro.engine; "
+            "assert 'repro.engine.service' not in sys.modules, "
+            "'service imported eagerly'; "
+            "from repro.engine import JobManager; "
+            "assert 'repro.engine.service' in sys.modules")
+    subprocess.run([sys.executable, "-c", code], check=True,
+                   env={"PYTHONPATH": src})
+
+
+# ----------------------------------------------------------------------
+# the job manager (no HTTP)
+# ----------------------------------------------------------------------
+
+
+class TestJobManager:
+    def test_sweep_job_streams_and_matches_serial(self, tmp_path):
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path / "store")
+            try:
+                job = await manager.submit(dict(SWEEP_SPEC))
+                events = [e async for e in manager.events(job.id)]
+            finally:
+                await manager.close()
+            return job, events
+
+        job, events = asyncio.run(scenario())
+        assert job.status == "finished"
+        assert [e.kind for e in events] == \
+            ["job-started", "point", "point", "job-finished"]
+        assert events[-1].result["ledger"] == \
+            serial_sweep_ledger(tmp_path / "serial")
+
+    def test_concurrent_sweep_and_search_share_one_store(self, tmp_path):
+        # ISSUE 5 acceptance: two concurrent jobs over ONE store,
+        # byte-identical ledgers vs the serial engine runs
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path / "shared",
+                                 max_concurrent_jobs=2)
+            try:
+                sweep = await manager.submit(dict(SWEEP_SPEC))
+                search = await manager.submit(dict(SEARCH_SPEC))
+                sweep_events, search_events = await asyncio.gather(
+                    _collect(manager, sweep.id),
+                    _collect(manager, search.id))
+            finally:
+                await manager.close()
+            return sweep_events, search_events
+
+        async def _collect(manager, job_id):
+            return [e async for e in manager.events(job_id)]
+
+        sweep_events, search_events = asyncio.run(scenario())
+        assert sweep_events[-1].kind == "job-finished"
+        assert search_events[-1].kind == "job-finished"
+        assert any(e.kind == "evaluation" for e in search_events)
+        assert sweep_events[-1].result["ledger"] == \
+            serial_sweep_ledger(tmp_path / "serial-sweep")
+        assert search_events[-1].result["ledger"] == \
+            serial_search_ledger(tmp_path / "serial-search")
+
+    def test_parallel_worker_job_matches_serial(self, tmp_path):
+        # jobs>1 under the service switches worker pools to spawn
+        # (fork in the multi-threaded server can deadlock a child);
+        # results must stay byte-identical to the serial run
+        from repro.engine.campaign import Campaign, parse_axis
+        from repro.engine.pool import set_worker_start_method
+        spec = {"kind": "sweep", "workloads": ["mcf", "gcc"],
+                "optimized": True, "axes": ["optimizer.vf_delay=0,1"]}
+
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path / "store", jobs=2)
+            try:
+                job = await manager.submit(dict(spec))
+                return [e async for e in manager.events(job.id)]
+            finally:
+                await manager.close()
+
+        try:
+            events = asyncio.run(scenario())
+        finally:
+            set_worker_start_method(None)  # restore for later tests
+        assert events[-1].kind == "job-finished"
+        campaign = Campaign.from_axes(
+            workloads=spec["workloads"],
+            base=default_config().with_optimizer(),
+            axes=[parse_axis(a) for a in spec["axes"]])
+        serial = run_sweep(campaign.points(), jobs=1,
+                           store_dir=tmp_path / "serial")
+        assert events[-1].result["ledger"] == serial.ledger_json()
+
+    def test_late_subscriber_replays_history(self, tmp_path):
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path)
+            try:
+                job = await manager.submit(dict(SWEEP_SPEC))
+                await manager.wait(job.id)
+                # attach only after the job finished
+                replayed = [e async for e in manager.events(job.id)]
+            finally:
+                await manager.close()
+            return replayed
+
+        replayed = asyncio.run(scenario())
+        assert [e.kind for e in replayed] == \
+            ["job-started", "point", "point", "job-finished"]
+
+    def test_bad_specs_rejected_at_submit(self, tmp_path):
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path)
+            try:
+                for spec in ({"kind": "mine-bitcoin"},
+                             # singular typo: must 400, not silently
+                             # sweep all 22 kernels
+                             {"kind": "sweep", "workload": ["mcf"]},
+                             {"kind": "sweep",
+                              "axes": ["optimizer.vf_delay=maybe"]},
+                             # a string would iterate char-by-char
+                             {"kind": "sweep", "workloads": ["mcf"],
+                              "scales": "12"},
+                             {"kind": "search", "scales": "12",
+                              "workloads": ["mcf"],
+                              "dims": ["optimizer.enabled=false,true"]},
+                             # strategy/objective/budget typos must
+                             # 400 now, not job-fail minutes later
+                             {"kind": "search", "workloads": ["mcf"],
+                              "dims": ["optimizer.enabled=false,true"],
+                              "strategy": "gird"},
+                             {"kind": "search", "workloads": ["mcf"],
+                              "dims": ["optimizer.enabled=false,true"],
+                              "objective": "geomean"},
+                             {"kind": "search", "workloads": ["mcf"],
+                              "dims": ["optimizer.enabled=false,true"],
+                              "budget": 0},
+                             {"kind": "search", "workloads": ["mcf"],
+                              "dims": ["optimizer.enabled=false,true"],
+                              "seed": "abc"},
+                             {"kind": "fuzz", "seeds": [0, 1],
+                              "scale": "x"},
+                             # "19" must not be read as seeds [1, 9)
+                             {"kind": "fuzz", "seeds": "19"},
+                             {"kind": "sweep", "workloads": ["no-such"]},
+                             {"kind": "search", "dims": []},
+                             {"kind": "search",
+                              "dims": ["optimizer.enabled=false,true"]},
+                             {"kind": "segments",
+                              "workloads": ["mcf"]},
+                             {"kind": "fuzz", "seeds": [5, 5]},
+                             {"kind": "fuzz", "seeds": [0, 1],
+                              "families": ["quantum"]},
+                             "not an object"):
+                    with pytest.raises(ServiceError):
+                        await manager.submit(spec)
+                assert manager.list_jobs() == []
+            finally:
+                await manager.close()
+
+        asyncio.run(scenario())
+
+    def test_cancel_running_job(self, tmp_path):
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path)
+            try:
+                job = await manager.submit(dict(LONG_FUZZ_SPEC))
+                seen = []
+                async for event in manager.events(job.id):
+                    seen.append(event)
+                    if event.kind == "finding":
+                        await manager.cancel(job.id)
+                final = await manager.wait(job.id)
+            finally:
+                await manager.close()
+            return final, seen
+
+        job, events = asyncio.run(scenario())
+        assert job.status == "cancelled"
+        assert events[-1].kind == "job-failed"
+        assert events[-1].cancelled
+        findings = [e for e in events if e.kind == "finding"]
+        # it stopped early: nowhere near the 40 requested programs
+        assert 1 <= len(findings) < 40
+
+    def test_cancel_queued_job_and_unknown_job(self, tmp_path):
+        async def scenario():
+            # one executor slot: the second submission queues behind
+            # the first and must be cancellable before it starts
+            manager = JobManager(store_dir=tmp_path,
+                                 max_concurrent_jobs=1)
+            try:
+                first = await manager.submit(dict(SWEEP_SPEC))
+                queued = await manager.submit(dict(LONG_FUZZ_SPEC))
+                # the queued job has not started: it reports pending
+                # and has emitted nothing
+                queued_status = queued.status
+                await manager.cancel(queued.id)
+                await manager.wait(first.id)
+                final = await manager.wait(queued.id)
+                with pytest.raises(ServiceError) as err:
+                    manager.get("j999")
+            finally:
+                await manager.close()
+            return first, final, queued_status, err.value
+
+        first, queued, queued_status, error = asyncio.run(scenario())
+        assert first.status == "finished"  # unaffected by the cancel
+        assert queued_status == "pending"
+        assert queued.status == "cancelled"
+        # never started: no job-started, no findings — only the
+        # terminal cancellation event
+        assert [e.kind for e in queued.events] == ["job-failed"]
+        assert error.status == 404
+
+    def test_submission_backpressure(self, tmp_path):
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path,
+                                 max_concurrent_jobs=1,
+                                 max_active_jobs=1)
+            try:
+                blocker = await manager.submit(dict(LONG_FUZZ_SPEC))
+                with pytest.raises(ServiceError) as err:
+                    await manager.submit(dict(SWEEP_SPEC))
+                await manager.cancel(blocker.id)
+                await manager.wait(blocker.id)
+                # capacity freed: submissions flow again
+                retry = await manager.submit(dict(SWEEP_SPEC))
+                await manager.wait(retry.id)
+            finally:
+                await manager.close()
+            return err.value, retry
+
+        error, retry = asyncio.run(scenario())
+        assert error.status == 429
+        assert retry.status == "finished"
+
+    def test_idle_stream_yields_heartbeats(self, tmp_path):
+        async def scenario():
+            # one slot: the sweep queues behind the fuzz job and emits
+            # nothing for a while — a heartbeat-tailing consumer gets
+            # None markers instead of silence
+            manager = JobManager(store_dir=tmp_path,
+                                 max_concurrent_jobs=1)
+            try:
+                blocker = await manager.submit(dict(LONG_FUZZ_SPEC))
+                queued = await manager.submit(dict(SWEEP_SPEC))
+                beats = 0
+                async for event in manager.events(queued.id,
+                                                  heartbeat=0.05):
+                    if event is None:
+                        beats += 1
+                        if beats >= 3:
+                            break
+                    else:
+                        raise AssertionError(f"unexpected {event}")
+                await manager.cancel(blocker.id)
+                await manager.cancel(queued.id)
+            finally:
+                await manager.close()
+            return beats
+
+        assert asyncio.run(scenario()) >= 3
+
+    def test_finished_job_history_is_bounded(self, tmp_path):
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path,
+                                 max_finished_jobs=1)
+            try:
+                first = await manager.submit(dict(SWEEP_SPEC))
+                await manager.wait(first.id)
+                second = await manager.submit(dict(SWEEP_SPEC))
+                await manager.wait(second.id)
+                rows = manager.list_jobs()
+                with pytest.raises(ServiceError) as err:
+                    manager.get(first.id)
+            finally:
+                await manager.close()
+            return rows, err.value
+
+        rows, error = asyncio.run(scenario())
+        # only the newest terminal job is retained (with its events);
+        # the older one — ledger payload included — was released
+        assert [r["id"] for r in rows] == ["j2"]
+        assert error.status == 404
+
+
+# ----------------------------------------------------------------------
+# the HTTP front end
+# ----------------------------------------------------------------------
+
+
+class ServiceThread:
+    """Run a JobManager + ServiceServer on a background event loop."""
+
+    def __init__(self, store_dir, jobs=1, max_concurrent_jobs=4):
+        self._ready = threading.Event()
+        self._args = (str(store_dir), jobs, max_concurrent_jobs)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(30), "service did not start"
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        store_dir, jobs, max_concurrent = self._args
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.manager = JobManager(store_dir=store_dir, jobs=jobs,
+                                  max_concurrent_jobs=max_concurrent)
+        server = ServiceServer(self.manager, host="127.0.0.1", port=0)
+        self.port = await server.start()
+        self.url = f"http://127.0.0.1:{self.port}"
+        self._ready.set()
+        await self._stop.wait()
+        await server.stop()
+        await self.manager.close()
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+    # -- blocking client helpers --------------------------------------
+
+    def post_job(self, spec: dict) -> dict:
+        return request_json(self.url, "POST", "/jobs", payload=spec)
+
+    def jobs(self) -> list[dict]:
+        return request_json(self.url, "GET", "/jobs")["jobs"]
+
+    def job_status(self, job_id: str) -> str:
+        return next(j["status"] for j in self.jobs()
+                    if j["id"] == job_id)
+
+    def stream_events(self, job_id: str) -> list:
+        events = []
+        watch_job(self.url, job_id, events.append)
+        return events
+
+    def wait_status(self, job_id: str, timeout: float = 120.0) -> str:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = self.job_status(job_id)
+            if status in ("finished", "failed", "cancelled"):
+                return status
+            time.sleep(0.1)
+        raise TimeoutError(f"job {job_id} still {status!r}")
+
+
+@pytest.fixture
+def service(tmp_path):
+    thread = ServiceThread(tmp_path / "store")
+    yield thread
+    thread.stop()
+
+
+class TestHttpService:
+    def test_submit_stream_list_delete_lifecycle(self, service,
+                                                 tmp_path):
+        created = service.post_job(dict(SWEEP_SPEC))
+        assert created["id"] == "j1"
+        assert created["kind"] == "sweep"
+        events = service.stream_events(created["id"])
+        assert [e.kind for e in events] == \
+            ["job-started", "point", "point", "job-finished"]
+        assert events[-1].result["ledger"] == \
+            serial_sweep_ledger(tmp_path / "serial")
+        rows = service.jobs()
+        assert [r["id"] for r in rows] == ["j1"]
+        assert rows[0]["status"] == "finished"
+        # DELETE of a finished job is a no-op
+        gone = request_json(service.url, "DELETE", "/jobs/j1")
+        assert gone["status"] == "finished"
+
+    def test_stream_is_json_lines_with_ndjson_content_type(self,
+                                                           service):
+        created = service.post_job(dict(SWEEP_SPEC))
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=120)
+        try:
+            conn.request("GET", f"/jobs/{created['id']}/events")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == \
+                "application/x-ndjson"
+            raw = response.read().decode()
+        finally:
+            conn.close()
+        lines = [line for line in raw.split("\n") if line]
+        # every frame is one standalone JSON object with a kind
+        decoded = [json.loads(line) for line in lines]
+        assert all("kind" in d for d in decoded)
+        assert decoded[0]["kind"] == "job-started"
+        assert decoded[-1]["kind"] == "job-finished"
+        # and round-trips through the typed vocabulary
+        assert [event_from_json_line(line).kind for line in lines] == \
+            [d["kind"] for d in decoded]
+
+    def test_client_disconnect_cancels_nothing(self, service):
+        created = service.post_job(dict(LONG_FUZZ_SPEC))
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=60)
+        conn.request("GET", f"/jobs/{created['id']}/events")
+        response = conn.getresponse()
+        assert response.readline()  # at least one frame arrived
+        conn.close()  # hang up mid-stream
+        # the job — already submitted — runs to completion regardless
+        assert service.wait_status(created["id"]) == "finished"
+        events = service.stream_events(created["id"])
+        findings = [e for e in events if e.kind == "finding"]
+        assert len(findings) == 40
+        assert events[-1].result["ok"] is True
+
+    def test_delete_running_job_cancels_it(self, service):
+        created = service.post_job(dict(LONG_FUZZ_SPEC))
+        # wait until it demonstrably started
+        deadline = time.monotonic() + 60
+        while service.job_status(created["id"]) == "pending":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        cancelled = request_json(service.url, "DELETE",
+                                 f"/jobs/{created['id']}")
+        assert cancelled["id"] == created["id"]
+        assert service.wait_status(created["id"]) == "cancelled"
+        events = service.stream_events(created["id"])
+        assert events[-1].kind == "job-failed"
+        assert events[-1].cancelled
+
+    def test_error_statuses(self, service):
+        with pytest.raises(ServiceError) as err:
+            request_json(service.url, "GET", "/jobs/j999/events")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            request_json(service.url, "POST", "/jobs",
+                         payload={"kind": "nope"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            request_json(service.url, "GET", "/no/such/route")
+        assert err.value.status == 404
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/jobs", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_watch_cli_exit_codes(self, service, capsys):
+        created = service.post_job(dict(SWEEP_SPEC))
+        assert main(["watch", created["id"], "--url",
+                     service.url]) == 0
+        out = capsys.readouterr().out
+        assert f"job {created['id']} started" in out
+        assert f"job {created['id']} finished" in out
+        assert '"ledger":' not in out  # summaries stay human-sized
+        assert main(["watch", "j999", "--url", service.url]) == 2
+        assert "repro watch: error" in capsys.readouterr().err
+
+    def test_run_service_end_to_end(self, tmp_path):
+        # the coroutine behind `repro serve`: announce callback fires
+        # with the ephemeral port, jobs run over HTTP, a shutdown
+        # event stops it cleanly
+        async def scenario():
+            shutdown = asyncio.Event()
+            announced = {}
+
+            def announce(host, port, store_dir):
+                announced.update(host=host, port=port, store=store_dir)
+
+            task = asyncio.create_task(run_service(
+                store_dir=str(tmp_path), port=0, announce=announce,
+                shutdown=shutdown))
+            while not announced:
+                await asyncio.sleep(0.01)
+            url = f"http://{announced['host']}:{announced['port']}"
+            created = await asyncio.to_thread(
+                request_json, url, "POST", "/jobs", dict(SWEEP_SPEC))
+            events = []
+            await asyncio.to_thread(watch_job, url, created["id"],
+                                    events.append)
+            shutdown.set()
+            assert await task == 0
+            return announced, events
+
+        announced, events = asyncio.run(scenario())
+        assert announced["store"] == str(tmp_path)
+        assert events[-1].kind == "job-finished"
+
+    def test_serve_cli_reports_busy_port_as_usage_error(self, capsys):
+        import socket
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            sock.listen(1)
+            port = sock.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 2
+        err = capsys.readouterr().err
+        assert "repro serve: error:" in err
+
+    def test_watch_cli_json_mode(self, service, capsys):
+        created = service.post_job(dict(SWEEP_SPEC))
+        assert main(["watch", created["id"], "--url", service.url,
+                     "--json"]) == 0
+        lines = [line for line in
+                 capsys.readouterr().out.splitlines() if line]
+        assert json.loads(lines[0])["kind"] == "job-started"
+        assert json.loads(lines[-1])["kind"] == "job-finished"
