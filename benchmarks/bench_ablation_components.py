@@ -5,7 +5,7 @@ CP/RA without the MBC, CP/RA + RLE/SF, and the full optimizer with
 value feedback.  The full configuration should dominate its parts.
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import ablation
 
@@ -22,4 +22,5 @@ def test_ablation_component_contributions(benchmark, smoke):
             assert (row.bars["CP/RA + RLE/SF"]
                     >= row.bars["CP/RA only"] - 0.05)
             assert row.bars["full"] >= row.bars["feedback only"] - 0.05
-    publish("ablation_components", ablation.format(rows), smoke)
+    publish("ablation_components", ablation.format(rows), smoke,
+            data={"rows": rows_data(rows)})

@@ -5,7 +5,7 @@ climbs markedly (1.11 -> 1.25 at depth 3); chained memory operations
 add nothing further.
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import depth
 
@@ -23,4 +23,5 @@ def test_fig10_dependence_depth(benchmark, smoke):
             # Chained memory queries add essentially nothing.
             assert abs(row.bars["depth 3 & 1 mem"]
                        - row.bars["depth 3"]) < 0.05
-    publish("fig10_depth", depth.format(rows), smoke)
+    publish("fig10_depth", depth.format(rows), smoke,
+            data={"rows": rows_data(rows)})

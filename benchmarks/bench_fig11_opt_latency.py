@@ -4,7 +4,7 @@ Paper reference: performance degrades gracefully with extra rename
 stages; even at four stages the speedup remains noteworthy.
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import latency
 
@@ -17,4 +17,5 @@ def test_fig11_optimizer_latency(benchmark, smoke):
         for row in rows:
             # graceful degradation with extra rename stages
             assert row.bars[0] >= row.bars[4] - 0.05
-    publish("fig11_opt_latency", latency.format(rows), smoke)
+    publish("fig11_opt_latency", latency.format(rows), smoke,
+            data={"rows": rows_data(rows)})

@@ -4,7 +4,7 @@ Paper reference: essentially no sensitivity — a register is either
 referenced by the optimizer for a long time or not at all.
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import vf_delay
 
@@ -17,4 +17,5 @@ def test_fig12_value_feedback_delay(benchmark, smoke):
         for row in rows:
             values = list(row.bars.values())
             assert max(values) - min(values) < 0.1  # near-flat
-    publish("fig12_vf_delay", vf_delay.format(rows), smoke)
+    publish("fig12_vf_delay", vf_delay.format(rows), smoke,
+            data={"rows": rows_data(rows)})

@@ -5,7 +5,7 @@ largest improvement; mcf is 2-3x its SPECint peers; untoast is the
 best mediabench benchmark.
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import speedup
 
@@ -24,4 +24,5 @@ def test_fig6_speedup_over_baseline(benchmark, smoke):
         assert max(values) > 1.08
         averages = speedup.suite_averages(rows)
         assert all(avg > 0.97 for avg in averages.values())
-    publish("fig6_speedup", speedup.format(rows), smoke)
+    publish("fig6_speedup", speedup.format(rows), smoke,
+            data={"rows": rows_data(rows)})

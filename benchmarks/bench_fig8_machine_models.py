@@ -7,7 +7,7 @@ Representative subset: the first two workloads of each suite
 (sensitivity studies use a subset to bound harness runtime).
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import machine_models
 
@@ -21,4 +21,5 @@ def test_fig8_machine_models(benchmark, smoke):
         for row in rows:
             assert row.bars["exec bound + opt"] > \
                 row.bars["exec bound"] - 0.02
-    publish("fig8_machine_models", machine_models.format(rows), smoke)
+    publish("fig8_machine_models", machine_models.format(rows), smoke,
+            data={"rows": rows_data(rows)})

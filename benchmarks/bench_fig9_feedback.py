@@ -4,7 +4,7 @@ Paper reference: feedback alone offers little (bars near 1.0);
 optimization projects old values into the future and dominates.
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import feedback
 
@@ -16,4 +16,5 @@ def test_fig9_feedback_vs_optimization(benchmark, smoke):
     if not smoke:
         for row in rows:
             assert row.feedback_plus_opt >= row.feedback_only - 0.05
-    publish("fig9_feedback", feedback.format(rows), smoke)
+    publish("fig9_feedback", feedback.format(rows), smoke,
+            data={"rows": rows_data(rows)})

@@ -73,4 +73,16 @@ def test_search_halving_vs_grid(benchmark, smoke):
         f"winner   : {halving.best.candidate.label} "
         f"(geomean-ipc {halving.best.score:.4f})",
     ]
-    publish("search_strategies", "\n".join(lines), smoke)
+    publish("search_strategies", "\n".join(lines), smoke, data={
+        "space_size": space.size, "workloads": list(WORKLOADS),
+        "grid_seconds": round(grid_s, 4),
+        "halving_seconds": round(halving_s, 4),
+        "resumed_seconds": round(resumed_s, 4),
+        "grid_full_evaluations": grid_full,
+        "halving_full_evaluations": halving_full,
+        "grid_simulations": grid.counters["simulations"],
+        "halving_simulations": halving.counters["simulations"],
+        "evaluations_reused": resumed.counters["evaluations_reused"],
+        "winner": halving.best.candidate.label,
+        "winner_score": halving.best.score,
+    })

@@ -106,4 +106,16 @@ def test_segmented_sweep_speedup(benchmark, smoke):
         f"({warm.counters['segment_stats_hits']} segment-stats hits, "
         f"0 emulations, 0 simulations)",
     ]
-    publish("segmented_sweep", "\n".join(lines), smoke)
+    publish("segmented_sweep", "\n".join(lines), smoke, data={
+        "points": len(points), "workload": WORKLOAD, "scale": scale,
+        "instructions": parallel.results[0].stats.retired,
+        "segments": segments, "segment_insns": segment_insns,
+        "jobs": ncpu,
+        "flat_seconds": round(flat_s, 4),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup_over_serial": round(serial_s / parallel_s, 4),
+        "speedup_over_flat": round(flat_s / parallel_s, 4),
+        "warm_counters": dict(warm.counters),
+    })

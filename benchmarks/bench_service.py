@@ -98,4 +98,12 @@ def test_service_overhead_and_concurrency(benchmark, smoke):
         f"two concurrent jobs     : {pair_s:8.2f} s   "
         f"(shared store, {sum(len(s) for s in pair_streams)} events)",
     ]
-    publish("service_overhead", "\n".join(lines), smoke)
+    publish("service_overhead", "\n".join(lines), smoke, data={
+        "points": len(points), "workloads": list(workloads),
+        "direct_seconds": round(direct_s, 4),
+        "service_seconds": round(service_s, 4),
+        "overhead_seconds": round(service_s - direct_s, 4),
+        "events_streamed": len(stream),
+        "pair_seconds": round(pair_s, 4),
+        "pair_events": sum(len(s) for s in pair_streams),
+    })

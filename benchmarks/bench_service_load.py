@@ -1,0 +1,239 @@
+"""Service load harness: N concurrent submitters against one server.
+
+Drives a live :class:`~repro.engine.service.ServiceServer` (real HTTP
+over a loopback socket, not in-process manager calls) with several
+submitter threads, each POSTing jobs and watching their event streams
+to completion.  Client-side job latencies (submit -> terminal event)
+give exact p50/p95/p99; a sampler thread scrapes ``/metrics`` during
+the run for the server's view (peak queue depth, finished counters).
+
+The machine-readable result lands in
+``benchmarks/results/BENCH_service_load.json`` — throughput,
+latency percentiles, peak queue depth — both under pytest and when
+run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import RESULTS_DIR, publish  # noqa: E402
+
+#: All submitters share one store, so the first job pays emulation +
+#: simulation and later jobs hit warm artifacts — a realistic mixed
+#: latency distribution that also exercises the store/cache metrics.
+JOB_SPEC = {"kind": "sweep", "workloads": ["untoast"]}
+
+SMOKE_WORKERS, SMOKE_JOBS_EACH = 2, 2
+FULL_WORKERS, FULL_JOBS_EACH = 4, 4
+
+#: Counter families a loaded server's /metrics scrape must cover.
+EXPECTED_METRICS = ("repro_jobs_submitted_total",
+                    "repro_jobs_finished_total",
+                    "repro_job_queue_depth",
+                    "repro_store_put_bytes_total",
+                    "repro_sim_runs_total")
+
+
+class ServiceThread:
+    """A JobManager + ServiceServer on a background asyncio loop."""
+
+    def __init__(self, max_concurrent_jobs: int = 4):
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main(max_concurrent_jobs)),
+            daemon=True)
+        self._thread.start()
+        if not self._ready.wait(30):
+            raise RuntimeError("service thread failed to start")
+
+    async def _main(self, max_concurrent_jobs: int) -> None:
+        from repro.engine.service import JobManager, ServiceServer
+        manager = JobManager(jobs=1,
+                             max_concurrent_jobs=max_concurrent_jobs)
+        server = ServiceServer(manager, port=0)
+        self.port = await server.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        serving = asyncio.create_task(server.serve_forever())
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            serving.cancel()
+            await server.stop()
+            await manager.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(30)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank percentile over raw client-side samples."""
+    if not sorted_values:
+        return 0.0
+    rank = round(q * (len(sorted_values) - 1))
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
+
+
+def _submitter(url: str, jobs_each: int, latencies: list[float],
+               errors: list[str], lock: threading.Lock) -> None:
+    from repro.engine.service import request_json, watch_job
+    for _ in range(jobs_each):
+        started = time.perf_counter()
+        try:
+            job = request_json(url, "POST", "/jobs", JOB_SPEC)
+            last = watch_job(url, job["id"], lambda event: None,
+                             timeout=300.0)
+            elapsed = time.perf_counter() - started
+            with lock:
+                if last is None or last.kind != "job-finished":
+                    errors.append(f"job {job['id']} ended "
+                                  f"{getattr(last, 'kind', None)}")
+                latencies.append(elapsed)
+        except Exception as error:  # keep the other submitters going
+            with lock:
+                errors.append(f"{type(error).__name__}: {error}")
+
+
+def _sample_metrics(url: str, stop: threading.Event,
+                    peaks: dict) -> None:
+    """Scrape /metrics?format=json during the run; track peak depth."""
+    from repro.engine.service import request_json
+    while not stop.is_set():
+        try:
+            snap = request_json(url, "GET", "/metrics?format=json",
+                                timeout=10.0)
+        except Exception:
+            break  # server is shutting down
+        depth = snap.get("gauges", {}) \
+            .get("repro_job_queue_depth", {}).get("", 0)
+        peaks["queue_depth"] = max(peaks.get("queue_depth", 0), depth)
+        stop.wait(0.05)
+
+
+def run_load(smoke: bool) -> dict:
+    """Run the load scenario; returns the BENCH JSON payload."""
+    from repro.engine.service import request_json
+    workers = SMOKE_WORKERS if smoke else FULL_WORKERS
+    jobs_each = SMOKE_JOBS_EACH if smoke else FULL_JOBS_EACH
+    latencies: list[float] = []
+    errors: list[str] = []
+    peaks: dict = {}
+    lock = threading.Lock()
+    service = ServiceThread()
+    stop_sampler = threading.Event()
+    started = time.perf_counter()
+    try:
+        sampler = threading.Thread(
+            target=_sample_metrics,
+            args=(service.url, stop_sampler, peaks), daemon=True)
+        sampler.start()
+        threads = [threading.Thread(
+            target=_submitter,
+            args=(service.url, jobs_each, latencies, errors, lock))
+            for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stop_sampler.set()
+        sampler.join(5)
+        snapshot = request_json(service.url, "GET",
+                                "/metrics?format=json")
+    finally:
+        stop_sampler.set()
+        service.close()
+    if errors:
+        raise AssertionError(f"load run had failures: {errors}")
+    finished = snapshot["counters"] \
+        .get("repro_jobs_finished_total", {}).get("", 0)
+    latencies.sort()
+    total_jobs = workers * jobs_each
+    return {
+        "smoke": smoke,
+        "workers": workers,
+        "jobs_per_worker": jobs_each,
+        "jobs_total": total_jobs,
+        "jobs_finished_total": finished,
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_jobs_per_second": round(total_jobs / elapsed, 4),
+        "latency_p50_seconds": round(_percentile(latencies, 0.50), 4),
+        "latency_p95_seconds": round(_percentile(latencies, 0.95), 4),
+        "latency_p99_seconds": round(_percentile(latencies, 0.99), 4),
+        "latency_max_seconds": round(latencies[-1], 4)
+        if latencies else 0.0,
+        "peak_queue_depth": peaks.get("queue_depth", 0),
+    }
+
+
+def _format(payload: dict) -> str:
+    return "\n".join([
+        "Service load: concurrent submitters over HTTP",
+        f"workers: {payload['workers']} x "
+        f"{payload['jobs_per_worker']} jobs "
+        f"({payload['jobs_total']} total, spec {JOB_SPEC})",
+        f"elapsed: {payload['elapsed_seconds']:.2f} s  "
+        f"({payload['throughput_jobs_per_second']:.2f} jobs/s)",
+        f"latency: p50 {payload['latency_p50_seconds']:.3f} s   "
+        f"p95 {payload['latency_p95_seconds']:.3f} s   "
+        f"p99 {payload['latency_p99_seconds']:.3f} s   "
+        f"max {payload['latency_max_seconds']:.3f} s",
+        f"peak queue depth: {payload['peak_queue_depth']}",
+    ])
+
+
+def _publish(payload: dict, smoke: bool) -> None:
+    publish("service_load", _format(payload), smoke, data=payload)
+    # the canonical name, regardless of budget: downstream tooling
+    # (and CI's load-smoke step) looks for BENCH_service_load.json
+    if smoke:
+        (RESULTS_DIR / "BENCH_service_load.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_service_load(smoke):
+    payload = run_load(smoke)
+    assert payload["jobs_finished_total"] >= payload["jobs_total"]
+    for name in ("latency_p50_seconds", "latency_p95_seconds",
+                 "latency_p99_seconds"):
+        assert payload[name] >= 0.0
+    assert payload["latency_p50_seconds"] \
+        <= payload["latency_p95_seconds"] \
+        <= payload["latency_p99_seconds"]
+    _publish(payload, smoke)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-budget mode (CI's load-smoke step)")
+    args = parser.parse_args(argv)
+    payload = run_load(args.smoke)
+    _publish(payload, args.smoke)
+    print(_format(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

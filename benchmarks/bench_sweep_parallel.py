@@ -66,4 +66,14 @@ def test_sweep_parallel_speedup(benchmark, smoke):
         f"speedup {serial_s / cached_s:.2f}x "
         f"({cached.counters['stats_cache_hits']} store hits)",
     ]
-    publish("sweep_parallel", "\n".join(lines), smoke)
+    publish("sweep_parallel", "\n".join(lines), smoke, data={
+        "points": len(points), "workloads": list(workloads),
+        "jobs": ncpu,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "warm_seconds": round(cached_s, 4),
+        "speedup_cold": round(serial_s / parallel_s, 4),
+        "speedup_warm": round(serial_s / cached_s, 4),
+        "serial_counters": dict(serial.counters),
+        "warm_counters": dict(cached.counters),
+    })

@@ -50,4 +50,15 @@ def test_fuzz_throughput(benchmark, smoke):
     for family, counts in per_family.items():
         mean = sum(counts) / len(counts) if counts else 0
         lines.append(f"{family:10s} {len(counts):8d} {mean:14.0f}")
-    publish("synth_fuzz_throughput", "\n".join(lines), smoke)
+    publish("synth_fuzz_throughput", "\n".join(lines), smoke, data={
+        "programs": len(fuzz.programs), "seeds": len(seeds),
+        "elapsed_seconds": round(elapsed, 4),
+        "programs_per_second": round(len(fuzz.programs) / elapsed, 4),
+        "insns_per_second": round(total_insns / elapsed, 1),
+        "total_insns": total_insns,
+        "per_family": {family: {"programs": len(counts),
+                                "mean_insns": round(sum(counts)
+                                                    / len(counts), 1)
+                                if counts else 0}
+                       for family, counts in per_family.items()},
+    })

@@ -1,6 +1,6 @@
 """Regenerates Table 1: the experimental workload inventory."""
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import table1
 
@@ -11,4 +11,5 @@ def test_table1_workload_inventory(benchmark, smoke):
                               kwargs=kwargs)
     assert len(rows) == (3 if smoke else 22)
     assert all(row.instructions > 0 for row in rows)
-    publish("table1_workloads", table1.format(rows), smoke)
+    publish("table1_workloads", table1.format(rows), smoke,
+            data={"rows": rows_data(rows)})

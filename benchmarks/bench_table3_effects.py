@@ -6,7 +6,7 @@ exec early 20.0/28.6/33.5 (avg 26.0); recovered mispredicted branches
 loads removed 5.5/21.7/47.2 (17.4).
 """
 
-from conftest import publish
+from conftest import publish, rows_data
 
 from repro.experiments import table3
 
@@ -23,4 +23,5 @@ def test_table3_optimization_effects(benchmark, smoke):
         assert average.exec_early > 10
         assert average.addr_generated > 30
         assert average.loads_removed > 2
-    publish("table3_effects", table3.format(rows), smoke)
+    publish("table3_effects", table3.format(rows), smoke,
+            data={"rows": rows_data(rows)})

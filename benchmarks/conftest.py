@@ -18,6 +18,8 @@ stay the default locally::
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import pathlib
 
 import pytest
@@ -38,13 +40,39 @@ def smoke(request) -> bool:
     return request.config.getoption("--smoke")
 
 
-def publish(name: str, text: str, smoke: bool = False) -> None:
+def rows_data(rows) -> list[dict]:
+    """Benchmark result rows as JSON-ready dicts.
+
+    The experiment modules return dataclass rows; anything else with
+    a ``__dict__`` (or a plain mapping) serializes as-is.
+    """
+    out = []
+    for row in rows:
+        if dataclasses.is_dataclass(row):
+            out.append(dataclasses.asdict(row))
+        elif isinstance(row, dict):
+            out.append(dict(row))
+        else:
+            out.append(vars(row))
+    return out
+
+
+def publish(name: str, text: str, smoke: bool = False,
+            data: dict | list | None = None) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
     Smoke-mode outputs land in ``<name>.smoke.txt`` so tiny-budget CI
     runs never clobber the committed full-budget tables.
+
+    With *data*, the same result is also written machine-readably to
+    ``BENCH_<name>[.smoke].json`` — so dashboards and regression
+    scripts consume benchmarks without scraping the human tables.
     """
     print("\n" + text + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
-    suffix = ".smoke.txt" if smoke else ".txt"
-    (RESULTS_DIR / f"{name}{suffix}").write_text(text + "\n")
+    suffix = ".smoke" if smoke else ""
+    (RESULTS_DIR / f"{name}{suffix}.txt").write_text(text + "\n")
+    if data is not None:
+        path = RESULTS_DIR / f"BENCH_{name}{suffix}.json"
+        path.write_text(json.dumps(data, indent=2, sort_keys=True,
+                                   default=str) + "\n")

@@ -22,6 +22,8 @@ Commands
                          HTTP)
 ``watch``                tail one job's event stream from a running
                          ``repro serve``
+``metrics``              fetch and render a running service's
+                         telemetry snapshot (``GET /metrics``)
 ``store gc`` / ``store info``
                          maintain the artifact store (LRU size cap)
 
@@ -34,7 +36,10 @@ simulation" for the semantics); ``--store-max-bytes N`` enforces an
 LRU size cap on the store after each sweep.  Sensitivity figures
 accept ``--per-suite N`` to bound runtime (default: all workloads; the
 benchmark harness uses 2).  ``--scale N`` grows the dynamic
-instruction counts of every kernel.
+instruction counts of every kernel.  ``--profile`` prints a per-stage
+wall-time tree (from the telemetry registry) on stderr after any
+command; ``REPRO_TELEMETRY=0`` in the environment disables telemetry
+collection entirely.
 
 ``sweep`` examples::
 
@@ -66,6 +71,8 @@ instruction counts of every kernel.
         '{"kind": "sweep", "workloads": ["mcf"], \\
           "axes": ["optimizer.enabled=false,true"]}'
     repro watch j1 --url http://127.0.0.1:8787
+    curl http://127.0.0.1:8787/metrics        # Prometheus text
+    repro metrics --url http://127.0.0.1:8787 # human rendering
 
 Synthetic workloads (``synth:<family>@seed=N[,param=V,...]``) are
 first-class workload names everywhere a paper kernel is accepted::
@@ -78,6 +85,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from . import quick_compare
@@ -449,15 +457,64 @@ def _cmd_watch(args) -> int:
         print(f"repro watch: cannot reach {args.url}: {error}",
               file=sys.stderr)
         return 2
-    if last is not None and last.kind == "job-finished":
-        return 0
-    if last is not None and last.kind == "job-failed":
-        return 1
+    if last is not None and last.kind in ("job-finished", "job-failed"):
+        print(_watch_summary(args.job, last), file=sys.stderr)
+        return 0 if last.kind == "job-finished" else 1
     # the stream ended without a terminal event: a severed connection
     # or server restart, not a job verdict — report a client error
     print(f"repro watch: stream for {args.job} ended without a "
           f"terminal event", file=sys.stderr)
     return 2
+
+
+def _watch_summary(job_id: str, last) -> str:
+    """One-line job verdict printed after the stream ends.
+
+    On stderr so ``--json`` consumers piping stdout still get pure
+    JSON lines.  Wall time and instruction counts come from the
+    terminal event's result when the job body reports them (search
+    jobs report no retired-instruction total).
+    """
+    if last.kind == "job-failed":
+        state = ("cancelled" if getattr(last, "cancelled", False)
+                 else "failed")
+        return f"job {job_id} {state}: {last.error}"
+    result = last.result or {}
+    parts = [f"job {job_id} finished"]
+    if result.get("elapsed_seconds") is not None:
+        parts.append(f"{result['elapsed_seconds']}s wall")
+    if result.get("retired_insns") is not None:
+        parts.append(f"{result['retired_insns']} insns simulated")
+    return ": ".join([parts[0], ", ".join(parts[1:])]) if parts[1:] \
+        else parts[0]
+
+
+def _cmd_metrics(args) -> int:
+    from .engine.service import request_json
+    from .engine.telemetry import format_snapshot
+    try:
+        snapshot = request_json(args.url, "GET", "/metrics?format=json",
+                                timeout=args.timeout)
+    except ValueError as error:
+        # ServiceError subclasses ValueError (bad URL, HTTP errors)
+        print(f"repro metrics: error: {error}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as error:
+        print(f"repro metrics: cannot reach {args.url}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(snapshot, indent=2 if args.pretty else None))
+        else:
+            print(format_snapshot(snapshot))
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not an error, but
+        # point stdout at devnull so the interpreter's exit-time
+        # flush doesn't raise a second time
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -486,6 +543,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="after each sweep, LRU-evict store "
                              "artifacts until the store is <= N bytes")
+    parser.add_argument("--profile", action="store_true",
+                        help="after the command, print a per-stage "
+                             "wall-time tree from the telemetry "
+                             "registry on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list workloads").set_defaults(
         handler=_cmd_list)
@@ -653,6 +714,23 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--timeout", type=float, default=600.0,
                        help="socket timeout in seconds (default 600)")
     watch.set_defaults(handler=_cmd_watch)
+    metrics = sub.add_parser(
+        "metrics", help="fetch a running service's telemetry",
+        description="Fetch GET /metrics?format=json from a running "
+                    "`repro serve` and render the snapshot (counters, "
+                    "gauges, histogram summaries).  Exit 2 if the "
+                    "service is unreachable.")
+    metrics.add_argument("--url", default="http://127.0.0.1:8787",
+                         help="service base URL "
+                              "(default http://127.0.0.1:8787)")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw JSON snapshot instead of "
+                              "the human rendering")
+    metrics.add_argument("--pretty", action="store_true",
+                         help="indent the JSON snapshot")
+    metrics.add_argument("--timeout", type=float, default=30.0,
+                         help="socket timeout in seconds (default 30)")
+    metrics.set_defaults(handler=_cmd_metrics)
     store = sub.add_parser(
         "store", help="artifact-store maintenance",
         description="Maintain the --store directory: inspect its size "
@@ -672,7 +750,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     runner.configure(store_dir=args.store, jobs=args.jobs,
                      segment_insns=args.segment_insns)
-    return args.handler(args)
+    code = args.handler(args)
+    if args.profile:
+        from .engine.telemetry import TELEMETRY, format_profile
+        print(format_profile(TELEMETRY.snapshot()), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

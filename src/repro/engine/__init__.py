@@ -27,6 +27,11 @@ ProcessPoolExecutor` sharding layer that groups sweep points by
   every engine producer streams through its ``progress=`` callback
   (``point`` / ``evaluation`` / ``segment`` / ``finding`` / job
   lifecycle), with a stable JSON-lines wire form.
+* :mod:`repro.engine.telemetry` — the dependency-free process
+  metrics registry (counters / gauges / log-bucketed histograms /
+  timer spans) every layer above records into; snapshots merge
+  associatively so worker processes ship theirs back through the
+  same result path as :class:`~repro.uarch.pipeline.PipelineStats`.
 * :mod:`repro.engine.service` — the async streaming results service:
   a :class:`~repro.engine.service.JobManager` running sweeps,
   searches, segmented sweeps, and fuzz campaigns as named concurrent
@@ -42,8 +47,9 @@ from .campaign import (Campaign, SweepPoint, apply_override, expand_axes,
                        parse_axis, split_workloads)
 from .events import (EvaluationEvent, Event, FindingEvent,
                      JobFailedEvent, JobFinishedEvent, JobStartedEvent,
-                     PointEvent, SegmentEvent, event_from_dict,
-                     event_from_json_line, format_event)
+                     MetricEvent, PointEvent, SegmentEvent,
+                     event_from_dict, event_from_json_line,
+                     format_event)
 from .pool import (ExecutionContext, PointResult, SweepResult, run_sweep,
                    run_sweep_iter)
 from .search import (Candidate, Categorical, Evaluation, IntRange,
@@ -52,6 +58,7 @@ from .search import (Candidate, Categorical, Evaluation, IntRange,
 from .segments import (SegmentPlan, plan_segments, run_segmented_sweep,
                        simulate_workload_segmented)
 from .store import ArtifactStore
+from .telemetry import TELEMETRY, MetricsRegistry
 
 #: Service symbols resolve lazily (PEP 562): importing the engine for
 #: a plain sweep must not pay for asyncio + the HTTP server machinery.
@@ -72,8 +79,9 @@ __all__ = [
     "parse_axis", "split_workloads",
     "Event", "PointEvent", "EvaluationEvent", "SegmentEvent",
     "FindingEvent", "JobStartedEvent", "JobFinishedEvent",
-    "JobFailedEvent", "event_from_dict", "event_from_json_line",
-    "format_event",
+    "JobFailedEvent", "MetricEvent", "event_from_dict",
+    "event_from_json_line", "format_event",
+    "MetricsRegistry", "TELEMETRY",
     "ExecutionContext", "PointResult", "SweepResult", "run_sweep",
     "run_sweep_iter",
     "Candidate", "Categorical", "Evaluation", "IntRange",

@@ -23,6 +23,9 @@ kind           emitted by / meaning
 ``job-*``      lifecycle of a named service job (``job-started``,
                ``job-finished``, ``job-failed``) — emitted only by
                :mod:`repro.engine.service`
+``metric``     one named telemetry measurement (a per-job phase span
+               such as queue wait or execute time) — emitted by the
+               service just before a job's terminal event
 ============== ====================================================
 
 Events are frozen dataclasses with a stable JSON form: ``to_dict()``
@@ -35,7 +38,7 @@ unknown keys are dropped, so old clients survive new fields.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, ClassVar
 
 #: The signature every engine ``progress=`` callback now has.
@@ -150,10 +153,29 @@ class JobFailedEvent(Event):
     cancelled: bool = False
 
 
+@dataclass(frozen=True)
+class MetricEvent(Event):
+    """One named telemetry measurement attached to an event stream.
+
+    The service emits these for per-job phase spans (queue wait,
+    execute time) right before the job's terminal event; ``labels``
+    carries the metric's dimension(s) (e.g. ``{"phase": "queue"}``)
+    using the same names the ``/metrics`` endpoint exposes.
+    """
+
+    kind: ClassVar[str] = "metric"
+    name: str
+    value: float
+    unit: str = ""
+    job: str = ""
+    labels: dict = field(default_factory=dict)
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (PointEvent, EvaluationEvent, SegmentEvent, FindingEvent,
-                JobStartedEvent, JobFinishedEvent, JobFailedEvent)
+                JobStartedEvent, JobFinishedEvent, JobFailedEvent,
+                MetricEvent)
 }
 
 
@@ -217,4 +239,9 @@ def format_event(event: Event) -> str:
     if event.kind == "job-failed":
         state = "cancelled" if event.cancelled else "failed"
         return f"job {event.job} {state}: {event.error}"
+    if event.kind == "metric":
+        labels = "".join(f" {k}={v}" for k, v in
+                         sorted(event.labels.items()))
+        unit = f" {event.unit}" if event.unit else ""
+        return f"[metric] {event.name}{labels} = {event.value}{unit}"
     return event.to_json_line()

@@ -53,6 +53,7 @@ from ..workloads import build_trace
 from .campaign import SweepPoint
 from .events import PointEvent
 from .store import ArtifactStore
+from .telemetry import TELEMETRY
 
 #: How pool worker processes are started (``None`` = the platform
 #: default, i.e. fork on Linux).  See :func:`set_worker_start_method`.
@@ -134,7 +135,9 @@ class ExecutionContext:
         trace = self._traces.get(key)
         if trace is not None:
             self._traces.move_to_end(key)
+            TELEMETRY.counter("repro_trace_cache_hits_total").inc()
             return trace, False, False
+        TELEMETRY.counter("repro_trace_cache_misses_total").inc()
         store_hit = False
         if self.store is not None:
             trace = self.store.load_trace(workload, scale)
@@ -149,6 +152,8 @@ class ExecutionContext:
             while len(self._traces) > self.max_cached_traces:
                 self._traces.popitem(last=False)
                 self.trace_evictions += 1
+                TELEMETRY.counter(
+                    "repro_trace_cache_evictions_total").inc()
         return trace, emulated, store_hit
 
     def run_shard(self, shard: list[tuple[int, str, int, str, object]],
@@ -236,14 +241,30 @@ def _init_worker(store_dir: str | None,
 
 
 def _run_shard(shard: list[tuple[int, str, int, str, object]],
-               limit_insns: int | None = None
-               ) -> list[tuple[int, PipelineStats, dict]]:
-    return _worker_context.run_shard(shard, limit_insns)
+               limit_insns: int | None = None,
+               submitted_ns: int | None = None
+               ) -> tuple[list[tuple[int, PipelineStats, dict]],
+                          dict | None]:
+    """One shard on a worker; returns (results, telemetry snapshot).
+
+    ``submitted_ns`` is the driver's ``time.monotonic_ns()`` at submit
+    time — comparable across processes on one machine — so the worker
+    can record how long the shard sat in the pool queue before a
+    process picked it up.  The drained telemetry snapshot rides the
+    existing result path home, exactly like ``PipelineStats`` merges.
+    """
+    if submitted_ns is not None:
+        wait = max(0, time.monotonic_ns() - submitted_ns) / 1e9
+        TELEMETRY.histogram("repro_pool_shard_wait_seconds").observe(wait)
+    with TELEMETRY.timer("repro_pool_shard_execute_seconds"):
+        out = _worker_context.run_shard(shard, limit_insns)
+    return out, TELEMETRY.drain()
 
 
 def _prewarm_shard(shard: list[tuple[str, int]]
-                   ) -> list[tuple[str, int, int, bool]]:
-    return _worker_context.prewarm_shard(shard)
+                   ) -> tuple[list[tuple[str, int, int, bool]],
+                              dict | None]:
+    return _worker_context.prewarm_shard(shard), TELEMETRY.drain()
 
 
 # ----------------------------------------------------------------------
@@ -420,7 +441,8 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
     if jobs == 1 or len(shards) <= 1:
         context = ExecutionContext(store_dir, max_cached_traces)
         for shard in shards:
-            shard_out = context.run_shard(shard, limit_insns)
+            with TELEMETRY.timer("repro_pool_shard_execute_seconds"):
+                shard_out = context.run_shard(shard, limit_insns)
             # before the yields: a consumer that breaks mid-shard
             # must still see this shard's evictions
             counters["trace_evictions"] = context.trace_evictions
@@ -432,10 +454,13 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
                                              max_cached_traces),
                                    **_pool_kwargs())
         try:
-            futures = [pool.submit(_run_shard, shard, limit_insns)
+            futures = [pool.submit(_run_shard, shard, limit_insns,
+                                   time.monotonic_ns())
                        for shard in shards]
             for future in as_completed(futures):
-                yield from _absorb(future.result())
+                shard_out, telemetry_snap = future.result()
+                TELEMETRY.merge(telemetry_snap)
+                yield from _absorb(shard_out)
         finally:
             # an abandoned generator (early break / close(), or a
             # cancelled service job) must not run the rest of the
@@ -509,7 +534,10 @@ def run_trace_prewarm(pairs: list[tuple[str, int]], jobs: int | None,
                                  initializer=_init_worker,
                                  initargs=(store_dir,),
                                  **_pool_kwargs()) as pool:
-            outs = list(pool.map(_prewarm_shard, shards))
+            outs = []
+            for out, telemetry_snap in pool.map(_prewarm_shard, shards):
+                TELEMETRY.merge(telemetry_snap)
+                outs.append(out)
     for out in outs:
         counters["emulations"] += sum(emulated for *_, emulated in out)
     return counters

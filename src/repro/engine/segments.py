@@ -47,6 +47,7 @@ from .campaign import SweepPoint
 from .events import SegmentEvent
 from .pool import PointResult, SweepResult, resolve_jobs
 from .store import ArtifactStore
+from .telemetry import TELEMETRY
 
 #: Matches ``workloads.build_trace``'s budget for monolithic emulation.
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000
@@ -149,6 +150,10 @@ def plan_segments(workload: str, scale: int, segment_insns: int,
     plan = SegmentPlan(workload=workload, scale=scale,
                        segment_insns=segment_insns, lengths=tuple(lengths))
     store.save_manifest(workload, scale, segment_insns, plan.to_manifest())
+    if counters["emulated_instructions"]:
+        TELEMETRY.counter("repro_emu_runs_total").inc()
+        TELEMETRY.counter("repro_emu_instructions_total").inc(
+            counters["emulated_instructions"])
     return plan, counters
 
 
@@ -207,47 +212,74 @@ def _init_worker(store_dir: str) -> None:
     _worker_store = ArtifactStore(store_dir)
 
 
+def _observe_wait(submitted_ns: int | None, phase: str) -> None:
+    """Record pool-queue wait for a unit stamped by the driver."""
+    if submitted_ns is not None:
+        wait = max(0, time.monotonic_ns() - submitted_ns) / 1e9
+        TELEMETRY.histogram("repro_pool_shard_wait_seconds",
+                            phase=phase).observe(wait)
+
+
 def _plan_task(task: tuple[str, int, int, int],
-               store: ArtifactStore | None = None
-               ) -> tuple[str, int, dict, dict]:
-    """Plan one (workload, scale); returns its manifest + counters."""
+               store: ArtifactStore | None = None,
+               submitted_ns: int | None = None
+               ) -> tuple[tuple[str, int, dict, dict], dict | None]:
+    """Plan one (workload, scale); returns (payload, telemetry snap).
+
+    On the pool path (``store is None``: the worker's module-global
+    store binds) the worker drains its telemetry and ships the
+    snapshot home with the payload; the inline path records into the
+    driver's registry directly and ships ``None``.
+    """
+    pooled = store is None
     store = store if store is not None else _worker_store
+    _observe_wait(submitted_ns, "plan")
     workload, scale, segment_insns, max_instructions = task
-    plan, counters = plan_segments(workload, scale, segment_insns,
-                                   store, max_instructions)
-    return workload, scale, plan.to_manifest(), counters
+    with TELEMETRY.timer("repro_segments_plan_seconds"):
+        plan, counters = plan_segments(workload, scale, segment_insns,
+                                       store, max_instructions)
+    payload = (workload, scale, plan.to_manifest(), counters)
+    return payload, (TELEMETRY.drain() if pooled else None)
 
 
 def _simulate_shard(shard: tuple[str, int, int, int, list],
-                    store: ArtifactStore | None = None
-                    ) -> list[tuple[int, int, PipelineStats, bool]]:
+                    store: ArtifactStore | None = None,
+                    submitted_ns: int | None = None
+                    ) -> tuple[list[tuple[int, int, PipelineStats, bool]],
+                               dict | None]:
     """Simulate one segment for every config that needs it.
 
     ``shard`` is ``(workload, scale, segment_insns, seg_index,
     [(point_index, config), ...])``; the segment trace is unpickled at
-    most once no matter how many machine variants consume it.
+    most once no matter how many machine variants consume it.  Returns
+    ``(results, telemetry snapshot)`` — the snapshot ships only on the
+    pool path, like :func:`_plan_task`.
     """
+    pooled = store is None
     store = store if store is not None else _worker_store
+    _observe_wait(submitted_ns, "simulate")
     workload, scale, segment_insns, seg_index, items = shard
     out = []
     trace = None
-    for point_index, config in items:
-        stats = store.load_segment_stats(
-            workload, scale, segment_insns, seg_index, config)
-        hit = stats is not None
-        if stats is None:
-            if trace is None:
-                trace = store.load_segment_trace(
-                    workload, scale, segment_insns, seg_index)
+    with TELEMETRY.timer("repro_pool_shard_execute_seconds"):
+        for point_index, config in items:
+            stats = store.load_segment_stats(
+                workload, scale, segment_insns, seg_index, config)
+            hit = stats is not None
+            if stats is None:
                 if trace is None:
-                    raise RuntimeError(
-                        f"segment trace {workload}@{scale}#{seg_index} "
-                        f"missing from store {store.root}")
-            stats = simulate_trace(trace, config)
-            store.save_segment_stats(workload, scale, segment_insns,
-                                     seg_index, config, stats)
-        out.append((point_index, seg_index, stats, hit))
-    return out
+                    trace = store.load_segment_trace(
+                        workload, scale, segment_insns, seg_index)
+                    if trace is None:
+                        raise RuntimeError(
+                            f"segment trace "
+                            f"{workload}@{scale}#{seg_index} "
+                            f"missing from store {store.root}")
+                stats = simulate_trace(trace, config)
+                store.save_segment_stats(workload, scale, segment_insns,
+                                         seg_index, config, stats)
+            out.append((point_index, seg_index, stats, hit))
+    return out, (TELEMETRY.drain() if pooled else None)
 
 
 # ----------------------------------------------------------------------
@@ -312,7 +344,8 @@ def _dispatch_units(units: list, worker, absorb, jobs: int, store_dir: str,
     if jobs == 1 or len(units) <= 1:
         store = ArtifactStore(store_dir)
         for unit in units:
-            done, message = absorb(worker(unit, store=store))
+            payload, _ = worker(unit, store=store)
+            done, message = absorb(payload)
             emit(done, message)
     else:
         from .pool import _pool_kwargs
@@ -321,9 +354,13 @@ def _dispatch_units(units: list, worker, absorb, jobs: int, store_dir: str,
                                    initargs=(store_dir,),
                                    **_pool_kwargs())
         try:
-            futures = [pool.submit(worker, unit) for unit in units]
+            futures = [pool.submit(worker, unit, None,
+                                   time.monotonic_ns())
+                       for unit in units]
             for future in as_completed(futures):
-                done, message = absorb(future.result())
+                payload, telemetry_snap = future.result()
+                TELEMETRY.merge(telemetry_snap)
+                done, message = absorb(payload)
                 emit(done, message)
         finally:
             # a consumer that bails (a cancelled service job raising

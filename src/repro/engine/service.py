@@ -21,6 +21,9 @@ Two front ends expose the manager:
       GET    /jobs/<id>/events JSON-lines event stream (replays
                                history, then tails until the job ends)
       DELETE /jobs/<id>        request cancellation
+      GET    /metrics          Prometheus text exposition of the
+                               process telemetry registry
+                               (``?format=json`` for the raw snapshot)
 
 * ``repro watch`` — :func:`watch_job`, a blocking client that tails
   one job's event stream and pretty-prints it.
@@ -44,6 +47,8 @@ import json
 import shutil
 import tempfile
 import threading
+import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Callable
@@ -53,11 +58,12 @@ from ..workloads.synth import FAMILIES
 from .campaign import Campaign, parse_axis, split_workloads
 from .differential import DEFAULT_SEGMENT_INSNS, run_fuzz
 from .events import (Event, JobFailedEvent, JobFinishedEvent,
-                     JobStartedEvent)
+                     JobStartedEvent, MetricEvent)
 from .pool import resolve_jobs, run_sweep, set_worker_start_method
 from .search import (STRATEGIES, SearchSpace, make_objective,
                      resolve_search_workloads, run_search)
 from .segments import run_segmented_sweep
+from .telemetry import TELEMETRY
 
 JOB_KINDS = ("sweep", "search", "segments", "fuzz")
 
@@ -110,6 +116,11 @@ class Job:
     result: dict | None = None
     error: str = ""
     cancel: threading.Event = field(default_factory=threading.Event)
+    #: Lifecycle timestamps (``time.perf_counter()``) backing the
+    #: queue/execute phase spans; ``started_at`` stays ``None`` for
+    #: jobs cancelled before a thread ever picked them up.
+    submitted_at: float = 0.0
+    started_at: float | None = None
 
     def summary(self) -> dict:
         """JSON-ready state snapshot (the ``GET /jobs`` row)."""
@@ -168,6 +179,9 @@ def _sweep_body(spec: dict, store_dir: str, jobs: int,
                       progress=emit)
     ledger = sweep.ledger_json()
     return {"points": len(points), "counters": dict(sweep.counters),
+            "elapsed_seconds": round(sweep.elapsed, 3),
+            "retired_insns": sum(r.stats.retired
+                                 for r in sweep.results),
             "ledger": ledger, "ledger_sha256": _sha256(ledger)}
 
 
@@ -179,6 +193,9 @@ def _segments_body(spec: dict, store_dir: str, jobs: int,
                                 store_dir=store_dir, progress=emit)
     ledger = sweep.ledger_json()
     return {"points": len(points), "counters": dict(sweep.counters),
+            "elapsed_seconds": round(sweep.elapsed, 3),
+            "retired_insns": sum(r.stats.retired
+                                 for r in sweep.results),
             "ledger": ledger, "ledger_sha256": _sha256(ledger)}
 
 
@@ -211,6 +228,7 @@ def _search_body(spec: dict, store_dir: str, jobs: int,
             "score": result.best.score,
             "evaluations": len(result.evaluations),
             "counters": dict(result.counters),
+            "elapsed_seconds": round(result.elapsed, 3),
             "ledger": ledger, "ledger_sha256": _sha256(ledger)}
 
 
@@ -218,6 +236,7 @@ def _fuzz_body(spec: dict, store_dir: str, jobs: int,
                emit: Callable[[Event], None]) -> dict:
     seeds = spec.get("seeds", [0, 8])
     families = spec.get("families")
+    started = time.perf_counter()
     fuzz = run_fuzz(
         range(int(seeds[0]), int(seeds[1])),
         **({"families": tuple(families)} if families else {}),
@@ -227,7 +246,10 @@ def _fuzz_body(spec: dict, store_dir: str, jobs: int,
                                    DEFAULT_SEGMENT_INSNS)),
         progress=emit)
     return {"ok": fuzz.ok, "programs": len(fuzz.programs),
-            "failed": len(fuzz.failed)}
+            "failed": len(fuzz.failed),
+            "elapsed_seconds": round(time.perf_counter() - started, 3),
+            "retired_insns": sum(p.instructions
+                                 for p in fuzz.programs)}
 
 
 _JOB_BODIES = {"sweep": _sweep_body, "segments": _segments_body,
@@ -379,8 +401,10 @@ class JobManager:
             raise
         except (ValueError, TypeError, AttributeError, KeyError) as err:
             raise ServiceError(str(err)) from err
+        job.submitted_at = time.perf_counter()
         self._jobs[job_id] = job
         self._order.append(job_id)
+        TELEMETRY.counter("repro_jobs_submitted_total").inc()
         task = asyncio.create_task(self._run(job))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
@@ -414,20 +438,47 @@ class JobManager:
             result = await loop.run_in_executor(self._executor, execute)
         except JobCancelled:
             job.status = "cancelled"
+            self._record_phases(job)
+            TELEMETRY.counter("repro_jobs_cancelled_total").inc()
             self._append(job, JobFailedEvent(job=job.id,
                                              error="cancelled",
                                              cancelled=True))
         except Exception as error:
             job.status = "failed"
             job.error = f"{type(error).__name__}: {error}"
+            self._record_phases(job)
+            TELEMETRY.counter("repro_jobs_failed_total").inc()
             self._append(job, JobFailedEvent(job=job.id,
                                              error=job.error))
         else:
             job.result = result
             job.status = "finished"
+            self._record_phases(job)
+            TELEMETRY.counter("repro_jobs_finished_total").inc()
             self._append(job, JobFinishedEvent(job=job.id,
                                                result=result))
         self._prune_finished()
+
+    def _record_phases(self, job: Job) -> None:
+        """Emit queue/execute span metrics for a job that ran.
+
+        Appends two ``metric`` events (before the terminal event, so
+        a stream's last line stays the terminal one) and feeds the
+        same spans into the registry histograms.  Jobs cancelled
+        while still queued never started, have no meaningful spans,
+        and keep their single-``job-failed`` event history.
+        """
+        if job.started_at is None:
+            return
+        spans = (("queue", job.started_at - job.submitted_at),
+                 ("execute", time.perf_counter() - job.started_at))
+        for phase, seconds in spans:
+            seconds = max(0.0, seconds)
+            TELEMETRY.histogram("repro_job_phase_seconds",
+                                phase=phase).observe(seconds)
+            self._append(job, MetricEvent(
+                name="repro_job_phase_seconds", value=round(seconds, 6),
+                unit="seconds", job=job.id, labels={"phase": phase}))
 
     def _mark_running(self, job: Job) -> None:
         """Flip pending -> running + job-started (on the loop thread).
@@ -438,6 +489,7 @@ class JobManager:
         """
         if job.status == "pending":
             job.status = "running"
+            job.started_at = time.perf_counter()
             self._append(job, JobStartedEvent(job=job.id,
                                               job_kind=job.kind,
                                               name=job.name))
@@ -475,6 +527,21 @@ class JobManager:
     def list_jobs(self) -> list[dict]:
         """Summaries in submission order."""
         return [self._jobs[job_id].summary() for job_id in self._order]
+
+    def publish_gauges(self) -> None:
+        """Refresh jobs-by-state and queue-depth gauges (loop thread).
+
+        Gauges are point-in-time, so they are recomputed on demand —
+        at each ``/metrics`` scrape — rather than maintained
+        incrementally across every status flip.
+        """
+        states = {state: 0 for state in
+                  ("pending", "running") + TERMINAL_STATES}
+        for job in self._jobs.values():
+            states[job.status] = states.get(job.status, 0) + 1
+        for state, count in states.items():
+            TELEMETRY.gauge("repro_jobs", state=state).set(count)
+        TELEMETRY.gauge("repro_job_queue_depth").set(states["pending"])
 
     async def events(self, job_id: str,
                      heartbeat: float | None = None
@@ -674,8 +741,17 @@ class ServiceServer:
 
     async def _route(self, method: str, target: str, body: bytes,
                      writer: asyncio.StreamWriter) -> None:
-        target = target.split("?", 1)[0]
+        target, _, query = target.partition("?")
         segments = [s for s in target.split("/") if s]
+        if segments == ["metrics"] and method == "GET":
+            # refresh point-in-time gauges at scrape time, then render
+            self.manager.publish_gauges()
+            params = urllib.parse.parse_qs(query)
+            if params.get("format", [""])[0] == "json":
+                return await self._respond(writer, 200,
+                                           TELEMETRY.snapshot())
+            return await self._respond_text(writer, 200,
+                                            TELEMETRY.to_prometheus())
         if segments == ["jobs"] and method == "POST":
             try:
                 spec = json.loads(body.decode() or "null")
@@ -696,16 +772,31 @@ class ServiceServer:
         raise ServiceError(f"no route for {method} {target}",
                            status=404)
 
-    @staticmethod
-    async def _respond(writer: asyncio.StreamWriter, status: int,
+    _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+                404: "Not Found", 413: "Payload Too Large",
+                429: "Too Many Requests",
+                500: "Internal Server Error"}
+
+    @classmethod
+    async def _respond(cls, writer: asyncio.StreamWriter, status: int,
                        payload: dict) -> None:
-        reasons = {200: "OK", 201: "Created", 400: "Bad Request",
-                   404: "Not Found", 413: "Payload Too Large",
-                   429: "Too Many Requests",
-                   500: "Internal Server Error"}
-        body = (json.dumps(payload) + "\n").encode()
-        head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+        await cls._send(writer, status,
+                        (json.dumps(payload) + "\n").encode(),
+                        "application/json")
+
+    @classmethod
+    async def _respond_text(cls, writer: asyncio.StreamWriter,
+                            status: int, text: str) -> None:
+        # the version parameter marks Prometheus text exposition 0.0.4
+        await cls._send(writer, status, text.encode(),
+                        "text/plain; version=0.0.4; charset=utf-8")
+
+    @classmethod
+    async def _send(cls, writer: asyncio.StreamWriter, status: int,
+                    body: bytes, content_type: str) -> None:
+        head = (f"HTTP/1.1 {status} "
+                f"{cls._REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("latin-1")
         writer.write(head + body)

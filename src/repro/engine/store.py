@@ -59,6 +59,7 @@ from pathlib import Path
 from ..functional.emulator import Checkpoint, TraceEntry
 from ..uarch.config import MachineConfig, canonical_json
 from ..uarch.stats import PipelineStats
+from .telemetry import TELEMETRY
 
 #: Bump when the TraceEntry / PipelineStats schema changes.
 FORMAT_VERSION = 1
@@ -182,6 +183,13 @@ class ArtifactStore:
         return (self._traces, self._stats, self._segments,
                 self._checkpoints, self._manifests)
 
+    @staticmethod
+    def _record(kind: str, hit: bool) -> None:
+        """Mirror one hit/miss into the process-wide telemetry."""
+        TELEMETRY.counter("repro_store_hits_total" if hit
+                          else "repro_store_misses_total",
+                          kind=kind).inc()
+
     # ------------------------------------------------------------------
     # traces
     # ------------------------------------------------------------------
@@ -191,6 +199,7 @@ class ArtifactStore:
         """The stored oracle trace, or ``None`` on a miss."""
         path = self._traces / f"{trace_key(workload, scale)}.pkl"
         trace = self._load_pickle(path)
+        self._record("trace", trace is not None)
         if trace is None:
             self.trace_misses += 1
             return None
@@ -215,6 +224,7 @@ class ArtifactStore:
         """The stored simulation stats, or ``None`` on a miss."""
         key = stats_key(workload, scale, config, limit_insns)
         text = self._load_text(self._stats / f"{key}.json")
+        self._record("stats", text is not None)
         if text is None:
             self.stats_misses += 1
             return None
@@ -252,6 +262,7 @@ class ArtifactStore:
         path = self._segment_trace_path(workload, scale, segment_insns,
                                         index)
         trace = self._load_pickle(path)
+        self._record("segment-trace", trace is not None)
         if trace is None:
             self.segment_trace_misses += 1
             return None
@@ -298,6 +309,7 @@ class ArtifactStore:
         key = segment_stats_key(workload, scale, segment_insns, index,
                                 config)
         text = self._load_text(self._stats / f"{key}.json")
+        self._record("segment-stats", text is not None)
         if text is None:
             self.segment_stats_misses += 1
             return None
@@ -408,16 +420,31 @@ class ArtifactStore:
                 for path in directory.glob(".*")
                 if path.is_file()]
 
-    def orphan_info(self) -> dict[str, int]:
-        """Count and total size of writer temp files on disk."""
-        files = byte_count = 0
+    def orphan_info(self, orphan_age_seconds: float = ORPHAN_AGE_SECONDS
+                    ) -> dict[str, int]:
+        """Count and total size of writer temp files on disk.
+
+        ``sweepable_files``/``sweepable_bytes`` cover only the orphans
+        old enough (``orphan_age_seconds``) that the next :meth:`gc`
+        would actually reclaim them — younger temp files may belong to
+        an in-flight concurrent writer and are reported but not
+        sweepable yet.
+        """
+        now = time.time()
+        files = byte_count = sweepable = sweepable_bytes = 0
         for path in self._orphan_paths():
             try:
-                byte_count += path.stat().st_size
+                stat = path.stat()
             except FileNotFoundError:
                 continue
             files += 1
-        return {"files": files, "bytes": byte_count}
+            byte_count += stat.st_size
+            if now - stat.st_mtime >= orphan_age_seconds:
+                sweepable += 1
+                sweepable_bytes += stat.st_size
+        return {"files": files, "bytes": byte_count,
+                "sweepable_files": sweepable,
+                "sweepable_bytes": sweepable_bytes}
 
     def total_bytes(self) -> int:
         """Total on-disk size of every file under the store.
@@ -447,12 +474,19 @@ class ArtifactStore:
         actual disk use).  Returns eviction counters::
 
             {"scanned": ..., "evicted": ..., "freed_bytes": ...,
-             "remaining_bytes": ..., "orphans_swept": ...}
+             "remaining_bytes": ..., "orphans_swept": ...,
+             "orphan_bytes_swept": ...}
+
+        ``freed_bytes`` covers both evictions and the orphan sweep;
+        ``orphan_bytes_swept`` breaks out the orphan share so
+        ``repro store info/gc --json`` consumers can tell reclaimed
+        garbage from evicted artifacts.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         report = {"scanned": 0, "evicted": 0, "freed_bytes": 0,
-                  "remaining_bytes": 0, "orphans_swept": 0}
+                  "remaining_bytes": 0, "orphans_swept": 0,
+                  "orphan_bytes_swept": 0}
         now = time.time()
         kept_orphan_bytes = 0
         for path in self._orphan_paths():
@@ -470,6 +504,7 @@ class ArtifactStore:
             except FileNotFoundError:
                 continue
             report["orphans_swept"] += 1
+            report["orphan_bytes_swept"] += stat.st_size
             report["freed_bytes"] += stat.st_size
         entries = []
         total = kept_orphan_bytes
@@ -493,6 +528,13 @@ class ArtifactStore:
             report["evicted"] += 1
             report["freed_bytes"] += size
             report["remaining_bytes"] -= size
+        TELEMETRY.counter("repro_store_gc_runs_total").inc()
+        TELEMETRY.counter("repro_store_gc_evicted_total").inc(
+            report["evicted"])
+        TELEMETRY.counter("repro_store_gc_orphans_swept_total").inc(
+            report["orphans_swept"])
+        TELEMETRY.counter("repro_store_gc_freed_bytes_total").inc(
+            report["freed_bytes"])
         return report
 
     def clear(self) -> None:
@@ -516,6 +558,8 @@ class ArtifactStore:
         try:
             with path.open("rb") as fh:
                 payload = pickle.load(fh)
+                TELEMETRY.counter("repro_store_get_bytes_total").inc(
+                    fh.tell())
         except FileNotFoundError:
             return None
         self._touch(path)
@@ -526,6 +570,8 @@ class ArtifactStore:
             text = path.read_text()
         except FileNotFoundError:
             return None
+        # stats/manifest JSON is ASCII, so len(text) == byte size
+        TELEMETRY.counter("repro_store_get_bytes_total").inc(len(text))
         self._touch(path)
         return text
 
@@ -544,6 +590,8 @@ class ArtifactStore:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(payload)
             os.replace(tmp, path)
+            TELEMETRY.counter("repro_store_put_bytes_total").inc(
+                len(payload))
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -1,0 +1,421 @@
+"""Dependency-free metrics registry: the engine's telemetry layer.
+
+Every layer of the stack — the functional emulator, the timing
+pipeline, the artifact store, the sweep pool, the segmented engine,
+and the streaming service — records into one process-wide
+:data:`TELEMETRY` registry holding three instrument kinds:
+
+* **counters** — monotonically increasing event/byte totals
+  (``repro_sim_runs_total``, ``repro_store_put_bytes_total``),
+* **gauges** — last-observed values with *peak* merge semantics
+  (``repro_job_queue_depth``, ``repro_sim_insns_per_second``),
+* **histograms** — fixed log-scale bucket distributions of seconds
+  (``repro_pool_shard_execute_seconds``,
+  ``repro_job_phase_seconds{phase="queue"}``).
+
+Design constraints, in order:
+
+1. **Cheap enough to leave on.**  Instrument objects are cached per
+   ``(name, labels)`` so the hot path is one dict lookup plus an
+   integer add; timing uses ``time.perf_counter_ns``; there are *no
+   locks* anywhere.  Instrumentation sits at per-run / per-shard /
+   per-artifact granularity — never per instruction or per cycle — so
+   the overhead on a real sweep is well under the 2% budget.  Under
+   the service's executor threads concurrent ``+=`` may rarely lose an
+   increment; telemetry trades that for lock-free reads and writes
+   (job lifecycle counters are only touched on the event loop thread
+   and stay exact).
+2. **Associative merge.**  :meth:`MetricsRegistry.merge` folds a
+   :meth:`~MetricsRegistry.snapshot` into the registry the same way
+   :meth:`repro.uarch.stats.PipelineStats.merge` folds partial stats:
+   counters and histogram buckets add, gauges take the max (peak
+   semantics).  Pool and segment workers call
+   :meth:`~MetricsRegistry.drain` (snapshot + reset) and ship the
+   snapshot back through the existing result path, so worker telemetry
+   aggregates on the driver without any extra IPC.
+3. **Kill switch.**  ``REPRO_TELEMETRY=0`` in the environment disables
+   the process-wide registry: every instrument lookup returns a shared
+   no-op object and ``snapshot()`` is empty.  Worker processes inherit
+   the variable, so one setting silences a whole sweep.
+
+Rendering: :meth:`~MetricsRegistry.to_prometheus` emits the
+Prometheus text exposition format (the ``GET /metrics`` endpoint),
+``snapshot()`` is the JSON form (``GET /metrics?format=json`` and the
+``repro metrics`` subcommand), and :func:`format_profile` renders a
+per-stage timing tree for the CLI's global ``--profile`` flag.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+#: Histogram bucket upper bounds: powers of two from ~1 microsecond to
+#: ~68 minutes.  Fixed and log-scale so two snapshots always merge
+#: bucket-by-bucket and relative error is bounded at every magnitude.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(2.0 ** k for k in range(-20, 13))
+
+
+def _label_key(labels: dict) -> str:
+    """Canonical label string: sorted ``k="v"`` pairs, '' when bare."""
+    if not labels:
+        return ""
+    return ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+
+
+class Counter:
+    """A monotonic event/byte total.  ``inc()`` is the whole API."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-observed value; merges by max (peak semantics)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed log-scale bucket distribution (of seconds, by convention)."""
+
+    __slots__ = ("buckets", "sum", "count")
+
+    def __init__(self):
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)  # +1 overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for bound in BUCKET_BOUNDS:
+            if value <= bound:
+                break
+            index += 1
+        self.buckets[index] += 1
+        self.sum += value
+        self.count += 1
+
+
+class _Timer:
+    """Context manager: observes elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_started_ns", "elapsed")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = (time.perf_counter_ns() - self._started_ns) / 1e9
+        self._histogram.observe(self.elapsed)
+
+
+class _NullInstrument:
+    """Shared no-op standing in for every instrument when disabled."""
+
+    __slots__ = ()
+    value = 0
+    elapsed = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Per-process metric accumulation with associative merge."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._gauges: dict[tuple[str, str], Gauge] = {}
+        self._histograms: dict[tuple[str, str], Histogram] = {}
+
+    # -- instrument lookup (cached; the hot path) ----------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.enabled:
+            return _NULL
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        return counter
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.enabled:
+            return _NULL
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge()
+        return gauge
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        if not self.enabled:
+            return _NULL
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram()
+        return histogram
+
+    def timer(self, name: str, **labels):
+        """Context manager timing a block into ``histogram(name)``."""
+        if not self.enabled:
+            return _NULL
+        return _Timer(self.histogram(name, **labels))
+
+    # -- snapshot / merge / drain --------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument (labels pre-canonical)."""
+        counters: dict[str, dict[str, int]] = {}
+        for (name, labels), counter in self._counters.items():
+            counters.setdefault(name, {})[labels] = counter.value
+        gauges: dict[str, dict[str, float]] = {}
+        for (name, labels), gauge in self._gauges.items():
+            gauges.setdefault(name, {})[labels] = gauge.value
+        histograms: dict[str, dict[str, dict]] = {}
+        for (name, labels), histogram in self._histograms.items():
+            histograms.setdefault(name, {})[labels] = {
+                "buckets": list(histogram.buckets),
+                "sum": histogram.sum,
+                "count": histogram.count,
+            }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold a :meth:`snapshot` in (associative, like stats merge).
+
+        Counters and histogram buckets add; gauges take the max, so a
+        merged gauge reads as the *peak* across contributors — the
+        right semantics for queue depths and throughput high-water
+        marks shipped back from workers.
+        """
+        if not snapshot or not self.enabled:
+            return
+        for name, by_labels in snapshot.get("counters", {}).items():
+            for labels, value in by_labels.items():
+                key = (name, labels)
+                counter = self._counters.get(key)
+                if counter is None:
+                    counter = self._counters[key] = Counter()
+                counter.value += value
+        for name, by_labels in snapshot.get("gauges", {}).items():
+            for labels, value in by_labels.items():
+                key = (name, labels)
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self._gauges[key] = Gauge()
+                gauge.value = max(gauge.value, value)
+        for name, by_labels in snapshot.get("histograms", {}).items():
+            for labels, data in by_labels.items():
+                key = (name, labels)
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = Histogram()
+                for index, bucket in enumerate(data["buckets"]):
+                    histogram.buckets[index] += bucket
+                histogram.sum += data["sum"]
+                histogram.count += data["count"]
+
+    def drain(self) -> dict | None:
+        """Snapshot + reset: how workers ship telemetry to the driver.
+
+        Returns ``None`` when disabled (or empty) so the result path
+        ships nothing extra in the common quiet cases.
+        """
+        if not self.enabled:
+            return None
+        if not (self._counters or self._gauges or self._histograms):
+            return None
+        snapshot = self.snapshot()
+        self.reset()
+        return snapshot
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; the drain path)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- rendering -----------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (``GET /metrics``)."""
+        lines: list[str] = []
+
+        def sample(name: str, labels: str, value) -> str:
+            label_part = f"{{{labels}}}" if labels else ""
+            if isinstance(value, float):
+                value = f"{value:.9g}"
+            return f"{name}{label_part} {value}"
+
+        for name in sorted({n for n, _ in self._counters}):
+            lines.append(f"# TYPE {name} counter")
+            for (metric, labels), counter in sorted(self._counters.items()):
+                if metric == name:
+                    lines.append(sample(name, labels, counter.value))
+        for name in sorted({n for n, _ in self._gauges}):
+            lines.append(f"# TYPE {name} gauge")
+            for (metric, labels), gauge in sorted(self._gauges.items()):
+                if metric == name:
+                    lines.append(sample(name, labels, gauge.value))
+        for name in sorted({n for n, _ in self._histograms}):
+            lines.append(f"# TYPE {name} histogram")
+            for (metric, labels), hist in sorted(self._histograms.items()):
+                if metric != name:
+                    continue
+                cumulative = 0
+                for index, bucket in enumerate(hist.buckets):
+                    cumulative += bucket
+                    if not bucket:
+                        continue  # sparse: skip empty buckets
+                    bound = (f"{BUCKET_BOUNDS[index]:.9g}"
+                             if index < len(BUCKET_BOUNDS) else "+Inf")
+                    le = (f'{labels},le="{bound}"' if labels
+                          else f'le="{bound}"')
+                    lines.append(sample(f"{name}_bucket", le, cumulative))
+                le = f'{labels},le="+Inf"' if labels else 'le="+Inf"'
+                lines.append(sample(f"{name}_bucket", le, cumulative))
+                lines.append(sample(f"{name}_sum", labels, hist.sum))
+                lines.append(sample(f"{name}_count", labels, hist.count))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def percentile_from_histogram(data: dict, q: float) -> float:
+    """Approximate quantile *q* (0..1) from one snapshot histogram.
+
+    Returns the upper bound of the bucket holding the q-th
+    observation — a coarse estimate bounded by the log-scale bucket
+    width.  Exact percentiles (the load harness) should be computed
+    from raw samples instead; this exists for quick snapshot reads.
+    """
+    count = data["count"]
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for index, bucket in enumerate(data["buckets"]):
+        cumulative += bucket
+        if cumulative >= rank and bucket:
+            if index < len(BUCKET_BOUNDS):
+                return BUCKET_BOUNDS[index]
+            break
+    return data["sum"] / count if count else 0.0
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Human-readable snapshot (the ``repro metrics`` subcommand)."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            for labels, value in sorted(counters[name].items()):
+                entry = f"{name}{{{labels}}}" if labels else name
+                lines.append(f"  {entry:48s} {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            for labels, value in sorted(gauges[name].items()):
+                entry = f"{name}{{{labels}}}" if labels else name
+                lines.append(f"  {entry:48s} {value:.4g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            for labels, data in sorted(histograms[name].items()):
+                suffix = f"{{{labels}}}" if labels else ""
+                mean = data["sum"] / data["count"] if data["count"] else 0.0
+                p95 = percentile_from_histogram(data, 0.95)
+                lines.append(f"  {name}{suffix}  count={data['count']} "
+                             f"total={data['sum']:.4f}s "
+                             f"mean={mean:.6f}s p95<={p95:.6f}s")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def format_profile(snapshot: dict) -> str:
+    """Per-stage timing tree for the CLI's global ``--profile`` flag.
+
+    Timer histograms are grouped by name prefix (``repro_<stage>_…``)
+    and sorted by total time, so the dominant stage reads first::
+
+        profile (wall time by stage):
+          sim        total 2.3142s  count 12  mean 0.192850s
+            repro_sim_run_seconds            2.3142s x12
+          emu        total 0.4410s  count 3   mean 0.147000s
+            ...
+    """
+    histograms = snapshot.get("histograms", {})
+    stages: dict[str, list[tuple[str, str, dict]]] = {}
+    for name, by_labels in histograms.items():
+        parts = name.split("_")
+        stage = parts[1] if len(parts) > 1 and parts[0] == "repro" \
+            else parts[0]
+        for labels, data in by_labels.items():
+            stages.setdefault(stage, []).append((name, labels, data))
+    if not stages:
+        return "profile: no timings recorded"
+    totals = {stage: sum(d["sum"] for _, _, d in entries)
+              for stage, entries in stages.items()}
+    lines = ["profile (wall time by stage):"]
+    for stage in sorted(stages, key=lambda s: -totals[s]):
+        entries = stages[stage]
+        count = sum(d["count"] for _, _, d in entries)
+        mean = totals[stage] / count if count else 0.0
+        lines.append(f"  {stage:10s} total {totals[stage]:.4f}s  "
+                     f"count {count}  mean {mean:.6f}s")
+        for name, labels, data in sorted(entries,
+                                         key=lambda e: -e[2]["sum"]):
+            entry = f"{name}{{{labels}}}" if labels else name
+            lines.append(f"    {entry:46s} "
+                         f"{data['sum']:.4f}s x{data['count']}")
+    return "\n".join(lines)
+
+
+def telemetry_enabled() -> bool:
+    """Whether the environment leaves telemetry on (the default)."""
+    return os.environ.get("REPRO_TELEMETRY", "1") != "0"
+
+
+#: The process-wide registry every instrumented layer records into.
+#: Workers inherit the module (and the env gate) on fork/spawn; their
+#: accumulations come home via ``drain()`` snapshots on the existing
+#: result paths.
+TELEMETRY = MetricsRegistry(enabled=telemetry_enabled())

@@ -28,6 +28,7 @@ The trace can be produced two ways:
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -187,6 +188,20 @@ class ArchState:
                            self.memory.snapshot())
 
 
+#: Lazily bound telemetry registry — the functional layer must not
+#: import :mod:`repro.engine` at module level (the engine's package
+#: init imports this module), so the registry binds at first use.
+_TELEMETRY = None
+
+
+def _telemetry():
+    global _TELEMETRY
+    if _TELEMETRY is None:
+        from ..engine.telemetry import TELEMETRY
+        _TELEMETRY = TELEMETRY
+    return _TELEMETRY
+
+
 class Emulator:
     """Executes programs architecturally, producing oracle traces."""
 
@@ -216,8 +231,24 @@ class Emulator:
         return self._instret
 
     def run(self) -> EmulationResult:
-        """Run until ``halt`` (or the instruction budget is exhausted)."""
+        """Run until ``halt`` (or the instruction budget is exhausted).
+
+        Telemetry is per-run (one clock read pair around the whole
+        emulation; :meth:`iter_trace` itself stays uninstrumented so
+        lazy segment streaming pays nothing per instruction).
+        """
+        started_ns = time.perf_counter_ns()
         trace = list(self.iter_trace())
+        telemetry = _telemetry()
+        if telemetry.enabled:
+            elapsed = (time.perf_counter_ns() - started_ns) / 1e9
+            telemetry.counter("repro_emu_runs_total").inc()
+            telemetry.counter("repro_emu_instructions_total").inc(
+                len(trace))
+            telemetry.histogram("repro_emu_run_seconds").observe(elapsed)
+            if elapsed > 0:
+                telemetry.gauge("repro_emu_insns_per_second").set(
+                    len(trace) / elapsed)
         return EmulationResult(trace=trace, halted=self._halted,
                                int_regs=list(self._int_regs),
                                fp_regs=list(self._fp_regs),

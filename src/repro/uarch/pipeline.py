@@ -38,6 +38,7 @@ overhead per segment (see ``PipelineStats.merge``).
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from typing import Iterable
 
@@ -466,6 +467,22 @@ ArchState`); the differential harness uses this to audit retirement
                     arch_state=arch_state)
 
 
+#: Lazily bound telemetry registry.  The uarch layer must not import
+#: :mod:`repro.engine` at module level (the engine imports *this*
+#: module during its package init — a module-level import here would
+#: touch a partially initialized package); binding at first simulation
+#: keeps the layering one-way at import time.
+_TELEMETRY = None
+
+
+def _telemetry():
+    global _TELEMETRY
+    if _TELEMETRY is None:
+        from ..engine.telemetry import TELEMETRY
+        _TELEMETRY = TELEMETRY
+    return _TELEMETRY
+
+
 def simulate_trace(trace: Iterable[TraceEntry],
                    config: MachineConfig) -> PipelineStats:
     """Simulate *trace* on *config*'s machine and return its stats.
@@ -474,5 +491,25 @@ def simulate_trace(trace: Iterable[TraceEntry],
     emulator's ``iter_trace()`` stream).  Builds the optimizing
     renamer when ``config.optimizer.enabled``, otherwise the baseline
     renamer.
+
+    Telemetry sits at per-run granularity (one clock read pair around
+    the whole simulation — never per cycle), recording wall time,
+    retired instruction and cycle totals, and a simulation-throughput
+    gauge.
     """
-    return make_pipeline(trace, config).run()
+    started_ns = time.perf_counter_ns()
+    stats = make_pipeline(trace, config).run()
+    telemetry = _telemetry()
+    if telemetry.enabled:
+        elapsed = (time.perf_counter_ns() - started_ns) / 1e9
+        telemetry.counter("repro_sim_runs_total").inc()
+        telemetry.counter("repro_sim_retired_insns_total").inc(
+            stats.retired)
+        telemetry.counter("repro_sim_cycles_total").inc(stats.cycles)
+        telemetry.histogram("repro_sim_run_seconds").observe(elapsed)
+        if elapsed > 0:
+            telemetry.gauge("repro_sim_insns_per_second").set(
+                stats.retired / elapsed)
+            telemetry.gauge("repro_sim_cycles_per_second").set(
+                stats.cycles / elapsed)
+    return stats

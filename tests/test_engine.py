@@ -146,7 +146,9 @@ class TestArtifactStore:
         (store._stats / f".{kept.name}.x1").write_bytes(b"zzz")
         store.clear()
         assert store.total_bytes() == 0
-        assert store.orphan_info() == {"files": 0, "bytes": 0}
+        assert store.orphan_info() == {"files": 0, "bytes": 0,
+                                       "sweepable_files": 0,
+                                       "sweepable_bytes": 0}
 
     def test_gc_sweeps_aged_orphan_temp_files(self, tmp_path, mcf_stats):
         store = ArtifactStore(tmp_path)
@@ -159,10 +161,15 @@ class TestArtifactStore:
         os.utime(orphan, (old, old))
         in_flight = store._stats / f".{kept.name}.live01"
         in_flight.write_bytes(b"y" * 40)
-        assert store.orphan_info() == {"files": 2, "bytes": 140}
+        # only the aged temp file is sweepable; the young one is
+        # presumed in-flight
+        assert store.orphan_info() == {"files": 2, "bytes": 140,
+                                       "sweepable_files": 1,
+                                       "sweepable_bytes": 100}
         assert store.total_bytes() >= kept.stat().st_size + 140
         report = store.gc(max_bytes=10 ** 9)
         assert report["orphans_swept"] == 1
+        assert report["orphan_bytes_swept"] == 100
         assert report["evicted"] == 0
         assert report["freed_bytes"] == 100
         assert not orphan.exists()

@@ -20,7 +20,7 @@ import pytest
 from repro.cli import main
 from repro.engine.campaign import Campaign, parse_axis
 from repro.engine.events import (EVENT_TYPES, EvaluationEvent,
-                                 FindingEvent, PointEvent,
+                                 FindingEvent, MetricEvent, PointEvent,
                                  event_from_dict, event_from_json_line,
                                  format_event)
 from repro.engine.pool import run_sweep
@@ -71,14 +71,17 @@ class TestEvents:
                                       limit_insns=2000),
                       FindingEvent(workload="synth:ilp@seed=0", scale=1,
                                    instructions=900, ok=False, done=2,
-                                   total=5, failures=("x: boom",))):
+                                   total=5, failures=("x: boom",)),
+                      MetricEvent(name="repro_job_phase_seconds",
+                                  value=1.25, unit="seconds", job="j1",
+                                  labels={"phase": "execute"})):
             decoded = event_from_json_line(event.to_json_line())
             assert decoded == event
             assert decoded.kind == event.kind
 
     def test_every_kind_has_a_distinct_discriminator(self):
-        assert len(EVENT_TYPES) == 7
-        assert {"point", "evaluation", "segment", "finding",
+        assert len(EVENT_TYPES) == 8
+        assert {"point", "evaluation", "segment", "finding", "metric",
                 "job-started", "job-finished",
                 "job-failed"} == set(EVENT_TYPES)
 
@@ -95,6 +98,21 @@ class TestEvents:
         # catch), never a raw TypeError from the dataclass call
         with pytest.raises(ValueError, match="bad 'point' event"):
             event_from_dict({"kind": "point", "label": "x"})
+        with pytest.raises(ValueError, match="bad 'metric' event"):
+            event_from_dict({"kind": "metric", "unit": "seconds"})
+
+    def test_metric_event_round_trips_with_labels(self):
+        line = MetricEvent(name="repro_job_phase_seconds",
+                           value=0.004125, unit="seconds", job="j3",
+                           labels={"phase": "queue"}).to_json_line()
+        decoded = event_from_json_line(line)
+        assert decoded.kind == "metric"
+        assert decoded.labels == {"phase": "queue"}
+        assert decoded.value == 0.004125
+        rendered = format_event(decoded)
+        assert "repro_job_phase_seconds" in rendered
+        assert "phase=queue" in rendered
+        assert "seconds" in rendered
 
     def test_format_event_renders_every_kind(self):
         for cls_kind, payload in (
@@ -105,6 +123,9 @@ class TestEvents:
                 ("finding", {"workload": "w", "scale": 1,
                              "instructions": 5, "ok": True, "done": 1,
                              "total": 1}),
+                ("metric", {"name": "repro_job_phase_seconds",
+                            "value": 1.5, "unit": "seconds",
+                            "labels": {"phase": "execute"}}),
                 ("job-started", {"job": "j1", "job_kind": "sweep"}),
                 ("job-finished", {"job": "j1", "result": {"points": 2,
                                                           "ledger": "x"}}),
@@ -149,7 +170,8 @@ class TestJobManager:
         job, events = asyncio.run(scenario())
         assert job.status == "finished"
         assert [e.kind for e in events] == \
-            ["job-started", "point", "point", "job-finished"]
+            ["job-started", "point", "point", "metric", "metric",
+             "job-finished"]
         assert events[-1].result["ledger"] == \
             serial_sweep_ledger(tmp_path / "serial")
 
@@ -225,7 +247,8 @@ class TestJobManager:
 
         replayed = asyncio.run(scenario())
         assert [e.kind for e in replayed] == \
-            ["job-started", "point", "point", "job-finished"]
+            ["job-started", "point", "point", "metric", "metric",
+             "job-finished"]
 
     def test_bad_specs_rejected_at_submit(self, tmp_path):
         async def scenario():
@@ -469,6 +492,10 @@ class ServiceThread:
 
 @pytest.fixture
 def service(tmp_path):
+    # the registry is process-global and other tests bump it; a fresh
+    # slate keeps this fixture's exact-count metric assertions honest
+    from repro.engine.telemetry import TELEMETRY
+    TELEMETRY.reset()
     thread = ServiceThread(tmp_path / "store")
     yield thread
     thread.stop()
@@ -482,7 +509,8 @@ class TestHttpService:
         assert created["kind"] == "sweep"
         events = service.stream_events(created["id"])
         assert [e.kind for e in events] == \
-            ["job-started", "point", "point", "job-finished"]
+            ["job-started", "point", "point", "metric", "metric",
+             "job-finished"]
         assert events[-1].result["ledger"] == \
             serial_sweep_ledger(tmp_path / "serial")
         rows = service.jobs()
@@ -570,10 +598,16 @@ class TestHttpService:
         created = service.post_job(dict(SWEEP_SPEC))
         assert main(["watch", created["id"], "--url",
                      service.url]) == 0
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
+        out = captured.out
         assert f"job {created['id']} started" in out
         assert f"job {created['id']} finished" in out
         assert '"ledger":' not in out  # summaries stay human-sized
+        # the final one-line verdict: wall time + insns + exit state
+        summary = captured.err.strip().splitlines()[-1]
+        assert summary.startswith(f"job {created['id']} finished")
+        assert "s wall" in summary
+        assert "insns simulated" in summary
         assert main(["watch", "j999", "--url", service.url]) == 2
         assert "repro watch: error" in capsys.readouterr().err
 
@@ -625,3 +659,66 @@ class TestHttpService:
                  capsys.readouterr().out.splitlines() if line]
         assert json.loads(lines[0])["kind"] == "job-started"
         assert json.loads(lines[-1])["kind"] == "job-finished"
+
+
+class TestMetricsEndpoint:
+    def _fetch(self, service, path):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=60)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return (response.status, response.getheader("Content-Type"),
+                    response.read().decode())
+        finally:
+            conn.close()
+
+    def test_prometheus_text_covers_job_and_engine_metrics(self,
+                                                           service):
+        created = service.post_job(dict(SWEEP_SPEC))
+        service.stream_events(created["id"])
+        status, content_type, text = self._fetch(service, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        samples = {line.split()[0]: line.split()[1]
+                   for line in text.splitlines()
+                   if line and not line.startswith("#")
+                   and "{" not in line.split()[0]}
+        assert int(samples["repro_jobs_submitted_total"]) == 1
+        assert int(samples["repro_jobs_finished_total"]) == 1
+        assert int(samples["repro_job_queue_depth"]) == 0
+        assert int(samples["repro_store_put_bytes_total"]) > 0
+        assert int(samples["repro_sim_runs_total"]) >= 2
+        assert float(samples["repro_sim_insns_per_second"]) > 0
+        # histogram families render TYPE + bucket/sum/count series
+        assert "# TYPE repro_job_phase_seconds histogram" in text
+        assert 'repro_job_phase_seconds_bucket{phase="execute",' \
+            'le="+Inf"}' in text
+
+    def test_json_format_returns_the_snapshot(self, service):
+        created = service.post_job(dict(SWEEP_SPEC))
+        service.stream_events(created["id"])
+        snap = request_json(service.url, "GET", "/metrics?format=json")
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["repro_jobs_finished_total"][""] == 1
+        phases = snap["histograms"]["repro_job_phase_seconds"]
+        assert phases['phase="execute"']["count"] == 1
+        # jobs-by-state gauges refresh at scrape time
+        assert snap["gauges"]["repro_jobs"]['state="finished"'] == 1
+
+    def test_metrics_cli_renders_a_live_service(self, service,
+                                                capsys):
+        created = service.post_job(dict(SWEEP_SPEC))
+        service.stream_events(created["id"])
+        assert main(["metrics", "--url", service.url]) == 0
+        out = capsys.readouterr().out
+        assert "repro_jobs_finished_total" in out
+        assert "repro_job_phase_seconds" in out
+        assert main(["metrics", "--url", service.url, "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["repro_jobs_submitted_total"][""] >= 1
+        # an unreachable service is a clean exit-2 client error
+        assert main(["metrics", "--url",
+                     "http://127.0.0.1:1"]) == 2
+        assert "repro metrics" in capsys.readouterr().err

@@ -1,0 +1,185 @@
+"""Tests for the dependency-free metrics registry (repro.engine.telemetry).
+
+The registry's contract has three load-bearing pieces: instruments
+are cached per (name, labels) so the hot path is one dict lookup;
+``merge()`` is associative the same way ``PipelineStats.merge`` is —
+worker snapshots fold into the driver in any order; and the
+``REPRO_TELEMETRY=0`` kill switch turns every instrument into a
+shared no-op with an empty snapshot.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine.telemetry import (BUCKET_BOUNDS, MetricsRegistry,
+                                    format_profile, format_snapshot,
+                                    percentile_from_histogram,
+                                    telemetry_enabled)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry(enabled=True)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_is_cached(self, registry):
+        registry.counter("repro_x_total").inc()
+        registry.counter("repro_x_total").inc(4)
+        assert registry.counter("repro_x_total").value == 5
+        assert registry.counter("repro_x_total") is \
+            registry.counter("repro_x_total")
+
+    def test_labels_split_series_and_order_is_canonical(self, registry):
+        registry.counter("repro_hits_total", kind="trace").inc()
+        registry.counter("repro_hits_total", kind="stats").inc(2)
+        snap = registry.snapshot()
+        assert snap["counters"]["repro_hits_total"] == {
+            'kind="trace"': 1, 'kind="stats"': 2}
+        # kwargs order must not fork a new series
+        a = registry.gauge("g", b="2", a="1")
+        b = registry.gauge("g", a="1", b="2")
+        assert a is b
+
+    def test_gauge_set_overwrites(self, registry):
+        registry.gauge("repro_depth").set(7)
+        registry.gauge("repro_depth").set(3)
+        assert registry.gauge("repro_depth").value == 3
+
+    def test_histogram_buckets_sum_count(self, registry):
+        hist = registry.histogram("repro_run_seconds")
+        for value in (0.001, 0.002, 1.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(1.003)
+        assert sum(hist.buckets) == 3
+        # an observation beyond the largest bound lands in overflow
+        hist.observe(BUCKET_BOUNDS[-1] * 2)
+        assert hist.buckets[-1] == 1
+
+    def test_timer_observes_elapsed_seconds(self, registry):
+        with registry.timer("repro_t_seconds") as timer:
+            pass
+        assert timer.elapsed >= 0.0
+        assert registry.histogram("repro_t_seconds").count == 1
+
+
+class TestMergeAndDrain:
+    def _loaded(self) -> MetricsRegistry:
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c_total").inc(3)
+        registry.gauge("g", k="v").set(5.0)
+        registry.histogram("h_seconds").observe(0.25)
+        return registry
+
+    def test_merge_adds_counters_and_buckets_maxes_gauges(self):
+        driver = self._loaded()
+        worker_snap = self._loaded().snapshot()
+        driver.merge(worker_snap)
+        snap = driver.snapshot()
+        assert snap["counters"]["c_total"][""] == 6
+        assert snap["gauges"]["g"]['k="v"'] == 5.0  # max, not sum
+        assert snap["histograms"]["h_seconds"][""]["count"] == 2
+        assert snap["histograms"]["h_seconds"][""]["sum"] == \
+            pytest.approx(0.5)
+
+    def test_merge_is_associative(self):
+        parts = [self._loaded().snapshot() for _ in range(3)]
+        left = MetricsRegistry(enabled=True)
+        for part in parts:
+            left.merge(part)
+        right = MetricsRegistry(enabled=True)
+        for part in reversed(parts):
+            right.merge(part)
+        assert left.snapshot() == right.snapshot()
+
+    def test_merge_none_and_empty_are_no_ops(self, registry):
+        registry.counter("c_total").inc()
+        before = registry.snapshot()
+        registry.merge(None)
+        registry.merge({})
+        assert registry.snapshot() == before
+
+    def test_drain_returns_snapshot_and_resets(self):
+        registry = self._loaded()
+        snap = registry.drain()
+        assert snap["counters"]["c_total"][""] == 3
+        assert registry.drain() is None  # emptied by the first drain
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+
+class TestDisabled:
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c_total").inc(10)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(0.5)
+        with registry.timer("t") as timer:
+            pass
+        assert timer.elapsed == 0.0
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+        assert registry.drain() is None
+        # the shared null instrument backs every lookup
+        assert registry.counter("a") is registry.histogram("b")
+
+    def test_env_kill_switch(self):
+        code = ("from repro.engine.telemetry import TELEMETRY; "
+                "TELEMETRY.counter('x').inc(); "
+                "assert TELEMETRY.drain() is None; "
+                "assert not TELEMETRY.enabled")
+        subprocess.run(
+            [sys.executable, "-c", code], check=True,
+            env={"PYTHONPATH": "src", "REPRO_TELEMETRY": "0"})
+        assert telemetry_enabled() in (True, False)
+
+
+class TestRendering:
+    def test_prometheus_text_format(self, registry):
+        registry.counter("repro_jobs_finished_total").inc(2)
+        registry.gauge("repro_job_queue_depth").set(1)
+        registry.histogram("repro_run_seconds",
+                           phase="execute").observe(0.1)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_jobs_finished_total counter" in text
+        assert "repro_jobs_finished_total 2" in text
+        assert "# TYPE repro_job_queue_depth gauge" in text
+        assert "# TYPE repro_run_seconds histogram" in text
+        assert 'repro_run_seconds_bucket{phase="execute",le="+Inf"} 1' \
+            in text
+        assert 'repro_run_seconds_sum{phase="execute"} 0.1' in text
+        assert 'repro_run_seconds_count{phase="execute"} 1' in text
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.to_prometheus() == ""
+        assert format_snapshot(registry.snapshot()) == \
+            "(no metrics recorded)"
+
+    def test_percentile_from_histogram(self, registry):
+        hist = registry.histogram("h")
+        for _ in range(99):
+            hist.observe(0.001)
+        hist.observe(10.0)
+        data = registry.snapshot()["histograms"]["h"][""]
+        assert percentile_from_histogram(data, 0.5) <= 0.002
+        assert percentile_from_histogram(data, 0.999) >= 10.0
+        assert percentile_from_histogram(
+            {"buckets": [0] * (len(BUCKET_BOUNDS) + 1), "sum": 0.0,
+             "count": 0}, 0.5) == 0.0
+
+    def test_format_profile_groups_by_stage(self, registry):
+        registry.histogram("repro_sim_run_seconds").observe(2.0)
+        registry.histogram("repro_emu_run_seconds").observe(0.5)
+        profile = format_profile(registry.snapshot())
+        lines = profile.splitlines()
+        assert lines[0] == "profile (wall time by stage):"
+        # dominant stage first
+        assert lines[1].lstrip().startswith("sim")
+        assert "repro_sim_run_seconds" in profile
+        assert format_profile({"histograms": {}}) == \
+            "profile: no timings recorded"
