@@ -96,13 +96,13 @@ def test_segmented_sweep_speedup(benchmark, smoke):
         f"({WORKLOAD}@{scale}, "
         f"{parallel.results[0].stats.retired} instructions, "
         f"{segments} segments of {segment_insns})",
-        f"flat jobs={ncpu:<2d}       : {flat_s:8.2f} s "
+        f"flat jobs={ncpu:<2d} (cold)           : {flat_s:8.2f} s "
         f"(workload-sharded: one busy worker)",
-        f"segmented jobs=1    : {serial_s:8.2f} s",
-        f"segmented jobs={ncpu:<2d}   : {parallel_s:8.2f} s   "
+        f"segmented serial, cold      : {serial_s:8.2f} s  (jobs=1)",
+        f"segmented pool jobs={ncpu:<2d}, cold  : {parallel_s:8.2f} s   "
         f"speedup {serial_s / parallel_s:.2f}x over serial, "
         f"{flat_s / parallel_s:.2f}x over flat",
-        f"segmented warm      : {warm_s:8.2f} s   "
+        f"segmented steady-state, warm store: {warm_s:8.2f} s   "
         f"({warm.counters['segment_stats_hits']} segment-stats hits, "
         f"0 emulations, 0 simulations)",
     ]
@@ -111,10 +111,10 @@ def test_segmented_sweep_speedup(benchmark, smoke):
         "instructions": parallel.results[0].stats.retired,
         "segments": segments, "segment_insns": segment_insns,
         "jobs": ncpu,
-        "flat_seconds": round(flat_s, 4),
-        "serial_seconds": round(serial_s, 4),
-        "parallel_seconds": round(parallel_s, 4),
-        "warm_seconds": round(warm_s, 4),
+        "flat_cold_seconds": round(flat_s, 4),
+        "serial_cold_seconds": round(serial_s, 4),
+        "pool_cold_seconds": round(parallel_s, 4),
+        "warm_steady_state_seconds": round(warm_s, 4),
         "speedup_over_serial": round(serial_s / parallel_s, 4),
         "speedup_over_flat": round(flat_s / parallel_s, 4),
         "warm_counters": dict(warm.counters),

@@ -21,6 +21,18 @@ from repro.uarch.config import default_config
 
 GRID_WORKLOADS = ["mcf", "gcc", "eon", "gap"]
 
+#: Last recorded run *before* the packed-SoA trace + table-dispatch
+#: core landed (same 12-point grid, single-CPU container), kept inline
+#: so the published JSON carries the before/after pair.
+BASELINE = {
+    "trace_format": "list[TraceEntry] (per-entry dataclasses)",
+    "points": 12,
+    "jobs": 1,
+    "serial_seconds": 22.1988,
+    "parallel_seconds": 21.3558,
+    "warm_seconds": 0.0069,
+}
+
 
 def _campaign(workloads) -> Campaign:
     return Campaign.from_axes(
@@ -57,6 +69,8 @@ def test_sweep_parallel_speedup(benchmark, smoke):
     lines = [
         f"sweep grid: {len(points)} points "
         f"({len(workloads)} workloads x 3 variants)",
+        f"before (per-entry trace, jobs=1): "
+        f"{BASELINE['serial_seconds']:8.2f} s",
         f"jobs=1          : {serial_s:8.2f} s "
         f"({serial.counters['emulations']} emulations, "
         f"{serial.counters['simulations']} simulations)",
@@ -74,6 +88,9 @@ def test_sweep_parallel_speedup(benchmark, smoke):
         "warm_seconds": round(cached_s, 4),
         "speedup_cold": round(serial_s / parallel_s, 4),
         "speedup_warm": round(serial_s / cached_s, 4),
+        "before_packed_core": BASELINE,
+        "speedup_over_baseline": round(
+            BASELINE["serial_seconds"] / serial_s, 4),
         "serial_counters": dict(serial.counters),
         "warm_counters": dict(cached.counters),
     })

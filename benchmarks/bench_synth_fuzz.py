@@ -19,6 +19,27 @@ from repro.workloads.synth import FAMILIES
 SEEDS = range(0, 4)
 SMOKE_SEEDS = range(0, 1)
 
+#: Last recorded run *before* the packed-SoA trace + table-dispatch
+#: core landed (per-entry dataclass trace, dict dispatch), same grid,
+#: single-CPU container.  Kept inline so every published result file
+#: carries the before/after pair instead of relying on git archaeology.
+BASELINE = {
+    "trace_format": "list[TraceEntry] (per-entry dataclasses)",
+    "programs": 20,
+    "seeds": 4,
+    "total_insns": 259061,
+    "elapsed_seconds": 58.5634,
+    "programs_per_second": 0.3415,
+    "insns_per_second": 4423.6,
+}
+
+#: Conservative smoke-mode floor (oracle insns/s differentially
+#: checked).  Smoke runs on this container reach ~10k; the committed
+#: pre-packing core measured ~4.4k full / ~5k smoke, so 6k fails only
+#: if the hot loop regresses most of the packed-core win.  CI's
+#: bench-smoke job turns this into a hard perf gate.
+SMOKE_MIN_INSNS_PER_SECOND = 6_000
+
 
 def test_fuzz_throughput(benchmark, smoke):
     seeds = SMOKE_SEEDS if smoke else SEEDS
@@ -36,14 +57,20 @@ def test_fuzz_throughput(benchmark, smoke):
         family = report.workload.split(":")[1].split("@")[0]
         per_family[family].append(report.instructions)
     total_insns = sum(p.instructions for p in fuzz.programs)
+    insns_per_second = total_insns / elapsed
+    speedup = insns_per_second / BASELINE["insns_per_second"]
     lines = [
         "Differential fuzz throughput",
         f"programs: {len(fuzz.programs)}  (families x seeds "
         f"{len(FAMILIES)} x {len(seeds)})",
-        f"elapsed: {elapsed:.2f} s  "
+        f"before (per-entry trace): "
+        f"{BASELINE['insns_per_second']:,.0f} oracle insns/s "
+        f"({BASELINE['elapsed_seconds']:.2f} s for "
+        f"{BASELINE['programs']} programs)",
+        f"after  (packed columns) : {elapsed:.2f} s  "
         f"({len(fuzz.programs) / elapsed:.2f} programs/s, "
-        f"{total_insns / elapsed:,.0f} oracle insns/s differentially "
-        f"checked)",
+        f"{insns_per_second:,.0f} oracle insns/s differentially "
+        f"checked, {speedup:.2f}x over the recorded baseline)",
         "",
         f"{'family':10s} {'programs':>8s} {'insns/program':>14s}",
     ]
@@ -54,11 +81,19 @@ def test_fuzz_throughput(benchmark, smoke):
         "programs": len(fuzz.programs), "seeds": len(seeds),
         "elapsed_seconds": round(elapsed, 4),
         "programs_per_second": round(len(fuzz.programs) / elapsed, 4),
-        "insns_per_second": round(total_insns / elapsed, 1),
+        "insns_per_second": round(insns_per_second, 1),
         "total_insns": total_insns,
+        "before_packed_core": BASELINE,
+        "speedup_over_baseline": round(speedup, 4),
         "per_family": {family: {"programs": len(counts),
                                 "mean_insns": round(sum(counts)
                                                     / len(counts), 1)
                                 if counts else 0}
                        for family, counts in per_family.items()},
     })
+    if smoke:
+        # Perf gate for CI's bench-smoke job: a drop below the floor
+        # means the table-driven hot core regressed, not noise.
+        assert insns_per_second >= SMOKE_MIN_INSNS_PER_SECOND, (
+            f"smoke fuzz throughput {insns_per_second:,.0f} insns/s "
+            f"fell below the {SMOKE_MIN_INSNS_PER_SECOND:,d} floor")

@@ -22,7 +22,7 @@ shifts, and early branch resolution.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from collections import namedtuple
 
 from ..functional import alu
 from ..isa.opcodes import BranchCond, Opcode, spec_of
@@ -38,23 +38,31 @@ class Kind(enum.Enum):
     PLAIN = "plain"  # no optimization
 
 
-@dataclass(frozen=True)
-class Outcome:
-    """Result of :func:`transform` for one instruction."""
+_OutcomeFields = namedtuple(
+    "_OutcomeFields",
+    ("kind", "value", "sym", "uses_alu", "strength_reduced"),
+    defaults=(None, None, False, False))
 
-    kind: Kind
-    value: int | None = None  # EARLY: the computed result
-    sym: SymVal | None = None  # EARLY/REWRITTEN: destination symbolic value
-    uses_alu: bool = False  # consumed an optimizer ALU (depth accounting)
-    strength_reduced: bool = False  # multiply converted to shift
+
+class Outcome(_OutcomeFields):
+    """Result of :func:`transform` for one instruction.
+
+    ``value`` is the computed result (EARLY); ``sym`` the destination's
+    symbolic value (EARLY/REWRITTEN); ``uses_alu`` marks consumption of
+    an optimizer ALU (depth accounting); ``strength_reduced`` a
+    multiply converted to a shift.  A named tuple — one is built per
+    renamed integer instruction, so construction cost matters.
+    """
+
+    __slots__ = ()
 
     @property
     def is_early(self) -> bool:
-        return self.kind is Kind.EARLY
+        return self[0] is Kind.EARLY
 
     @property
     def is_rewritten(self) -> bool:
-        return self.kind is Kind.REWRITTEN
+        return self[0] is Kind.REWRITTEN
 
 
 _PLAIN = Outcome(kind=Kind.PLAIN)

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 from ..functional.alu import to_signed64
 from ..isa.instructions import Imm
-from ..isa.opcodes import OpClass, Opcode
+from ..isa.opcodes import (OP_COND, OP_SPEC_BY_ID, OPCODE_ID, OPCODES_BY_ID,
+                           QUEUE_INT, OpClass, Opcode)
 from ..isa.registers import NUM_INT_REGS, is_int_reg, is_zero_reg
 from ..uarch.config import MachineConfig
 from ..uarch.dyninstr import DynInstr
@@ -54,6 +55,40 @@ _INT_COND_BRANCHES = frozenset({
 
 _PENDING_INSERT = 0
 _PENDING_INVALIDATE = 1
+
+# Handler selection per opcode id, computed once: replaces the
+# enum/spec-attribute if-chain in the rename entry point with one
+# table lookup.  The arm order below mirrors the original chain, so
+# FP conditional branches (fbeq/fbne) and nop land on the plain path.
+_RK_BRANCH, _RK_JUMP, _RK_LOAD, _RK_STORE, _RK_INT_ALU, _RK_PLAIN = range(6)
+
+
+def _classify(opcode: Opcode) -> int:
+    spec = OP_SPEC_BY_ID[OPCODE_ID[opcode]]
+    if opcode in _INT_COND_BRANCHES:
+        return _RK_BRANCH
+    if spec.is_jump:
+        return _RK_JUMP
+    if spec.is_load:
+        return _RK_LOAD
+    if spec.is_store:
+        return _RK_STORE
+    if (spec.op_class in (OpClass.INT_SIMPLE, OpClass.INT_COMPLEX)
+            and opcode is not Opcode.NOP):
+        return _RK_INT_ALU
+    return _RK_PLAIN
+
+
+_RENAME_KIND = tuple(_classify(op) for op in OPCODES_BY_ID)
+_LDA_ID = OPCODE_ID[Opcode.LDA]
+_LDF_ID = OPCODE_ID[Opcode.LDF]
+_STF_ID = OPCODE_ID[Opcode.STF]
+_BR_ID = OPCODE_ID[Opcode.BR]
+_JSR_ID = OPCODE_ID[Opcode.JSR]
+
+#: Resolved expression for the hardwired-zero registers (shared tuple;
+#: ``_expr_of`` returns it without allocating).
+_ZERO_EXPR = (symbolic.ZERO, 0, 0)
 
 
 class VerificationError(Exception):
@@ -129,25 +164,23 @@ class OptimizingRenamer(BaselineRenamer):
     # ==================================================================
 
     def rename(self, di: DynInstr, cycle: int) -> None:
-        instr = di.instr
-        spec = instr.spec
-        needs_preg = instr.dst is not None and not is_zero_reg(instr.dst)
-        if needs_preg and not self._prf.can_allocate():
+        dst = di.instr.dst
+        if (dst is not None and not is_zero_reg(dst)
+                and not self._prf.can_allocate()):
             raise OutOfRegisters("no free physical registers")
         di.rename_cycle = cycle
 
-        opcode = instr.opcode
-        if opcode in _INT_COND_BRANCHES:
-            self._rename_branch(di)
-        elif spec.is_jump:
-            self._rename_jump(di)
-        elif spec.is_load:
-            self._rename_load(di)
-        elif spec.is_store:
-            self._rename_store(di)
-        elif (spec.op_class in (OpClass.INT_SIMPLE, OpClass.INT_COMPLEX)
-              and opcode is not Opcode.NOP):
+        kind = _RENAME_KIND[di.op]
+        if kind == _RK_INT_ALU:
             self._rename_int_alu(di)
+        elif kind == _RK_LOAD:
+            self._rename_load(di)
+        elif kind == _RK_BRANCH:
+            self._rename_branch(di)
+        elif kind == _RK_STORE:
+            self._rename_store(di)
+        elif kind == _RK_JUMP:
+            self._rename_jump(di)
         else:
             # FP operations, FP branches, nop: plain rename.
             self._rename_plain(di)
@@ -159,11 +192,11 @@ class OptimizingRenamer(BaselineRenamer):
     def _expr_of(self, arch: int) -> tuple[SymVal, int, int]:
         """Resolved symbolic value + intra-bundle depth tags of *arch*."""
         if is_zero_reg(arch):
-            return symbolic.const(0), 0, 0
+            return _ZERO_EXPR
         entry = self._entries[arch]
         sym = entry.sym
-        if not sym.is_const and self._ocfg.enable_feedback:
-            known = self.feedback.lookup(sym.base)
+        if sym[0] is not None and self._ocfg.enable_feedback:
+            known = self.feedback.lookup(sym[0])
             if known is not None:
                 folded = symbolic.fold(sym, known)
                 self._set_entry_sym(arch, folded)
@@ -177,14 +210,17 @@ class OptimizingRenamer(BaselineRenamer):
         exprs: list[SymVal] = []
         depth = 0
         mem_chain = 0
+        expr_of = self._expr_of
         for src in di.instr.srcs:
-            if isinstance(src, Imm):
+            if type(src) is Imm:
                 exprs.append(symbolic.const(src.value))
                 continue
-            sym, src_depth, src_chain = self._expr_of(src.index)
+            sym, src_depth, src_chain = expr_of(src.index)
             exprs.append(sym)
-            depth = max(depth, src_depth)
-            mem_chain = max(mem_chain, src_chain)
+            if src_depth > depth:
+                depth = src_depth
+            if src_chain > mem_chain:
+                mem_chain = src_chain
         return exprs, depth, mem_chain
 
     # ------------------------------------------------------------------
@@ -238,7 +274,7 @@ class OptimizingRenamer(BaselineRenamer):
     def _mapping_deps(self, di: DynInstr) -> list[int]:
         """Physical mappings of all register sources (the plain path)."""
         deps = []
-        for arch in di.instr.reg_sources():
+        for arch in di.reg_srcs:
             preg = self.rat.lookup(arch)
             if preg is not None:
                 deps.append(preg)
@@ -268,7 +304,7 @@ class OptimizingRenamer(BaselineRenamer):
         instr = di.instr
         opcode = instr.opcode
         exprs, depth, mem_chain = self._source_exprs(di)
-        if opcode is Opcode.LDA:
+        if di.op == _LDA_ID:
             opcode = Opcode.ADD
             exprs = [exprs[0], symbolic.const(instr.disp)]
         outcome = cpra.transform(opcode, exprs)
@@ -283,8 +319,9 @@ class OptimizingRenamer(BaselineRenamer):
         if outcome.strength_reduced:
             self.stat_strength_reductions += 1
             di.sched_class = OpClass.INT_SIMPLE
+            di.queue_idx = QUEUE_INT
         if outcome.is_early:
-            self._verify(di, outcome.value, di.entry.result, "early value")
+            self._verify(di, outcome.value, di.result, "early value")
             di.early = True
             di.early_value = outcome.value
             self.stat_early += 1
@@ -313,12 +350,12 @@ class OptimizingRenamer(BaselineRenamer):
         instr = di.instr
         cond_reg = instr.srcs[0].index
         sym, depth, _ = self._expr_of(cond_reg)
-        taken = cpra.resolve_branch(instr.spec.cond, sym)
+        taken = cpra.resolve_branch(OP_COND[di.op], sym)
         # The branch test itself is zero-detect logic, not an adder, so
         # it may consume a value produced by this bundle's last allowed
         # addition level (hence the +1).
         if taken is not None and depth <= self._ocfg.add_depth + 1:
-            self._verify(di, int(taken), int(di.entry.taken),
+            self._verify(di, int(taken), di.taken,
                          "early branch direction")
             di.early = True
             self.stat_early += 1
@@ -328,7 +365,7 @@ class OptimizingRenamer(BaselineRenamer):
             self._take_deps(di, self._mapping_deps(di))
         if self._ocfg.enable_opt:
             implied = cpra.branch_implied_value(instr.opcode,
-                                                bool(di.entry.taken))
+                                                di.taken == 1)
             if implied is not None and not is_zero_reg(cond_reg):
                 current = self._entries[cond_reg].sym
                 if not current.is_const:
@@ -337,15 +374,15 @@ class OptimizingRenamer(BaselineRenamer):
 
     def _rename_jump(self, di: DynInstr) -> None:
         instr = di.instr
-        opcode = instr.opcode
-        if opcode is Opcode.BR:
+        op = di.op
+        if op == _BR_ID:
             di.early = True
             self.stat_early += 1
             return
-        if opcode is Opcode.JSR:
+        if op == _JSR_ID:
             # The link value is a decode-time constant.
             return_pc = instr.pc + 4
-            self._verify(di, return_pc, di.entry.result, "jsr link value")
+            self._verify(di, return_pc, di.result, "jsr link value")
             di.early = True
             self.stat_early += 1
             sym = symbolic.const(return_pc) if self._ocfg.enable_opt else None
@@ -357,7 +394,7 @@ class OptimizingRenamer(BaselineRenamer):
         target_reg = instr.srcs[0].index
         sym, depth, _ = self._expr_of(target_reg)
         if sym.is_const and depth <= self._ocfg.add_depth + 1:
-            self._verify(di, sym.const_value, di.entry.next_pc,
+            self._verify(di, sym.const_value, di.next_pc,
                          "early indirect target")
             di.early = True
             self.stat_early += 1
@@ -366,17 +403,16 @@ class OptimizingRenamer(BaselineRenamer):
 
     def _rename_load(self, di: DynInstr) -> None:
         instr = di.instr
-        entry = di.entry
         base_reg = instr.srcs[0].index
         base_sym, depth, mem_chain = self._expr_of(base_reg)
         addr_sym = symbolic.add_const(base_sym, instr.disp)
         addr_usable = (depth <= self._ocfg.add_depth
                        and mem_chain <= self._ocfg.mem_depth)
         if addr_sym.is_const and addr_usable:
-            self._verify(di, addr_sym.const_value, entry.addr,
+            self._verify(di, addr_sym.const_value, di.addr,
                          "rename-time load address")
             di.addr_known = True
-            is_fp_load = instr.opcode is Opcode.LDF
+            is_fp_load = di.op == _LDF_ID
             eligible = (self._ocfg.enable_opt and self._ocfg.enable_rle_sf
                         and instr.dst is not None
                         and not is_zero_reg(instr.dst)
@@ -390,9 +426,9 @@ class OptimizingRenamer(BaselineRenamer):
             # destination for future redundant-load elimination.
             dst = self._allocate_dst(di, None)
             if eligible and dst is not None:
-                expected = (float(entry.result) if is_fp_load
-                            else int(entry.result))
-                self._pend_insert(entry.addr, instr.spec.mem_size,
+                expected = (float(di.result) if is_fp_load
+                            else int(di.result))
+                self._pend_insert(di.addr, di.mem_size,
                                   symbolic.plain(dst), expected,
                                   is_fp=is_fp_load)
             return
@@ -406,16 +442,16 @@ class OptimizingRenamer(BaselineRenamer):
 
     def _try_bypass_load(self, di: DynInstr) -> bool:
         """Attempt RLE/SF; returns True if the load was eliminated."""
-        entry = di.entry
-        size = di.instr.spec.mem_size
-        line = self.mbc.lookup(entry.addr, size)
+        size = di.mem_size
+        addr = di.addr
+        line = self.mbc.lookup(addr, size)
         if line is None or line.is_fp:
             return False
-        if line.expected_value != int(entry.result):
+        if line.expected_value != int(di.result):
             # Speculative staleness: an unknown-address store modified
             # this location after the entry was installed (Section 3.2's
             # "proceed speculatively and recover" mode).
-            self.mbc.invalidate_entry(entry.addr, size)
+            self.mbc.invalidate_entry(addr, size)
             self.stat_mbc_misspeculations += 1
             di.misspec_flush = True
             return False
@@ -426,7 +462,7 @@ class OptimizingRenamer(BaselineRenamer):
                 sym = symbolic.fold(sym, known)
         di.removed_load = True
         if sym.is_const:
-            self._verify(di, sym.const_value, entry.result,
+            self._verify(di, sym.const_value, di.result,
                          "forwarded load value")
             di.early = True
             di.early_value = sym.const_value
@@ -447,6 +483,7 @@ class OptimizingRenamer(BaselineRenamer):
         # Offset/scaled forward: becomes a single-cycle move computing
         # (base << scale) + offset on a simple ALU.
         di.sched_class = OpClass.INT_SIMPLE
+        di.queue_idx = QUEUE_INT
         self._take_deps(di, [sym.base])
         self._allocate_dst(di, sym, mem_chain=1)
         return True
@@ -466,13 +503,13 @@ class OptimizingRenamer(BaselineRenamer):
         become a one-cycle FP register move of the matching entry's
         physical register (never an early execution).
         """
-        entry = di.entry
-        size = di.instr.spec.mem_size
-        line = self.mbc.lookup(entry.addr, size)
+        size = di.mem_size
+        addr = di.addr
+        line = self.mbc.lookup(addr, size)
         if line is None or not line.is_fp:
             return False
-        if line.expected_value != float(entry.result):
-            self.mbc.invalidate_entry(entry.addr, size)
+        if line.expected_value != float(di.result):
+            self.mbc.invalidate_entry(addr, size)
             self.stat_mbc_misspeculations += 1
             di.misspec_flush = True
             return False
@@ -484,7 +521,6 @@ class OptimizingRenamer(BaselineRenamer):
 
     def _rename_store(self, di: DynInstr) -> None:
         instr = di.instr
-        entry = di.entry
         base_reg = instr.srcs[1].index
         base_sym, depth, mem_chain = self._expr_of(base_reg)
         addr_sym = symbolic.add_const(base_sym, instr.disp)
@@ -492,7 +528,7 @@ class OptimizingRenamer(BaselineRenamer):
                        and mem_chain <= self._ocfg.mem_depth)
         deps: list[int] = []
         if addr_sym.is_const and addr_usable:
-            self._verify(di, addr_sym.const_value, entry.addr,
+            self._verify(di, addr_sym.const_value, di.addr,
                          "rename-time store address")
             di.addr_known = True
         elif self._ocfg.enable_opt and addr_sym.base is not None:
@@ -519,25 +555,27 @@ class OptimizingRenamer(BaselineRenamer):
         self._take_deps(di, deps)
         if (di.addr_known and self._ocfg.enable_opt
                 and self._ocfg.enable_rle_sf):
-            if instr.opcode is Opcode.STF:
+            # The emulator records a store's data value as the row's
+            # result, so ``di.result`` is the store value.
+            if di.op == _STF_ID:
                 # FP store forwarding: record the data register so a
                 # later FP load becomes a register move.
                 mapping = self.rat.lookup(data_src.index)
-                self._pend_insert(entry.addr, instr.spec.mem_size,
+                self._pend_insert(di.addr, di.mem_size,
                                   symbolic.plain(mapping),
-                                  float(entry.store_value), is_fp=True)
+                                  float(di.result), is_fp=True)
                 return
             if data_sym is None:
                 self._mbc_pending.append(
-                    (_PENDING_INVALIDATE, entry.addr, instr.spec.mem_size,
+                    (_PENDING_INVALIDATE, di.addr, di.mem_size,
                      None, 0, False))
                 return
             if data_sym.is_const:
                 self._verify(di, data_sym.const_value,
-                             int(entry.store_value),
+                             int(di.result),
                              "store-forward data value")
-            self._pend_insert(entry.addr, instr.spec.mem_size, data_sym,
-                              int(entry.store_value))
+            self._pend_insert(di.addr, di.mem_size, data_sym,
+                              int(di.result))
 
     def _pend_insert(self, addr: int, size: int, sym: SymVal,
                      expected: int | float, is_fp: bool = False) -> None:
@@ -560,7 +598,7 @@ class OptimizingRenamer(BaselineRenamer):
             self._prf.release(preg)
         if di.dst_preg is None or not self._ocfg.enable_feedback:
             return
-        result = di.entry.result
+        result = di.result
         if (isinstance(result, int) and is_int_reg(di.instr.dst)
                 and self._prf.is_live(di.dst_preg)):
             self.feedback.publish(di.dst_preg, to_signed64(result), cycle)
@@ -570,7 +608,7 @@ class OptimizingRenamer(BaselineRenamer):
                 and self._ocfg.enable_rle_sf):
             # The MBC was already updated with this store at rename.
             return
-        self.mbc.invalidate_overlap(di.entry.addr, di.instr.spec.mem_size)
+        self.mbc.invalidate_overlap(di.addr, di.mem_size)
 
     def relieve_pressure(self) -> bool:
         """Shed optimizer state (hints) to free physical registers."""

@@ -7,57 +7,65 @@ architectural register, a symbolic expression of the form
 immediate.  A constant is encoded by pointing ``reg`` at the hardwired
 zero register; here we use ``base is None``.
 
-:class:`SymVal` is immutable.  The helper functions implement the
-algebra the CP/RA hardware performs: adding constants, scaling, and
-folding to a constant once the base register's value becomes known.
+:class:`SymVal` is an immutable named tuple — symbolic values are
+created on almost every renamed instruction, so construction cost
+matters.  The module-level helpers (:func:`const`, :func:`plain`,
+:func:`add_const`, :func:`shift_left`) build values through the raw
+tuple constructor (their arguments are valid by construction) and
+intern the common cases; direct ``SymVal(...)`` construction keeps the
+field validation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import namedtuple
 
 from ..functional.alu import to_signed64
 
 #: Hardware limit on the scale field (two bits).
 MAX_SCALE = 3
 
+_SymFields = namedtuple("_SymFields", ("base", "scale", "offset"))
 
-@dataclass(frozen=True)
-class SymVal:
-    """One symbolic value: ``(base << scale) + offset`` or a constant."""
 
-    base: int | None  # physical register index; None encodes a constant
-    scale: int = 0
-    offset: int = 0
+class SymVal(_SymFields):
+    """One symbolic value: ``(base << scale) + offset`` or a constant.
 
-    def __post_init__(self) -> None:
-        if self.base is None and self.scale != 0:
+    ``base`` is a physical register index; ``None`` encodes a constant
+    whose value lives in ``offset``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, base, scale=0, offset=0):
+        if base is None and scale != 0:
             raise ValueError("constants must have scale 0")
-        if not 0 <= self.scale <= MAX_SCALE:
-            raise ValueError(f"scale out of range: {self.scale}")
+        if not 0 <= scale <= MAX_SCALE:
+            raise ValueError(f"scale out of range: {scale}")
+        return tuple.__new__(cls, (base, scale, offset))
 
     @property
     def is_const(self) -> bool:
         """True if this value is a known 64-bit constant."""
-        return self.base is None
+        return self[0] is None
 
     @property
     def const_value(self) -> int:
         """The constant's value (only valid when :attr:`is_const`)."""
-        if self.base is not None:
+        if self[0] is not None:
             raise ValueError(f"{self} is not a constant")
-        return self.offset
+        return self[2]
 
     @property
     def is_plain(self) -> bool:
         """True if this is just a physical register, unshifted, offset 0."""
-        return self.base is not None and self.scale == 0 and self.offset == 0
+        return self[0] is not None and self[1] == 0 and self[2] == 0
 
     def evaluate(self, base_value: int) -> int:
         """The concrete value given the base register's value."""
-        if self.base is None:
-            return self.offset
-        return to_signed64((base_value << self.scale) + self.offset)
+        if self[0] is None:
+            return self[2]
+        return to_signed64((base_value << self[1]) + self[2])
 
     def __str__(self) -> str:
         if self.base is None:
@@ -71,20 +79,38 @@ class SymVal:
         return text
 
 
+_tuple_new = tuple.__new__
+
+#: Interned small constants and the zero constant — the overwhelmingly
+#: common values (loop bounds, displacements, flag results).
+_SMALL_CONSTS = tuple(_tuple_new(SymVal, (None, 0, v))
+                      for v in range(-256, 257))
+ZERO = _SMALL_CONSTS[256]
+
+_INT64_MAX = (1 << 63) - 1
+_INT64_MIN = -(1 << 63)
+
+
 def const(value: int) -> SymVal:
     """A known constant value."""
-    return SymVal(base=None, scale=0, offset=to_signed64(value))
+    if -256 <= value <= 256:
+        return _SMALL_CONSTS[value + 256]
+    if value > _INT64_MAX or value < _INT64_MIN:
+        value = to_signed64(value)
+    return _tuple_new(SymVal, (None, 0, value))
 
 
 def plain(preg: int) -> SymVal:
     """The value of physical register *preg*, unmodified."""
-    return SymVal(base=preg, scale=0, offset=0)
+    return _tuple_new(SymVal, (preg, 0, 0))
 
 
 def add_const(sym: SymVal, value: int) -> SymVal:
     """``sym + value`` — always representable (offset arithmetic)."""
-    return SymVal(base=sym.base, scale=sym.scale,
-                  offset=to_signed64(sym.offset + value))
+    offset = sym[2] + value
+    if offset > _INT64_MAX or offset < _INT64_MIN:
+        offset = to_signed64(offset)
+    return _tuple_new(SymVal, (sym[0], sym[1], offset))
 
 
 def shift_left(sym: SymVal, amount: int) -> SymVal | None:
@@ -93,14 +119,15 @@ def shift_left(sym: SymVal, amount: int) -> SymVal | None:
     Returns None when the shifted form does not fit (scale would
     exceed :data:`MAX_SCALE`); constants always fold.
     """
-    if sym.is_const:
-        return const(to_signed64(sym.offset << (amount & 0x3F)))
+    if sym[0] is None:
+        return const(to_signed64(sym[2] << (amount & 0x3F)))
     if amount < 0:
         return None
-    if sym.scale + amount > MAX_SCALE:
+    scale = sym[1] + amount
+    if scale > MAX_SCALE:
         return None
-    return SymVal(base=sym.base, scale=sym.scale + amount,
-                  offset=to_signed64(sym.offset << amount))
+    return _tuple_new(SymVal, (sym[0], scale,
+                               to_signed64(sym[2] << amount)))
 
 
 def fold(sym: SymVal, base_value: int) -> SymVal:

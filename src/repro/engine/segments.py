@@ -5,10 +5,10 @@ The plain sweep engine (:mod:`repro.engine.pool`) parallelizes only
 time.  This module decomposes each ``(workload, scale)`` trace into
 fixed-instruction-count **segments** that fan out across all workers:
 
-1. **Planning** (:func:`plan_segments`) streams the functional
-   emulator's lazy :meth:`~repro.functional.emulator.Emulator.\
-iter_trace` through ``itertools.islice`` windows, persisting each
-   window as a segment-trace artifact plus an architectural
+1. **Planning** (:func:`plan_segments`) advances the functional
+   emulator through fixed-size :meth:`~repro.functional.emulator.\
+Emulator.run_packed` windows, persisting each window as a packed
+   segment-trace artifact plus an architectural
    :class:`~repro.functional.emulator.Checkpoint` at every boundary.
    A killed or partial run resumes from the last stored checkpoint
    instead of replaying the prefix; a **manifest** artifact (written
@@ -36,7 +36,6 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from itertools import islice
 
 from ..functional.emulator import Emulator
 from ..uarch.config import MachineConfig
@@ -132,11 +131,13 @@ def plan_segments(workload: str, scale: int, segment_insns: int,
     # and only the final segment of a trace can be short — so every
     # kept prefix segment is exactly segment_insns long.
     lengths = [segment_insns] * resume
-    stream = emulator.iter_trace()
     index = resume
     while True:
-        segment = list(islice(stream, segment_insns))
-        if not segment:
+        # Packed emulation window: same boundary semantics as pulling
+        # segment_insns entries from iter_trace(), but table-dispatched,
+        # and the stored artifact ships the packed columns directly.
+        segment = emulator.run_packed(segment_insns)
+        if not len(segment):
             break
         store.save_segment_trace(workload, scale, segment_insns, index,
                                  segment)

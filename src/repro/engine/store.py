@@ -13,7 +13,7 @@ Artifacts are keyed by a stable SHA-256 of their identity:
   fixed-instruction-count segments and stores, per
   ``(workload, scale, segment_insns)``:
 
-  - ``segment trace`` *i* — the ``list[TraceEntry]`` slice,
+  - ``segment trace`` *i* — the :class:`PackedTrace` slice,
   - ``checkpoint`` *i* — the emulator's architectural state at the
     start of segment *i* (so a killed planning run resumes without
     replaying the prefix),
@@ -56,13 +56,16 @@ import tempfile
 import time
 from pathlib import Path
 
-from ..functional.emulator import Checkpoint, TraceEntry
+from ..functional.emulator import Checkpoint, PackedTrace
 from ..uarch.config import MachineConfig, canonical_json
 from ..uarch.stats import PipelineStats
 from .telemetry import TELEMETRY
 
-#: Bump when the TraceEntry / PipelineStats schema changes.
-FORMAT_VERSION = 1
+#: Bump when the trace / PipelineStats schema changes.
+#: v2: traces are pickled :class:`PackedTrace` columns instead of
+#: ``list[TraceEntry]``.  v1 artifacts simply miss under the new keys
+#: and are re-derived (then reclaimed by LRU gc) — no migration step.
+FORMAT_VERSION = 2
 
 #: Fixed pickle protocol so identical traces serialize byte-identically
 #: regardless of the interpreter's default.
@@ -151,9 +154,9 @@ class ArtifactStore:
 
     Layout::
 
-        <root>/traces/<sha256>.pkl       pickled list[TraceEntry]
+        <root>/traces/<sha256>.pkl       pickled PackedTrace columns
         <root>/stats/<sha256>.json       canonical PipelineStats JSON
-        <root>/segments/<sha256>.pkl     pickled segment list[TraceEntry]
+        <root>/segments/<sha256>.pkl     pickled segment PackedTrace
         <root>/checkpoints/<sha256>.pkl  pickled emulator Checkpoint
         <root>/manifests/<sha256>.json   segmentation manifest JSON
 
@@ -195,7 +198,7 @@ class ArtifactStore:
     # ------------------------------------------------------------------
 
     def load_trace(self, workload: str,
-                   scale: int) -> list[TraceEntry] | None:
+                   scale: int) -> PackedTrace | None:
         """The stored oracle trace, or ``None`` on a miss."""
         path = self._traces / f"{trace_key(workload, scale)}.pkl"
         trace = self._load_pickle(path)
@@ -207,7 +210,7 @@ class ArtifactStore:
         return trace
 
     def save_trace(self, workload: str, scale: int,
-                   trace: list[TraceEntry]) -> Path:
+                   trace: PackedTrace) -> Path:
         """Persist an oracle trace; returns the artifact path."""
         path = self._traces / f"{trace_key(workload, scale)}.pkl"
         payload = pickle.dumps(trace, protocol=PICKLE_PROTOCOL)
@@ -257,7 +260,7 @@ class ArtifactStore:
 
     def load_segment_trace(self, workload: str, scale: int,
                            segment_insns: int,
-                           index: int) -> list[TraceEntry] | None:
+                           index: int) -> PackedTrace | None:
         """One stored trace segment, or ``None`` on a miss."""
         path = self._segment_trace_path(workload, scale, segment_insns,
                                         index)
@@ -271,7 +274,7 @@ class ArtifactStore:
 
     def save_segment_trace(self, workload: str, scale: int,
                            segment_insns: int, index: int,
-                           trace: list[TraceEntry]) -> Path:
+                           trace: PackedTrace) -> Path:
         """Persist one trace segment; returns the artifact path."""
         path = self._segment_trace_path(workload, scale, segment_insns,
                                         index)

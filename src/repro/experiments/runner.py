@@ -28,13 +28,13 @@ from dataclasses import dataclass
 from ..engine.campaign import SweepPoint
 from ..engine.pool import resolve_jobs, run_sweep, run_trace_prewarm
 from ..engine.store import ArtifactStore
-from ..functional.emulator import TraceEntry
+from ..functional.emulator import PackedTrace
 from ..uarch.config import MachineConfig
 from ..uarch.pipeline import simulate_trace
 from ..uarch.stats import PipelineStats
 from ..workloads import ALL_WORKLOADS, build_trace, get_workload
 
-_trace_cache: dict[tuple[str, int], list[TraceEntry]] = {}
+_trace_cache: dict[tuple[str, int], PackedTrace] = {}
 #: keyed (workload, scale, config cache_key, segment_insns or 0) — the
 #: last element keeps monolithic and segmented results distinct (their
 #: cycle counts legitimately differ).
@@ -118,7 +118,7 @@ def clear_caches(*, detach_store: bool = False) -> None:
         _segment_insns = None
 
 
-def get_trace(name: str, scale: int = 1) -> list[TraceEntry]:
+def get_trace(name: str, scale: int = 1) -> PackedTrace:
     """The oracle trace for a workload (memory -> store -> emulate)."""
     # Canonicalize abbreviations and default-equivalent synth
     # spellings: cache and store keys must name one program one way.

@@ -8,12 +8,13 @@ and the continuous optimizer both consume these traces.
 
 from . import alu
 from .emulator import (Checkpoint, EmulationError, EmulationLimit,
-                       EmulationResult, Emulator, TraceEntry, run_program)
+                       EmulationResult, Emulator, PackedTrace, TraceEntry,
+                       run_program)
 from .memory import Memory
 
 __all__ = [
     "alu",
     "Checkpoint", "EmulationError", "EmulationLimit", "EmulationResult",
-    "Emulator", "TraceEntry", "run_program",
+    "Emulator", "PackedTrace", "TraceEntry", "run_program",
     "Memory",
 ]

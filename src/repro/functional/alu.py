@@ -121,6 +121,27 @@ _UNARY_FP_OPS = {
 }
 
 
+#: Public views of the per-opcode handler dicts, used to build the
+#: emulator's integer-dispatch tables (one callable per opcode id).
+INT_OPS = _INT_OPS
+UNARY_INT_OPS = _UNARY_INT_OPS
+FP_OPS = _FP_OPS
+UNARY_FP_OPS = _UNARY_FP_OPS
+
+#: Branch-condition test per :class:`BranchCond`, mirroring
+#: :func:`branch_taken` one closure per condition so the emulator's
+#: dispatch loop skips the if-chain.
+COND_TESTS = {
+    BranchCond.ALWAYS: lambda v: True,
+    BranchCond.EQ: lambda v: v == 0,
+    BranchCond.NE: lambda v: v != 0,
+    BranchCond.LT: lambda v: v < 0,
+    BranchCond.GE: lambda v: v >= 0,
+    BranchCond.LE: lambda v: v <= 0,
+    BranchCond.GT: lambda v: v > 0,
+}
+
+
 def evaluate_int(opcode: Opcode, a: int, b: int = 0) -> int:
     """Evaluate an integer opcode over signed 64-bit inputs."""
     op = _INT_OPS.get(opcode)

@@ -1,7 +1,7 @@
 """Architectural (functional) emulator and dynamic trace format.
 
 The emulator executes a :class:`~repro.isa.program.Program` and records
-a :class:`TraceEntry` per retired instruction.  The trace is both
+one trace row per retired instruction.  The trace is both
 
 * the **oracle**: true values, effective addresses, and branch outcomes
   used to verify every optimization the continuous optimizer performs
@@ -12,17 +12,24 @@ a :class:`TraceEntry` per retired instruction.  The trace is both
 This mirrors the paper's SimpleScalar-based methodology, where a
 functional core drives a detailed custom timing model.
 
-The trace can be produced two ways:
+The trace can be produced three ways:
 
 * :meth:`Emulator.run` materializes the whole stream as an
-  :class:`EmulationResult` (the original API), or
-* :meth:`Emulator.iter_trace` yields entries **lazily** from the
-  current architectural state, and :meth:`Emulator.checkpoint` /
-  :meth:`Emulator.restore` snapshot that state (registers, memory,
-  PC, retired-instruction count) so emulation of trace segment *k*
-  can start from segment *k-1*'s boundary without replaying the
-  prefix.  This is what the segmented sweep engine
-  (:mod:`repro.engine.segments`) builds on.
+  :class:`EmulationResult` whose trace is a packed
+  :class:`~repro.functional.trace.PackedTrace` (entries materialize
+  lazily as :class:`TraceEntry` views),
+* :meth:`Emulator.run_packed` emulates a bounded window from the
+  current state into a packed trace — the segment planner's fast
+  path — leaving the state ready for :meth:`checkpoint`, or
+* :meth:`Emulator.iter_trace` yields :class:`TraceEntry` objects
+  **lazily** one at a time (the original streaming API).
+
+The main loop is table-driven: each static instruction pre-decodes
+once per program into a flat tuple of small integers and handler
+callables (indexed by the tables in :mod:`repro.isa.opcodes`), so the
+per-instruction work is integer dispatch plus column appends — no
+enum hashing, no ``OpSpec`` attribute chasing, no dataclass
+construction.
 """
 
 from __future__ import annotations
@@ -33,12 +40,24 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..isa.instructions import Imm, Instruction, Reg
-from ..isa.opcodes import OpClass, Opcode
-from ..isa.program import INSTR_BYTES, Program, STACK_BASE
+from ..isa.opcodes import OPCODE_ID, OpClass, Opcode
+from ..isa.program import INSTR_BYTES, Program, STACK_BASE, TEXT_BASE
 from ..isa.registers import (NUM_FP_REGS, NUM_INT_REGS, STACK_POINTER_REG,
                              is_fp_reg, is_zero_reg)
 from . import alu
 from .memory import Memory
+from .trace import (NO_ADDR, NO_TAKEN, PackedTrace, TraceEntry,
+                    note_dispatch_build, note_packed_build)
+
+__all__ = [
+    "ArchState", "Checkpoint", "EmulationError", "EmulationLimit",
+    "EmulationResult", "Emulator", "PackedTrace", "TraceEntry",
+    "run_program",
+]
+
+_INT64_MAX = (1 << 63) - 1
+_INT64_MIN = -(1 << 63)
+_STF_ID = OPCODE_ID[Opcode.STF]
 
 
 class EmulationError(Exception):
@@ -47,43 +66,6 @@ class EmulationError(Exception):
 
 class EmulationLimit(EmulationError):
     """Raised when a program exceeds the dynamic instruction budget."""
-
-
-@dataclass(frozen=True)
-class TraceEntry:
-    """One dynamically executed instruction with its oracle values."""
-
-    seq: int
-    pc: int
-    instr: Instruction
-    src_values: tuple[int | float, ...]
-    result: int | float | None
-    addr: int | None
-    taken: bool | None
-    next_pc: int
-
-    @property
-    def opcode(self) -> Opcode:
-        return self.instr.opcode
-
-    @property
-    def is_load(self) -> bool:
-        return self.instr.spec.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.instr.spec.is_store
-
-    @property
-    def is_control(self) -> bool:
-        return self.instr.is_control
-
-    @property
-    def store_value(self) -> int | float:
-        """The value a store writes to memory."""
-        if not self.is_store:
-            raise ValueError("store_value on a non-store")
-        return self.src_values[0]
 
 
 @dataclass(frozen=True)
@@ -109,7 +91,7 @@ class Checkpoint:
 class EmulationResult:
     """Everything the emulator produced for one program run."""
 
-    trace: list[TraceEntry]
+    trace: "PackedTrace | list[TraceEntry]"
     halted: bool
     int_regs: list[int]
     fp_regs: list[float]
@@ -182,6 +164,32 @@ class ArchState:
                     self.int_regs[dst] = alu.to_signed64(int(entry.result))
         self.applied += 1
 
+    def apply_di(self, di) -> None:
+        """:meth:`apply` from a pipeline ``DynInstr``'s direct fields.
+
+        Equivalent to ``apply(di.entry)`` without materializing the
+        entry: the emulator records a store's data value as the row's
+        ``result``, so ``store_value == result`` by construction.
+        """
+        if di.is_store:
+            value = di.result
+            if value is None:  # hand-built entries may omit it
+                value = di.entry.store_value
+            if di.op == _STF_ID:
+                self.memory.store_double(di.addr, float(value))
+            else:
+                self.memory.store(di.addr, int(value), di.mem_size)
+        else:
+            result = di.result
+            dst = di.instr.dst
+            if dst is not None and result is not None \
+                    and not is_zero_reg(dst):
+                if is_fp_reg(dst):
+                    self.fp_regs[dst - NUM_INT_REGS] = float(result)
+                else:
+                    self.int_regs[dst] = alu.to_signed64(int(result))
+        self.applied += 1
+
     def state_dict(self) -> dict:
         """The same canonical form as :meth:`EmulationResult.state_dict`."""
         return _state_dict(self.int_regs, self.fp_regs,
@@ -200,6 +208,131 @@ def _telemetry():
         from ..engine.telemetry import TELEMETRY
         _TELEMETRY = TELEMETRY
     return _TELEMETRY
+
+
+# ---------------------------------------------------------------------------
+# per-program pre-decode for the packed fast loop
+# ---------------------------------------------------------------------------
+# Each static instruction decodes once into a flat 11-tuple:
+#
+#   (kind, op, f1, m0, p0, m1, p1, dst_kind, dst_idx, disp, f2)
+#
+# kind selects the handler arm below; op is the opcode id; (m0, p0) and
+# (m1, p1) are source read modes/payloads; dst_kind/-idx encode the
+# write target; f1 holds the ALU/condition callable (or the memory
+# size); f2 holds the branch target (or the load's signedness).
+
+_K_FN2 = 0       # result = f1(a, b): two-source int/fp ALU
+_K_LOAD = 1      # integer load
+_K_STORE = 2     # integer store
+_K_BR_COND = 3   # conditional branch (f1 = condition test)
+_K_FN1 = 4       # result = f1(a): unary ALU, itof, ftoi
+_K_LDA = 5       # result = signed64(base + disp)
+_K_BR = 6        # direct unconditional branch
+_K_JSR = 7       # call: link + direct jump
+_K_JMP_IND = 8   # ret/jmp through a register
+_K_LOAD_F = 9    # ldf
+_K_STORE_F = 10  # stf
+_K_NOP = 11
+_K_HALT = 12
+
+# source-operand read modes
+_M_IMM = 0
+_M_INT = 1
+_M_FP = 2
+_M_ZERO_INT = 3
+_M_ZERO_FP = 4
+
+
+def _decode_src(src: Reg | Imm) -> tuple[int, int | float]:
+    if isinstance(src, Imm):
+        return _M_IMM, src.value
+    index = src.index
+    if is_zero_reg(index):
+        return (_M_ZERO_FP, 0) if is_fp_reg(index) else (_M_ZERO_INT, 0)
+    if is_fp_reg(index):
+        return _M_FP, index - NUM_INT_REGS
+    return _M_INT, index
+
+
+def _decode_instr(instr: Instruction) -> tuple:
+    spec = instr.spec
+    op = OPCODE_ID[instr.opcode]
+    opcode = instr.opcode
+    modes = [_decode_src(src) for src in instr.srcs]
+    while len(modes) < 2:
+        modes.append((_M_ZERO_INT, 0))
+    (m0, p0), (m1, p1) = modes[0], modes[1]
+    dst = instr.dst
+    if dst is None or is_zero_reg(dst):
+        dst_kind, dst_idx = -1, 0
+    elif is_fp_reg(dst):
+        dst_kind, dst_idx = 1, dst - NUM_INT_REGS
+    else:
+        dst_kind, dst_idx = 0, dst
+    target = int(instr.target) if instr.target is not None else 0
+
+    def rec(kind, f1=None, f2=None):
+        return (kind, op, f1, m0, p0, m1, p1, dst_kind, dst_idx,
+                instr.disp, f2)
+
+    if spec.is_load:
+        if opcode is Opcode.LDF:
+            return rec(_K_LOAD_F, spec.mem_size)
+        return rec(_K_LOAD, spec.mem_size, spec.mem_signed)
+    if spec.is_store:
+        if opcode is Opcode.STF:
+            return rec(_K_STORE_F, spec.mem_size)
+        return rec(_K_STORE, spec.mem_size)
+    if spec.is_branch:
+        return rec(_K_BR_COND, alu.COND_TESTS[spec.cond], target)
+    if spec.is_jump:
+        if opcode is Opcode.JSR:
+            return rec(_K_JSR, None, target)
+        if spec.is_indirect:
+            return rec(_K_JMP_IND)
+        return rec(_K_BR, None, target)
+    if opcode is Opcode.LDA:
+        return rec(_K_LDA)
+    if opcode is Opcode.ITOF:
+        return rec(_K_FN1, alu.convert_itof)
+    if opcode is Opcode.FTOI:
+        return rec(_K_FN1, alu.convert_ftoi)
+    if opcode is Opcode.NOP:
+        return rec(_K_NOP)
+    if opcode is Opcode.HALT:
+        return rec(_K_HALT)
+    fn = alu.FP_OPS.get(opcode) if spec.op_class is OpClass.FP \
+        else alu.INT_OPS.get(opcode)
+    if fn is not None:
+        return rec(_K_FN2, fn)
+    fn = alu.UNARY_FP_OPS.get(opcode) if spec.op_class is OpClass.FP \
+        else alu.UNARY_INT_OPS.get(opcode)
+    if fn is not None:
+        return rec(_K_FN1, fn)
+    raise ValueError(f"cannot decode opcode {opcode}")
+
+
+def decode_program(program: Program) -> tuple:
+    """Pre-decoded handler records for *program*, built once and cached.
+
+    Returns ``(decoded, reg_srcs, op_table, pc_table)``: the decode
+    tuples, per-instruction register-source tuples, opcode ids, and
+    byte PCs — all indexed by instruction index.
+    """
+    cached = program.__dict__.get("_packed_decode")
+    if cached is not None:
+        return cached
+    started = time.perf_counter()
+    instructions = program.instructions
+    decoded = tuple(_decode_instr(instr) for instr in instructions)
+    reg_srcs = [instr.reg_sources() for instr in instructions]
+    op_table = [OPCODE_ID[instr.opcode] for instr in instructions]
+    pc_table = [TEXT_BASE + i * INSTR_BYTES for i in range(len(instructions))]
+    cached = (decoded, reg_srcs, op_table, pc_table)
+    program._packed_decode = cached
+    note_dispatch_build(time.perf_counter() - started)
+    return cached
 
 
 class Emulator:
@@ -234,11 +367,11 @@ class Emulator:
         """Run until ``halt`` (or the instruction budget is exhausted).
 
         Telemetry is per-run (one clock read pair around the whole
-        emulation; :meth:`iter_trace` itself stays uninstrumented so
-        lazy segment streaming pays nothing per instruction).
+        emulation; the packed loop itself stays uninstrumented so
+        nothing is paid per instruction).
         """
         started_ns = time.perf_counter_ns()
-        trace = list(self.iter_trace())
+        trace = self.run_packed()
         telemetry = _telemetry()
         if telemetry.enabled:
             elapsed = (time.perf_counter_ns() - started_ns) / 1e9
@@ -253,6 +386,236 @@ class Emulator:
                                int_regs=list(self._int_regs),
                                fp_regs=list(self._fp_regs),
                                memory=self._memory)
+
+    def run_packed(self, max_entries: int | None = None) -> PackedTrace:
+        """Emulate from the current state into a :class:`PackedTrace`.
+
+        Runs until ``halt``, the dynamic-instruction budget, or (when
+        *max_entries* is given) that many entries — leaving the
+        architectural state exactly at the boundary, ready for
+        :meth:`checkpoint`.  Semantically identical to pulling the
+        same number of items from :meth:`iter_trace`, but executed by
+        the table-dispatch loop.
+        """
+        decoded, reg_srcs, op_table, pc_table = decode_program(self._program)
+        trace = PackedTrace(self._program.instructions, reg_srcs)
+        if self._halted or max_entries == 0:
+            return trace
+        # local bindings for the hot loop
+        ii_ap = trace.iidx.append
+        addr_ap = trace.addrs.append
+        taken_ap = trace.takens.append
+        npc_ap = trace.next_pcs.append
+        res_ap = trace.results.append
+        src_ap = trace.srcvals.append
+        int_regs = self._int_regs
+        fp_regs = self._fp_regs
+        memory = self._memory
+        mload = memory.load
+        mstore = memory.store
+        mload_d = memory.load_double
+        mstore_d = memory.store_double
+        to_s64 = alu.to_signed64
+        pc = self._pc
+        instret = self._instret
+        start_seq = instret
+        max_instructions = self._max_instructions
+        n = len(decoded)
+        halted = False
+        remaining = -1 if max_entries is None else max_entries
+        try:
+            while remaining != 0:
+                if instret >= max_instructions:
+                    raise EmulationLimit(
+                        f"exceeded {max_instructions} dynamic instructions"
+                        f" at pc={pc:#x}")
+                off = pc - TEXT_BASE
+                idx = off >> 2
+                if off & 3 or not 0 <= idx < n:
+                    raise IndexError(
+                        f"PC {pc:#x} is outside the text segment")
+                d = decoded[idx]
+                kind = d[0]
+                next_pc = pc + 4
+                addr = NO_ADDR
+                taken = NO_TAKEN
+                result = None
+                if kind == _K_FN2:
+                    m0 = d[3]
+                    p0 = d[4]
+                    a = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    m1 = d[5]
+                    p1 = d[6]
+                    b = p1 if m1 == 0 else (
+                        int_regs[p1] if m1 == 1 else (
+                            fp_regs[p1] if m1 == 2 else (
+                                0 if m1 == 3 else 0.0)))
+                    result = d[2](a, b)
+                    src_ap((a, b))
+                elif kind == _K_LOAD:
+                    m0 = d[3]
+                    p0 = d[4]
+                    base = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    addr = base + d[9]
+                    if addr > _INT64_MAX or addr < _INT64_MIN:
+                        addr = to_s64(addr)
+                    if addr < 0:
+                        raise EmulationError(
+                            f"load from negative address {addr:#x}")
+                    result = mload(addr, d[2], d[10])
+                    src_ap((base,))
+                elif kind == _K_STORE:
+                    m0 = d[3]
+                    p0 = d[4]
+                    data = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    m1 = d[5]
+                    p1 = d[6]
+                    base = p1 if m1 == 0 else (
+                        int_regs[p1] if m1 == 1 else (
+                            fp_regs[p1] if m1 == 2 else (
+                                0 if m1 == 3 else 0.0)))
+                    addr = base + d[9]
+                    if addr > _INT64_MAX or addr < _INT64_MIN:
+                        addr = to_s64(addr)
+                    if addr < 0:
+                        raise EmulationError(
+                            f"store to negative address {addr:#x}")
+                    mstore(addr, int(data), d[2])
+                    result = data
+                    src_ap((data, base))
+                elif kind == _K_BR_COND:
+                    m0 = d[3]
+                    p0 = d[4]
+                    v = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    if d[2](v):
+                        taken = 1
+                        next_pc = d[10]
+                    else:
+                        taken = 0
+                    src_ap((v,))
+                elif kind == _K_FN1:
+                    m0 = d[3]
+                    p0 = d[4]
+                    a = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    result = d[2](a)
+                    src_ap((a,))
+                elif kind == _K_LDA:
+                    m0 = d[3]
+                    p0 = d[4]
+                    a = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    result = a + d[9]
+                    if result > _INT64_MAX or result < _INT64_MIN:
+                        result = to_s64(result)
+                    src_ap((a,))
+                elif kind == _K_BR:
+                    taken = 1
+                    next_pc = d[10]
+                    src_ap(())
+                elif kind == _K_JSR:
+                    taken = 1
+                    next_pc = d[10]
+                    result = pc + 4
+                    src_ap(())
+                elif kind == _K_JMP_IND:
+                    m0 = d[3]
+                    p0 = d[4]
+                    v = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    taken = 1
+                    next_pc = int(v)
+                    src_ap((v,))
+                elif kind == _K_LOAD_F:
+                    m0 = d[3]
+                    p0 = d[4]
+                    base = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    addr = base + d[9]
+                    if addr > _INT64_MAX or addr < _INT64_MIN:
+                        addr = to_s64(addr)
+                    if addr < 0:
+                        raise EmulationError(
+                            f"load from negative address {addr:#x}")
+                    result = mload_d(addr)
+                    src_ap((base,))
+                elif kind == _K_STORE_F:
+                    m0 = d[3]
+                    p0 = d[4]
+                    data = p0 if m0 == 0 else (
+                        int_regs[p0] if m0 == 1 else (
+                            fp_regs[p0] if m0 == 2 else (
+                                0 if m0 == 3 else 0.0)))
+                    m1 = d[5]
+                    p1 = d[6]
+                    base = p1 if m1 == 0 else (
+                        int_regs[p1] if m1 == 1 else (
+                            fp_regs[p1] if m1 == 2 else (
+                                0 if m1 == 3 else 0.0)))
+                    addr = base + d[9]
+                    if addr > _INT64_MAX or addr < _INT64_MIN:
+                        addr = to_s64(addr)
+                    if addr < 0:
+                        raise EmulationError(
+                            f"store to negative address {addr:#x}")
+                    mstore_d(addr, float(data))
+                    result = data
+                    src_ap((data, base))
+                elif kind == _K_NOP:
+                    src_ap(())
+                else:  # _K_HALT
+                    halted = True
+                    break
+                if result is not None:
+                    dst_kind = d[7]
+                    if dst_kind == 0:
+                        int_regs[d[8]] = result
+                    elif dst_kind == 1:
+                        fp_regs[d[8]] = result
+                ii_ap(idx)
+                addr_ap(addr)
+                taken_ap(taken)
+                npc_ap(next_pc)
+                res_ap(result)
+                pc = next_pc
+                instret += 1
+                remaining -= 1
+        finally:
+            self._pc = pc
+            self._instret = instret
+            if halted:
+                self._halted = True
+        # Derived columns, filled in bulk: seq is consecutive from the
+        # window's first instruction; opcode id and pc follow from the
+        # static-instruction index.
+        count = len(trace.iidx)
+        trace.seqs.extend(range(start_seq, start_seq + count))
+        trace.ops = trace.ops.__class__(
+            "B", map(op_table.__getitem__, trace.iidx))
+        trace.pcs = trace.pcs.__class__(
+            "q", map(pc_table.__getitem__, trace.iidx))
+        note_packed_build(trace)
+        return trace
 
     def iter_trace(self) -> Iterator[TraceEntry]:
         """Lazily yield trace entries from the current state.
@@ -302,7 +665,8 @@ class Emulator:
         self._memory = Memory(state.memory_image)
 
     # ------------------------------------------------------------------
-    # single-step execution
+    # single-step execution (the reference implementation the packed
+    # loop is differentially tested against)
     # ------------------------------------------------------------------
 
     def step(self, seq: int) -> TraceEntry | None:

@@ -21,6 +21,7 @@ stores.
 from __future__ import annotations
 
 import enum
+import time as _time
 from dataclasses import dataclass
 
 
@@ -265,3 +266,60 @@ MNEMONIC_TO_OPCODE: dict[str, Opcode] = {
 def spec_of(opcode: Opcode) -> OpSpec:
     """Return the :class:`OpSpec` for *opcode*."""
     return OP_SPECS[opcode]
+
+
+# ---------------------------------------------------------------------------
+# Integer-indexed dispatch tables
+# ---------------------------------------------------------------------------
+# The hot loops (emulator, pipeline stages, optimizer rename) dispatch on
+# small-integer opcode ids against flat tuples instead of hashing enum
+# members into ``OP_SPECS`` and chasing ``OpSpec`` attributes per dynamic
+# instruction.  The tables are built exactly once, at import.
+
+_build_started = _time.perf_counter()
+
+#: Opcodes in definition order; the index of an opcode here is its id.
+OPCODES_BY_ID: tuple[Opcode, ...] = tuple(Opcode)
+NUM_OPCODES: int = len(OPCODES_BY_ID)
+#: Opcode -> stable small-integer id (definition order).
+OPCODE_ID: dict[Opcode, int] = {op: i for i, op in enumerate(OPCODES_BY_ID)}
+
+#: Scheduler-queue ids, mirroring ``uarch.scheduler``: BRANCH and MISC
+#: ops execute on the simple-int scheduler.
+QUEUE_INT, QUEUE_COMPLEX, QUEUE_FP, QUEUE_MEM = range(4)
+_CLASS_QUEUE = {
+    OpClass.INT_SIMPLE: QUEUE_INT,
+    OpClass.BRANCH: QUEUE_INT,
+    OpClass.MISC: QUEUE_INT,
+    OpClass.INT_COMPLEX: QUEUE_COMPLEX,
+    OpClass.FP: QUEUE_FP,
+    OpClass.MEM: QUEUE_MEM,
+}
+
+
+def _table(field):
+    return tuple(field(OP_SPECS[op]) for op in OPCODES_BY_ID)
+
+
+OP_SPEC_BY_ID: tuple[OpSpec, ...] = _table(lambda s: s)
+OP_CLASS_BY_ID: tuple[OpClass, ...] = _table(lambda s: s.op_class)
+OP_LATENCY: tuple[int, ...] = _table(lambda s: s.latency)
+OP_SIMPLE: tuple[bool, ...] = _table(lambda s: s.simple)
+OP_NUM_SRCS: tuple[int, ...] = _table(lambda s: s.num_srcs)
+OP_HAS_DST: tuple[bool, ...] = _table(lambda s: s.has_dst)
+OP_IS_LOAD: tuple[bool, ...] = _table(lambda s: s.is_load)
+OP_IS_STORE: tuple[bool, ...] = _table(lambda s: s.is_store)
+OP_IS_BRANCH: tuple[bool, ...] = _table(lambda s: s.is_branch)
+OP_IS_JUMP: tuple[bool, ...] = _table(lambda s: s.is_jump)
+OP_IS_INDIRECT: tuple[bool, ...] = _table(lambda s: s.is_indirect)
+OP_IS_MEM: tuple[bool, ...] = _table(lambda s: s.is_load or s.is_store)
+OP_IS_CONTROL: tuple[bool, ...] = _table(lambda s: s.is_branch or s.is_jump)
+OP_MEM_SIZE: tuple[int, ...] = _table(lambda s: s.mem_size)
+OP_MEM_SIGNED: tuple[bool, ...] = _table(lambda s: s.mem_signed)
+OP_COND: tuple[BranchCond | None, ...] = _table(lambda s: s.cond)
+OP_WRITES_FP: tuple[bool, ...] = _table(lambda s: s.writes_fp)
+OP_QUEUE: tuple[int, ...] = _table(lambda s: _CLASS_QUEUE[s.op_class])
+
+#: Wall-clock seconds spent building the dispatch tables above (reported
+#: through the ``repro_dispatch_table_build_seconds`` telemetry gauge).
+DISPATCH_TABLE_BUILD_SECONDS: float = _time.perf_counter() - _build_started

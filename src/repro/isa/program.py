@@ -36,6 +36,14 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
+    def __getstate__(self):
+        # The emulator caches its pre-decoded handler tables on the
+        # instance (``_packed_decode``); they hold lambdas and are
+        # rebuilt on demand, so keep them out of pickles.
+        state = dict(self.__dict__)
+        state.pop("_packed_decode", None)
+        return state
+
     def pc_to_index(self, pc: int) -> int:
         """Translate a byte PC to an instruction index."""
         index, rem = divmod(pc - TEXT_BASE, INSTR_BYTES)

@@ -15,8 +15,12 @@ training.
 
 from __future__ import annotations
 
-from ..isa.opcodes import Opcode
+from ..isa.opcodes import OP_IS_BRANCH, OPCODE_ID, Opcode
 from ..isa.instructions import Instruction
+
+_JSR_ID = OPCODE_ID[Opcode.JSR]
+_RET_ID = OPCODE_ID[Opcode.RET]
+_JMP_ID = OPCODE_ID[Opcode.JMP]
 
 
 class GsharePredictor:
@@ -124,9 +128,18 @@ class FrontEndPredictor:
         but the target had to be produced at decode (small refetch
         bubble).
         """
-        spec = instr.spec
+        return self.predict_op(OPCODE_ID[instr.opcode], instr,
+                               actual_taken, actual_target)
+
+    def predict_op(self, op: int, instr: Instruction, actual_taken: bool,
+                   actual_target: int) -> tuple[bool, bool]:
+        """:meth:`predict` with the opcode id already in hand.
+
+        The fetch stage reads *op* straight from the packed trace's
+        opcode column, so classification is integer table lookups.
+        """
         pc = instr.pc
-        if spec.is_branch:
+        if OP_IS_BRANCH[op]:
             predicted_taken = self.gshare.predict(pc)
             self.gshare.update(pc, actual_taken)
             self.cond_branches += 1
@@ -142,7 +155,7 @@ class FrontEndPredictor:
                     self.btb_misses += 1
                     return False, True
             return False, False
-        if instr.opcode is Opcode.JSR:
+        if op == _JSR_ID:
             self.ras.push(pc + 4)
             target = self.btb.lookup(pc)
             self.btb.install(pc, actual_target)
@@ -150,14 +163,14 @@ class FrontEndPredictor:
                 self.btb_misses += 1
                 return False, True
             return False, False
-        if instr.opcode is Opcode.RET:
+        if op == _RET_ID:
             self.indirect_jumps += 1
             predicted = self.ras.pop()
             if predicted != actual_target:
                 self.indirect_mispredicts += 1
                 return True, False
             return False, False
-        if instr.opcode is Opcode.JMP:
+        if op == _JMP_ID:
             self.indirect_jumps += 1
             predicted = self.btb.lookup(pc)
             self.btb.install(pc, actual_target)

@@ -23,16 +23,29 @@ documented in DESIGN.md):
   semantics); their cache-line touch happens at issue so later loads
   see warm lines.
 
-The pipeline consumes **any iterable** of trace entries — a fully
-materialized list or the emulator's lazy :meth:`iter_trace` stream —
-pulling entries only as fetch bandwidth allows, so a trace never has
-to exist in memory all at once.  When the stream ends the machine
-performs a deterministic drain: fetch stops, every in-flight
-instruction retires, and the final cycle count includes the drain.
-Per-segment runs of a split trace therefore produce exact instruction
-and event counters (each entry is fetched/issued/retired exactly once
-across segments) while cycle counts carry one pipeline-fill + drain
-overhead per segment (see ``PipelineStats.merge``).
+The pipeline consumes a packed
+:class:`~repro.functional.trace.PackedTrace` directly — the fetch
+stage walks the integer columns by row index and builds
+:class:`DynInstr` records via :meth:`DynInstr.from_packed`, never
+materializing per-entry objects.  Any other iterable of
+:class:`TraceEntry` (a list, a lazy stream) is packed up front by
+``PackedTrace.from_entries``; the columns are a fraction of the size
+of the equivalent entry list, so materializing is cheap.
+
+The per-cycle loop fast-forwards across *provably idle* stretches —
+cycles where no event fires, no queue holds a ready instruction, and
+neither fetch, rename, dispatch, nor retire can act — crediting the
+front-end stall counters for the skipped cycles exactly as the
+cycle-by-cycle loop would have.  Cycle counts and every stat are
+bit-identical to the unskipped loop; only wall-clock time changes.
+
+When the stream ends the machine performs a deterministic drain:
+fetch stops, every in-flight instruction retires, and the final cycle
+count includes the drain.  Per-segment runs of a split trace
+therefore produce exact instruction and event counters (each entry is
+fetched/issued/retired exactly once across segments) while cycle
+counts carry one pipeline-fill + drain overhead per segment (see
+``PipelineStats.merge``).
 """
 
 from __future__ import annotations
@@ -43,7 +56,8 @@ from collections import deque
 from typing import Iterable
 
 from ..functional.emulator import ArchState, TraceEntry
-from ..isa.opcodes import OpClass, Opcode
+from ..functional.trace import PackedTrace
+from ..isa.opcodes import OP_LATENCY, OPCODE_ID, Opcode, QUEUE_MEM
 from .branch_predictor import FrontEndPredictor
 from .caches import MemoryHierarchy
 from .config import MachineConfig
@@ -58,6 +72,10 @@ _BLOCK_SHIFT = 3  # 8-byte blocks for memory-dependence tracking
 _EV_WAKEUP = 0
 _EV_COMPLETE = 1
 
+_NOP_ID = OPCODE_ID[Opcode.NOP]
+
+_DEADLOCK_WINDOW = 500_000
+
 
 class SimulationDeadlock(Exception):
     """Raised when the pipeline stops making forward progress."""
@@ -66,14 +84,16 @@ class SimulationDeadlock(Exception):
 class Pipeline:
     """One simulated machine executing one dynamic trace."""
 
-    def __init__(self, trace: Iterable[TraceEntry], config: MachineConfig,
+    def __init__(self, trace: "PackedTrace | Iterable[TraceEntry]",
+                 config: MachineConfig,
                  renamer: Renamer | None = None,
                  prf: PhysRegFile | None = None,
                  arch_state: ArchState | None = None):
-        self._trace_iter = iter(trace)
-        # One-entry lookahead: fetch peeks at the next entry's PC for
-        # block-boundary decisions before committing to consume it.
-        self._pending: TraceEntry | None = next(self._trace_iter, None)
+        if not isinstance(trace, PackedTrace):
+            trace = PackedTrace.from_entries(trace)
+        self._trace = trace
+        self._next_row = 0
+        self._n_rows = len(trace)
         self.config = config
         self.prf = prf if prf is not None else PhysRegFile(config.num_pregs)
         if renamer is None:
@@ -119,21 +139,87 @@ class Pipeline:
     def run(self) -> PipelineStats:
         """Simulate until the trace is exhausted **and** fully drained."""
         stats = self.stats
-        while self._pending is not None or stats.retired < stats.fetched:
+        events = self._events
+        frontend = self._frontend
+        dispatch_queue = self._dispatch_queue
+        rob = self._rob
+        queues = self.sched.queues_by_idx
+        q0, q1, q2, q3 = queues
+        frontend_cap = self._frontend_cap
+        n_rows = self._n_rows
+        while self._next_row < n_rows or stats.retired < stats.fetched:
             self.now += 1
-            self._writeback()
-            self._issue()
-            self._dispatch()
-            self._rename()
-            self._fetch()
-            self._retire()
-            if self.now - self._last_retire_cycle > 500_000:
+            now = self.now
+            # Each stage call is guarded by the exact condition under
+            # which the stage would do anything (the method bodies
+            # early-return on the same condition, so the guards only
+            # skip no-op calls, never work).
+            if events and events[0][0] <= now:
+                self._writeback()
+            if q0.ready or q3.ready or q1.ready or q2.ready:
+                self._issue()
+            if dispatch_queue and dispatch_queue[0][0] <= now:
+                self._dispatch()
+            if frontend and frontend[0][0] <= now:
+                self._rename()
+            if self._fetch_blocked_by is not None:
+                stats.fetch_blocked_cycles += 1
+            elif now < self._fetch_resume_cycle:
+                stats.fetch_icache_stall_cycles += 1
+            elif self._next_row < n_rows:
+                self._fetch()
+            head = rob[0] if rob else None
+            if (head is not None and head.completed
+                    and head.complete_cycle <= now):
+                self._retire()
+            if self.now - self._last_retire_cycle > _DEADLOCK_WINDOW:
                 raise SimulationDeadlock(
                     f"no retirement since cycle {self._last_retire_cycle} "
                     f"(now {self.now}, retired "
                     f"{stats.retired}/{stats.fetched} fetched, "
-                    f"rob {len(self._rob)}, "
-                    f"head {self._rob[0] if self._rob else None})")
+                    f"rob {len(rob)}, "
+                    f"head {rob[0] if rob else None})")
+            # --- idle-cycle fast-forward -------------------------------
+            # If the next cycle provably does nothing, jump straight to
+            # the next cycle where anything *can* happen, crediting the
+            # per-cycle fetch stall counters for the skipped cycles.
+            if self._next_row >= n_rows and stats.retired >= stats.fetched:
+                break  # drained this cycle; nothing left to skip to
+            nxt = self.now + 1
+            if frontend and frontend[0][0] <= nxt:
+                continue  # rename (or a rename stall) next cycle
+            if rob and rob[0].completed:
+                continue  # retirement can proceed next cycle
+            if q0.ready or q3.ready or q1.ready or q2.ready:
+                continue  # issue next cycle
+            if dispatch_queue and dispatch_queue[0][0] <= nxt:
+                continue
+            blocked = self._fetch_blocked_by is not None
+            resume = self._fetch_resume_cycle
+            can_fetch = (not blocked and nxt >= resume
+                         and self._next_row < n_rows
+                         and len(frontend) < frontend_cap)
+            if can_fetch:
+                continue
+            target = self._last_retire_cycle + _DEADLOCK_WINDOW + 1
+            if events:
+                target = min(target, events[0][0])
+            if dispatch_queue:
+                target = min(target, dispatch_queue[0][0])
+            if frontend:
+                target = min(target, frontend[0][0])
+            if (not blocked and resume > nxt and self._next_row < n_rows
+                    and len(frontend) < frontend_cap):
+                target = min(target, resume)
+            if target <= nxt:
+                continue
+            # Cycles nxt .. target-1 would each have run _fetch and
+            # counted a stall; replicate that bookkeeping in bulk.
+            if blocked:
+                stats.fetch_blocked_cycles += target - nxt
+            elif resume > nxt:
+                stats.fetch_icache_stall_cycles += min(target, resume) - nxt
+            self.now = target - 1
         self.stats.cycles = self.now
         self._finalize_stats()
         return self.stats
@@ -163,7 +249,8 @@ class Pipeline:
 
     def _writeback(self) -> None:
         events = self._events
-        while events and events[0][0] <= self.now:
+        now = self.now
+        while events and events[0][0] <= now:
             _, _, kind, di = heapq.heappop(events)
             if kind == _EV_WAKEUP:
                 self._do_wakeup(di)
@@ -172,16 +259,22 @@ class Pipeline:
 
     def _do_wakeup(self, di: DynInstr) -> None:
         if di.dst_preg is not None:
-            self.prf.mark_ready(di.dst_preg, di.entry.result)
+            self.prf.mark_ready(di.dst_preg, di.result)
             waiters = self._waiting_on_preg.pop(di.dst_preg, None)
             if waiters:
+                queues = self.sched.queues_by_idx
                 for waiter in waiters:
                     waiter.deps_remaining -= 1
+                    if waiter.deps_remaining == 0:
+                        queues[waiter.queue_idx].ready += 1
         if di.is_store:
             waiters = self._waiting_on_store.pop(di.seq, None)
             if waiters:
+                queues = self.sched.queues_by_idx
                 for waiter in waiters:
                     waiter.deps_remaining -= 1
+                    if waiter.deps_remaining == 0:
+                        queues[waiter.queue_idx].ready += 1
 
     def _do_complete(self, di: DynInstr) -> None:
         di.completed = True
@@ -200,37 +293,39 @@ class Pipeline:
     # ==================================================================
 
     def _issue(self) -> None:
+        now = self.now
+        regread = self.config.regread_stages
+        events = self._events
+        push = heapq.heappush
+        stats = self.stats
         for di in self.sched.select_all():
-            di.issue_cycle = self.now
-            self.stats.issued += 1
+            di.issue_cycle = now
+            stats.issued += 1
             latency = self._execution_latency(di)
             di.exec_latency = latency
-            self._schedule(_EV_WAKEUP, self.now + latency, di)
-            self._schedule(_EV_COMPLETE,
-                           self.now + self.config.regread_stages + latency,
-                           di)
+            seq = di.seq
+            push(events, (now + latency, seq, _EV_WAKEUP, di))
+            push(events, (now + regread + latency, seq, _EV_COMPLETE, di))
 
     def _execution_latency(self, di: DynInstr) -> int:
-        spec = di.instr.spec
-        if di.sched_class is not OpClass.MEM:
+        if di.queue_idx != QUEUE_MEM:
             if di.removed_load:
                 return 1  # load converted to a register move
-            return spec.latency
+            return OP_LATENCY[di.op]
         agen = 0 if di.addr_known else 1
         if di.is_store:
             # Write-buffer semantics: touch the line, complete quickly.
-            self.hierarchy.dwrite(di.entry.addr)
+            self.hierarchy.dwrite(di.addr)
             self.stats.dcache_accesses += 1
             return agen + 1
         store_dep = di.store_dep
         if (store_dep is not None and not store_dep.retired
-                and store_dep.entry.addr == di.entry.addr
-                and store_dep.instr.spec.mem_size
-                == di.instr.spec.mem_size):
+                and store_dep.addr == di.addr
+                and store_dep.mem_size == di.mem_size):
             self.stats.store_forwards_lsq += 1
             return agen + 1
         self.stats.dcache_accesses += 1
-        return agen + self.hierarchy.dread(di.entry.addr)
+        return agen + self.hierarchy.dread(di.addr)
 
     # ==================================================================
     # dispatch: rename exit -> scheduler entry
@@ -239,12 +334,15 @@ class Pipeline:
     def _dispatch(self) -> None:
         moved = 0
         queue = self._dispatch_queue
-        while queue and moved < self.config.rename_width:
+        now = self.now
+        width = self.config.rename_width
+        queues = self.sched.queues_by_idx
+        while queue and moved < width:
             enter_cycle, di = queue[0]
-            if enter_cycle > self.now:
+            if enter_cycle > now:
                 break
-            target = self.sched.queue_for(di)
-            if not target.has_space:
+            target = queues[di.queue_idx]
+            if len(target._entries) >= target.capacity:
                 target.full_stalls += 1
                 break
             queue.popleft()
@@ -254,22 +352,28 @@ class Pipeline:
 
     def _setup_deps(self, di: DynInstr) -> None:
         deps = 0
-        for preg in set(di.src_pregs):
-            if not self.prf.is_ready(preg):
-                deps += 1
-                self._waiting_on_preg.setdefault(preg, []).append(di)
+        src_pregs = di.src_pregs
+        if src_pregs:
+            is_ready = self.prf.is_ready
+            waiting = self._waiting_on_preg
+            for preg in set(src_pregs):
+                if not is_ready(preg):
+                    deps += 1
+                    waiting.setdefault(preg, []).append(di)
         store_dep = di.store_dep
-        if store_dep is not None and store_dep.issue_cycle < 0:
-            # Store hasn't produced its data/address yet.
-            deps += 1
-            self._waiting_on_store.setdefault(store_dep.seq, []).append(di)
-        elif store_dep is not None and not store_dep.completed:
-            # Store issued; its wakeup may still be in flight.
-            wakeup = store_dep.issue_cycle + store_dep.exec_latency
-            if wakeup > self.now:
+        if store_dep is not None:
+            if store_dep.issue_cycle < 0:
+                # Store hasn't produced its data/address yet.
                 deps += 1
                 self._waiting_on_store.setdefault(store_dep.seq,
                                                   []).append(di)
+            elif not store_dep.completed:
+                # Store issued; its wakeup may still be in flight.
+                wakeup = store_dep.issue_cycle + store_dep.exec_latency
+                if wakeup > self.now:
+                    deps += 1
+                    self._waiting_on_store.setdefault(store_dep.seq,
+                                                      []).append(di)
         di.deps_remaining = deps
 
     # ==================================================================
@@ -278,30 +382,39 @@ class Pipeline:
 
     def _rename(self) -> None:
         config = self.config
+        frontend = self._frontend
+        now = self.now
+        if not frontend or frontend[0][0] > now:
+            return
+        renamer = self.renamer
+        rob = self._rob
+        dispatch_queue = self._dispatch_queue
+        rob_size = config.rob_size
+        dispatch_cap = self._dispatch_cap
         renamed = 0
         began_bundle = False
-        while (renamed < config.rename_width and self._frontend
-               and self._frontend[0][0] <= self.now):
-            if len(self._rob) >= config.rob_size:
+        while (renamed < config.rename_width and frontend
+               and frontend[0][0] <= now):
+            if len(rob) >= rob_size:
                 self.stats.rename_stall_rob += 1
                 break
-            if len(self._dispatch_queue) >= self._dispatch_cap:
+            if len(dispatch_queue) >= dispatch_cap:
                 self.stats.rename_stall_dispatch += 1
                 break
-            _, di = self._frontend[0]
+            di = frontend[0][1]
             if not began_bundle:
-                self.renamer.begin_bundle(self.now)
+                renamer.begin_bundle(now)
                 began_bundle = True
             try:
-                self.renamer.rename(di, self.now)
+                renamer.rename(di, now)
             except OutOfRegisters:
-                if self.renamer.relieve_pressure():
+                if renamer.relieve_pressure():
                     continue  # retry this instruction
                 self.stats.rename_stall_pregs += 1
                 break
-            self._frontend.popleft()
+            frontend.popleft()
             renamed += 1
-            self._rob.append(di)
+            rob.append(di)
             self._post_rename(di)
 
     def _post_rename(self, di: DynInstr) -> None:
@@ -309,16 +422,15 @@ class Pipeline:
         config = self.config
         stats = self.stats
         rename_done = self.now + config.effective_rename_stages
-        entry = di.entry
         if di.misspec_flush and self._fetch_blocked_by is None:
             # An MBC speculative-staleness recovery: treat it like a
             # mispredict — fetch is squashed until this load resolves.
             self._fetch_blocked_by = di
-        if entry.instr.is_mem:
+        if di.mem_size:
             stats.mem_ops += 1
             if di.addr_known:
                 stats.mem_addr_known += 1
-            if entry.is_load:
+            if di.is_load:
                 stats.loads += 1
                 if di.removed_load:
                     stats.loads_removed += 1
@@ -332,7 +444,7 @@ class Pipeline:
             self._schedule(_EV_WAKEUP, rename_done, di)
             self._schedule(_EV_COMPLETE, rename_done, di)
             return
-        if di.opcode is Opcode.NOP:
+        if di.op == _NOP_ID:
             self._schedule(_EV_WAKEUP, rename_done, di)
             self._schedule(_EV_COMPLETE, rename_done, di)
             return
@@ -340,23 +452,23 @@ class Pipeline:
         self._dispatch_queue.append((enter, di))
 
     def _track_memory_dependence(self, di: DynInstr) -> None:
-        entry = di.entry
-        size = di.instr.spec.mem_size
-        first_block = entry.addr >> _BLOCK_SHIFT
-        last_block = (entry.addr + size - 1) >> _BLOCK_SHIFT
-        if entry.is_store:
+        addr = di.addr
+        size = di.mem_size
+        first_block = addr >> _BLOCK_SHIFT
+        last_block = (addr + size - 1) >> _BLOCK_SHIFT
+        last_writer = self._last_writer
+        if di.is_store:
             for block in range(first_block, last_block + 1):
-                self._last_writer[block] = di
+                last_writer[block] = di
             return
         # Load: find the youngest older overlapping in-flight store.
         best: DynInstr | None = None
         for block in range(first_block, last_block + 1):
-            store = self._last_writer.get(block)
+            store = last_writer.get(block)
             if store is None or store.retired:
                 continue
-            s_addr = store.entry.addr
-            s_size = store.instr.spec.mem_size
-            if s_addr < entry.addr + size and entry.addr < s_addr + s_size:
+            s_addr = store.addr
+            if s_addr < addr + size and addr < s_addr + store.mem_size:
                 if best is None or store.seq > best.seq:
                     best = store
         if best is not None and not di.removed_load:
@@ -372,37 +484,54 @@ class Pipeline:
         if self._fetch_blocked_by is not None:
             stats.fetch_blocked_cycles += 1
             return
-        if self.now < self._fetch_resume_cycle:
+        now = self.now
+        if now < self._fetch_resume_cycle:
             stats.fetch_icache_stall_cycles += 1
             return
+        row = self._next_row
+        n = self._n_rows
+        if row >= n:
+            return
+        frontend = self._frontend
+        cap = self._frontend_cap
+        trace = self._trace
+        pcs = trace.pcs
+        takens = trace.takens
+        fetch_width = config.fetch_width
+        block_mask = ~(fetch_width * 4 - 1)
+        hierarchy = self.hierarchy
+        line_address = hierarchy.il1.line_address
+        il1_latency = config.il1.latency
+        frontend_time = now + config.frontend_depth
+        from_packed = DynInstr.from_packed
+        fe_append = frontend.append
         fetched = 0
-        block_mask = ~(config.fetch_width * 4 - 1)
         block_start = -1
-        while (fetched < config.fetch_width and self._pending is not None
-               and len(self._frontend) < self._frontend_cap):
-            entry = self._pending
+        while fetched < fetch_width and row < n and len(frontend) < cap:
+            pc = pcs[row]
             if block_start < 0:
-                block_start = entry.pc & block_mask
-            elif entry.pc & block_mask != block_start:
+                block_start = pc & block_mask
+            elif pc & block_mask != block_start:
                 # Fetch delivers one aligned block per cycle; the next
                 # block starts next cycle.
                 break
-            line = self.hierarchy.il1.line_address(entry.pc)
+            line = line_address(pc)
             if line != self._current_fetch_line:
-                latency = self.hierarchy.ifetch(entry.pc)
+                latency = hierarchy.ifetch(pc)
                 self._current_fetch_line = line
-                if latency > config.il1.latency:
+                if latency > il1_latency:
                     # I-cache miss: this group ends; resume after fill.
-                    self._fetch_resume_cycle = self.now + latency
+                    self._fetch_resume_cycle = now + latency
                     break
-            self._pending = next(self._trace_iter, None)
-            di = DynInstr(entry, fetch_cycle=self.now)
-            self._frontend.append((self.now + config.frontend_depth, di))
+            di = from_packed(trace, row, now)
+            taken = takens[row]
+            row += 1
+            fe_append((frontend_time, di))
             stats.fetched += 1
             fetched += 1
-            if entry.is_control:
-                mispredicted, bubble = self.predictor.predict(
-                    entry.instr, bool(entry.taken), entry.next_pc)
+            if di.is_control:
+                mispredicted, bubble = self.predictor.predict_op(
+                    di.op, di.instr, taken == 1, di.next_pc)
                 di.mispredicted = mispredicted
                 if mispredicted:
                     self._fetch_blocked_by = di
@@ -412,14 +541,15 @@ class Pipeline:
                     di.btb_bubble = True
                     stats.btb_bubbles += 1
                     self._fetch_resume_cycle = (
-                        self.now + config.btb_miss_penalty)
+                        now + config.btb_miss_penalty)
                     self._current_fetch_line = -1
                     break
-                if entry.taken:
+                if taken:
                     # Correctly predicted taken: the fetch group ends,
                     # the next group starts at the target next cycle.
                     self._current_fetch_line = -1
                     break
+        self._next_row = row
 
     # ==================================================================
     # retire
@@ -428,27 +558,32 @@ class Pipeline:
     def _retire(self) -> None:
         retired = 0
         rob = self._rob
+        now = self.now
+        arch_state = self._arch_state
+        renamer = self.renamer
+        last_writer = self._last_writer
         while (rob and retired < self.config.retire_width
-               and rob[0].completed and rob[0].complete_cycle <= self.now):
+               and rob[0].completed and rob[0].complete_cycle <= now):
             di = rob.popleft()
             di.retired = True
-            if self._arch_state is not None:
-                self._arch_state.apply(di.entry)
-            self.renamer.on_retire(di)
+            if arch_state is not None:
+                arch_state.apply_di(di)
+            renamer.on_retire(di)
             if di.is_store:
-                size = di.instr.spec.mem_size
-                first = di.entry.addr >> _BLOCK_SHIFT
-                last = (di.entry.addr + size - 1) >> _BLOCK_SHIFT
+                addr = di.addr
+                first = addr >> _BLOCK_SHIFT
+                last = (addr + di.mem_size - 1) >> _BLOCK_SHIFT
                 for block in range(first, last + 1):
-                    if self._last_writer.get(block) is di:
-                        del self._last_writer[block]
+                    if last_writer.get(block) is di:
+                        del last_writer[block]
             retired += 1
             self.stats.retired += 1
         if retired:
-            self._last_retire_cycle = self.now
+            self._last_retire_cycle = now
 
 
-def make_pipeline(trace: Iterable[TraceEntry], config: MachineConfig,
+def make_pipeline(trace: "PackedTrace | Iterable[TraceEntry]",
+                  config: MachineConfig,
                   arch_state: ArchState | None = None) -> Pipeline:
     """Build a :class:`Pipeline` with the config-appropriate renamer.
 
@@ -483,14 +618,14 @@ def _telemetry():
     return _TELEMETRY
 
 
-def simulate_trace(trace: Iterable[TraceEntry],
+def simulate_trace(trace: "PackedTrace | Iterable[TraceEntry]",
                    config: MachineConfig) -> PipelineStats:
     """Simulate *trace* on *config*'s machine and return its stats.
 
-    *trace* may be a materialized list or any lazy iterable (e.g. the
-    emulator's ``iter_trace()`` stream).  Builds the optimizing
-    renamer when ``config.optimizer.enabled``, otherwise the baseline
-    renamer.
+    *trace* is ideally a :class:`PackedTrace` (what the emulator
+    produces); lists and lazy iterables of entries are packed on
+    entry.  Builds the optimizing renamer when
+    ``config.optimizer.enabled``, otherwise the baseline renamer.
 
     Telemetry sits at per-run granularity (one clock read pair around
     the whole simulation — never per cycle), recording wall time,

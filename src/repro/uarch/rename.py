@@ -100,7 +100,7 @@ class BaselineRenamer(Renamer):
             if not prf.can_allocate():
                 raise OutOfRegisters("no free physical registers")
         src_pregs = []
-        for arch in instr.reg_sources():
+        for arch in di.reg_srcs:
             preg = self.rat.lookup(arch)
             if preg is None:
                 continue  # zero register: always-ready constant

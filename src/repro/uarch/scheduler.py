@@ -12,7 +12,8 @@ offers them oldest-first to its functional-unit pool.
 
 from __future__ import annotations
 
-from ..isa.opcodes import OpClass
+from ..isa.opcodes import (QUEUE_COMPLEX, QUEUE_FP, QUEUE_INT, QUEUE_MEM,
+                           OpClass)
 from .dyninstr import DynInstr
 
 #: Scheduler bins; branches share the simple-integer scheduler and ALUs.
@@ -45,6 +46,12 @@ class IssueQueue:
         self.issue_width = issue_width
         self._entries: list[DynInstr] = []
         self.full_stalls = 0
+        #: Entries whose operands are all ready.  Maintained by
+        #: :meth:`insert`/:meth:`select` and by the pipeline's wakeup
+        #: handler (which credits the queue when a waiting entry's
+        #: ``deps_remaining`` reaches zero), so :meth:`select` can skip
+        #: scanning queues with nothing selectable.
+        self.ready = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,21 +64,32 @@ class IssueQueue:
         if not self.has_space:
             raise RuntimeError(f"scheduler {self.name} overflow")
         self._entries.append(di)
+        if di.deps_remaining == 0:
+            self.ready += 1
 
     def select(self) -> list[DynInstr]:
         """Remove and return up to ``issue_width`` ready entries.
 
         Selection is oldest-first (by sequence number), which the
         in-order insertion already guarantees for the entry list.
+
+        Always scans — callers that mutate ``deps_remaining`` directly
+        (unit tests) stay correct even when ``ready`` is stale; the
+        pipeline avoids the scan by consulting ``ready`` up front via
+        :meth:`SchedulerBank.select_all`.
         """
         selected: list[DynInstr] = []
         remaining: list[DynInstr] = []
+        width = self.issue_width
         for di in self._entries:
-            if di.deps_remaining == 0 and len(selected) < self.issue_width:
+            if di.deps_remaining == 0 and len(selected) < width:
                 selected.append(di)
             else:
                 remaining.append(di)
         self._entries = remaining
+        self.ready -= len(selected)
+        if self.ready < 0:
+            self.ready = 0
         return selected
 
     def occupancy(self) -> int:
@@ -89,15 +107,23 @@ class SchedulerBank:
             SCHED_FP: IssueQueue(SCHED_FP, entries, n_fp),
             SCHED_MEM: IssueQueue(SCHED_MEM, entries, n_agen),
         }
+        #: Same queues indexed by the ``QUEUE_*`` small ints from
+        #: :mod:`repro.isa.opcodes` (what ``DynInstr.queue_idx`` holds).
+        self.queues_by_idx: list[IssueQueue] = [None] * 4
+        self.queues_by_idx[QUEUE_INT] = self.queues[SCHED_INT]
+        self.queues_by_idx[QUEUE_COMPLEX] = self.queues[SCHED_COMPLEX]
+        self.queues_by_idx[QUEUE_FP] = self.queues[SCHED_FP]
+        self.queues_by_idx[QUEUE_MEM] = self.queues[SCHED_MEM]
 
     def queue_for(self, di: DynInstr) -> IssueQueue:
-        return self.queues[scheduler_for(di.sched_class)]
+        return self.queues_by_idx[di.queue_idx]
 
     def select_all(self) -> list[DynInstr]:
         """One cycle of select across all queues."""
         issued: list[DynInstr] = []
-        for queue in self.queues.values():
-            issued.extend(queue.select())
+        for queue in self.queues_by_idx:
+            if queue.ready:
+                issued.extend(queue.select())
         return issued
 
     def total_occupancy(self) -> int:

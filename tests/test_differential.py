@@ -100,8 +100,6 @@ class TestHarnessCanFail:
         # one: the oracle trace stays correct, so the optimizer now
         # fabricates values and the harness must report it (the strict
         # verifier raises, which the harness records as a finding).
-        import dataclasses
-
         from repro.core import cpra, symbolic
         from repro.isa.opcodes import Opcode
 
@@ -111,8 +109,8 @@ class TestHarnessCanFail:
             outcome = real(opcode, srcs)
             if (opcode is Opcode.ADD and outcome.is_early
                     and outcome.value is not None):
-                return dataclasses.replace(
-                    outcome, value=outcome.value + 1,
+                return outcome._replace(
+                    value=outcome.value + 1,
                     sym=symbolic.const(outcome.value + 1))
             return outcome
 

@@ -691,6 +691,10 @@ class TestMetricsEndpoint:
         assert int(samples["repro_store_put_bytes_total"]) > 0
         assert int(samples["repro_sim_runs_total"]) >= 2
         assert float(samples["repro_sim_insns_per_second"]) > 0
+        # the packed-trace core reports its builds through the service
+        assert int(samples["repro_trace_packed_builds_total"]) >= 1
+        assert int(samples["repro_trace_packed_bytes_total"]) > 0
+        assert float(samples["repro_dispatch_table_build_seconds"]) > 0
         # histogram families render TYPE + bucket/sum/count series
         assert "# TYPE repro_job_phase_seconds histogram" in text
         assert 'repro_job_phase_seconds_bucket{phase="execute",' \
