@@ -30,9 +30,12 @@ Commands
 Global options: ``--jobs N`` fans simulation out across N worker
 processes (0 = all cores); ``--store DIR`` persists oracle traces and
 stats in a content-addressed artifact store so re-runs are near-free;
-``--segment-insns N`` splits every trace into N-instruction segments
-that parallelize *within* a workload (see README "Segmented
-simulation" for the semantics); ``--store-max-bytes N`` enforces an
+``--segment-insns N`` / ``--segment-mode`` / ``--sample-period`` /
+``--warmup-insns`` select a segmented-simulation policy — fixed-size
+segments that parallelize *within* a workload, adaptive sizing from
+the workload length, or sampled simulation with extrapolated stats
+and error bounds (see README "Segmented simulation" for the
+semantics); ``--store-max-bytes N`` enforces an
 LRU size cap on the store after each sweep.  Sensitivity figures
 accept ``--per-suite N`` to bound runtime (default: all workloads; the
 benchmark harness uses 2).  ``--scale N`` grows the dynamic
@@ -92,9 +95,11 @@ from . import quick_compare
 from .engine.campaign import Campaign, parse_axis, split_workloads
 from .engine.events import format_event
 from .engine.pool import run_sweep
-from .engine.search import (DEFAULT_RUNG_INSNS, OBJECTIVES, STRATEGIES,
+from .engine.search import (DEFAULT_RUNG_INSNS, DEFAULT_RUNG_PERIOD,
+                            OBJECTIVES, RUNG_MODES, STRATEGIES,
                             SearchSpace, format_result, make_objective,
                             resolve_search_workloads, run_search)
+from .engine.segments import SEGMENT_MODES, SegmentPolicy
 from .engine.store import ArtifactStore
 from .experiments import (autotune, depth, feedback, latency,
                           machine_models, runner, speedup, table1, table3,
@@ -187,6 +192,29 @@ def _usage_error(command: str, error: Exception) -> int:
     return 2
 
 
+def _build_segment_policy(args) -> SegmentPolicy | None:
+    """The global segmentation options as one validated policy.
+
+    Returns ``None`` when no segmentation flag was given (monolithic
+    simulation).  Bad combinations — adaptive with a size, sampled
+    without one, a sample period outside sampled mode — surface here,
+    at parse time, as the :class:`SegmentPolicy` validation errors.
+    """
+    if (args.segment_mode is None and args.segment_insns is None
+            and args.sample_period is None
+            and args.warmup_insns is None):
+        return None
+    mode = args.segment_mode
+    if mode is None:
+        if args.segment_insns is None:
+            raise ValueError("--sample-period/--warmup-insns need "
+                             "--segment-mode sampled")
+        mode = "fixed"  # bare --segment-insns keeps its old meaning
+    return SegmentPolicy(mode=mode, segment_insns=args.segment_insns,
+                         sample_period=args.sample_period,
+                         warmup_insns=args.warmup_insns or 0)
+
+
 #: ``--workloads`` splitting lives beside the campaign spec code now
 #: (the service's job specs need it too); the name is kept for the
 #: handlers below.
@@ -227,7 +255,7 @@ def _cmd_sweep(args) -> int:
     result = run_sweep(campaign.points(), jobs=args.jobs,
                        store_dir=args.store,
                        progress=progress if not args.quiet else None,
-                       segment_insns=args.segment_insns)
+                       segment_policy=args.segment_policy)
     _check_store_cap(args)
     report = result.to_dict()
     report["campaign"] = {
@@ -277,6 +305,12 @@ def _cmd_search(args) -> int:
         return _usage_error("search", ValueError(
             "--segment-insns is not supported by search; use "
             "--rung-insns to control halving's truncated budgets"))
+    if args.segment_mode is not None or args.sample_period is not None \
+            or args.warmup_insns is not None:
+        return _usage_error("search", ValueError(
+            "the global segmentation options are not supported by "
+            "search; use --rung-mode sampled for sampled halving "
+            "rungs"))
     base = default_config()
     if args.optimized:
         base = base.with_optimizer()
@@ -296,13 +330,17 @@ def _cmd_search(args) -> int:
         if args.rung_insns <= 0:
             raise ValueError(f"--rung-insns must be > 0, "
                              f"got {args.rung_insns}")
+        if args.rung_period < 2:
+            raise ValueError(f"--rung-period must be >= 2, "
+                             f"got {args.rung_period}")
     except (ValueError, TypeError, AttributeError, KeyError) as error:
         return _usage_error("search", error)
     result = run_search(
         space, workloads=workloads, scales=scales, base=base,
         strategy=args.strategy, budget=args.budget,
         objective=objective, seed=args.seed,
-        rung_insns=args.rung_insns, jobs=args.jobs,
+        rung_insns=args.rung_insns, rung_mode=args.rung_mode,
+        rung_period=args.rung_period, jobs=args.jobs,
         store_dir=args.store,
         progress=None if args.quiet else _search_progress)
     _check_store_cap(args)
@@ -324,6 +362,11 @@ def _cmd_autotune(args) -> int:
     if args.segment_insns is not None:
         return _usage_error("autotune", ValueError(
             "--segment-insns is not supported by autotune"))
+    if args.segment_mode is not None or args.sample_period is not None \
+            or args.warmup_insns is not None:
+        return _usage_error("autotune", ValueError(
+            "the global segmentation options are not supported by "
+            "autotune"))
     per_suite = 2 if args.per_suite is None else args.per_suite
     if per_suite <= 0:
         return _usage_error("autotune", ValueError(
@@ -485,6 +528,11 @@ def _watch_summary(job_id: str, last) -> str:
         parts.append(f"{result['elapsed_seconds']}s wall")
     if result.get("retired_insns") is not None:
         parts.append(f"{result['retired_insns']} insns simulated")
+    if result.get("estimated"):
+        # a sampled-mode job's numbers are extrapolations; the verdict
+        # line must say so, with the worst per-point 95% CI
+        error = result.get("max_relative_error", 0.0)
+        parts.append(f"estimated (sampled, ±{error * 100:.2f}%)")
     return ": ".join([parts[0], ", ".join(parts[1:])]) if parts[1:] \
         else parts[0]
 
@@ -538,7 +586,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "segments simulated independently and "
                              "merged (parallelizes within a workload; "
                              "cycle counts carry per-segment cold-start "
-                             "+ drain overhead)")
+                             "+ drain overhead); alone it means "
+                             "--segment-mode fixed")
+    parser.add_argument("--segment-mode", default=None,
+                        choices=list(SEGMENT_MODES),
+                        help="segmentation policy: fixed "
+                             "(--segment-insns sized), adaptive "
+                             "(size chosen from workload length and "
+                             "--jobs; no --segment-insns), or sampled "
+                             "(simulate every --sample-period'th "
+                             "segment and extrapolate with error "
+                             "bounds)")
+    parser.add_argument("--sample-period", type=int, default=None,
+                        metavar="P",
+                        help="sampled mode: simulate every P'th "
+                             "segment (default 4); results are "
+                             "estimates marked with confidence "
+                             "intervals")
+    parser.add_argument("--warmup-insns", type=int, default=None,
+                        metavar="N",
+                        help="sampled mode: emulate N extra "
+                             "instructions before each sampled segment "
+                             "to warm microarchitectural state "
+                             "(excluded from its counted window)")
     parser.add_argument("--store-max-bytes", type=int, default=None,
                         metavar="N",
                         help="after each sweep, LRU-evict store "
@@ -630,7 +700,22 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_RUNG_INSNS, metavar="N",
                         help="halving's first-rung instruction budget "
                              "(doubles per rung; default "
-                             f"{DEFAULT_RUNG_INSNS})")
+                             f"{DEFAULT_RUNG_INSNS}); with --rung-mode "
+                             "sampled, the segment size instead")
+    search.add_argument("--rung-mode", default="limit",
+                        choices=list(RUNG_MODES),
+                        help="how halving rungs spend their budget: "
+                             "limit truncates each trace to the rung "
+                             "budget; sampled simulates every Nth "
+                             "segment of the whole trace and "
+                             "extrapolates (finals are exact either "
+                             "way)")
+    search.add_argument("--rung-period", type=int,
+                        default=DEFAULT_RUNG_PERIOD, metavar="P",
+                        help="sampled rungs' first sample period "
+                             "(halves — doubling coverage — per rung, "
+                             f"floored at 2; default "
+                             f"{DEFAULT_RUNG_PERIOD})")
     search.add_argument("--optimized", action="store_true",
                         help="enable the continuous optimizer on the "
                              "base config before searching")
@@ -748,8 +833,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        args.segment_policy = _build_segment_policy(args)
+    except ValueError as error:
+        # bad flag combination (adaptive with a size, a sample period
+        # outside sampled mode, ...): exit 2 like any other bad input
+        return _usage_error(args.command, error)
     runner.configure(store_dir=args.store, jobs=args.jobs,
-                     segment_insns=args.segment_insns)
+                     segment_policy=args.segment_policy)
     code = args.handler(args)
     if args.profile:
         from .engine.telemetry import TELEMETRY, format_profile

@@ -88,6 +88,7 @@ class EvaluationEvent(Event):
     score: float
     limit_insns: int | None = None
     from_ledger: bool = False
+    sampled: bool = False
 
 
 @dataclass(frozen=True)
@@ -95,7 +96,9 @@ class SegmentEvent(Event):
     """One segmented-engine unit done (planning or simulation).
 
     ``phase`` is ``"plan"`` while workloads are being segmented and
-    ``"simulate"`` while (config x segment) shards run.
+    ``"simulate"`` while (config x segment) shards run.  ``estimated``
+    flags units of a sampled-mode sweep, whose final stats are
+    extrapolated rather than fully simulated.
     """
 
     kind: ClassVar[str] = "segment"
@@ -103,6 +106,7 @@ class SegmentEvent(Event):
     done: int
     total: int
     phase: str = "simulate"
+    estimated: bool = False
 
 
 @dataclass(frozen=True)
@@ -218,13 +222,18 @@ def format_event(event: Event) -> str:
         return (f"[{event.done}/{event.total}]{owner} "
                 f"{event.label}{cache}")
     if event.kind == "evaluation":
-        budget = (f"first {event.limit_insns} insns"
-                  if event.limit_insns else "full")
+        if event.sampled:
+            budget = "sampled"
+        elif event.limit_insns:
+            budget = f"first {event.limit_insns} insns"
+        else:
+            budget = "full"
         source = "ledger" if event.from_ledger else "ran"
         return (f"[search] {event.candidate}  score {event.score:.4f}  "
                 f"({budget}, {source})")
     if event.kind == "segment":
-        return f"[{event.done}/{event.total}] {event.message}"
+        marker = " ~estimated" if event.estimated else ""
+        return f"[{event.done}/{event.total}] {event.message}{marker}"
     if event.kind == "finding":
         verdict = "ok" if event.ok else "FAIL"
         suffix = "".join(f"\n    {failure}" for failure in event.failures)

@@ -39,7 +39,6 @@ worker process builds one in its initializer.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from collections import OrderedDict
@@ -54,39 +53,10 @@ from .campaign import SweepPoint
 from .events import PointEvent
 from .store import ArtifactStore
 from .telemetry import TELEMETRY
-
-#: How pool worker processes are started (``None`` = the platform
-#: default, i.e. fork on Linux).  See :func:`set_worker_start_method`.
-_MP_CONTEXT = None
-
-
-def set_worker_start_method(method):
-    """Choose the start method for every subsequent worker pool.
-
-    The single-threaded CLI keeps the platform default (fork on
-    Linux — cheapest startup).  The streaming service switches the
-    process to ``"spawn"``: its job bodies run on executor threads,
-    and ``fork()`` in a multi-threaded process can inherit a lock
-    another thread held mid-operation, deadlocking the child.
-
-    *method* is a start-method name, ``None`` for the platform
-    default, or a context object a previous call returned.  Returns
-    the **displaced** context so a scoped user (the service) can
-    restore exactly what it found rather than clobbering another
-    user's choice.
-    """
-    global _MP_CONTEXT
-    previous = _MP_CONTEXT
-    if method is None or isinstance(method, str):
-        _MP_CONTEXT = (multiprocessing.get_context(method)
-                       if method is not None else None)
-    else:
-        _MP_CONTEXT = method
-    return previous
-
-
-def _pool_kwargs() -> dict:
-    return {"mp_context": _MP_CONTEXT} if _MP_CONTEXT is not None else {}
+# Re-exported for back-compat: both lived here before the worker
+# scaffolding moved to engine/workers.py (shared with segments.py).
+from .workers import observe_wait, set_worker_start_method  # noqa: F401
+from .workers import pool_kwargs as _pool_kwargs
 
 
 #: Default cap on driver/worker-cached traces.  Shards are grouped by
@@ -253,9 +223,7 @@ def _run_shard(shard: list[tuple[int, str, int, str, object]],
     process picked it up.  The drained telemetry snapshot rides the
     existing result path home, exactly like ``PipelineStats`` merges.
     """
-    if submitted_ns is not None:
-        wait = max(0, time.monotonic_ns() - submitted_ns) / 1e9
-        TELEMETRY.histogram("repro_pool_shard_wait_seconds").observe(wait)
+    observe_wait(submitted_ns)
     with TELEMETRY.timer("repro_pool_shard_execute_seconds"):
         out = _worker_context.run_shard(shard, limit_insns)
     return out, TELEMETRY.drain()
@@ -277,6 +245,10 @@ class PointResult:
 
     ``segments``/``segments_from_cache`` are filled by the segmented
     engine (:mod:`repro.engine.segments`); a flat sweep leaves them 0.
+    ``estimated`` marks stats extrapolated from sampled segments
+    (``SegmentPolicy(mode="sampled")``) rather than simulated in full;
+    ``error_bounds`` then carries the per-field confidence
+    half-widths (see ``segments._extrapolate``).
     """
 
     point: SweepPoint
@@ -285,6 +257,8 @@ class PointResult:
     simulated: bool
     segments: int = 0
     segments_from_cache: int = 0
+    estimated: bool = False
+    error_bounds: dict | None = None
 
     @property
     def from_cache(self) -> bool:
@@ -320,6 +294,11 @@ class SweepResult:
                     **({"segments": r.segments,
                         "segment_cache_hits": r.segments_from_cache}
                        if r.segments else {}),
+                    **({"estimated": True,
+                        "relative_error":
+                            (r.error_bounds or {}).get("relative_error"),
+                        "error_bounds": r.error_bounds}
+                       if r.estimated else {}),
                     **r.stats.summary(),
                 }
                 for r in self.results
@@ -342,6 +321,11 @@ class SweepResult:
                 {"workload": r.point.workload, "scale": r.point.scale,
                  "variant": r.point.variant,
                  "config_key": r.point.config.cache_key(),
+                 # only sampled mode writes these keys, so exact-mode
+                 # ledgers stay byte-identical to every prior release
+                 **({"estimated": True,
+                     "error_bounds": r.error_bounds}
+                    if r.estimated else {}),
                  "stats": r.stats.to_dict()}
                 for r in self.results
             ],
@@ -472,9 +456,9 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
 
 def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
               store_dir: str | os.PathLike | None = None,
-              progress=None, segment_insns: int | None = None,
-              max_cached_traces: int | None = DEFAULT_TRACE_CACHE
-              ) -> SweepResult:
+              progress=None, segment_policy=None,
+              max_cached_traces: int | None = DEFAULT_TRACE_CACHE,
+              segment_insns: int | None = None) -> SweepResult:
     """Execute a sweep grid, optionally in parallel and/or persisted.
 
     Collects :func:`run_sweep_iter` into a :class:`SweepResult` in
@@ -483,15 +467,20 @@ def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
     (or, on the segmented path, per completed unit with a
     :class:`~repro.engine.events.SegmentEvent`).
 
-    ``segment_insns`` switches to the segmented engine
+    ``segment_policy`` (a
+    :class:`~repro.engine.segments.SegmentPolicy`, a bare segment
+    size, or a policy-manifest dict) switches to the segmented engine
     (:func:`repro.engine.segments.run_segmented_sweep`): traces are
-    split into fixed-instruction-count segments that parallelize
-    *within* a workload, at the cost of per-segment cold-start/drain
-    effects on cycle counts.
+    split into instruction-count segments that parallelize *within* a
+    workload, at the cost of per-segment cold-start/drain effects on
+    cycle counts.  ``segment_insns`` is the deprecated spelling of
+    ``segment_policy=<int>``.
     """
-    if segment_insns is not None:
+    if segment_policy is None:
+        segment_policy = segment_insns
+    if segment_policy is not None:
         from .segments import run_segmented_sweep
-        return run_segmented_sweep(points, segment_insns, jobs=jobs,
+        return run_segmented_sweep(points, segment_policy, jobs=jobs,
                                    store_dir=store_dir, progress=progress)
     started = time.perf_counter()
     slots: list = [None] * len(points)

@@ -1,55 +1,265 @@
-"""Intra-workload sharding: segmented trace planning and simulation.
+"""Intra-workload sharding: segmented trace simulation under a policy.
 
 The plain sweep engine (:mod:`repro.engine.pool`) parallelizes only
 *across* grid points, so one long workload bounds a sweep's wall-clock
 time.  This module decomposes each ``(workload, scale)`` trace into
-fixed-instruction-count **segments** that fan out across all workers:
+instruction-count **segments** and simulates them under a
+:class:`SegmentPolicy`:
 
-1. **Planning** (:func:`plan_segments`) advances the functional
-   emulator through fixed-size :meth:`~repro.functional.emulator.\
-Emulator.run_packed` windows, persisting each window as a packed
-   segment-trace artifact plus an architectural
-   :class:`~repro.functional.emulator.Checkpoint` at every boundary.
-   A killed or partial run resumes from the last stored checkpoint
-   instead of replaying the prefix; a **manifest** artifact (written
-   last) marks the segmentation complete, so re-planning an already
-   segmented workload costs zero emulation.
-2. **Simulation** (:func:`run_segmented_sweep`) schedules
-   ``(config, segment)`` units through the same process pool the flat
-   sweep uses — sharded by segment so every machine variant of one
-   segment shares a single unpickle — consulting the store for
-   per-segment partial stats first.
-3. **Reduction** merges each point's per-segment partials with the
-   associative :meth:`PipelineStats.merge`, in segment order.
+* ``mode="fixed"`` — segments of exactly ``segment_insns``
+  instructions (the original behavior; bare ints coerce to this).
+* ``mode="adaptive"`` — segment size derived from the trace length:
+  short traces collapse to one segment (zero extra drain boundaries,
+  stats identical to the monolithic run), long traces target about
+  ``2 x jobs`` shards so the pool tail stays short.
+* ``mode="sampled"`` — simulate every ``sample_period``-th segment in
+  detail (optionally with a ``warmup_insns`` warm prefix), emulate-only
+  the rest, and extrapolate the merged :class:`PipelineStats` with
+  per-field confidence half-widths.  Results are explicitly marked
+  ``estimated``; exact modes stay byte-identical to the flat engine's
+  event counters.
 
-Semantics: each segment starts a **cold** microarchitecture (empty
-caches/predictors) and ends with a full pipeline drain, so instruction
-and event counters merge exactly while cycle counts carry a per-segment
-fill+drain overhead (see README "Segmented simulation").
+The emulate and simulate stages are **pipelined**: the serial path
+streams one emulator through the trace and simulates each detailed
+window the moment it materializes (never pickling whole-trace
+artifacts it does not need); the pool path chains per-segment window
+tasks through stored checkpoints and dispatches each segment's
+``(config x segment)`` simulation shard as soon as its columns land,
+rather than after the whole plan.
+
+Segment boundaries are unchanged from the original planner: each
+segment starts a **cold** microarchitecture (empty caches/predictors)
+and ends with a full pipeline drain, so instruction and event counters
+merge exactly while cycle counts carry a per-segment fill+drain
+overhead (see README "Segmented simulation").
 """
 
 from __future__ import annotations
 
+import math
 import os
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, fields
 
 from ..functional.emulator import Emulator
 from ..uarch.config import MachineConfig
 from ..uarch.pipeline import simulate_trace
-from ..uarch.stats import PipelineStats
+from ..uarch.stats import _MERGE_MAX_FIELDS, PipelineStats
 from ..workloads import build_program
 from .campaign import SweepPoint
 from .events import SegmentEvent
 from .pool import PointResult, SweepResult, resolve_jobs
 from .store import ArtifactStore
 from .telemetry import TELEMETRY
+from .workers import (init_store_worker, observe_wait, pool_kwargs,
+                      worker_store)
 
 #: Matches ``workloads.build_trace``'s budget for monolithic emulation.
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000
+
+#: Valid :class:`SegmentPolicy` modes.
+SEGMENT_MODES = ("fixed", "adaptive", "sampled")
+
+#: Simulate every Nth segment when ``mode="sampled"`` leaves the
+#: period unspecified.
+DEFAULT_SAMPLE_PERIOD = 4
+
+#: Adaptive sizing never cuts segments smaller than this: below it the
+#: per-segment fill+drain overhead dominates anything parallelism buys.
+ADAPTIVE_MIN_SEGMENT = 4096
+
+#: Two-sided 95% normal quantile for sampled-mode confidence bounds.
+CONFIDENCE_Z = 1.959963984540054
+
+#: Sampling can never prove the unsampled segments look like the
+#: sampled ones: a program whose phase length divides the sample
+#: stride shows the grid identical samples (zero estimated variance)
+#: while hiding a real offset.  Every half-width is therefore floored
+#: at this fraction of the field's extrapolated (unobserved) share.
+ALIGNMENT_GUARD = 0.02
+
+
+@dataclass(frozen=True)
+class SegmentPolicy:
+    """How a sweep segments, samples, and sizes its trace windows.
+
+    One policy object is accepted everywhere a segmented sweep runs —
+    :func:`run_segmented_sweep`, :func:`simulate_workload_segmented`,
+    :func:`repro.engine.pool.run_sweep`, the experiment runner, the
+    service job spec, and the CLI — replacing the bare
+    ``segment_insns: int`` previously threaded through all of them
+    (plain ints still :meth:`coerce` to a fixed policy).
+
+    ``phase_seed`` decorrelates sampled mode's phase across workloads:
+    the first detailed segment of each trace is a seeded hash of
+    ``(phase_seed, workload, scale)`` modulo the period, so periodic
+    program phases do not systematically align with the sample grid.
+    """
+
+    mode: str = "fixed"
+    segment_insns: int | None = None
+    sample_period: int | None = None
+    warmup_insns: int = 0
+    phase_seed: int = 0
+
+    _MANIFEST_KEYS = frozenset({"mode", "segment_insns", "sample_period",
+                                "warmup_insns", "phase_seed"})
+
+    def __post_init__(self):
+        if self.mode not in SEGMENT_MODES:
+            raise ValueError(
+                f"segment mode must be one of {list(SEGMENT_MODES)}, "
+                f"got {self.mode!r}")
+        if self.mode == "adaptive":
+            if self.segment_insns is not None:
+                raise ValueError(
+                    "adaptive mode sizes segments from the trace; "
+                    f"drop segment_insns (got {self.segment_insns})")
+        elif self.segment_insns is None or self.segment_insns <= 0:
+            raise ValueError(
+                f"{self.mode} mode needs segment_insns > 0, "
+                f"got {self.segment_insns}")
+        if self.mode == "sampled":
+            period = (DEFAULT_SAMPLE_PERIOD if self.sample_period is None
+                      else self.sample_period)
+            if period < 2:
+                raise ValueError(
+                    "sample_period must be >= 2 (1 simulates every "
+                    f"segment — use mode='fixed'), got {period}")
+            object.__setattr__(self, "sample_period", period)
+            if self.warmup_insns < 0:
+                raise ValueError(
+                    f"warmup_insns must be >= 0, got {self.warmup_insns}")
+        else:
+            if self.sample_period is not None:
+                raise ValueError(
+                    f"sample_period only applies to sampled mode, "
+                    f"not {self.mode!r}")
+            if self.warmup_insns:
+                raise ValueError(
+                    f"warmup_insns only applies to sampled mode, "
+                    f"not {self.mode!r}")
+
+    # ------------------------------------------------------------------
+    # coercion + serialization
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def coerce(cls, value) -> "SegmentPolicy | None":
+        """Normalize the spellings every entry point accepts.
+
+        ``None`` passes through (meaning: no segmentation / caller
+        default); a bare int is the deprecated ``segment_insns=N``
+        spelling and becomes a fixed policy; dicts go through
+        :meth:`from_manifest`.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            raise TypeError(f"cannot make a SegmentPolicy from {value!r}")
+        if isinstance(value, int):
+            return cls(mode="fixed", segment_insns=value)
+        if isinstance(value, dict):
+            return cls.from_manifest(value)
+        raise TypeError(f"cannot make a SegmentPolicy from {value!r}")
+
+    def to_manifest(self) -> dict:
+        """JSON-serializable identity (store manifests, job specs)."""
+        manifest = {"mode": self.mode}
+        if self.segment_insns is not None:
+            manifest["segment_insns"] = self.segment_insns
+        if self.mode == "sampled":
+            manifest["sample_period"] = self.sample_period
+            manifest["warmup_insns"] = self.warmup_insns
+            manifest["phase_seed"] = self.phase_seed
+        return manifest
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "SegmentPolicy":
+        """Rebuild from :meth:`to_manifest` output.
+
+        Unknown fields are rejected by name: a policy field the server
+        does not understand silently ignored would change what the job
+        simulates.
+        """
+        if not isinstance(manifest, dict):
+            raise ValueError(
+                f"segment policy must be an object, got {manifest!r}")
+        unknown = sorted(set(manifest) - cls._MANIFEST_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown segment policy fields {unknown}; "
+                f"known fields: {sorted(cls._MANIFEST_KEYS)}")
+        seg = manifest.get("segment_insns")
+        period = manifest.get("sample_period")
+        return cls(mode=manifest.get("mode", "fixed"),
+                   segment_insns=None if seg is None else int(seg),
+                   sample_period=None if period is None else int(period),
+                   warmup_insns=int(manifest.get("warmup_insns", 0)),
+                   phase_seed=int(manifest.get("phase_seed", 0)))
+
+    def token(self) -> str:
+        """A short stable string identity (cache keys, ledger labels)."""
+        return "|".join(f"{key}={value}" for key, value
+                        in sorted(self.to_manifest().items()))
+
+    # ------------------------------------------------------------------
+    # resolution against one trace
+    # ------------------------------------------------------------------
+
+    @property
+    def sampled(self) -> bool:
+        return self.mode == "sampled"
+
+    def resolve(self, total_instructions: int, jobs: int) -> int:
+        """Concrete segment size for one trace (store keys use this)."""
+        if self.mode != "adaptive":
+            return self.segment_insns
+        total = max(1, total_instructions)
+        if jobs <= 1 or total <= ADAPTIVE_MIN_SEGMENT:
+            # no parallelism to feed (or nothing worth splitting):
+            # one segment keeps stats identical to the monolithic run
+            return total
+        size = -(-total // (2 * jobs))  # ceil: ~2 shards per worker
+        return max(size, ADAPTIVE_MIN_SEGMENT)
+
+    def effective_warmup(self, segment_insns: int) -> int:
+        """Warm-prefix length, clamped so windows never span two
+        earlier segments (adjacent detailed segments cannot occur:
+        ``sample_period >= 2``)."""
+        if not self.sampled:
+            return 0
+        return min(self.warmup_insns, segment_insns)
+
+    def phase_offset(self, workload: str, scale: int) -> int:
+        """First detailed segment index for one trace (seeded)."""
+        key = f"{self.phase_seed}:{workload}@{scale}"
+        return zlib.crc32(key.encode()) % self.sample_period
+
+    def detailed_indices(self, num_segments: int, workload: str,
+                         scale: int) -> tuple[int, ...]:
+        """Which segment indices get detailed simulation.
+
+        Exact modes: all of them.  Sampled: every
+        ``sample_period``-th starting at the seeded phase offset,
+        plus always the final segment — the only one whose length
+        (and so drain share) can differ from the rest, so simulating
+        it outright removes the one structural bias extrapolation
+        cannot average away (and guarantees even a trace too short to
+        hit the grid rests on at least one real sample).
+        """
+        if not self.sampled:
+            return tuple(range(num_segments))
+        if num_segments <= 0:
+            return ()
+        offset = self.phase_offset(workload, scale)
+        chosen = set(range(offset, num_segments, self.sample_period))
+        chosen.add(num_segments - 1)
+        return tuple(sorted(chosen))
 
 
 @dataclass(frozen=True)
@@ -83,6 +293,16 @@ class SegmentPlan:
                    lengths=tuple(manifest["lengths"]))
 
 
+def _arith_lengths(total: int, segment_insns: int) -> tuple[int, ...]:
+    """Segment lengths of a trace known only by total length.
+
+    Valid because only the final segment of a trace can be short —
+    the same invariant the planner's checkpoint-resume relies on.
+    """
+    full, rem = divmod(total, segment_insns)
+    return tuple([segment_insns] * full + ([rem] if rem else []))
+
+
 # ----------------------------------------------------------------------
 # planning: emulate (or resume) one workload into segment artifacts
 # ----------------------------------------------------------------------
@@ -97,6 +317,11 @@ def plan_segments(workload: str, scale: int, segment_insns: int,
     did: ``emulated_instructions`` (0 on a fully cached re-run) and
     ``resumed_at`` (the segment index emulation restarted from, i.e.
     how much prefix the checkpoints saved).
+
+    The pipelined sweep drivers below no longer call this for their
+    own segments — they stream or chain windows instead — but it
+    remains the way to materialize every segment trace as store
+    artifacts (prewarming, tests, external tools).
     """
     if segment_insns <= 0:
         raise ValueError(f"segment_insns must be > 0, got {segment_insns}")
@@ -151,6 +376,8 @@ def plan_segments(workload: str, scale: int, segment_insns: int,
     plan = SegmentPlan(workload=workload, scale=scale,
                        segment_insns=segment_insns, lengths=tuple(lengths))
     store.save_manifest(workload, scale, segment_insns, plan.to_manifest())
+    store.save_trace_info(workload, scale,
+                          {"instructions": plan.total_instructions})
     if counters["emulated_instructions"]:
         TELEMETRY.counter("repro_emu_runs_total").inc()
         TELEMETRY.counter("repro_emu_instructions_total").inc(
@@ -159,157 +386,895 @@ def plan_segments(workload: str, scale: int, segment_insns: int,
 
 
 # ----------------------------------------------------------------------
-# one point, serially (the runner's --segment-insns path)
+# window derivation: get one segment's columns from whatever exists
 # ----------------------------------------------------------------------
 
-def simulate_workload_segmented(workload: str, config: MachineConfig,
-                                scale: int, segment_insns: int,
-                                store: ArtifactStore,
-                                max_instructions: int =
-                                DEFAULT_MAX_INSTRUCTIONS) -> PipelineStats:
-    """Plan + simulate one workload/config pair segment by segment.
+def _segment_window(store: ArtifactStore, workload: str, scale: int,
+                    segment_insns: int, index: int,
+                    lengths: tuple[int, ...] | None, warmup: int,
+                    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS):
+    """Packed columns for segment *index* (plus its warm prefix).
 
-    Serial counterpart of :func:`run_segmented_sweep` used by the
-    experiment runner; every per-segment artifact goes through *store*
-    so later sweeps (or re-runs) reuse the work.
+    Cheapest available source first: the stored segment trace (exact
+    windows only — a stored segment lacks the warm prefix), a slice of
+    the stored oracle trace, an emulator restored from the nearest
+    stored checkpoint, and finally a fresh emulator replaying the
+    prefix.  *lengths* may be ``None`` only when the caller knows the
+    segment trace is on disk (the pipelined pool driver's
+    dispatch-on-land path).
     """
-    plan, _ = plan_segments(workload, scale, segment_insns, store,
-                            max_instructions)
-    partials = []
-    for index in range(plan.num_segments):
-        stats = store.load_segment_stats(workload, scale, segment_insns,
-                                         index, config)
-        if stats is None:
-            trace = store.load_segment_trace(workload, scale,
-                                             segment_insns, index)
-            if trace is None:
-                raise RuntimeError(
-                    f"segment trace {workload}@{scale}#{index} missing "
-                    f"from store {store.root} right after planning")
-            stats = simulate_trace(trace, config)
-            store.save_segment_stats(workload, scale, segment_insns,
-                                     index, config, stats)
-        partials.append(stats)
-    if not partials:
-        return PipelineStats()
-    return PipelineStats.merge_all(partials)
+    warmup = min(warmup, segment_insns)
+    if warmup <= 0:
+        trace = store.load_segment_trace(workload, scale, segment_insns,
+                                         index)
+        if trace is not None:
+            return trace
+    if lengths is None:
+        raise RuntimeError(
+            f"segment trace {workload}@{scale}#{index} missing from "
+            f"store {store.root} and no plan lengths to re-derive it")
+    start = sum(lengths[:index])
+    lo = max(0, start - warmup)
+    hi = start + lengths[index]
+    oracle = store.load_trace(workload, scale)
+    if oracle is not None and len(oracle) >= hi:
+        return oracle[lo:hi]
+    emulator = Emulator(build_program(workload, scale),
+                        max_instructions=max_instructions)
+    # Checkpoint k sits at k * segment_insns instructions (only full
+    # segments ever get a boundary checkpoint).
+    for k in range(index, 0, -1):
+        if k * segment_insns > lo:
+            continue
+        state = store.load_checkpoint(workload, scale, segment_insns, k)
+        if state is not None:
+            emulator.restore(state)
+            break
+    skip = lo - emulator.instruction_count
+    if skip > 0:
+        emulator.run_packed(skip)
+    window = emulator.run_packed(hi - lo)
+    emulated = skip + len(window) if skip > 0 else len(window)
+    if emulated > 0:
+        TELEMETRY.counter("repro_emu_runs_total").inc()
+        TELEMETRY.counter("repro_emu_instructions_total").inc(emulated)
+    if len(window) != hi - lo:
+        raise RuntimeError(
+            f"re-derived window for {workload}@{scale}#{index} came up "
+            f"short ({len(window)} != {hi - lo} instructions)")
+    return window
 
 
 # ----------------------------------------------------------------------
 # worker side (module-level so ProcessPoolExecutor can pickle them)
 # ----------------------------------------------------------------------
 
-#: One store binding per worker *process* (set by the pool
-#: initializer).  Segment workers never touch whole-workload traces,
-#: so they need no :class:`~repro.engine.pool.ExecutionContext` — and
-#: the serial path passes an explicit per-call store instead of this
-#: global, so two interleaved segmented sweeps in one driver process
-#: stay disjoint.
-_worker_store: ArtifactStore | None = None
+def _measure_task(task: tuple[str, int, int],
+                  store: ArtifactStore | None = None,
+                  submitted_ns: int | None = None
+                  ) -> tuple[tuple[str, int, int, int], dict | None]:
+    """Adaptive sizing's cold-start: learn (and store) a trace's length.
 
-
-def _init_worker(store_dir: str) -> None:
-    global _worker_store
-    _worker_store = ArtifactStore(store_dir)
-
-
-def _observe_wait(submitted_ns: int | None, phase: str) -> None:
-    """Record pool-queue wait for a unit stamped by the driver."""
-    if submitted_ns is not None:
-        wait = max(0, time.monotonic_ns() - submitted_ns) / 1e9
-        TELEMETRY.histogram("repro_pool_shard_wait_seconds",
-                            phase=phase).observe(wait)
-
-
-def _plan_task(task: tuple[str, int, int, int],
-               store: ArtifactStore | None = None,
-               submitted_ns: int | None = None
-               ) -> tuple[tuple[str, int, dict, dict], dict | None]:
-    """Plan one (workload, scale); returns (payload, telemetry snap).
-
-    On the pool path (``store is None``: the worker's module-global
-    store binds) the worker drains its telemetry and ships the
-    snapshot home with the payload; the inline path records into the
-    driver's registry directly and ships ``None``.
+    Emulates the whole trace once if the store has neither the oracle
+    trace nor its metadata; saves both so follow-up shards slice the
+    oracle instead of re-emulating.  Returns ``(workload, scale,
+    total_instructions, emulated_instructions)``.
     """
     pooled = store is None
-    store = store if store is not None else _worker_store
-    _observe_wait(submitted_ns, "plan")
-    workload, scale, segment_insns, max_instructions = task
+    store = store if store is not None else worker_store()
+    observe_wait(submitted_ns, "plan")
+    workload, scale, max_instructions = task
     with TELEMETRY.timer("repro_segments_plan_seconds"):
-        plan, counters = plan_segments(workload, scale, segment_insns,
-                                       store, max_instructions)
-    payload = (workload, scale, plan.to_manifest(), counters)
+        trace = store.load_trace(workload, scale)
+        emulated = 0
+        if trace is None:
+            emulator = Emulator(build_program(workload, scale),
+                                max_instructions=max_instructions)
+            trace = emulator.run_packed()
+            emulated = len(trace)
+            store.save_trace(workload, scale, trace)
+            TELEMETRY.counter("repro_emu_runs_total").inc()
+            TELEMETRY.counter("repro_emu_instructions_total").inc(emulated)
+        total = len(trace)
+        store.save_trace_info(workload, scale, {"instructions": total})
+    payload = (workload, scale, total, emulated)
     return payload, (TELEMETRY.drain() if pooled else None)
 
 
-def _simulate_shard(shard: tuple[str, int, int, int, list],
-                    store: ArtifactStore | None = None,
+def _window_task(task: tuple[str, int, int, int, int],
+                 store: ArtifactStore | None = None,
+                 submitted_ns: int | None = None
+                 ) -> tuple[tuple[str, int, int, int, int, bool],
+                            dict | None]:
+    """Emulate one segment window, persisting its trace + checkpoint.
+
+    One link of the pipelined pool driver's emulation chain: restore
+    the boundary checkpoint for *index* (or the nearest earlier one,
+    fast-forwarding the gap), emulate one segment, store it, and
+    checkpoint the next boundary.  Returns ``(workload, scale, index,
+    window_length, total_instructions_so_far, halted)`` — on halt the
+    driver derives every segment length arithmetically from the total,
+    so a stale short segment left by a killed run can never corrupt
+    the plan.
+    """
+    pooled = store is None
+    store = store if store is not None else worker_store()
+    observe_wait(submitted_ns, "plan")
+    workload, scale, segment_insns, index, max_instructions = task
+    with TELEMETRY.timer("repro_segments_plan_seconds"):
+        emulator = Emulator(build_program(workload, scale),
+                            max_instructions=max_instructions)
+        for k in range(index, 0, -1):
+            state = store.load_checkpoint(workload, scale, segment_insns,
+                                          k)
+            if state is not None:
+                emulator.restore(state)
+                break
+        while (not emulator.halted
+               and emulator.instruction_count < index * segment_insns):
+            gap = index * segment_insns - emulator.instruction_count
+            if not len(emulator.run_packed(min(gap, segment_insns))):
+                break
+        window = emulator.run_packed(segment_insns)
+        length = len(window)
+        halted = emulator.halted or length < segment_insns
+        if length:
+            store.save_segment_trace(workload, scale, segment_insns,
+                                     index, window)
+            if not halted:
+                store.save_checkpoint(workload, scale, segment_insns,
+                                      index + 1, emulator.checkpoint())
+            TELEMETRY.counter("repro_emu_runs_total").inc()
+            TELEMETRY.counter("repro_emu_instructions_total").inc(length)
+    payload = (workload, scale, index, length,
+               emulator.instruction_count, halted)
+    return payload, (TELEMETRY.drain() if pooled else None)
+
+
+def _simulate_shard(shard: tuple, store: ArtifactStore | None = None,
                     submitted_ns: int | None = None
-                    ) -> tuple[list[tuple[int, int, PipelineStats, bool]],
-                               dict | None]:
+                    ) -> tuple[list, dict | None]:
     """Simulate one segment for every config that needs it.
 
     ``shard`` is ``(workload, scale, segment_insns, seg_index,
-    [(point_index, config), ...])``; the segment trace is unpickled at
-    most once no matter how many machine variants consume it.  Returns
-    ``(results, telemetry snapshot)`` — the snapshot ships only on the
-    pool path, like :func:`_plan_task`.
+    [(point_index, config), ...], lengths | None, warmup_insns)``; the
+    segment window is materialized at most once no matter how many
+    machine variants consume it, and only if some config actually
+    misses the stats cache.  Warmup-extended windows (sampled mode)
+    are never persisted as segment stats — they are not the segment's
+    exact stats.  Returns ``([(point_index, seg_index, stats, hit,
+    window_len), ...], telemetry snapshot)`` — the snapshot ships only
+    on the pool path.
     """
     pooled = store is None
-    store = store if store is not None else _worker_store
-    _observe_wait(submitted_ns, "simulate")
-    workload, scale, segment_insns, seg_index, items = shard
+    store = store if store is not None else worker_store()
+    observe_wait(submitted_ns, "simulate")
+    workload, scale, segment_insns, seg_index, items, lengths, warmup = \
+        shard
+    lengths = None if lengths is None else tuple(lengths)
+    persist = warmup == 0
     out = []
-    trace = None
+    window = None
     with TELEMETRY.timer("repro_pool_shard_execute_seconds"):
         for point_index, config in items:
-            stats = store.load_segment_stats(
-                workload, scale, segment_insns, seg_index, config)
+            stats = (store.load_segment_stats(workload, scale,
+                                              segment_insns, seg_index,
+                                              config)
+                     if persist else None)
             hit = stats is not None
             if stats is None:
-                if trace is None:
-                    trace = store.load_segment_trace(
-                        workload, scale, segment_insns, seg_index)
-                    if trace is None:
-                        raise RuntimeError(
-                            f"segment trace "
-                            f"{workload}@{scale}#{seg_index} "
-                            f"missing from store {store.root}")
-                stats = simulate_trace(trace, config)
-                store.save_segment_stats(workload, scale, segment_insns,
-                                         seg_index, config, stats)
-            out.append((point_index, seg_index, stats, hit))
+                if window is None:
+                    window = _segment_window(store, workload, scale,
+                                             segment_insns, seg_index,
+                                             lengths, warmup)
+                stats = simulate_trace(window, config)
+                if persist:
+                    store.save_segment_stats(workload, scale,
+                                             segment_insns, seg_index,
+                                             config, stats)
+            if window is not None:
+                window_len = len(window)
+            elif lengths is not None:
+                window_len = lengths[seg_index]
+            else:
+                window_len = segment_insns
+            out.append((point_index, seg_index, stats, hit, window_len))
     return out, (TELEMETRY.drain() if pooled else None)
 
 
 # ----------------------------------------------------------------------
-# driver
+# sampled-mode extrapolation
 # ----------------------------------------------------------------------
 
-def run_segmented_sweep(points: list[SweepPoint], segment_insns: int,
+def _extrapolate(plan: SegmentPlan, detailed: tuple[int, ...],
+                 samples: dict[int, PipelineStats],
+                 window_lens: dict[int, int],
+                 ) -> tuple[PipelineStats, dict]:
+    """Scale sampled per-segment stats up to the whole trace.
+
+    Certainty-stratum ratio estimator: the simulated segments
+    contribute their own (exactly known) counts; only the *unsampled*
+    mass is extrapolated, at the pooled per-instruction rate of the
+    sampled full-length segments.  ``retired`` is pinned to the exact
+    trace length (known without simulation) and peak counters
+    (:data:`_MERGE_MAX_FIELDS`) pass through unscaled.
+
+    The returned bounds dict carries a per-field 95% confidence
+    half-width covering the extrapolated share (segments as the
+    sampling unit, finite-population corrected,
+    successive-difference variance — every-Nth sampling walks the
+    trace in order, so slow program-phase trends cancel between
+    neighboring samples and only local variation remains) plus a
+    headline ``relative_error`` derived from the cycle bound.
+    Iteration order is fixed (sorted indices, declared field order)
+    so repeated runs produce byte-identical ledgers.
+    """
+    idx = sorted(detailed)
+    observed = PipelineStats.merge_all([samples[i] for i in idx])
+    total = plan.total_instructions
+    window_total = sum(window_lens[i] for i in idx)
+    if window_total <= 0 or total <= 0:
+        return observed, {"relative_error": 0.0, "half_width": {},
+                          "sampled_segments": len(idx),
+                          "total_segments": plan.num_segments,
+                          "coverage": 1.0}
+    known_insns = sum(plan.lengths[i] for i in idx)
+    unknown_insns = total - known_insns
+    # The rate pool: sampled segments of nominal length.  Short
+    # segments (only the final one can be) carry a disproportionate
+    # drain share and would skew the per-instruction rate applied to
+    # the full-length unsampled segments.
+    pool = [i for i in idx if plan.lengths[i] == plan.segment_insns]
+    if not pool:
+        pool = idx
+    pool_window = sum(window_lens[i] for i in pool)
+    n = len(pool)
+    # Every unsampled segment is full-length (the final segment is
+    # always sampled), so the pool is a systematic sample of the
+    # full-length population; the finite-population correction
+    # reflects how much of that population was actually simulated.
+    full_population = sum(1 for length in plan.lengths
+                          if length == plan.segment_insns)
+    fpc = (math.sqrt(max(0, full_population - n) /
+                     (full_population - 1))
+           if full_population > 1 else 0.0)
+    estimated = PipelineStats()
+    half_width: dict[str, float] = {}
+    for spec in fields(PipelineStats):
+        if spec.name == "extra":
+            continue
+        value = getattr(observed, spec.name)
+        if spec.name in _MERGE_MAX_FIELDS:
+            setattr(estimated, spec.name, value)  # peak: best seen
+            continue
+        if spec.name == "retired":
+            setattr(estimated, spec.name, total)  # exact by construction
+            continue
+        # Known stratum: each window's count scaled down to its
+        # segment's share (a warmup prefix inflates the window; with
+        # no warmup the factor is exactly 1).
+        known = sum(getattr(samples[i], spec.name)
+                    * (plan.lengths[i] / window_lens[i]) for i in idx)
+        rate = (sum(getattr(samples[i], spec.name) for i in pool)
+                / pool_window)
+        setattr(estimated, spec.name,
+                int(round(known + rate * unknown_insns)))
+        if value <= 0 or unknown_insns <= 0:
+            continue
+        if n >= 2:
+            residuals = [getattr(samples[i], spec.name)
+                         - rate * window_lens[i] for i in pool]
+            var = (sum((residuals[k] - residuals[k - 1]) ** 2
+                       for k in range(1, n)) / (2 * (n - 1)))
+            half = (CONFIDENCE_Z * math.sqrt(n * var)
+                    * (unknown_insns / pool_window) * fpc)
+            half = max(half, ALIGNMENT_GUARD * rate * unknown_insns)
+        else:
+            # one full-length sample: no variance estimate — bound by
+            # the whole extrapolated (unobserved) share
+            half = rate * unknown_insns
+        if half > 0:
+            half_width[spec.name] = round(half, 3)
+    ratio = total / window_total
+    estimated.extra = {key: value * ratio
+                       for key, value in sorted(observed.extra.items())}
+    cycles = getattr(estimated, "cycles", 0)
+    relative = (half_width.get("cycles", 0.0) / cycles) if cycles else 0.0
+    return estimated, {"relative_error": round(relative, 6),
+                       "half_width": half_width,
+                       "sampled_segments": len(idx),
+                       "total_segments": plan.num_segments,
+                       "coverage": round(known_insns / total, 6)}
+
+
+# ----------------------------------------------------------------------
+# the driver: one class, serial (fused streaming) and pool (pipelined)
+# ----------------------------------------------------------------------
+
+class _SegmentedRun:
+    """State for one segmented sweep: plans, partials, counters, events."""
+
+    def __init__(self, points: list[SweepPoint], policy: SegmentPolicy,
+                 jobs: int, store_dir: str, progress,
+                 max_instructions: int):
+        self.points = points
+        self.policy = policy
+        self.jobs = jobs
+        self.store_dir = store_dir
+        self.progress = progress
+        self.max_instructions = max_instructions
+        self.pairs = list(dict.fromkeys((p.workload, p.scale)
+                                        for p in points))
+        self.items: dict[tuple[str, int], list] = {}
+        for index, point in enumerate(points):
+            self.items.setdefault((point.workload, point.scale),
+                                  []).append((index, point.config))
+        self.plans: dict[tuple[str, int], SegmentPlan] = {}
+        self.detailed: dict[tuple[str, int], tuple[int, ...]] = {}
+        self.window_lens: dict[tuple[str, int], dict[int, int]] = {}
+        self.partials: list[dict[int, PipelineStats]] = \
+            [{} for _ in points]
+        self.hits = [0] * len(points)
+        self.counters = {
+            "points": len(points),
+            "segment_insns": policy.segment_insns or 0,
+            "emulations": 0, "emulated_instructions": 0,
+            "segments": 0, "segments_detailed": 0, "segments_skipped": 0,
+            "segment_simulations": 0, "segment_stats_hits": 0,
+            "simulations": 0,
+        }
+        self._done_units = 0
+        self._total_units = 0
+
+    # -- events --------------------------------------------------------
+
+    def _emit(self, phase: str, done: int, total: int,
+              message: str) -> None:
+        if self.progress is not None:
+            self.progress(SegmentEvent(
+                message=message, done=done, total=max(total, done),
+                phase=phase, estimated=self.policy.sampled))
+
+    # -- shared bookkeeping --------------------------------------------
+
+    def _count_emulation(self, instructions: int) -> None:
+        if instructions <= 0:
+            return
+        self.counters["emulations"] += 1
+        self.counters["emulated_instructions"] += instructions
+        TELEMETRY.counter("repro_emu_runs_total").inc()
+        TELEMETRY.counter("repro_emu_instructions_total").inc(instructions)
+
+    def _save_plan(self, store: ArtifactStore, plan: SegmentPlan) -> None:
+        manifest = plan.to_manifest()
+        # provenance only: the manifest is keyed by (workload, scale,
+        # segment size), shared by every policy that resolves to them
+        manifest["policy"] = self.policy.to_manifest()
+        store.save_manifest(plan.workload, plan.scale,
+                            plan.segment_insns, manifest)
+        store.save_trace_info(plan.workload, plan.scale,
+                              {"instructions": plan.total_instructions})
+
+    def _finalize_plan(self, pair: tuple[str, int],
+                       plan: SegmentPlan) -> None:
+        self.plans[pair] = plan
+        det = self.policy.detailed_indices(plan.num_segments, *pair)
+        self.detailed[pair] = det
+        self.counters["segments"] += plan.num_segments
+        self.counters["segments_detailed"] += len(det)
+        self.counters["segments_skipped"] += plan.num_segments - len(det)
+        if self.policy.sampled:
+            TELEMETRY.counter("repro_sampled_segments_total",
+                              kind="detailed").inc(len(det))
+            TELEMETRY.counter("repro_sampled_segments_total",
+                              kind="skipped").inc(
+                                  plan.num_segments - len(det))
+        self._total_units += len(det) * len(self.items[pair])
+        self._emit("plan", len(self.plans), len(self.pairs),
+                   f"planned {pair[0]}@{pair[1]} "
+                   f"({plan.num_segments} segments)")
+
+    def _absorb(self, point_index: int, seg_index: int,
+                stats: PipelineStats, hit: bool) -> None:
+        self.partials[point_index][seg_index] = stats
+        self.counters["segment_stats_hits"] += hit
+        self.counters["segment_simulations"] += not hit
+        self.hits[point_index] += hit
+
+    def _simulate_segment(self, store: ArtifactStore,
+                          pair: tuple[str, int], segment_insns: int,
+                          index: int, window=None, loader=None,
+                          nominal_len: int = 0) -> None:
+        """Serial-path twin of :func:`_simulate_shard` (same cache
+        discipline), taking the window either directly (the streaming
+        emulator just produced it) or as a lazy loader consulted only
+        if some config misses."""
+        workload, scale = pair
+        persist = self.policy.effective_warmup(segment_insns) == 0
+        for point_index, config in self.items[pair]:
+            stats = (store.load_segment_stats(workload, scale,
+                                              segment_insns, index,
+                                              config)
+                     if persist else None)
+            hit = stats is not None
+            if stats is None:
+                if window is None:
+                    window = loader()
+                stats = simulate_trace(window, config)
+                if persist:
+                    store.save_segment_stats(workload, scale,
+                                             segment_insns, index,
+                                             config, stats)
+            self._absorb(point_index, index, stats, hit)
+        self.window_lens.setdefault(pair, {})[index] = \
+            len(window) if window is not None else nominal_len
+        self._done_units += len(self.items[pair])
+        self._emit("simulate", self._done_units, self._total_units,
+                   f"{workload}@{scale} segment {index} "
+                   f"({len(self.items[pair])} configs)")
+
+    def _backfill_missing_detailed(self, store: ArtifactStore,
+                                   pair: tuple[str, int],
+                                   plan: SegmentPlan) -> None:
+        """Simulate any detailed segment the streaming pass did not
+        cover (the short-trace fallback sample, a plan landing after
+        the stream)."""
+        warmup = self.policy.effective_warmup(plan.segment_insns)
+        for index in self.detailed[pair]:
+            if index in self.window_lens.get(pair, {}):
+                continue
+            window_len = (min(warmup, sum(plan.lengths[:index]))
+                          + plan.lengths[index])
+            self._simulate_segment(
+                store, pair, plan.segment_insns, index,
+                loader=lambda index=index: _segment_window(
+                    store, *pair, plan.segment_insns, index,
+                    plan.lengths, warmup, self.max_instructions),
+                nominal_len=window_len)
+
+    # -- serial: fused streaming emulate+simulate ----------------------
+
+    def run_serial(self, store: ArtifactStore | None = None) -> None:
+        if store is None:
+            store = ArtifactStore(self.store_dir)
+        for pair in self.pairs:
+            self._serial_pair(store, pair)
+
+    def _serial_pair(self, store: ArtifactStore,
+                     pair: tuple[str, int]) -> None:
+        workload, scale = pair
+        policy = self.policy
+        segment_insns = None
+        pre_trace = None
+        if policy.mode == "adaptive":
+            info = store.load_trace_info(workload, scale)
+            if info is not None:
+                segment_insns = policy.resolve(int(info["instructions"]),
+                                               1)
+            else:
+                pre_trace = store.load_trace(workload, scale)
+                if pre_trace is not None:
+                    store.save_trace_info(
+                        workload, scale,
+                        {"instructions": len(pre_trace)})
+                    segment_insns = policy.resolve(len(pre_trace), 1)
+        else:
+            segment_insns = policy.segment_insns
+        # Warmup-extended windows are never persisted, so a manifest
+        # hit saves nothing — streaming again is the cheap path.
+        reuse_ok = policy.effective_warmup(segment_insns or 1) == 0
+        if segment_insns is not None and reuse_ok:
+            manifest = store.load_manifest(workload, scale, segment_insns)
+            if manifest is not None:
+                self._serial_warm(store, pair,
+                                  SegmentPlan.from_manifest(manifest))
+                return
+        if (pre_trace is None and segment_insns is not None
+                and policy.mode == "adaptive"):
+            pre_trace = store.load_trace(workload, scale)
+        self._serial_cold(store, pair, segment_insns, pre_trace)
+
+    def _serial_warm(self, store: ArtifactStore, pair: tuple[str, int],
+                     plan: SegmentPlan) -> None:
+        self._finalize_plan(pair, plan)
+        self._backfill_missing_detailed(store, pair, plan)
+
+    def _serial_cold(self, store: ArtifactStore, pair: tuple[str, int],
+                     segment_insns: int | None, pre_trace) -> None:
+        workload, scale = pair
+        policy = self.policy
+        if segment_insns is None:
+            # adaptive with nothing known: one full emulation both
+            # measures the trace and (jobs=1 collapses to a single
+            # segment) IS the only window
+            emulator = Emulator(build_program(workload, scale),
+                                max_instructions=self.max_instructions)
+            pre_trace = emulator.run_packed()
+            self._count_emulation(len(pre_trace))
+            store.save_trace_info(workload, scale,
+                                  {"instructions": len(pre_trace)})
+            segment_insns = policy.resolve(len(pre_trace), 1)
+        if pre_trace is not None:
+            self._serial_from_trace(store, pair, segment_insns, pre_trace)
+            return
+        self._serial_stream(store, pair, segment_insns)
+
+    def _serial_from_trace(self, store: ArtifactStore,
+                           pair: tuple[str, int], segment_insns: int,
+                           trace) -> None:
+        """Windows sliced from an in-memory oracle trace (adaptive
+        jobs=1 always lands here cold: exactly one segment)."""
+        plan = SegmentPlan(pair[0], pair[1], segment_insns,
+                           _arith_lengths(len(trace), segment_insns))
+        self._save_plan(store, plan)
+        self._finalize_plan(pair, plan)
+        warmup = self.policy.effective_warmup(segment_insns)
+        start = 0
+        starts = []
+        for length in plan.lengths:
+            starts.append(start)
+            start += length
+        for index in self.detailed[pair]:
+            lo = max(0, starts[index] - warmup)
+            window = trace[lo:starts[index] + plan.lengths[index]]
+            self._simulate_segment(store, pair, segment_insns, index,
+                                   window=window)
+
+    def _serial_stream(self, store: ArtifactStore, pair: tuple[str, int],
+                       segment_insns: int) -> None:
+        """The fused cold path: one streaming emulator, each detailed
+        window simulated the moment it materializes, skipped segments
+        emulated and discarded.  Persists per-segment stats, the
+        manifest, and trace metadata — never whole-trace pickles the
+        simulation does not need."""
+        workload, scale = pair
+        policy = self.policy
+        warmup = policy.effective_warmup(segment_insns)
+        if policy.sampled:
+            offset = policy.phase_offset(workload, scale)
+            period = policy.sample_period
+
+            def detailed(j: int) -> bool:
+                return j % period == offset
+        else:
+            def detailed(j: int) -> bool:
+                return True
+
+        emulator = Emulator(build_program(workload, scale),
+                            max_instructions=self.max_instructions)
+        pos = 0
+        j = 0
+        halted = False
+        simulated: list[int] = []
+        while not halted:
+            start = j * segment_insns
+            end = start + segment_insns
+            if detailed(j):
+                # the window absorbs whatever warm prefix the previous
+                # discard chunk deliberately left behind
+                window = emulator.run_packed(end - pos)
+                pos += len(window)
+                halted = pos < end or emulator.halted
+                if pos > start:  # window reaches into segment j
+                    self._simulate_segment(store, pair, segment_insns, j,
+                                           window=window)
+                    simulated.append(j)
+                del window
+            else:
+                stop = end - (warmup if detailed(j + 1) else 0)
+                need = stop - pos
+                if need > 0:
+                    chunk = emulator.run_packed(need)
+                    pos += len(chunk)
+                    halted = len(chunk) < need or emulator.halted
+                    if halted and len(chunk) and warmup == 0:
+                        # the program ended inside this discard chunk,
+                        # which therefore IS the final segment — always
+                        # a detailed sample, so simulate it now rather
+                        # than re-deriving it with a second emulation
+                        self._simulate_segment(store, pair,
+                                               segment_insns, j,
+                                               window=chunk)
+                    del chunk
+                else:
+                    halted = emulator.halted
+            j += 1
+        total = pos
+        self._count_emulation(total)
+        plan = SegmentPlan(workload, scale, segment_insns,
+                           _arith_lengths(total, segment_insns))
+        self._save_plan(store, plan)
+        self._finalize_plan(pair, plan)
+        # a trace too short to hit the sample grid: fall back exactly
+        # like the warm path does (detailed_indices' last-segment rule)
+        self._backfill_missing_detailed(store, pair, plan)
+
+    # -- pool: pipelined emulate chain + dispatch-on-land shards -------
+
+    def run_pool(self) -> None:
+        store = ArtifactStore(self.store_dir)
+        self._pending: dict = {}
+        self._chains: dict[tuple[str, int], dict] = {}
+        pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                   initializer=init_store_worker,
+                                   initargs=(self.store_dir,),
+                                   **pool_kwargs())
+        self._pool = pool
+        try:
+            for pair in self.pairs:
+                self._pool_start_pair(store, pair)
+            while self._pending:
+                done, _ = wait(list(self._pending),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    kind, pair = self._pending.pop(future)
+                    payload, snapshot = future.result()
+                    TELEMETRY.merge(snapshot)
+                    if kind == "measure":
+                        self._on_measure(store, payload)
+                    elif kind == "window":
+                        self._on_window(store, pair, payload)
+                    else:
+                        self._on_shard(pair, payload)
+        finally:
+            # a consumer that bails (a cancelled service job raising
+            # from its progress callback) stops near the next
+            # completed unit: running units finish, queued units are
+            # cancelled
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _submit(self, kind: str, pair: tuple[str, int], fn,
+                unit) -> None:
+        future = self._pool.submit(fn, unit, None, time.monotonic_ns())
+        self._pending[future] = (kind, pair)
+
+    def _pool_start_pair(self, store: ArtifactStore,
+                         pair: tuple[str, int]) -> None:
+        workload, scale = pair
+        if self.policy.mode == "adaptive":
+            info = store.load_trace_info(workload, scale)
+            if info is None:
+                self._submit("measure", pair, _measure_task,
+                             (workload, scale, self.max_instructions))
+                return
+            segment_insns = self.policy.resolve(
+                int(info["instructions"]), self.jobs)
+        else:
+            segment_insns = self.policy.segment_insns
+        self._pool_plan_pair(store, pair, segment_insns)
+
+    def _on_measure(self, store: ArtifactStore, payload) -> None:
+        workload, scale, total, emulated = payload
+        if emulated:
+            self.counters["emulations"] += 1
+            self.counters["emulated_instructions"] += emulated
+        self._pool_plan_pair(store, (workload, scale),
+                             self.policy.resolve(total, self.jobs))
+
+    def _pool_plan_pair(self, store: ArtifactStore,
+                        pair: tuple[str, int],
+                        segment_insns: int) -> None:
+        workload, scale = pair
+        manifest = store.load_manifest(workload, scale, segment_insns)
+        if manifest is not None:
+            plan = SegmentPlan.from_manifest(manifest)
+            self._finalize_plan(pair, plan)
+            self._dispatch_planned_shards(pair, plan, set())
+            return
+        info = store.load_trace_info(workload, scale)
+        if info is not None and store.has_trace(workload, scale):
+            # the oracle trace exists (a flat sweep, a prewarm, or a
+            # measure task deposited it): the plan is pure arithmetic
+            # and every shard just slices the oracle
+            plan = SegmentPlan(workload, scale, segment_insns,
+                               _arith_lengths(int(info["instructions"]),
+                                              segment_insns))
+            self._save_plan(store, plan)
+            self._finalize_plan(pair, plan)
+            self._dispatch_planned_shards(pair, plan, set())
+            return
+        # cold: chain window tasks through checkpoints, dispatching
+        # each detailed segment's shard as soon as its columns land
+        ready = 0
+        while store.has_segment_trace(workload, scale, segment_insns,
+                                      ready):
+            ready += 1
+        chain = self._chains[pair] = {
+            "segment_insns": segment_insns, "emulated": 0,
+            "dispatched": set(),
+            "warmup": self.policy.effective_warmup(segment_insns),
+            "offset": (self.policy.phase_offset(workload, scale)
+                       if self.policy.sampled else 0),
+        }
+        for index in range(ready):
+            self._maybe_dispatch_landed(pair, chain, index)
+        self._submit("window", pair, _window_task,
+                     (workload, scale, segment_insns, ready,
+                      self.max_instructions))
+
+    def _chain_detailed(self, chain: dict, index: int) -> bool:
+        if not self.policy.sampled:
+            return True
+        return index % self.policy.sample_period == chain["offset"]
+
+    def _maybe_dispatch_landed(self, pair: tuple[str, int], chain: dict,
+                               index: int) -> None:
+        """Dispatch a segment's shard the moment its trace is on disk.
+
+        Only for exact windows (no warm prefix): a warmup window needs
+        the finalized plan's offsets, so sampled-with-warmup shards
+        wait for the chain to finish.
+        """
+        if chain["warmup"] > 0 or not self._chain_detailed(chain, index):
+            return
+        if index in chain["dispatched"]:
+            return
+        chain["dispatched"].add(index)
+        workload, scale = pair
+        self._submit("shard", pair, _simulate_shard,
+                     (workload, scale, chain["segment_insns"], index,
+                      self.items[pair], None, 0))
+
+    def _on_window(self, store: ArtifactStore, pair: tuple[str, int],
+                   payload) -> None:
+        workload, scale, index, length, total, halted = payload
+        chain = self._chains[pair]
+        segment_insns = chain["segment_insns"]
+        chain["emulated"] += length
+        if length:
+            self._maybe_dispatch_landed(pair, chain, index)
+        if not halted:
+            self._submit("window", pair, _window_task,
+                         (workload, scale, segment_insns, index + 1,
+                          self.max_instructions))
+            return
+        if chain["emulated"]:
+            self.counters["emulations"] += 1
+            self.counters["emulated_instructions"] += chain["emulated"]
+        plan = SegmentPlan(workload, scale, segment_insns,
+                           _arith_lengths(total, segment_insns))
+        self._save_plan(store, plan)
+        self._finalize_plan(pair, plan)
+        self._dispatch_planned_shards(pair, plan, chain["dispatched"])
+
+    def _dispatch_planned_shards(self, pair: tuple[str, int],
+                                 plan: SegmentPlan,
+                                 already: set[int]) -> None:
+        warmup = self.policy.effective_warmup(plan.segment_insns)
+        for index in self.detailed[pair]:
+            if index in already:
+                continue
+            self._submit("shard", pair, _simulate_shard,
+                         (pair[0], pair[1], plan.segment_insns, index,
+                          self.items[pair], list(plan.lengths), warmup))
+
+    def _on_shard(self, pair: tuple[str, int], payload) -> None:
+        for point_index, seg_index, stats, hit, window_len in payload:
+            self._absorb(point_index, seg_index, stats, hit)
+            self.window_lens.setdefault(pair, {})[seg_index] = window_len
+        self._done_units += len(payload)
+        seg_index = payload[0][1]
+        self._emit("simulate", self._done_units, self._total_units,
+                   f"{pair[0]}@{pair[1]} segment {seg_index} "
+                   f"({len(payload)} configs)")
+
+    # -- reduction -----------------------------------------------------
+
+    def reduce(self) -> list[PointResult]:
+        self.counters["simulations"] = \
+            self.counters["segment_simulations"]
+        results = []
+        max_relative = 0.0
+        covered = total_insns = 0
+        for index, point in enumerate(self.points):
+            pair = (point.workload, point.scale)
+            plan = self.plans[pair]
+            detailed = self.detailed[pair]
+            samples = self.partials[index]
+            if not self.policy.sampled:
+                ordered = [samples[seg]
+                           for seg in range(plan.num_segments)]
+                stats = (PipelineStats.merge_all(ordered) if ordered
+                         else PipelineStats())
+                results.append(PointResult(
+                    point=point, stats=stats,
+                    emulated=False,  # emulation is per workload
+                    simulated=self.hits[index] < plan.num_segments,
+                    segments=plan.num_segments,
+                    segments_from_cache=self.hits[index]))
+                continue
+            if detailed:
+                stats, bounds = _extrapolate(plan, detailed, samples,
+                                             self.window_lens[pair])
+            else:
+                stats, bounds = PipelineStats(), {"relative_error": 0.0,
+                                                  "half_width": {}}
+            max_relative = max(max_relative, bounds["relative_error"])
+            covered += sum(plan.lengths[i] for i in detailed)
+            total_insns += plan.total_instructions
+            results.append(PointResult(
+                point=point, stats=stats, emulated=False,
+                simulated=self.hits[index] < len(detailed),
+                segments=plan.num_segments,
+                segments_from_cache=self.hits[index],
+                estimated=True, error_bounds=bounds))
+        if self.policy.sampled:
+            TELEMETRY.gauge("repro_sampling_coverage").set(
+                round(covered / total_insns, 6) if total_insns else 0.0)
+            TELEMETRY.gauge("repro_sampling_relative_error").set(
+                round(max_relative, 6))
+        return results
+
+
+# ----------------------------------------------------------------------
+# one point, serially (the runner's segmented path)
+# ----------------------------------------------------------------------
+
+def simulate_workload_segmented(workload: str, config: MachineConfig,
+                                scale: int,
+                                policy: SegmentPolicy | int,
+                                store: ArtifactStore,
+                                max_instructions: int =
+                                DEFAULT_MAX_INSTRUCTIONS) -> PipelineStats:
+    """Simulate one workload/config pair under a segment policy.
+
+    Serial counterpart of :func:`run_segmented_sweep` used by the
+    experiment runner; per-segment stats and the plan manifest go
+    through *store* so later sweeps (or re-runs) reuse the work.
+    *policy* accepts a bare int as the deprecated ``segment_insns``
+    spelling.  Sampled policies return the extrapolated estimate
+    (bounds travel on sweep results, not bare stats).
+    """
+    policy = SegmentPolicy.coerce(policy)
+    if policy is None:
+        raise ValueError("simulate_workload_segmented needs a "
+                         "SegmentPolicy (or segment_insns int)")
+    point = SweepPoint(workload=workload, scale=scale, variant="policy",
+                       config=config)
+    run = _SegmentedRun([point], policy, jobs=1,
+                        store_dir=str(store.root), progress=None,
+                        max_instructions=max_instructions)
+    run.run_serial(store=store)
+    return run.reduce()[0].stats
+
+
+# ----------------------------------------------------------------------
+# the sweep entry point
+# ----------------------------------------------------------------------
+
+def run_segmented_sweep(points: list[SweepPoint],
+                        policy: SegmentPolicy | int | None = None,
                         jobs: int | None = 1,
                         store_dir: str | os.PathLike | None = None,
                         progress=None,
                         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                        *, segment_insns: int | None = None
                         ) -> SweepResult:
     """Execute a sweep grid with intra-workload segment parallelism.
 
     Drop-in alternative to :func:`repro.engine.pool.run_sweep` (same
     ``SweepResult`` shape): a single long workload fans out across all
-    ``jobs`` workers instead of serializing on one.  Segment artifacts
-    (traces, checkpoints, partial stats) live in the store at
-    *store_dir* — or a run-scoped temporary store when omitted — so a
-    re-run against the same store performs zero emulation and zero
-    segment simulations.
+    ``jobs`` workers instead of serializing on one, and the emulate /
+    simulate stages overlap (see the module docstring).  *policy*
+    accepts a :class:`SegmentPolicy`, a bare int (deprecated
+    ``segment_insns`` spelling — still available as a keyword for old
+    call sites), or a policy-manifest dict.
 
-    ``progress`` receives one
-    :class:`~repro.engine.events.SegmentEvent` after every completed
-    planning task (``phase="plan"``) and simulation shard
-    (``phase="simulate"``).
+    Artifacts live in the store at *store_dir* — or a run-scoped
+    temporary store when omitted — so a re-run against the same store
+    performs zero emulation and (exact modes) zero segment
+    simulations.  ``progress`` receives
+    :class:`~repro.engine.events.SegmentEvent`\\ s per finalized plan
+    (``phase="plan"``) and per simulated segment shard
+    (``phase="simulate"``); sampled-mode events are flagged
+    ``estimated``.
     """
-    if segment_insns <= 0:
-        raise ValueError(f"segment_insns must be > 0, got {segment_insns}")
+    if policy is None:
+        policy = segment_insns
+    policy = SegmentPolicy.coerce(policy)
+    if policy is None:
+        raise ValueError("run_segmented_sweep needs a SegmentPolicy "
+                         "(or segment_insns > 0)")
     jobs = resolve_jobs(jobs)
     started = time.perf_counter()
     scratch_dir = None
@@ -318,135 +1283,15 @@ def run_segmented_sweep(points: list[SweepPoint], segment_insns: int,
         store_dir = scratch_dir
     store_dir = os.fspath(store_dir)
     try:
-        return _run_segmented(points, segment_insns, jobs, store_dir,
-                              progress, max_instructions, started)
+        run = _SegmentedRun(points, policy, jobs, store_dir, progress,
+                            max_instructions)
+        if jobs == 1 or not run.pairs:
+            run.run_serial()
+        else:
+            run.run_pool()
+        return SweepResult(results=run.reduce(), counters=run.counters,
+                           elapsed=time.perf_counter() - started,
+                           jobs=jobs)
     finally:
         if scratch_dir is not None:
             shutil.rmtree(scratch_dir, ignore_errors=True)
-
-
-def _dispatch_units(units: list, worker, absorb, jobs: int, store_dir: str,
-                    progress, total: int, phase: str) -> None:
-    """Run *worker* over *units* inline or on a process pool.
-
-    ``absorb(result) -> (done, message)`` folds each completed unit
-    into the caller's state; ``progress`` receives one
-    :class:`~repro.engine.events.SegmentEvent` (tagged *phase*) per
-    completed unit.  ``jobs == 1`` (or a single unit) uses the same
-    worker code inline — against a call-local store, never a module
-    global, so interleaved serial sweeps stay disjoint — making
-    serial and parallel runs byte-for-byte identical.
-    """
-    def emit(done: int, message: str) -> None:
-        if progress is not None:
-            progress(SegmentEvent(message=message, done=done,
-                                  total=total, phase=phase))
-
-    if jobs == 1 or len(units) <= 1:
-        store = ArtifactStore(store_dir)
-        for unit in units:
-            payload, _ = worker(unit, store=store)
-            done, message = absorb(payload)
-            emit(done, message)
-    else:
-        from .pool import _pool_kwargs
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(units)),
-                                   initializer=_init_worker,
-                                   initargs=(store_dir,),
-                                   **_pool_kwargs())
-        try:
-            futures = [pool.submit(worker, unit, None,
-                                   time.monotonic_ns())
-                       for unit in units]
-            for future in as_completed(futures):
-                payload, telemetry_snap = future.result()
-                TELEMETRY.merge(telemetry_snap)
-                done, message = absorb(payload)
-                emit(done, message)
-        finally:
-            # a consumer that bails (a cancelled service job raising
-            # from its progress callback) stops near the next
-            # completed unit: running units finish, queued units are
-            # cancelled
-            pool.shutdown(wait=True, cancel_futures=True)
-
-
-def _run_segmented(points: list[SweepPoint], segment_insns: int, jobs: int,
-                   store_dir: str, progress, max_instructions: int,
-                   started: float) -> SweepResult:
-    counters = {"points": len(points), "segment_insns": segment_insns,
-                "emulations": 0, "emulated_instructions": 0,
-                "segments": 0, "segment_simulations": 0,
-                "segment_stats_hits": 0, "simulations": 0}
-
-    # ---- phase 1: plan every distinct (workload, scale) --------------
-    pairs = list(dict.fromkeys((p.workload, p.scale) for p in points))
-    tasks = [(workload, scale, segment_insns, max_instructions)
-             for workload, scale in pairs]
-    plans: dict[tuple[str, int], SegmentPlan] = {}
-
-    def _absorb_plan(result) -> tuple[int, str]:
-        workload, scale, manifest, plan_counters = result
-        plans[(workload, scale)] = SegmentPlan.from_manifest(manifest)
-        counters["emulations"] += plan_counters["emulated_instructions"] > 0
-        counters["emulated_instructions"] += \
-            plan_counters["emulated_instructions"]
-        return len(plans), (f"planned {workload}@{scale} "
-                            f"({plans[(workload, scale)].num_segments} "
-                            f"segments)")
-
-    _dispatch_units(tasks, _plan_task, _absorb_plan, jobs, store_dir,
-                    progress, total=len(tasks), phase="plan")
-
-    # ---- phase 2: fan (config x segment) units across workers --------
-    shards: dict[tuple[str, int, int], list] = {}
-    for index, point in enumerate(points):
-        plan = plans[(point.workload, point.scale)]
-        for seg_index in range(plan.num_segments):
-            shards.setdefault(
-                (point.workload, point.scale, seg_index),
-                []).append((index, point.config))
-    shard_list = [(workload, scale, segment_insns, seg_index, items)
-                  for (workload, scale, seg_index), items
-                  in shards.items()]
-    counters["segments"] = sum(plan.num_segments
-                               for plan in plans.values())
-    total_units = sum(len(items) for items in shards.values())
-    partials: list[dict[int, PipelineStats]] = [{} for _ in points]
-    hits_per_point = [0] * len(points)
-    done = 0
-
-    def _absorb_shard(shard_out) -> tuple[int, str]:
-        nonlocal done
-        for point_index, seg_index, stats, hit in shard_out:
-            partials[point_index][seg_index] = stats
-            counters["segment_stats_hits"] += hit
-            counters["segment_simulations"] += not hit
-            hits_per_point[point_index] += hit
-        done += len(shard_out)
-        first_point = points[shard_out[0][0]]
-        seg_index = shard_out[0][1]
-        return done, (f"{first_point.workload}@{first_point.scale} "
-                      f"segment {seg_index} ({len(shard_out)} configs)")
-
-    _dispatch_units(shard_list, _simulate_shard, _absorb_shard, jobs,
-                    store_dir, progress, total=total_units,
-                    phase="simulate")
-
-    # ---- phase 3: reduce per-segment partials in segment order -------
-    counters["simulations"] = counters["segment_simulations"]
-    results = []
-    for index, point in enumerate(points):
-        plan = plans[(point.workload, point.scale)]
-        ordered = [partials[index][seg]
-                   for seg in range(plan.num_segments)]
-        stats = (PipelineStats.merge_all(ordered) if ordered
-                 else PipelineStats())
-        results.append(PointResult(
-            point=point, stats=stats,
-            emulated=False,  # planning emulates per workload, not per point
-            simulated=hits_per_point[index] < plan.num_segments,
-            segments=plan.num_segments,
-            segments_from_cache=hits_per_point[index]))
-    return SweepResult(results=results, counters=counters,
-                       elapsed=time.perf_counter() - started, jobs=jobs)

@@ -60,9 +60,9 @@ from .differential import DEFAULT_SEGMENT_INSNS, run_fuzz
 from .events import (Event, JobFailedEvent, JobFinishedEvent,
                      JobStartedEvent, MetricEvent)
 from .pool import resolve_jobs, run_sweep, set_worker_start_method
-from .search import (STRATEGIES, SearchSpace, make_objective,
+from .search import (RUNG_MODES, STRATEGIES, SearchSpace, make_objective,
                      resolve_search_workloads, run_search)
-from .segments import run_segmented_sweep
+from .segments import SegmentPolicy, run_segmented_sweep
 from .telemetry import TELEMETRY
 
 JOB_KINDS = ("sweep", "search", "segments", "fuzz")
@@ -77,10 +77,11 @@ _SPEC_KEYS = {
                              "optimized", "baseline"},
     "segments": _COMMON_KEYS | {"workloads", "suite", "scales", "axes",
                                 "optimized", "baseline",
-                                "segment_insns"},
+                                "policy", "segment_insns"},
     "search": _COMMON_KEYS | {"workloads", "suite", "scales", "dims",
                               "strategy", "budget", "objective",
                               "weights", "seed", "rung_insns",
+                              "rung_mode", "rung_period",
                               "optimized"},
     "fuzz": _COMMON_KEYS | {"seeds", "families", "scale", "small",
                             "segment_insns"},
@@ -126,6 +127,10 @@ class Job:
         """JSON-ready state snapshot (the ``GET /jobs`` row)."""
         summary = {"id": self.id, "kind": self.kind, "name": self.name,
                    "status": self.status, "events": len(self.events)}
+        if self.kind == "segments" and "policy" in self.spec:
+            # echo the normalized segment policy, so a client can see
+            # exactly what a deprecated segment_insns spelling became
+            summary["policy"] = self.spec["policy"]
         if self.error:
             summary["error"] = self.error
         return summary
@@ -153,6 +158,30 @@ def _spec_scales(spec: dict) -> list[int]:
         raise ValueError(f"scales must be a non-empty list of "
                          f"integers, got {scales!r}")
     return [int(s) for s in scales]
+
+
+def _segment_policy_from_spec(spec: dict) -> SegmentPolicy:
+    """The segments job's policy, from either spelling.
+
+    ``"policy"`` (a :meth:`SegmentPolicy.to_manifest` object — unknown
+    fields inside it are rejected by name) is canonical;
+    ``"segment_insns"`` remains as the pre-policy deprecated spelling.
+    Giving both is ambiguous and rejected.
+    """
+    policy_spec = spec.get("policy")
+    legacy = spec.get("segment_insns")
+    if policy_spec is not None and legacy is not None:
+        raise ValueError("give either policy or the deprecated "
+                         "segment_insns, not both")
+    if policy_spec is not None:
+        if not isinstance(policy_spec, dict):
+            raise ValueError(f"policy must be a JSON object, "
+                             f"got {policy_spec!r}")
+        return SegmentPolicy.from_manifest(policy_spec)
+    if legacy is None:
+        raise ValueError("segments job needs a policy (or the "
+                         "deprecated segment_insns)")
+    return SegmentPolicy(segment_insns=int(legacy))
 
 
 def _campaign_from_spec(spec: dict) -> Campaign:
@@ -187,16 +216,27 @@ def _sweep_body(spec: dict, store_dir: str, jobs: int,
 
 def _segments_body(spec: dict, store_dir: str, jobs: int,
                    emit: Callable[[Event], None]) -> dict:
-    segment_insns = int(spec["segment_insns"])  # validated at submit
+    # submit-time validation normalized the spec to a policy manifest
+    policy = SegmentPolicy.from_manifest(spec["policy"])
     points = _campaign_from_spec(spec).points()
-    sweep = run_segmented_sweep(points, segment_insns, jobs=jobs,
+    sweep = run_segmented_sweep(points, policy, jobs=jobs,
                                 store_dir=store_dir, progress=emit)
     ledger = sweep.ledger_json()
-    return {"points": len(points), "counters": dict(sweep.counters),
-            "elapsed_seconds": round(sweep.elapsed, 3),
-            "retired_insns": sum(r.stats.retired
-                                 for r in sweep.results),
-            "ledger": ledger, "ledger_sha256": _sha256(ledger)}
+    result = {"points": len(points), "counters": dict(sweep.counters),
+              "elapsed_seconds": round(sweep.elapsed, 3),
+              "retired_insns": sum(r.stats.retired
+                                   for r in sweep.results),
+              "policy": policy.to_manifest(),
+              "ledger": ledger, "ledger_sha256": _sha256(ledger)}
+    estimated = [r for r in sweep.results if r.estimated]
+    if estimated:
+        # sampled runs return extrapolations, never exact numbers —
+        # the summary says so and carries the worst per-point CI
+        result["estimated"] = True
+        result["max_relative_error"] = max(
+            (r.error_bounds or {}).get("relative_error", 0.0)
+            for r in estimated)
+    return result
 
 
 def _search_body(spec: dict, store_dir: str, jobs: int,
@@ -213,6 +253,10 @@ def _search_body(spec: dict, store_dir: str, jobs: int,
     kwargs = {}
     if spec.get("rung_insns"):
         kwargs["rung_insns"] = int(spec["rung_insns"])
+    if spec.get("rung_mode"):
+        kwargs["rung_mode"] = str(spec["rung_mode"])
+    if spec.get("rung_period"):
+        kwargs["rung_period"] = int(spec["rung_period"])
     budget = spec.get("budget")
     result = run_search(
         space, workloads=workloads,
@@ -353,10 +397,14 @@ class JobManager:
                 # .size, not .points(): a huge grid must not be
                 # materialized on the event loop just to validate
                 campaign = _campaign_from_spec(job.spec)
-                if kind == "segments" \
-                        and int(job.spec.get("segment_insns", 0)) <= 0:
-                    raise ValueError("segments job needs "
-                                     "segment_insns > 0")
+                if kind == "segments":
+                    policy = _segment_policy_from_spec(job.spec)
+                    # normalize: the body and the GET /jobs echo see
+                    # one canonical manifest whichever spelling (new
+                    # policy object or deprecated segment_insns) the
+                    # client used
+                    job.spec.pop("segment_insns", None)
+                    job.spec["policy"] = policy.to_manifest()
                 if campaign.size == 0:
                     raise ValueError("sweep spec names an empty grid")
             elif kind == "search":
@@ -382,6 +430,15 @@ class JobManager:
                     if value is not None and int(value) <= 0:
                         raise ValueError(f"{bound} must be > 0, "
                                          f"got {value}")
+                rung_mode = job.spec.get("rung_mode", "limit")
+                if rung_mode not in RUNG_MODES:
+                    raise ValueError(
+                        f"unknown rung_mode {rung_mode!r}; expected "
+                        f"one of {', '.join(RUNG_MODES)}")
+                rung_period = job.spec.get("rung_period")
+                if rung_period is not None and int(rung_period) < 2:
+                    raise ValueError(f"rung_period must be >= 2, "
+                                     f"got {rung_period}")
             elif kind == "fuzz":
                 seeds = job.spec.get("seeds", [0, 8])
                 # a string like "19" would pass a bare len()==2 check

@@ -87,6 +87,17 @@ def trace_key(workload: str, scale: int) -> str:
                     "workload": workload, "scale": scale})
 
 
+def trace_info_key(workload: str, scale: int) -> str:
+    """Stable content key for a workload's trace metadata.
+
+    A tiny JSON record (currently ``{"instructions": N}``) that lets
+    the segmented engine's adaptive sizing learn a trace's length
+    without unpickling — or even storing — the trace itself.
+    """
+    return _digest({"kind": "trace-info", "format": FORMAT_VERSION,
+                    "workload": workload, "scale": scale})
+
+
 def stats_key(workload: str, scale: int, config: MachineConfig,
               limit_insns: int | None = None) -> str:
     """Stable content key for one simulation's stats.
@@ -215,6 +226,33 @@ class ArtifactStore:
         path = self._traces / f"{trace_key(workload, scale)}.pkl"
         payload = pickle.dumps(trace, protocol=PICKLE_PROTOCOL)
         self._atomic_write(path, payload)
+        return path
+
+    def has_trace(self, workload: str, scale: int) -> bool:
+        """Whether the oracle trace is on disk (no unpickle, no counters)."""
+        return (self._traces / f"{trace_key(workload, scale)}.pkl").exists()
+
+    # ------------------------------------------------------------------
+    # trace metadata
+    # ------------------------------------------------------------------
+
+    def load_trace_info(self, workload: str, scale: int) -> dict | None:
+        """Stored trace metadata (``{"instructions": N}``), or ``None``.
+
+        Lives beside the manifests: it is planning metadata, a few
+        bytes, and — like a manifest — only ever written after the
+        emulation that measured it completed.
+        """
+        key = trace_info_key(workload, scale)
+        text = self._load_text(self._manifests / f"{key}.json")
+        return None if text is None else json.loads(text)
+
+    def save_trace_info(self, workload: str, scale: int,
+                        info: dict) -> Path:
+        """Persist trace metadata; returns the artifact path."""
+        key = trace_info_key(workload, scale)
+        path = self._manifests / f"{key}.json"
+        self._atomic_write(path, canonical_json(info).encode())
         return path
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from ..engine.campaign import SweepPoint
 from ..engine.pool import resolve_jobs, run_sweep, run_trace_prewarm
+from ..engine.segments import SegmentPolicy
 from ..engine.store import ArtifactStore
 from ..functional.emulator import PackedTrace
 from ..uarch.config import MachineConfig
@@ -35,14 +36,20 @@ from ..uarch.stats import PipelineStats
 from ..workloads import ALL_WORKLOADS, build_trace, get_workload
 
 _trace_cache: dict[tuple[str, int], PackedTrace] = {}
-#: keyed (workload, scale, config cache_key, segment_insns or 0) — the
-#: last element keeps monolithic and segmented results distinct (their
-#: cycle counts legitimately differ).
-_stats_cache: dict[tuple[str, int, str, int], PipelineStats] = {}
+#: keyed (workload, scale, config cache_key, segment-policy token) —
+#: the last element keeps monolithic and each segmented flavour's
+#: results distinct (their cycle counts legitimately differ, and a
+#: sampled run's are estimates).
+_stats_cache: dict[tuple[str, int, str, str], PipelineStats] = {}
 _store: ArtifactStore | None = None
 _default_jobs: int = 1
-_segment_insns: int | None = None
+_segment_policy: SegmentPolicy | None = None
 _scratch_store: ArtifactStore | None = None
+
+
+def _policy_token() -> str:
+    """The stats-cache key element for the active segment policy."""
+    return _segment_policy.token() if _segment_policy is not None else ""
 
 
 def _prewarm_store_dir() -> str:
@@ -64,26 +71,31 @@ def _prewarm_store_dir() -> str:
 
 def configure(store_dir: str | None = None,
               jobs: int | None = None,
-              segment_insns: int | None = None) -> None:
+              segment_insns: int | None = None,
+              segment_policy: SegmentPolicy | dict | int | None = None
+              ) -> None:
     """Set the process-wide artifact store and default parallelism.
 
     ``store_dir=None`` leaves the store untouched; ``jobs=None``
-    leaves the default job count untouched; ``segment_insns`` turns on
-    segmented simulation (every workload's trace is split into
-    fixed-instruction-count segments — see
-    :mod:`repro.engine.segments`).  The CLI calls this once from its
-    global ``--store`` / ``--jobs`` / ``--segment-insns`` options.
+    leaves the default job count untouched; ``segment_policy`` turns
+    on segmented simulation under a :class:`SegmentPolicy` (fixed /
+    adaptive / sampled — see :mod:`repro.engine.segments`).
+    ``segment_insns`` is the deprecated fixed-mode spelling of the
+    same thing.  The CLI calls this once from its global ``--store`` /
+    ``--jobs`` / segmentation options.
     """
-    global _store, _default_jobs, _segment_insns
+    global _store, _default_jobs, _segment_policy
     if store_dir is not None:
         _store = ArtifactStore(store_dir)
     if jobs is not None:
         _default_jobs = resolve_jobs(jobs)
-    if segment_insns is not None:
-        if segment_insns <= 0:
-            raise ValueError(
-                f"segment_insns must be > 0, got {segment_insns}")
-        _segment_insns = segment_insns
+    if segment_policy is not None and segment_insns is not None:
+        raise ValueError("give either segment_policy or the deprecated "
+                         "segment_insns, not both")
+    if segment_policy is None:
+        segment_policy = segment_insns
+    if segment_policy is not None:
+        _segment_policy = SegmentPolicy.coerce(segment_policy)
 
 
 def active_store() -> ArtifactStore | None:
@@ -96,26 +108,36 @@ def default_jobs() -> int:
     return _default_jobs
 
 
+def default_segment_policy() -> SegmentPolicy | None:
+    """The configured segment policy (None = monolithic simulation)."""
+    return _segment_policy
+
+
 def default_segment_insns() -> int | None:
-    """The configured segment size (None = monolithic simulation)."""
-    return _segment_insns
+    """Deprecated: the configured fixed segment size, if any.
+
+    Kept for callers predating :class:`SegmentPolicy`; adaptive-mode
+    policies have no fixed size and report ``None`` here.
+    """
+    return (_segment_policy.segment_insns
+            if _segment_policy is not None else None)
 
 
 def clear_caches(*, detach_store: bool = False) -> None:
     """Drop all memoized traces and simulation results.
 
     ``detach_store=True`` additionally forgets the configured store,
-    the scratch store, the default job count, and the segment size
+    the scratch store, the default job count, and the segment policy
     (the scratch directory itself is removed at process exit).
     """
-    global _store, _scratch_store, _default_jobs, _segment_insns
+    global _store, _scratch_store, _default_jobs, _segment_policy
     _trace_cache.clear()
     _stats_cache.clear()
     if detach_store:
         _store = None
         _scratch_store = None
         _default_jobs = 1
-        _segment_insns = None
+        _segment_policy = None
 
 
 def get_trace(name: str, scale: int = 1) -> PackedTrace:
@@ -141,22 +163,23 @@ def run_workload(name: str, config: MachineConfig,
                  scale: int = 1) -> PipelineStats:
     """Simulate one workload on one machine configuration (cached).
 
-    With a configured ``segment_insns`` the simulation runs segmented
+    With a configured segment policy the simulation runs segmented
     (per-segment artifacts land in the store, merged stats are
-    returned); otherwise monolithically.
+    returned — sampled-mode policies return *estimates*); otherwise
+    monolithically.
     """
     name = get_workload(name).name
-    key = (name, scale, config.cache_key(), _segment_insns or 0)
+    key = (name, scale, config.cache_key(), _policy_token())
     stats = _stats_cache.get(key)
     if stats is not None:
         return stats
-    if _segment_insns:
+    if _segment_policy is not None:
         from ..engine.segments import simulate_workload_segmented
         if _store is None:
             _prewarm_store_dir()  # materializes the scratch store
         store = _store if _store is not None else _scratch_store
         stats = simulate_workload_segmented(name, config, scale,
-                                            _segment_insns, store=store)
+                                            _segment_policy, store=store)
     else:
         if _store is not None:
             stats = _store.load_stats(name, scale, config)
@@ -182,7 +205,7 @@ def prewarm(names: list[str], configs: list[MachineConfig],
     jobs = _default_jobs if jobs is None else resolve_jobs(jobs)
     if jobs <= 1:
         return None
-    segment = _segment_insns or 0
+    token = _policy_token()
     unique_configs: dict[str, MachineConfig] = {}
     for config in configs:
         unique_configs.setdefault(config.cache_key(), config)
@@ -190,16 +213,16 @@ def prewarm(names: list[str], configs: list[MachineConfig],
         SweepPoint(workload=name, scale=scale, variant=key, config=config)
         for name in dict.fromkeys(names)
         for key, config in unique_configs.items()
-        if (name, scale, key, segment) not in _stats_cache
+        if (name, scale, key, token) not in _stats_cache
     ]
     if not points:
         return None
     result = run_sweep(points, jobs=jobs, store_dir=_prewarm_store_dir(),
-                       segment_insns=_segment_insns)
+                       segment_policy=_segment_policy)
     for point_result in result.results:
         point = point_result.point
         _stats_cache[(point.workload, point.scale, point.variant,
-                      segment)] = point_result.stats
+                      token)] = point_result.stats
     return result.counters
 
 

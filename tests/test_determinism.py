@@ -84,6 +84,53 @@ class TestSegmentedDeterminism:
                     (flat_result.point.label, name)
 
 
+class TestSegmentPolicyDeterminism:
+    def test_deprecated_spelling_matches_policy_object(self, tmp_path):
+        from repro.engine.segments import SegmentPolicy
+        points = _campaign().points()
+        shim = run_sweep(points, jobs=1, store_dir=tmp_path / "a",
+                         segment_insns=2000)
+        policy = run_sweep(points, jobs=1, store_dir=tmp_path / "b",
+                           segment_policy=SegmentPolicy(
+                               segment_insns=2000))
+        assert shim.ledger_json() == policy.ledger_json()
+
+    def test_sampled_ledgers_match_across_jobs(self, tmp_path):
+        from repro.engine.segments import SegmentPolicy
+        policy = SegmentPolicy(mode="sampled", segment_insns=2000,
+                               sample_period=3)
+        points = _campaign().points()
+        serial = run_sweep(points, jobs=1,
+                           store_dir=tmp_path / "serial",
+                           segment_policy=policy)
+        parallel = run_sweep(points, jobs=4,
+                             store_dir=tmp_path / "parallel",
+                             segment_policy=policy)
+        assert serial.results[0].estimated
+        assert serial.ledger_json() == parallel.ledger_json()
+
+    def test_adaptive_serial_matches_flat_ledger(self, tmp_path):
+        from repro.engine.segments import SegmentPolicy
+        points = _campaign().points()
+        flat = run_sweep(points, jobs=1)
+        adaptive = run_sweep(points, jobs=1, store_dir=tmp_path,
+                             segment_policy=SegmentPolicy(
+                                 mode="adaptive"))
+        # jobs=1 adaptive collapses to one whole-trace segment: not
+        # merely deterministic, but byte-identical to the flat run
+        assert flat.ledger_json() == adaptive.ledger_json()
+
+    def test_adaptive_rerun_is_byte_identical(self, tmp_path):
+        from repro.engine.segments import SegmentPolicy
+        points = _campaign().points()
+        policy = SegmentPolicy(mode="adaptive")
+        first = run_sweep(points, jobs=4, store_dir=tmp_path,
+                          segment_policy=policy)
+        second = run_sweep(points, jobs=4, store_dir=tmp_path,
+                           segment_policy=policy)
+        assert first.ledger_json() == second.ledger_json()
+
+
 class TestSearchDeterminism:
     SPACE = ["optimizer.enabled=false,true", "sched_entries=8,16"]
 

@@ -459,3 +459,240 @@ class TestStoreGC:
                 main(["store", "info"])
         finally:
             runner.clear_caches(detach_store=True)
+
+
+# ----------------------------------------------------------------------
+# SegmentPolicy: validation, coercion, manifest round-trips
+# ----------------------------------------------------------------------
+
+class TestSegmentPolicy:
+    def test_fixed_requires_positive_segment_insns(self):
+        from repro.engine.segments import SegmentPolicy
+        with pytest.raises(ValueError, match="segment_insns"):
+            SegmentPolicy(mode="fixed")
+        with pytest.raises(ValueError, match="segment_insns"):
+            SegmentPolicy(mode="fixed", segment_insns=0)
+
+    def test_adaptive_rejects_explicit_size(self):
+        from repro.engine.segments import SegmentPolicy
+        with pytest.raises(ValueError, match="adaptive"):
+            SegmentPolicy(mode="adaptive", segment_insns=SEG)
+        SegmentPolicy(mode="adaptive")  # and is valid without one
+
+    def test_sampled_validation(self):
+        from repro.engine.segments import SegmentPolicy
+        with pytest.raises(ValueError, match="sample_period"):
+            SegmentPolicy(mode="sampled", segment_insns=SEG,
+                          sample_period=1)
+        with pytest.raises(ValueError, match="sample_period"):
+            SegmentPolicy(mode="fixed", segment_insns=SEG,
+                          sample_period=4)
+        with pytest.raises(ValueError, match="warmup_insns"):
+            SegmentPolicy(mode="fixed", segment_insns=SEG,
+                          warmup_insns=10)
+        defaulted = SegmentPolicy(mode="sampled", segment_insns=SEG)
+        assert defaulted.sample_period == 4
+
+    def test_unknown_mode_rejected(self):
+        from repro.engine.segments import SegmentPolicy
+        with pytest.raises(ValueError, match="mode"):
+            SegmentPolicy(mode="turbo", segment_insns=SEG)
+
+    def test_coerce_accepts_every_spelling(self):
+        from repro.engine.segments import SegmentPolicy
+        assert SegmentPolicy.coerce(None) is None
+        fixed = SegmentPolicy.coerce(SEG)
+        assert fixed.mode == "fixed" and fixed.segment_insns == SEG
+        policy = SegmentPolicy(mode="sampled", segment_insns=SEG,
+                               sample_period=3)
+        assert SegmentPolicy.coerce(policy) is policy
+        assert SegmentPolicy.coerce(policy.to_manifest()) == policy
+
+    def test_manifest_round_trip(self):
+        from repro.engine.segments import SegmentPolicy
+        for policy in (SegmentPolicy(segment_insns=SEG),
+                       SegmentPolicy(mode="adaptive"),
+                       SegmentPolicy(mode="sampled", segment_insns=SEG,
+                                     sample_period=5, warmup_insns=100,
+                                     phase_seed=7)):
+            manifest = policy.to_manifest()
+            assert SegmentPolicy.from_manifest(manifest) == policy
+            assert json.loads(json.dumps(manifest)) == manifest
+
+    def test_from_manifest_names_unknown_fields(self):
+        from repro.engine.segments import SegmentPolicy
+        with pytest.raises(ValueError) as err:
+            SegmentPolicy.from_manifest({"mode": "fixed",
+                                         "segment_insns": SEG,
+                                         "warmpu_insns": 1,
+                                         "zzz": 2})
+        assert "warmpu_insns" in str(err.value)
+        assert "zzz" in str(err.value)
+
+    def test_tokens_distinguish_policies(self):
+        from repro.engine.segments import SegmentPolicy
+        tokens = {SegmentPolicy(segment_insns=SEG).token(),
+                  SegmentPolicy(segment_insns=SEG * 2).token(),
+                  SegmentPolicy(mode="adaptive").token(),
+                  SegmentPolicy(mode="sampled", segment_insns=SEG,
+                                sample_period=4).token(),
+                  SegmentPolicy(mode="sampled", segment_insns=SEG,
+                                sample_period=2).token()}
+        assert len(tokens) == 5
+
+    def test_adaptive_resolution(self):
+        from repro.engine.segments import (ADAPTIVE_MIN_SEGMENT,
+                                           SegmentPolicy)
+        adaptive = SegmentPolicy(mode="adaptive")
+        # serial or short traces collapse to one segment
+        assert adaptive.resolve(100_000, jobs=1) == 100_000
+        assert adaptive.resolve(3000, jobs=4) == 3000
+        # long traces split into ~2x jobs shards, floored
+        assert adaptive.resolve(80_000, jobs=4) == 10_000
+        assert adaptive.resolve(40_000, jobs=4) \
+            == max(5000, ADAPTIVE_MIN_SEGMENT)
+        fixed = SegmentPolicy(segment_insns=SEG)
+        assert fixed.resolve(10 ** 9, jobs=8) == SEG
+
+
+class TestAdaptiveMode:
+    def test_adaptive_serial_matches_flat_stats(self, tmp_path,
+                                                mono_stats):
+        from repro.engine.segments import SegmentPolicy
+        stats = simulate_workload_segmented(
+            WORKLOAD, default_config(), 1, SegmentPolicy(mode="adaptive"),
+            ArtifactStore(tmp_path))
+        # one whole-trace segment: identical to the monolithic run,
+        # not merely close — the cold jobs=1 bench gate rests on this
+        assert stats == mono_stats
+
+    def test_adaptive_pool_splits_by_jobs(self, tmp_path):
+        from repro.engine.segments import SegmentPolicy
+        points = Campaign.from_axes(workloads=[WORKLOAD],
+                                    scales=[1]).points()
+        sweep = run_segmented_sweep(points,
+                                    SegmentPolicy(mode="adaptive"),
+                                    jobs=2, store_dir=tmp_path)
+        assert sweep.counters["segments"] in (4, 5)
+
+    def test_adaptive_pool_counters_match_flat(self, tmp_path,
+                                               mono_stats):
+        from repro.engine.segments import SegmentPolicy
+        points = Campaign.from_axes(workloads=[WORKLOAD],
+                                    scales=[1]).points()
+        sweep = run_segmented_sweep(points,
+                                    SegmentPolicy(mode="adaptive"),
+                                    jobs=2, store_dir=tmp_path)
+        for field in EXACT_FIELDS:
+            assert getattr(sweep.results[0].stats, field) \
+                == getattr(mono_stats, field), field
+
+
+class TestSampledMode:
+    def _policy(self, period=3):
+        from repro.engine.segments import SegmentPolicy
+        return SegmentPolicy(mode="sampled", segment_insns=2000,
+                             sample_period=period)
+
+    def test_sampled_marks_results_estimated(self, tmp_path):
+        points = Campaign.from_axes(workloads=[WORKLOAD],
+                                    scales=[1]).points()
+        sweep = run_segmented_sweep(points, self._policy(),
+                                    jobs=1, store_dir=tmp_path)
+        result = sweep.results[0]
+        assert result.estimated
+        bounds = result.error_bounds
+        assert bounds["sampled_segments"] < bounds["total_segments"]
+        assert 0 < bounds["coverage"] < 1
+        assert bounds["relative_error"] >= 0
+        assert "cycles" in bounds["half_width"]
+        assert '"estimated":true' in sweep.ledger_json()
+
+    def test_sampled_retired_is_exact(self, tmp_path, mono_stats):
+        points = Campaign.from_axes(workloads=[WORKLOAD],
+                                    scales=[1]).points()
+        sweep = run_segmented_sweep(points, self._policy(),
+                                    jobs=1, store_dir=tmp_path)
+        # instruction counts come from emulation, which always covers
+        # the whole trace — only simulated *timing* is extrapolated
+        assert sweep.results[0].stats.retired == mono_stats.retired
+
+    def test_sampled_simulates_fewer_segments(self, tmp_path):
+        points = Campaign.from_axes(workloads=[WORKLOAD],
+                                    scales=[1]).points()
+        sweep = run_segmented_sweep(points, self._policy(),
+                                    jobs=1, store_dir=tmp_path)
+        counters = sweep.counters
+        assert counters["segments_detailed"] < counters["segments"]
+        assert counters["segments_detailed"] \
+            + counters["segments_skipped"] == counters["segments"]
+        assert counters["segment_simulations"] \
+            == counters["segments_detailed"]
+
+    def test_final_segment_is_always_sampled(self):
+        from repro.engine.segments import SegmentPolicy
+        policy = self._policy(period=4)
+        indices = policy.detailed_indices(10, WORKLOAD, 1)
+        assert 9 in indices  # the certainty stratum
+        assert list(indices) == sorted(set(indices))
+
+    def test_exact_modes_report_no_bounds(self, tmp_path):
+        from repro.engine.segments import SegmentPolicy
+        points = Campaign.from_axes(workloads=[WORKLOAD],
+                                    scales=[1]).points()
+        sweep = run_segmented_sweep(points,
+                                    SegmentPolicy(segment_insns=SEG),
+                                    jobs=1, store_dir=tmp_path)
+        assert not sweep.results[0].estimated
+        assert sweep.results[0].error_bounds is None
+        assert '"estimated"' not in sweep.ledger_json()
+
+    def test_sampled_event_stream_marked(self, tmp_path):
+        points = Campaign.from_axes(workloads=[WORKLOAD],
+                                    scales=[1]).points()
+        events = []
+        run_segmented_sweep(points, self._policy(), jobs=1,
+                            store_dir=tmp_path, progress=events.append)
+        simulate = [e for e in events if e.kind == "segment"
+                    and e.phase == "simulate"]
+        assert simulate and all(e.estimated for e in simulate)
+        from repro.engine.events import format_event
+        assert "~estimated" in format_event(simulate[0])
+
+
+class TestSegmentPolicyCli:
+    def test_bad_flag_combos_exit_2(self, capsys):
+        from repro.cli import main
+        combos = [
+            ["--segment-mode", "adaptive", "--segment-insns", "100",
+             "sweep", "--workloads", WORKLOAD, "--quiet"],
+            ["--segment-mode", "sampled",
+             "sweep", "--workloads", WORKLOAD, "--quiet"],
+            ["--sample-period", "4",
+             "sweep", "--workloads", WORKLOAD, "--quiet"],
+            ["--segment-mode", "sampled", "--segment-insns", "100",
+             "--sample-period", "1",
+             "sweep", "--workloads", WORKLOAD, "--quiet"],
+        ]
+        try:
+            for argv in combos:
+                assert main(argv) == 2, argv
+                err = capsys.readouterr().err
+                assert "error" in err, argv
+        finally:
+            runner.clear_caches(detach_store=True)
+
+    def test_sampled_sweep_cli_reports_bounds(self, tmp_path, capsys):
+        from repro.cli import main
+        argv = ["--store", str(tmp_path), "--segment-mode", "sampled",
+                "--segment-insns", "2000", "--sample-period", "3",
+                "sweep", "--workloads", WORKLOAD, "--quiet"]
+        try:
+            assert main(argv) == 0
+            report = json.loads(capsys.readouterr().out)
+            point = report["points"][0]
+            assert point["estimated"] is True
+            assert point["relative_error"] >= 0
+            assert point["error_bounds"]["total_segments"] > 0
+        finally:
+            runner.clear_caches(detach_store=True)

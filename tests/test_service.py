@@ -427,6 +427,97 @@ class TestJobManager:
         assert error.status == 404
 
 
+class TestSegmentPolicyJobs:
+    def test_policy_is_normalized_and_echoed(self, tmp_path):
+        # the deprecated segment_insns spelling is folded into a
+        # canonical policy manifest at submit; both the job summary
+        # (GET /jobs) and the final result echo the normalized form
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path)
+            try:
+                job = await manager.submit(
+                    {"kind": "segments", "workloads": ["art"],
+                     "segment_insns": 2000})
+                summary = job.summary()
+                await manager.wait(job.id)
+                events = [e async for e in manager.events(job.id)]
+            finally:
+                await manager.close()
+            return summary, events
+
+        summary, events = asyncio.run(scenario())
+        assert summary["policy"] == {"mode": "fixed",
+                                     "segment_insns": 2000}
+        result = events[-1].result
+        assert result["policy"] == {"mode": "fixed",
+                                    "segment_insns": 2000}
+        # an exact run must never carry estimation metadata
+        assert "estimated" not in result
+
+    def test_sampled_job_reports_error_bounds(self, tmp_path):
+        spec = {"kind": "segments", "workloads": ["art"],
+                "policy": {"mode": "sampled", "segment_insns": 1000,
+                           "sample_period": 2}}
+
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path)
+            try:
+                job = await manager.submit(spec)
+                await manager.wait(job.id)
+                events = [e async for e in manager.events(job.id)]
+            finally:
+                await manager.close()
+            return events
+
+        events = asyncio.run(scenario())
+        result = events[-1].result
+        assert result["estimated"] is True
+        assert 0.0 < result["max_relative_error"] < 1.0
+        assert result["policy"]["sample_period"] == 2
+        assert '"estimated":true' in result["ledger"]
+
+    def test_policy_spec_rejections_name_the_problem(self, tmp_path):
+        cases = [
+            # unknown fields inside the policy object are listed by
+            # name — a typo must 400, not silently fall back to defaults
+            ({"kind": "segments", "workloads": ["art"],
+              "policy": {"mode": "fixed", "segment_insns": 1000,
+                         "warmpu_insns": 5, "zzz": 1}},
+             "unknown segment policy fields ['warmpu_insns', 'zzz']"),
+            ({"kind": "segments", "workloads": ["art"],
+              "policy": {"segment_insns": 1000},
+              "segment_insns": 1000},
+             "not both"),
+            ({"kind": "segments", "workloads": ["art"]},
+             "needs a policy"),
+            ({"kind": "search", "workloads": ["art"],
+              "dims": ["optimizer.enabled=false,true"],
+              "rung_mode": "sampeld"},
+             "unknown rung_mode"),
+            ({"kind": "search", "workloads": ["art"],
+              "dims": ["optimizer.enabled=false,true"],
+              "rung_mode": "sampled", "rung_period": 1},
+             "rung_period must be >= 2"),
+        ]
+
+        async def scenario():
+            manager = JobManager(store_dir=tmp_path)
+            messages = []
+            try:
+                for spec, _ in cases:
+                    with pytest.raises(ServiceError) as err:
+                        await manager.submit(spec)
+                    messages.append(str(err.value))
+                assert manager.list_jobs() == []
+            finally:
+                await manager.close()
+            return messages
+
+        messages = asyncio.run(scenario())
+        for (_, needle), message in zip(cases, messages):
+            assert needle in message
+
+
 # ----------------------------------------------------------------------
 # the HTTP front end
 # ----------------------------------------------------------------------
