@@ -37,6 +37,19 @@ JOB_SPEC = {"kind": "sweep", "workloads": ["untoast"]}
 SMOKE_WORKERS, SMOKE_JOBS_EACH = 2, 2
 FULL_WORKERS, FULL_JOBS_EACH = 4, 4
 
+#: Tenant-contention scenario: one hot tenant hammers POST /jobs into
+#: its quota while two quiet tenants run a modest sequential load.
+#: The isolation gate: the quiet tenants' p95 under contention stays
+#: within 2x their solo baseline (plus a small absolute allowance —
+#: these are warm millisecond-scale jobs, so a fixed floor absorbs
+#: scheduler noise that a pure ratio would amplify).
+TENANT_TOKENS = {"bench-hot": "hot", "bench-quiet1": "quiet1",
+                 "bench-quiet2": "quiet2"}
+HOT_TOKEN, QUIET_TOKENS = "bench-hot", ("bench-quiet1", "bench-quiet2")
+CONTENTION_SMOKE_JOBS, CONTENTION_FULL_JOBS = 2, 3
+CONTENTION_P95_RATIO = 2.0
+CONTENTION_P95_FLOOR_SECONDS = 0.25
+
 #: Counter families a loaded server's /metrics scrape must cover.
 EXPECTED_METRICS = ("repro_jobs_submitted_total",
                     "repro_jobs_finished_total",
@@ -48,8 +61,12 @@ EXPECTED_METRICS = ("repro_jobs_submitted_total",
 class ServiceThread:
     """A JobManager + ServiceServer on a background asyncio loop."""
 
-    def __init__(self, max_concurrent_jobs: int = 4):
+    def __init__(self, max_concurrent_jobs: int = 4,
+                 auth_tokens: dict | None = None,
+                 tenant_limits=None):
         self.port: int | None = None
+        self._auth_tokens = auth_tokens
+        self._tenant_limits = tenant_limits
         self._ready = threading.Event()
         self._stop: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -63,8 +80,10 @@ class ServiceThread:
     async def _main(self, max_concurrent_jobs: int) -> None:
         from repro.engine.service import JobManager, ServiceServer
         manager = JobManager(jobs=1,
-                             max_concurrent_jobs=max_concurrent_jobs)
-        server = ServiceServer(manager, port=0)
+                             max_concurrent_jobs=max_concurrent_jobs,
+                             tenant_limits=self._tenant_limits)
+        server = ServiceServer(manager, port=0,
+                               auth_tokens=self._auth_tokens)
         self.port = await server.start()
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
@@ -187,6 +206,137 @@ def run_load(smoke: bool) -> dict:
     }
 
 
+def _tenant_jobs(url: str, token: str, count: int,
+                 latencies: list[float], errors: list[str],
+                 lock: threading.Lock) -> None:
+    """One tenant's sequential submit->watch load (client latencies)."""
+    from repro.engine.service import request_json, watch_job
+    for _ in range(count):
+        started = time.perf_counter()
+        try:
+            job = request_json(url, "POST", "/jobs", JOB_SPEC,
+                               token=token)
+            last = watch_job(url, job["id"], lambda event: None,
+                             timeout=300.0, token=token)
+            elapsed = time.perf_counter() - started
+            with lock:
+                if last is None or last.kind != "job-finished":
+                    errors.append(f"job {job['id']} ended "
+                                  f"{getattr(last, 'kind', None)}")
+                latencies.append(elapsed)
+        except Exception as error:
+            with lock:
+                errors.append(f"{type(error).__name__}: {error}")
+
+
+def _hot_loop(url: str, token: str, stop: threading.Event,
+              stats: dict, lock: threading.Lock) -> None:
+    """Saturate one tenant: submit as fast as its limits allow.
+
+    Every 429 is counted by kind (quota vs rate) and its
+    ``Retry-After`` honored, so the loop models a well-behaved but
+    greedy client pinned at its quota for the whole phase.
+    """
+    from repro.engine.service import ServiceError, request_json
+    while not stop.is_set():
+        try:
+            request_json(url, "POST", "/jobs", JOB_SPEC, token=token)
+            with lock:
+                stats["accepted"] = stats.get("accepted", 0) + 1
+        except ServiceError as error:
+            if error.status != 429:
+                with lock:
+                    stats.setdefault("errors", []).append(str(error))
+                return
+            kind = "quota_429" if "quota" in str(error) else "rate_429"
+            with lock:
+                stats[kind] = stats.get(kind, 0) + 1
+            stop.wait(min(error.retry_after or 0.05, 0.2))
+        except Exception as error:
+            with lock:
+                stats.setdefault("errors", []).append(
+                    f"{type(error).__name__}: {error}")
+            return
+
+
+def run_tenant_contention(smoke: bool) -> dict:
+    """3-tenant isolation scenario; returns its BENCH JSON fragment.
+
+    Phases: per-tenant warmup (unmeasured — pays the cold store
+    namespace), solo baseline (each quiet tenant alone), then
+    contention (both quiet tenants while the hot tenant hammers its
+    quota).  Rate limits are set high so the *quota* — not the rate
+    bucket — is what pins the hot tenant, mirroring the tentpole's
+    "one tenant saturating its quota" wording.
+    """
+    from repro.engine.service import TenantLimits
+    jobs_each = CONTENTION_SMOKE_JOBS if smoke else CONTENTION_FULL_JOBS
+    limits = TenantLimits(max_active_jobs=2, rate_per_second=500.0,
+                          burst=500)
+    service = ServiceThread(auth_tokens=dict(TENANT_TOKENS),
+                            tenant_limits=limits)
+    errors: list[str] = []
+    lock = threading.Lock()
+    solo: list[float] = []
+    contended: list[float] = []
+    hot_stats: dict = {}
+    try:
+        for token in QUIET_TOKENS:  # warmup, unmeasured
+            _tenant_jobs(service.url, token, 1, [], errors, lock)
+        for token in QUIET_TOKENS:  # solo baseline, one at a time
+            _tenant_jobs(service.url, token, jobs_each, solo, errors,
+                         lock)
+        stop_hot = threading.Event()
+        hot = threading.Thread(
+            target=_hot_loop,
+            args=(service.url, HOT_TOKEN, stop_hot, hot_stats, lock),
+            daemon=True)
+        hot.start()
+        quiet = [threading.Thread(
+            target=_tenant_jobs,
+            args=(service.url, token, jobs_each, contended, errors,
+                  lock)) for token in QUIET_TOKENS]
+        for thread in quiet:
+            thread.start()
+        for thread in quiet:
+            thread.join()
+        stop_hot.set()
+        hot.join(10)
+    finally:
+        service.close()
+    errors += hot_stats.pop("errors", [])
+    if errors:
+        raise AssertionError(f"tenant contention run had "
+                             f"failures: {errors}")
+    solo.sort()
+    contended.sort()
+    solo_p95 = _percentile(solo, 0.95)
+    contended_p95 = _percentile(contended, 0.95)
+    return {
+        "tenants": 3,
+        "quiet_jobs_each": jobs_each,
+        "hot_accepted": hot_stats.get("accepted", 0),
+        "hot_quota_429": hot_stats.get("quota_429", 0),
+        "hot_rate_429": hot_stats.get("rate_429", 0),
+        "quiet_solo_p95_seconds": round(solo_p95, 4),
+        "quiet_contended_p95_seconds": round(contended_p95, 4),
+        "p95_ratio": round(contended_p95 / solo_p95, 4)
+        if solo_p95 else 0.0,
+        "p95_gate_seconds": round(
+            max(CONTENTION_P95_RATIO * solo_p95,
+                solo_p95 + CONTENTION_P95_FLOOR_SECONDS), 4),
+    }
+
+
+def check_tenant_contention(payload: dict) -> None:
+    """The isolation gate (also re-checked by CI over the JSON)."""
+    assert payload["hot_quota_429"] >= 1, \
+        f"hot tenant never hit its quota: {payload}"
+    assert payload["quiet_contended_p95_seconds"] \
+        <= payload["p95_gate_seconds"], \
+        f"quiet tenants' p95 degraded past the gate: {payload}"
+
+
 def _format(payload: dict) -> str:
     return "\n".join([
         "Service load: concurrent submitters over HTTP",
@@ -200,7 +350,18 @@ def _format(payload: dict) -> str:
         f"p99 {payload['latency_p99_seconds']:.3f} s   "
         f"max {payload['latency_max_seconds']:.3f} s",
         f"peak queue depth: {payload['peak_queue_depth']}",
-    ])
+    ] + ([
+        "Tenant contention: 1 hot tenant at quota + 2 quiet tenants",
+        f"hot: {payload['tenant_contention']['hot_accepted']} accepted, "
+        f"{payload['tenant_contention']['hot_quota_429']} quota 429s, "
+        f"{payload['tenant_contention']['hot_rate_429']} rate 429s",
+        f"quiet p95: solo "
+        f"{payload['tenant_contention']['quiet_solo_p95_seconds']:.3f} s"
+        f" -> contended "
+        f"{payload['tenant_contention']['quiet_contended_p95_seconds']:.3f} s"
+        f" (gate "
+        f"{payload['tenant_contention']['p95_gate_seconds']:.3f} s)",
+    ] if "tenant_contention" in payload else []))
 
 
 def _publish(payload: dict, smoke: bool) -> None:
@@ -221,6 +382,8 @@ def test_service_load(smoke):
     assert payload["latency_p50_seconds"] \
         <= payload["latency_p95_seconds"] \
         <= payload["latency_p99_seconds"]
+    payload["tenant_contention"] = run_tenant_contention(smoke)
+    check_tenant_contention(payload["tenant_contention"])
     _publish(payload, smoke)
 
 
@@ -230,6 +393,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="tiny-budget mode (CI's load-smoke step)")
     args = parser.parse_args(argv)
     payload = run_load(args.smoke)
+    payload["tenant_contention"] = run_tenant_contention(args.smoke)
+    check_tenant_contention(payload["tenant_contention"])
     _publish(payload, args.smoke)
     print(_format(payload))
     return 0

@@ -456,7 +456,8 @@ def _cmd_store_info(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from .engine.service import run_service
+    from .engine.service import (TenantLimits, parse_auth_tokens,
+                                 run_service)
 
     def announce(host: str, port: int, store_dir: str) -> None:
         # announced on stdout (and flushed) so scripts — CI's service
@@ -464,11 +465,26 @@ def _cmd_serve(args) -> int:
         print(f"serving on http://{host}:{port} (store: {store_dir})",
               flush=True)
 
+    # --auth-token flags and the REPRO_AUTH_TOKENS env var (comma
+    # separated) merge: the env var suits process managers that keep
+    # secrets out of argv, the flag suits tests and one-offs
+    specs = list(args.auth_token or [])
+    specs += os.environ.get("REPRO_AUTH_TOKENS", "").split(",")
+    try:
+        auth_tokens = parse_auth_tokens(specs)
+        tenant_limits = TenantLimits(
+            max_active_jobs=args.tenant_max_jobs,
+            rate_per_second=args.tenant_rate,
+            burst=args.tenant_burst,
+            max_store_bytes=args.tenant_store_bytes)
+    except ValueError as error:
+        return _usage_error("serve", error)
     try:
         return asyncio.run(run_service(
             store_dir=args.store, jobs=args.jobs,
             max_concurrent_jobs=args.max_jobs, host=args.host,
-            port=args.port, announce=announce))
+            port=args.port, announce=announce,
+            auth_tokens=auth_tokens, tenant_limits=tenant_limits))
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
         return 0
@@ -489,7 +505,7 @@ def _cmd_watch(args) -> int:
 
     try:
         last = watch_job(args.url, args.job, on_event,
-                         timeout=args.timeout)
+                         timeout=args.timeout, token=args.token)
     except ValueError as error:
         # ServiceError (bad job id, HTTP errors) subclasses
         # ValueError; a bare ValueError is an unknown event kind from
@@ -542,7 +558,7 @@ def _cmd_metrics(args) -> int:
     from .engine.telemetry import format_snapshot
     try:
         snapshot = request_json(args.url, "GET", "/metrics?format=json",
-                                timeout=args.timeout)
+                                timeout=args.timeout, token=args.token)
     except ValueError as error:
         # ServiceError subclasses ValueError (bad URL, HTTP errors)
         print(f"repro metrics: error: {error}", file=sys.stderr)
@@ -782,6 +798,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-jobs", type=int, default=4, metavar="N",
                        help="jobs executing concurrently; excess "
                             "submissions queue (default 4)")
+    serve.add_argument("--auth-token", action="append", default=None,
+                       metavar="TENANT:TOKEN",
+                       help="require bearer-token auth; repeatable "
+                            "(one entry per tenant token; a bare TOKEN "
+                            "maps to tenant 'default').  Merged with "
+                            "the comma-separated REPRO_AUTH_TOKENS "
+                            "env var.  Without any, the server stays "
+                            "open and anonymous")
+    serve.add_argument("--tenant-max-jobs", type=int, default=8,
+                       metavar="N",
+                       help="per-tenant active-job quota (default 8; "
+                            "only applies to authenticated tenants)")
+    serve.add_argument("--tenant-rate", type=float, default=10.0,
+                       metavar="R",
+                       help="per-tenant POST /jobs token-bucket refill "
+                            "rate per second (<= 0 disables; "
+                            "default 10)")
+    serve.add_argument("--tenant-burst", type=int, default=20,
+                       metavar="N",
+                       help="per-tenant token-bucket burst size "
+                            "(default 20)")
+    serve.add_argument("--tenant-store-bytes", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant store byte budget, LRU-enforced "
+                            "on the tenant's own namespace after each "
+                            "finished job (default: unbounded)")
     serve.set_defaults(handler=_cmd_serve)
     watch = sub.add_parser(
         "watch", help="tail one job's event stream",
@@ -798,6 +840,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "the human rendering")
     watch.add_argument("--timeout", type=float, default=600.0,
                        help="socket timeout in seconds (default 600)")
+    watch.add_argument("--token",
+                       default=os.environ.get("REPRO_AUTH_TOKEN"),
+                       help="bearer token for an auth-enabled service "
+                            "(default: the REPRO_AUTH_TOKEN env var)")
     watch.set_defaults(handler=_cmd_watch)
     metrics = sub.add_parser(
         "metrics", help="fetch a running service's telemetry",
@@ -815,6 +861,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="indent the JSON snapshot")
     metrics.add_argument("--timeout", type=float, default=30.0,
                          help="socket timeout in seconds (default 30)")
+    metrics.add_argument("--token",
+                         default=os.environ.get("REPRO_AUTH_TOKEN"),
+                         help="bearer token for an auth-enabled "
+                              "service (default: the REPRO_AUTH_TOKEN "
+                              "env var; /metrics itself is served "
+                              "unauthenticated)")
     metrics.set_defaults(handler=_cmd_metrics)
     store = sub.add_parser(
         "store", help="artifact-store maintenance",

@@ -63,6 +63,7 @@ from .telemetry import TELEMETRY, MetricsRegistry
 #: Service symbols resolve lazily (PEP 562): importing the engine for
 #: a plain sweep must not pay for asyncio + the HTTP server machinery.
 _SERVICE_EXPORTS = ("JobManager", "ServiceError", "ServiceServer",
+                    "TenantLimits", "parse_auth_tokens",
                     "run_service", "watch_job")
 
 

@@ -36,6 +36,21 @@ cooperative — a ``DELETE`` sets the job's cancel flag, which the job
 body observes at its next event emission or completed point.  A
 client disconnecting mid-stream detaches only that stream; the job —
 and everything else already submitted — keeps running.
+
+Multi-tenancy: with bearer tokens configured (``repro serve
+--auth-token tenant:token`` / ``REPRO_AUTH_TOKENS``), every ``/jobs``
+request must carry ``Authorization: Bearer <token>`` (missing or bad
+tokens get a 401 with ``WWW-Authenticate``; ``GET /metrics`` stays
+open for scrapers).  The resolved tenant is threaded through each
+:class:`Job`: tenants list, stream, and cancel only their own jobs
+(cross-tenant access is a 403), each tenant's artifacts live in an
+isolated store namespace (``<store>/tenants/<name>``) with an
+optional byte budget enforced by that namespace's own LRU gc, and
+``POST /jobs`` is bounded per tenant by an active-job quota and a
+token-bucket rate limit — both reject with a 429 carrying
+``Retry-After``, distinct from the global ``max_active_jobs`` 429.
+With no tokens configured nothing changes: requests are anonymous,
+jobs share the root store, and no per-tenant limit applies.
 """
 
 from __future__ import annotations
@@ -44,6 +59,7 @@ import asyncio
 import atexit
 import hashlib
 import json
+import math
 import shutil
 import tempfile
 import threading
@@ -51,6 +67,7 @@ import time
 import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import AsyncIterator, Callable
 
 from ..uarch.config import default_config
@@ -63,6 +80,8 @@ from .pool import resolve_jobs, run_sweep, set_worker_start_method
 from .search import (RUNG_MODES, STRATEGIES, SearchSpace, make_objective,
                      resolve_search_workloads, run_search)
 from .segments import SegmentPolicy, run_segmented_sweep
+from .store import (ArtifactStore, tenant_store_root, tenant_usage,
+                    validate_tenant_name)
 from .telemetry import TELEMETRY
 
 JOB_KINDS = ("sweep", "search", "segments", "fuzz")
@@ -97,11 +116,147 @@ class JobCancelled(Exception):
 
 
 class ServiceError(ValueError):
-    """A client-facing error (bad spec, unknown job) with an HTTP status."""
+    """A client-facing error (bad spec, unknown job) with an HTTP status.
 
-    def __init__(self, message: str, status: int = 400):
+    ``retry_after`` (seconds) rides along on 429s so the HTTP layer
+    can emit a ``Retry-After`` header and clients can honor it.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+    def headers(self) -> dict[str, str]:
+        """Extra response headers this error mandates."""
+        headers = {}
+        if self.status == 401:
+            headers["WWW-Authenticate"] = 'Bearer realm="repro"'
+        if self.retry_after is not None:
+            headers["Retry-After"] = str(max(1,
+                                             math.ceil(self.retry_after)))
+        return headers
+
+
+def _reject(reason: str, message: str,
+            retry_after: float | None = None,
+            status: int = 429) -> ServiceError:
+    """Count one rejected request and build its ServiceError.
+
+    ``reason`` is the ``repro_requests_rejected_total`` label:
+    ``auth`` (401), ``quota`` / ``rate`` (per-tenant 429s), or
+    ``capacity`` (the pre-existing global ``max_active_jobs`` 429).
+    """
+    TELEMETRY.counter("repro_requests_rejected_total",
+                      reason=reason).inc()
+    return ServiceError(message, status=status, retry_after=retry_after)
+
+
+# ----------------------------------------------------------------------
+# tenancy: token parsing, per-tenant limits, runtime state
+# ----------------------------------------------------------------------
+
+
+def parse_auth_tokens(specs) -> dict[str, str]:
+    """``tenant:token`` pairs as a token -> tenant map.
+
+    Accepts an iterable of pair strings (repeated ``--auth-token``
+    flags, or a comma-split ``REPRO_AUTH_TOKENS``).  A bare token with
+    no colon belongs to the ``default`` tenant.  Tenant names must be
+    safe store-namespace names; one tenant may own several tokens
+    (rotation), but one token cannot name two tenants.
+    """
+    tokens: dict[str, str] = {}
+    for spec in specs:
+        spec = spec.strip()
+        if not spec:
+            continue
+        tenant, sep, token = spec.partition(":")
+        if not sep:
+            tenant, token = "default", spec
+        tenant, token = tenant.strip(), token.strip()
+        validate_tenant_name(tenant)
+        if not token or any(c.isspace() for c in token):
+            raise ValueError(f"bad auth token for tenant {tenant!r}: "
+                             f"tokens must be non-empty and contain "
+                             f"no whitespace")
+        if token in tokens and tokens[token] != tenant:
+            raise ValueError(f"auth token of tenant {tenant!r} already "
+                             f"belongs to tenant {tokens[token]!r}")
+        tokens[token] = tenant
+    return tokens
+
+
+@dataclass(frozen=True)
+class TenantLimits:
+    """Per-tenant bounds applied to every authenticated tenant.
+
+    * ``max_active_jobs`` — pending + running jobs a tenant may hold
+      (its share of the server, independent of the global cap),
+    * ``rate_per_second`` / ``burst`` — a token bucket on
+      ``POST /jobs``: ``burst`` submissions can land back-to-back,
+      refilling at ``rate_per_second`` (<= 0 disables rate limiting),
+    * ``max_store_bytes`` — byte budget for the tenant's store
+      namespace, enforced by that namespace's own LRU gc after each
+      finished job (``None`` = unbounded).
+    """
+
+    max_active_jobs: int = 8
+    rate_per_second: float = 10.0
+    burst: int = 20
+    max_store_bytes: int | None = None
+
+    def __post_init__(self):
+        if self.max_active_jobs < 1:
+            raise ValueError(f"max_active_jobs must be >= 1, "
+                             f"got {self.max_active_jobs}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.max_store_bytes is not None and self.max_store_bytes < 0:
+            raise ValueError(f"max_store_bytes must be >= 0, "
+                             f"got {self.max_store_bytes}")
+
+
+class TenantState:
+    """One tenant's runtime rate-limit state (token bucket)."""
+
+    __slots__ = ("name", "limits", "tokens", "refilled_at")
+
+    def __init__(self, name: str, limits: TenantLimits):
+        self.name = name
+        self.limits = limits
+        self.tokens = float(limits.burst)
+        self.refilled_at = time.monotonic()
+
+    def refill(self, now: float) -> float:
+        """Credit elapsed time into the bucket; returns the level."""
+        rate = self.limits.rate_per_second
+        if rate > 0:
+            self.tokens = min(float(self.limits.burst),
+                              self.tokens + (now - self.refilled_at)
+                              * rate)
+        self.refilled_at = now
+        return self.tokens
+
+    def take(self, now: float) -> float:
+        """Take one submission token.
+
+        Returns 0.0 on success, else the seconds until the bucket
+        next holds a whole token (the 429's ``Retry-After``).
+        """
+        if self.limits.rate_per_second <= 0:
+            return 0.0
+        if self.refill(now) >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.limits.rate_per_second
+
+
+def _iso8601(wall: float) -> str:
+    """A wall-clock timestamp as ISO-8601 UTC (``...Z``)."""
+    return datetime.fromtimestamp(wall, tz=timezone.utc) \
+        .isoformat(timespec="milliseconds").replace("+00:00", "Z")
 
 
 @dataclass
@@ -112,6 +267,8 @@ class Job:
     kind: str
     name: str
     spec: dict
+    #: Owning tenant name; "" for anonymous (no-auth) submissions.
+    tenant: str = ""
     status: str = "pending"
     events: list[Event] = field(default_factory=list)
     result: dict | None = None
@@ -119,14 +276,27 @@ class Job:
     cancel: threading.Event = field(default_factory=threading.Event)
     #: Lifecycle timestamps (``time.perf_counter()``) backing the
     #: queue/execute phase spans; ``started_at`` stays ``None`` for
-    #: jobs cancelled before a thread ever picked them up.
+    #: jobs cancelled before a thread ever picked them up.  The
+    #: ``*_wall`` twins are ``time.time()`` captured at the same
+    #: moments: perf_counter has no defined epoch, so only the wall
+    #: pair can become the client-facing ISO-8601 ``submitted`` /
+    #: ``started`` fields (span math stays on perf_counter, which
+    #: cannot jump under NTP).
     submitted_at: float = 0.0
     started_at: float | None = None
+    submitted_wall: float = 0.0
+    started_wall: float | None = None
 
     def summary(self) -> dict:
         """JSON-ready state snapshot (the ``GET /jobs`` row)."""
         summary = {"id": self.id, "kind": self.kind, "name": self.name,
                    "status": self.status, "events": len(self.events)}
+        if self.tenant:
+            summary["tenant"] = self.tenant
+        if self.submitted_wall:
+            summary["submitted"] = _iso8601(self.submitted_wall)
+        if self.started_wall is not None:
+            summary["started"] = _iso8601(self.started_wall)
         if self.kind == "segments" and "policy" in self.spec:
             # echo the normalized segment policy, so a client can see
             # exactly what a deprecated segment_insns spelling became
@@ -317,12 +487,22 @@ class JobManager:
     Not thread-safe by itself: all public coroutines must run on one
     event loop.  Job bodies run on executor threads and communicate
     only through ``call_soon_threadsafe``.
+
+    ``tenant_limits`` bounds every *named* tenant (submissions that
+    arrive with a ``tenant=``): an active-job quota, a token-bucket
+    rate limit on submission, and an optional store byte budget — each
+    tenant's artifacts live in ``<store>/tenants/<name>`` so the
+    budget's LRU gc can only ever evict that tenant's own artifacts.
+    Anonymous submissions (``tenant=""`` — the only kind that exists
+    when no auth tokens are configured) use the root store and skip
+    every per-tenant limit, preserving pre-tenancy behavior exactly.
     """
 
     def __init__(self, store_dir: str | None = None, jobs: int = 1,
                  max_concurrent_jobs: int = 4,
                  max_finished_jobs: int = 64,
-                 max_active_jobs: int = 128):
+                 max_active_jobs: int = 128,
+                 tenant_limits: TenantLimits | None = None):
         if max_concurrent_jobs < 1:
             raise ValueError(f"max_concurrent_jobs must be >= 1, "
                              f"got {max_concurrent_jobs}")
@@ -359,26 +539,100 @@ class JobManager:
         self._sequence = 0
         self._changed = asyncio.Event()
         self._tasks: set[asyncio.Task] = set()
+        self.tenant_limits = tenant_limits or TenantLimits()
+        self._tenants: dict[str, TenantState] = {}
+
+    # -- tenancy -------------------------------------------------------
+
+    def _tenant_state(self, tenant: str) -> TenantState:
+        """This tenant's runtime limit state (created on first use)."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = TenantState(
+                tenant, self.tenant_limits)
+        return state
+
+    def tenant_store_dir(self, tenant: str) -> str:
+        """Where *tenant*'s jobs keep artifacts ("" = the root store)."""
+        if not tenant:
+            return self.store_dir
+        return str(tenant_store_root(self.store_dir, tenant))
+
+    def _active_jobs(self, tenant: str | None = None) -> int:
+        """Non-terminal job count, overall or for one tenant."""
+        return sum(1 for job in self._jobs.values()
+                   if job.status not in TERMINAL_STATES
+                   and (tenant is None or job.tenant == tenant))
+
+    def _check_tenant_limits(self, tenant: str) -> None:
+        """Quota then rate for one named tenant; 429s carry Retry-After.
+
+        Quota first, so a submission that would be rejected anyway
+        does not burn a rate token.  Both rejections are deliberately
+        distinct — in message, ``Retry-After``, and the
+        ``repro_requests_rejected_total`` reason label — from the
+        global ``max_active_jobs`` capacity 429.
+        """
+        state = self._tenant_state(tenant)
+        limits = state.limits
+        active = self._active_jobs(tenant)
+        if active >= limits.max_active_jobs:
+            raise _reject(
+                "quota",
+                f"tenant {tenant!r} active-job quota reached "
+                f"({active}/{limits.max_active_jobs}); retry after one "
+                f"finishes or is cancelled", retry_after=1.0)
+        wait = state.take(time.monotonic())
+        if wait > 0.0:
+            raise _reject(
+                "rate",
+                f"tenant {tenant!r} submission rate limit exceeded "
+                f"({limits.rate_per_second:g}/s, burst "
+                f"{limits.burst})", retry_after=wait)
+
+    def _enforce_store_budget(self, tenant: str) -> None:
+        """Cap a tenant's store namespace (runs on the job's thread).
+
+        Layered on the store's ordinary LRU :meth:`~.ArtifactStore.gc`
+        over the tenant's own namespace only — the root store and
+        every other tenant's artifacts are out of reach by
+        construction.
+        """
+        budget = self.tenant_limits.max_store_bytes
+        if not tenant or budget is None:
+            return
+        report = ArtifactStore.for_tenant(self.store_dir,
+                                          tenant).gc(budget)
+        if report["evicted"]:
+            TELEMETRY.counter("repro_tenant_store_evictions_total",
+                              tenant=tenant).inc(report["evicted"])
 
     # -- submission ----------------------------------------------------
 
-    async def submit(self, spec: dict) -> Job:
-        """Validate *spec*, register a job, and start it. Returns it."""
+    async def submit(self, spec: dict, tenant: str = "") -> Job:
+        """Validate *spec*, register a job, and start it. Returns it.
+
+        *tenant* is the authenticated tenant name ("" = anonymous).
+        Named tenants pass through their quota and rate limit and get
+        their own store namespace.
+        """
         if not isinstance(spec, dict):
             raise ServiceError("job spec must be a JSON object")
         kind = spec.get("kind")
         if kind not in JOB_KINDS:
             raise ServiceError(f"unknown job kind {kind!r}; expected "
                                f"one of {', '.join(JOB_KINDS)}")
+        if tenant:
+            self._check_tenant_limits(tenant)
         # backpressure: running + queued jobs are bounded, the same
         # unbounded-growth class the trace cache and finished-job
         # history fixes address
-        active = sum(1 for job in self._jobs.values()
-                     if job.status not in TERMINAL_STATES)
+        active = self._active_jobs()
         if active >= self.max_active_jobs:
-            raise ServiceError(
+            raise _reject(
+                "capacity",
                 f"job queue full ({active} active jobs); retry after "
-                f"some finish or are cancelled", status=429)
+                f"some finish or are cancelled")
         unknown = sorted(set(spec) - _SPEC_KEYS[kind])
         if unknown:
             raise ServiceError(
@@ -387,7 +641,7 @@ class JobManager:
         self._sequence += 1
         job_id = f"j{self._sequence}"
         name = str(spec.get("name") or job_id)
-        job = Job(id=job_id, kind=kind, name=name,
+        job = Job(id=job_id, kind=kind, name=name, tenant=tenant,
                   spec={k: v for k, v in spec.items()
                         if k not in ("kind", "name")})
         # surface bad specs as a 400 now, not a failed job later: build
@@ -459,6 +713,7 @@ class JobManager:
         except (ValueError, TypeError, AttributeError, KeyError) as err:
             raise ServiceError(str(err)) from err
         job.submitted_at = time.perf_counter()
+        job.submitted_wall = time.time()
         self._jobs[job_id] = job
         self._order.append(job_id)
         TELEMETRY.counter("repro_jobs_submitted_total").inc()
@@ -489,7 +744,13 @@ class JobManager:
             if job.cancel.is_set():
                 raise JobCancelled()
             loop.call_soon_threadsafe(self._mark_running, job)
-            return body(job.spec, self.store_dir, self.jobs, emit)
+            result = body(job.spec, self.tenant_store_dir(job.tenant),
+                          self.jobs, emit)
+            # the byte budget runs here, on the job's own thread: it
+            # walks only this tenant's namespace, so a gc triggered by
+            # one tenant's job can never touch another tenant's files
+            self._enforce_store_budget(job.tenant)
+            return result
 
         try:
             result = await loop.run_in_executor(self._executor, execute)
@@ -508,6 +769,12 @@ class JobManager:
             self._append(job, JobFailedEvent(job=job.id,
                                              error=job.error))
         else:
+            # wall-clock lifecycle stamps ride in the result (the
+            # GET /jobs row carries the same pair), NOT in the ledger:
+            # ledgers stay volatile-field-free and byte-identical
+            result["submitted"] = _iso8601(job.submitted_wall)
+            if job.started_wall is not None:
+                result["started"] = _iso8601(job.started_wall)
             job.result = result
             job.status = "finished"
             self._record_phases(job)
@@ -547,6 +814,7 @@ class JobManager:
         if job.status == "pending":
             job.status = "running"
             job.started_at = time.perf_counter()
+            job.started_wall = time.time()
             self._append(job, JobStartedEvent(job=job.id,
                                               job_kind=job.kind,
                                               name=job.name))
@@ -575,15 +843,24 @@ class JobManager:
 
     # -- consumption ---------------------------------------------------
 
-    def get(self, job_id: str) -> Job:
+    def get(self, job_id: str, tenant: str | None = None) -> Job:
+        """Look up a job; with *tenant* set, enforce ownership (403).
+
+        ``tenant=None`` (anonymous / unauthenticated deployments)
+        skips the ownership check entirely — pre-tenancy behavior.
+        """
         job = self._jobs.get(job_id)
         if job is None:
             raise ServiceError(f"no such job {job_id!r}", status=404)
+        if tenant is not None and job.tenant != tenant:
+            raise ServiceError(
+                f"job {job_id!r} belongs to another tenant", status=403)
         return job
 
-    def list_jobs(self) -> list[dict]:
-        """Summaries in submission order."""
-        return [self._jobs[job_id].summary() for job_id in self._order]
+    def list_jobs(self, tenant: str | None = None) -> list[dict]:
+        """Summaries in submission order (*tenant*'s own when set)."""
+        return [self._jobs[job_id].summary() for job_id in self._order
+                if tenant is None or self._jobs[job_id].tenant == tenant]
 
     def publish_gauges(self) -> None:
         """Refresh jobs-by-state and queue-depth gauges (loop thread).
@@ -599,9 +876,19 @@ class JobManager:
         for state, count in states.items():
             TELEMETRY.gauge("repro_jobs", state=state).set(count)
         TELEMETRY.gauge("repro_job_queue_depth").set(states["pending"])
+        now = time.monotonic()
+        for name, state in self._tenants.items():
+            TELEMETRY.gauge("repro_tenant_active_jobs",
+                            tenant=name).set(self._active_jobs(name))
+            TELEMETRY.gauge("repro_tenant_rate_tokens",
+                            tenant=name).set(round(state.refill(now), 3))
+        for name, used in tenant_usage(self.store_dir).items():
+            TELEMETRY.gauge("repro_tenant_store_bytes",
+                            tenant=name).set(used)
 
     async def events(self, job_id: str,
-                     heartbeat: float | None = None
+                     heartbeat: float | None = None,
+                     tenant: str | None = None
                      ) -> AsyncIterator[Event | None]:
         """Replay a job's event history, then tail it live.
 
@@ -614,7 +901,7 @@ class JobManager:
         into blank keep-alive lines so a client watching a queued or
         slow job can tell "nothing happened yet" from a dead server.
         """
-        job = self.get(job_id)
+        job = self.get(job_id, tenant)
         index = 0
         while True:
             waiter = self._changed
@@ -635,14 +922,16 @@ class JobManager:
                 except (TimeoutError, asyncio.TimeoutError):
                     yield None
 
-    async def cancel(self, job_id: str) -> Job:
+    async def cancel(self, job_id: str,
+                     tenant: str | None = None) -> Job:
         """Request cancellation; returns the job (state may lag).
 
         Cancellation is cooperative: the job flips to ``cancelled``
         when its body observes the flag at the next emitted event or
         completed point.  Cancelling a terminal job is a no-op.
+        With *tenant* set, cancelling another tenant's job is a 403.
         """
-        job = self.get(job_id)
+        job = self.get(job_id, tenant)
         if job.status not in TERMINAL_STATES:
             job.cancel.set()
         return job
@@ -697,11 +986,15 @@ class ServiceServer:
 
     def __init__(self, manager: JobManager, host: str = "127.0.0.1",
                  port: int = 0,
-                 heartbeat_seconds: float = HEARTBEAT_SECONDS):
+                 heartbeat_seconds: float = HEARTBEAT_SECONDS,
+                 auth_tokens: dict[str, str] | None = None):
         self.manager = manager
         self.host = host
         self.port = port
         self.heartbeat_seconds = heartbeat_seconds
+        #: token -> tenant (see :func:`parse_auth_tokens`); empty =
+        #: open server, every request anonymous.
+        self.auth_tokens = dict(auth_tokens or {})
         self._server: asyncio.base_events.Server | None = None
 
     async def start(self) -> int:
@@ -730,11 +1023,17 @@ class ServiceServer:
 
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader
-                            ) -> tuple[str, str, bytes]:
+                            ) -> tuple[str, str, dict[str, str], bytes]:
         """Parse one request; raises ServiceError on protocol errors.
 
         A client-side protocol error is a 400/413, never a 500 — 5xx
-        would mislead clients that retry on server errors.
+        would mislead clients that retry on server errors.  Returns
+        ``(method, target, headers, body)`` with header names
+        lowercased.  Duplicate ``Content-Length`` headers that
+        *disagree* are rejected outright (the request-smuggling
+        class: last-one-wins would let a proxy and this server frame
+        the same bytes differently); identical repeats are tolerated
+        per RFC 9110 §8.6.
         """
 
         async def readline(what: str) -> bytes:
@@ -751,40 +1050,66 @@ class ServiceServer:
         if len(parts) != 3:
             raise ServiceError("bad request line")
         method, target, _version = parts
-        length = 0
+        headers: dict[str, str] = {}
+        length: int | None = None
         while True:
             line = await readline("header line")
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name, value = name.strip().lower(), value.strip()
+            headers[name] = value
+            if name == "content-length":
                 try:
-                    length = int(value.strip())
+                    parsed = int(value)
                 except ValueError:
-                    length = -1
-                if length < 0:
-                    raise ServiceError(f"bad Content-Length "
-                                       f"{value.strip()!r}")
+                    parsed = -1
+                if parsed < 0:
+                    raise ServiceError(f"bad Content-Length {value!r}")
+                if length is not None and parsed != length:
+                    raise ServiceError("conflicting Content-Length "
+                                       "headers")
+                length = parsed
+        length = length or 0
         if length > _MAX_BODY_BYTES:
             raise ServiceError("request body too large", status=413)
         body = (await reader.readexactly(length)) if length else b""
-        return method.upper(), target, body
+        return method.upper(), target, headers, body
+
+    def _authenticate(self, headers: dict[str, str]) -> str | None:
+        """Resolve the request's tenant (None = open server).
+
+        With tokens configured, a missing, malformed, or unknown
+        ``Authorization: Bearer`` credential is a counted 401 carrying
+        ``WWW-Authenticate``.
+        """
+        if not self.auth_tokens:
+            return None
+        credential = headers.get("authorization", "")
+        scheme, _, token = credential.partition(" ")
+        tenant = self.auth_tokens.get(token.strip()) \
+            if scheme.lower() == "bearer" else None
+        if tenant is None:
+            raise _reject("auth", "missing or invalid bearer token",
+                          status=401)
+        return tenant
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
             try:
-                method, target, body = await asyncio.wait_for(
+                method, target, headers, body = await asyncio.wait_for(
                     self._read_request(reader),
                     self.REQUEST_READ_SECONDS)
             except (TimeoutError, asyncio.TimeoutError):
                 return  # stalled client: just drop the connection
-            await self._route(method, target, body, writer)
+            await self._route(method, target, headers, body, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
         except ServiceError as error:
             await self._respond(writer, error.status,
-                                {"error": str(error)})
+                                {"error": str(error)},
+                                extra_headers=error.headers())
         except Exception as error:  # never kill the accept loop
             await self._respond(
                 writer, 500,
@@ -796,11 +1121,15 @@ class ServiceServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _route(self, method: str, target: str, body: bytes,
+    async def _route(self, method: str, target: str,
+                     headers: dict[str, str], body: bytes,
                      writer: asyncio.StreamWriter) -> None:
         target, _, query = target.partition("?")
         segments = [s for s in target.split("/") if s]
         if segments == ["metrics"] and method == "GET":
+            # /metrics stays open even with tokens configured —
+            # Prometheus-style scrapers don't carry app credentials,
+            # and the registry holds aggregates, not tenant payloads
             # refresh point-in-time gauges at scrape time, then render
             self.manager.publish_gauges()
             params = urllib.parse.parse_qs(query)
@@ -809,37 +1138,42 @@ class ServiceServer:
                                            TELEMETRY.snapshot())
             return await self._respond_text(writer, 200,
                                             TELEMETRY.to_prometheus())
+        tenant = self._authenticate(headers)
         if segments == ["jobs"] and method == "POST":
             try:
                 spec = json.loads(body.decode() or "null")
             except json.JSONDecodeError as error:
                 raise ServiceError(f"bad JSON body: {error}") from error
-            job = await self.manager.submit(spec)
+            job = await self.manager.submit(spec, tenant=tenant or "")
             return await self._respond(writer, 201, job.summary())
         if segments == ["jobs"] and method == "GET":
             return await self._respond(
-                writer, 200, {"jobs": self.manager.list_jobs()})
+                writer, 200, {"jobs": self.manager.list_jobs(tenant)})
         if len(segments) == 2 and segments[0] == "jobs" \
                 and method == "DELETE":
-            job = await self.manager.cancel(segments[1])
+            job = await self.manager.cancel(segments[1], tenant)
             return await self._respond(writer, 200, job.summary())
         if len(segments) == 3 and segments[0] == "jobs" \
                 and segments[2] == "events" and method == "GET":
-            return await self._stream_events(segments[1], writer)
+            return await self._stream_events(segments[1], writer,
+                                             tenant)
         raise ServiceError(f"no route for {method} {target}",
                            status=404)
 
     _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+                401: "Unauthorized", 403: "Forbidden",
                 404: "Not Found", 413: "Payload Too Large",
                 429: "Too Many Requests",
                 500: "Internal Server Error"}
 
     @classmethod
     async def _respond(cls, writer: asyncio.StreamWriter, status: int,
-                       payload: dict) -> None:
+                       payload: dict,
+                       extra_headers: dict[str, str] | None = None
+                       ) -> None:
         await cls._send(writer, status,
                         (json.dumps(payload) + "\n").encode(),
-                        "application/json")
+                        "application/json", extra_headers)
 
     @classmethod
     async def _respond_text(cls, writer: asyncio.StreamWriter,
@@ -850,18 +1184,24 @@ class ServiceServer:
 
     @classmethod
     async def _send(cls, writer: asyncio.StreamWriter, status: int,
-                    body: bytes, content_type: str) -> None:
+                    body: bytes, content_type: str,
+                    extra_headers: dict[str, str] | None = None
+                    ) -> None:
+        extras = "".join(f"{name}: {value}\r\n" for name, value
+                         in (extra_headers or {}).items())
         head = (f"HTTP/1.1 {status} "
                 f"{cls._REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extras}"
                 f"Connection: close\r\n\r\n").encode("latin-1")
         writer.write(head + body)
         await writer.drain()
 
     async def _stream_events(self, job_id: str,
-                             writer: asyncio.StreamWriter) -> None:
-        self.manager.get(job_id)  # 404 before any bytes go out
+                             writer: asyncio.StreamWriter,
+                             tenant: str | None = None) -> None:
+        self.manager.get(job_id, tenant)  # 404/403 before bytes go out
         head = ("HTTP/1.1 200 OK\r\n"
                 "Content-Type: application/x-ndjson\r\n"
                 "Cache-Control: no-store\r\n"
@@ -870,7 +1210,8 @@ class ServiceServer:
         await writer.drain()
         try:
             async for event in self.manager.events(
-                    job_id, heartbeat=self.heartbeat_seconds):
+                    job_id, heartbeat=self.heartbeat_seconds,
+                    tenant=tenant):
                 line = ("\n" if event is None  # keep-alive
                         else event.to_json_line() + "\n")
                 writer.write(line.encode())
@@ -896,18 +1237,24 @@ async def run_service(store_dir: str | None = None, jobs: int = 1,
                       host: str = "127.0.0.1", port: int = 8787,
                       announce: Callable[[str, int, str], None]
                       | None = None,
-                      shutdown: asyncio.Event | None = None) -> int:
+                      shutdown: asyncio.Event | None = None,
+                      auth_tokens: dict[str, str] | None = None,
+                      tenant_limits: TenantLimits | None = None) -> int:
     """Run a manager + HTTP server until *shutdown* (or cancellation).
 
     The coroutine behind ``repro serve``: *announce* is called once
     with ``(host, actual_port, store_dir)`` after binding (``port=0``
     picks an ephemeral port).  Without a *shutdown* event it serves
     until cancelled (Ctrl-C under ``asyncio.run``); with one — how
-    tests drive it — it stops when the event is set.
+    tests drive it — it stops when the event is set.  *auth_tokens*
+    (token -> tenant) switches on bearer auth; *tenant_limits*
+    overrides the per-tenant quota/rate/store bounds.
     """
     manager = JobManager(store_dir=store_dir, jobs=jobs,
-                         max_concurrent_jobs=max_concurrent_jobs)
-    server = ServiceServer(manager, host=host, port=port)
+                         max_concurrent_jobs=max_concurrent_jobs,
+                         tenant_limits=tenant_limits)
+    server = ServiceServer(manager, host=host, port=port,
+                           auth_tokens=auth_tokens)
     try:
         # start() inside the try: a busy port must still tear the
         # manager (and its scratch store) down on the way out
@@ -932,16 +1279,27 @@ async def run_service(store_dir: str | None = None, jobs: int = 1,
 
 
 def _connect(url: str, timeout: float):
-    """An ``HTTPConnection`` for a service base URL (shared plumbing)."""
+    """``(HTTPConnection, path_prefix)`` for a service base URL.
+
+    The URL's own path component becomes a prefix applied to every
+    request path — ``http://host:8787/repro`` reaches ``/repro/jobs``
+    (a reverse-proxy mount), where it used to be silently dropped and
+    the client would quietly talk to the root.
+    """
     import http.client
     import urllib.parse
     parsed = urllib.parse.urlsplit(url if "//" in url
                                    else f"http://{url}")
     if not parsed.hostname:
         raise ServiceError(f"bad service URL {url!r}")
-    return http.client.HTTPConnection(parsed.hostname,
-                                      parsed.port or 80,
-                                      timeout=timeout)
+    return (http.client.HTTPConnection(parsed.hostname,
+                                       parsed.port or 80,
+                                       timeout=timeout),
+            parsed.path.rstrip("/"))
+
+
+def _auth_headers(token: str | None) -> dict[str, str]:
+    return {"Authorization": f"Bearer {token}"} if token else {}
 
 
 def _error_from(response) -> ServiceError:
@@ -950,20 +1308,30 @@ def _error_from(response) -> ServiceError:
         detail = json.loads(response.read().decode() or "{}")
     except json.JSONDecodeError:
         detail = {}
+    retry_after = None
+    header = response.getheader("Retry-After")
+    if header is not None:
+        try:
+            retry_after = float(header)
+        except ValueError:
+            pass
     return ServiceError(detail.get("error", f"HTTP {response.status}"),
-                        status=response.status)
+                        status=response.status,
+                        retry_after=retry_after)
 
 
 def request_json(url: str, method: str, path: str,
                  payload: dict | None = None,
-                 timeout: float = 30.0) -> dict:
+                 timeout: float = 30.0,
+                 token: str | None = None) -> dict:
     """One blocking JSON request against a running service."""
-    conn = _connect(url, timeout)
+    conn, prefix = _connect(url, timeout)
     try:
         body = json.dumps(payload) if payload is not None else None
-        conn.request(method, path, body=body,
-                     headers={"Content-Type": "application/json"}
-                     if body else {})
+        headers = _auth_headers(token)
+        if body:
+            headers["Content-Type"] = "application/json"
+        conn.request(method, prefix + path, body=body, headers=headers)
         response = conn.getresponse()
         if response.status >= 400:
             raise _error_from(response)
@@ -974,7 +1342,8 @@ def request_json(url: str, method: str, path: str,
 
 def watch_job(url: str, job_id: str,
               on_event: Callable[[Event], None],
-              timeout: float = 600.0) -> Event | None:
+              timeout: float = 600.0,
+              token: str | None = None) -> Event | None:
     """Tail one job's event stream until it ends; returns the last event.
 
     Decodes the JSON-lines stream back into typed events and hands
@@ -983,10 +1352,11 @@ def watch_job(url: str, job_id: str,
     stream.
     """
     from .events import event_from_json_line
-    conn = _connect(url, timeout)
+    conn, prefix = _connect(url, timeout)
     last: Event | None = None
     try:
-        conn.request("GET", f"/jobs/{job_id}/events")
+        conn.request("GET", f"{prefix}/jobs/{job_id}/events",
+                     headers=_auth_headers(token))
         response = conn.getresponse()
         if response.status != 200:
             raise _error_from(response)

@@ -52,6 +52,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import tempfile
 import time
 from pathlib import Path
@@ -75,6 +76,53 @@ PICKLE_PROTOCOL = 4
 #: process and swept during :meth:`ArtifactStore.gc`; younger ones may
 #: belong to an in-flight concurrent writer and are left alone.
 ORPHAN_AGE_SECONDS = 60.0
+
+#: Subdirectory under a shared store root holding per-tenant
+#: namespaces (``<root>/tenants/<tenant>/traces``, ...).  The root
+#: store's own artifact directories sit beside it and never mix with
+#: tenant artifacts: the root's scans are non-recursive, so a
+#: root-level :meth:`ArtifactStore.gc` cannot evict tenant artifacts
+#: and a tenant-level one cannot reach outside its namespace.
+TENANTS_DIRNAME = "tenants"
+
+#: Tenant names become directory names, so they must be a single safe
+#: path component: leading alphanumeric, then alphanumerics, ``_``,
+#: ``-``, or ``.`` (``.``/``..``/anything with a separator cannot
+#: match).
+TENANT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+def validate_tenant_name(tenant: str) -> str:
+    """*tenant* if it is a safe store namespace name, else ValueError."""
+    if not isinstance(tenant, str) or not TENANT_NAME_RE.match(tenant):
+        raise ValueError(
+            f"bad tenant name {tenant!r}: expected 1-64 characters "
+            f"matching [A-Za-z0-9][A-Za-z0-9_.-]*")
+    return tenant
+
+
+def tenant_store_root(root: str | os.PathLike, tenant: str) -> Path:
+    """The store root for one tenant's namespace under a shared root."""
+    return Path(root) / TENANTS_DIRNAME / validate_tenant_name(tenant)
+
+
+def list_tenants(root: str | os.PathLike) -> list[str]:
+    """Tenant namespaces that exist under *root* (sorted)."""
+    base = Path(root) / TENANTS_DIRNAME
+    if not base.is_dir():
+        return []
+    return sorted(path.name for path in base.iterdir()
+                  if path.is_dir() and TENANT_NAME_RE.match(path.name))
+
+
+def tenant_usage(root: str | os.PathLike) -> dict[str, int]:
+    """On-disk bytes per tenant namespace under *root*.
+
+    Backs the service's per-tenant store gauges; a tenant whose
+    namespace was created but never written reports 0.
+    """
+    return {tenant: ArtifactStore.for_tenant(root, tenant).total_bytes()
+            for tenant in list_tenants(root)}
 
 
 def _digest(identity: dict) -> str:
@@ -192,6 +240,18 @@ class ArtifactStore:
         self.segment_trace_misses = 0
         self.segment_stats_hits = 0
         self.segment_stats_misses = 0
+
+    @classmethod
+    def for_tenant(cls, root: str | os.PathLike,
+                   tenant: str) -> "ArtifactStore":
+        """A store scoped to one tenant's namespace under *root*.
+
+        Each tenant gets a fully independent store rooted at
+        ``<root>/tenants/<tenant>``: its LRU :meth:`gc` walks only its
+        own directories, so one tenant exhausting its byte budget can
+        never evict another tenant's artifacts.
+        """
+        return cls(tenant_store_root(root, tenant))
 
     def _directories(self) -> tuple[Path, ...]:
         return (self._traces, self._stats, self._segments,

@@ -6,7 +6,8 @@ and the streaming service — records into one process-wide
 :data:`TELEMETRY` registry holding three instrument kinds:
 
 * **counters** — monotonically increasing event/byte totals
-  (``repro_sim_runs_total``, ``repro_store_put_bytes_total``),
+  (``repro_sim_runs_total``, ``repro_store_put_bytes_total``,
+  ``repro_requests_rejected_total{reason=...}``),
 * **gauges** — last-observed values with *peak* merge semantics
   (``repro_job_queue_depth``, ``repro_sim_insns_per_second``),
 * **histograms** — fixed log-scale bucket distributions of seconds
@@ -37,6 +38,13 @@ Design constraints, in order:
    the process-wide registry: every instrument lookup returns a shared
    no-op object and ``snapshot()`` is empty.  Worker processes inherit
    the variable, so one setting silences a whole sweep.
+
+The multi-tenant service layer reuses the same three instrument kinds
+for its per-tenant families: ``repro_requests_rejected_total`` with a
+``reason`` label (``auth`` / ``quota`` / ``rate`` / ``capacity``),
+``repro_tenant_store_evictions_total{tenant=...}``, and the
+``repro_tenant_active_jobs`` / ``repro_tenant_rate_tokens`` /
+``repro_tenant_store_bytes`` gauges — no new registry machinery.
 
 Rendering: :meth:`~MetricsRegistry.to_prometheus` emits the
 Prometheus text exposition format (the ``GET /metrics`` endpoint),

@@ -752,6 +752,136 @@ class TestHttpService:
         assert json.loads(lines[-1])["kind"] == "job-finished"
 
 
+class TestHttpProtocolHardening:
+    """The PR-9 service-layer bugfix sweep's protocol cases."""
+
+    def _raw_request(self, port: int, payload: bytes) -> bytes:
+        import socket
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=30) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return b"".join(chunks)
+                chunks.append(chunk)
+
+    def test_conflicting_duplicate_content_length_is_400(self,
+                                                         service):
+        # the request-smuggling class: two disagreeing lengths must
+        # not be resolved by last-one-wins framing
+        body = b'{"kind": "sweep", "workloads": ["mcf"]}'
+        response = self._raw_request(
+            service.port,
+            b"POST /jobs HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: 5\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode() + body)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"conflicting Content-Length" in response
+        assert service.jobs() == []  # nothing was submitted
+
+    def test_identical_duplicate_content_length_is_tolerated(
+            self, service):
+        # RFC 9110 allows repeats that agree; rejecting them would
+        # break naive proxies that re-append the header
+        body = b'{"kind": "sweep", "workloads": ["mcf"]}'
+        head = (f"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n").encode()
+        response = self._raw_request(service.port, head + body)
+        assert response.startswith(b"HTTP/1.1 201 ")
+
+    def test_summary_and_result_carry_iso_wall_clock_stamps(
+            self, service):
+        from datetime import datetime, timezone
+        created = service.post_job(dict(SWEEP_SPEC))
+        assert created["submitted"].endswith("Z")
+        submitted = datetime.fromisoformat(created["submitted"])
+        assert abs((datetime.now(timezone.utc)
+                    - submitted).total_seconds()) < 60
+        events = service.stream_events(created["id"])
+        result = events[-1].result
+        assert result["submitted"] == created["submitted"]
+        started = datetime.fromisoformat(result["started"])
+        assert started >= submitted
+        # the determinism contract: wall-clock stamps never leak into
+        # the canonical ledger
+        assert "submitted" not in result["ledger"]
+        row = service.jobs()[0]
+        assert row["submitted"] == created["submitted"]
+        assert row["started"] == result["started"]
+
+    def test_client_honors_url_path_prefix(self):
+        # `--url http://host:port/prefix` used to silently request
+        # /jobs at the root; every request must carry the prefix
+        import http.server
+        import socketserver
+
+        seen = []
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                seen.append(self.path)
+                body = b'{"jobs": []}\n'
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        with socketserver.TCPServer(("127.0.0.1", 0), Handler) as httpd:
+            port = httpd.server_address[1]
+            worker = threading.Thread(target=httpd.serve_forever,
+                                      daemon=True)
+            worker.start()
+            try:
+                payload = request_json(
+                    f"http://127.0.0.1:{port}/repro/", "GET", "/jobs")
+                assert payload == {"jobs": []}
+            finally:
+                httpd.shutdown()
+        assert seen == ["/repro/jobs"]
+
+    def test_truncated_stream_makes_watch_exit_2(self, capsys):
+        # a server dying mid-stream ends the connection without a
+        # terminal event; `repro watch` must report failure (exit 2),
+        # never a clean 0
+        import socket
+
+        def half_stream(server_sock):
+            conn, _ = server_sock.accept()
+            with conn:
+                while b"\r\n\r\n" not in conn.recv(65536):
+                    pass
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/x-ndjson\r\n"
+                    b"Connection: close\r\n\r\n"
+                    b'{"kind": "job-started", "job": "j1",'
+                    b' "job_kind": "sweep", "name": "j1"}\n')
+                # connection closes here: no job-finished ever arrives
+
+        with socket.socket() as server_sock:
+            server_sock.bind(("127.0.0.1", 0))
+            server_sock.listen(1)
+            port = server_sock.getsockname()[1]
+            worker = threading.Thread(target=half_stream,
+                                      args=(server_sock,), daemon=True)
+            worker.start()
+            code = main(["watch", "j1", "--url",
+                         f"http://127.0.0.1:{port}"])
+            worker.join(10)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "ended without a terminal event" in err
+
+
 class TestMetricsEndpoint:
     def _fetch(self, service, path):
         conn = http.client.HTTPConnection("127.0.0.1", service.port,
