@@ -5,16 +5,26 @@ design-space grid (4 workloads x 3 machine variants), plus the
 near-free cost of re-running the same grid against a warm artifact
 store.  Single-core machines still run the parallel leg (the pool is
 exercised; the speedup is just ~1x).
+
+A ``--backend workers`` row dispatches the same grid to N local
+socket workers — real ``repro worker`` subprocesses leasing units
+over TCP and syncing artifacts by content hash — so the scale-out
+trajectory is recorded from day one.  On one machine the workers row
+tracks the pool row (same cores, plus lease/replication overhead);
+its value is the recorded trend as fleets move off-box.
 """
 
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 import tempfile
 import time
 
 from conftest import publish
 
+from repro.engine.backend import SocketWorkerBackend
 from repro.engine.campaign import Campaign, parse_axis
 from repro.engine.pool import run_sweep
 from repro.uarch.config import default_config
@@ -42,27 +52,59 @@ def _campaign(workloads) -> Campaign:
         include_baseline=True)
 
 
-def _timed_sweep(points, jobs, store_dir):
+def _timed_sweep(points, jobs, store_dir, backend=None):
     started = time.perf_counter()
-    result = run_sweep(points, jobs=jobs, store_dir=store_dir)
+    result = run_sweep(points, jobs=jobs, store_dir=store_dir,
+                       backend=backend)
     return result, time.perf_counter() - started
+
+
+def _timed_workers_sweep(points, jobs, store_dir, workers):
+    """The grid on N real `repro worker` subprocesses over TCP."""
+    backend = SocketWorkerBackend(store_dir=store_dir,
+                                  parallelism=jobs)
+    fleet = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", f"127.0.0.1:{backend.port}", "--quiet",
+             "--name", f"bench-{index}"],
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     filter(None, [os.path.join(os.path.dirname(
+                         os.path.dirname(os.path.abspath(__file__))),
+                         "src"), os.environ.get("PYTHONPATH")]))},
+            stderr=subprocess.DEVNULL)
+        for index in range(workers)]
+    try:
+        result, elapsed = _timed_sweep(points, jobs, store_dir,
+                                       backend=backend)
+    finally:
+        backend.close()
+        for worker in fleet:
+            worker.wait(timeout=60)
+    return result, elapsed
 
 
 def test_sweep_parallel_speedup(benchmark, smoke):
     workloads = GRID_WORKLOADS[:2] if smoke else GRID_WORKLOADS
     points = _campaign(workloads).points()
     ncpu = os.cpu_count() or 1
+    workers = 2 if smoke else max(2, min(4, ncpu))
     with tempfile.TemporaryDirectory() as serial_store, \
-            tempfile.TemporaryDirectory() as parallel_store:
+            tempfile.TemporaryDirectory() as parallel_store, \
+            tempfile.TemporaryDirectory() as workers_store:
         serial, serial_s = _timed_sweep(points, 1, serial_store)
         parallel, parallel_s = benchmark.pedantic(
             lambda: _timed_sweep(points, ncpu, parallel_store),
             rounds=1, iterations=1)
         cached, cached_s = _timed_sweep(points, ncpu, parallel_store)
+        fleet, fleet_s = _timed_workers_sweep(
+            points, max(ncpu, workers), workers_store, workers)
 
     assert [r.stats.to_json() for r in serial.results] == \
         [r.stats.to_json() for r in parallel.results] == \
-        [r.stats.to_json() for r in cached.results]
+        [r.stats.to_json() for r in cached.results] == \
+        [r.stats.to_json() for r in fleet.results]
     assert cached.counters["emulations"] == 0
     assert cached.counters["simulations"] == 0
 
@@ -79,6 +121,9 @@ def test_sweep_parallel_speedup(benchmark, smoke):
         f"jobs={ncpu:<2d} (warm)  : {cached_s:8.2f} s   "
         f"speedup {serial_s / cached_s:.2f}x "
         f"({cached.counters['stats_cache_hits']} store hits)",
+        f"workers={workers} (TCP): {fleet_s:8.2f} s   "
+        f"speedup {serial_s / fleet_s:.2f}x "
+        f"(socket leases, content-hash replication)",
     ]
     publish("sweep_parallel", "\n".join(lines), smoke, data={
         "points": len(points), "workloads": list(workloads),
@@ -86,8 +131,11 @@ def test_sweep_parallel_speedup(benchmark, smoke):
         "serial_seconds": round(serial_s, 4),
         "parallel_seconds": round(parallel_s, 4),
         "warm_seconds": round(cached_s, 4),
+        "workers": workers,
+        "workers_seconds": round(fleet_s, 4),
         "speedup_cold": round(serial_s / parallel_s, 4),
         "speedup_warm": round(serial_s / cached_s, 4),
+        "speedup_workers": round(serial_s / fleet_s, 4),
         "before_packed_core": BASELINE,
         "speedup_over_baseline": round(
             BASELINE["serial_seconds"] / serial_s, 4),

@@ -21,7 +21,13 @@ Commands
                          shared store (JSON-lines event streams over
                          HTTP)
 ``watch``                tail one job's event stream from a running
-                         ``repro serve``
+                         ``repro serve`` (reconnects with backoff on
+                         transient drops, resuming from the last-seen
+                         event)
+``worker``               connect to a lease server (``repro serve
+                         --workers-port`` or ``repro --backend
+                         workers``) and execute work units against a
+                         local store replica
 ``metrics``              fetch and render a running service's
                          telemetry snapshot (``GET /metrics``)
 ``store gc`` / ``store info``
@@ -36,7 +42,13 @@ segments that parallelize *within* a workload, adaptive sizing from
 the workload length, or sampled simulation with extrapolated stats
 and error bounds (see README "Segmented simulation" for the
 semantics); ``--store-max-bytes N`` enforces an
-LRU size cap on the store after each sweep.  Sensitivity figures
+LRU size cap on the store after each sweep.  ``--backend
+inline|pool|workers`` pins the execution backend every simulation
+routes through (default: inline when serial, a process pool when
+``--jobs`` fans out); ``--backend workers`` opens a lease server
+(``--workers-port``, default ephemeral) that ``repro worker
+--connect host:port`` processes execute for — see README
+"Distributed execution".  Sensitivity figures
 accept ``--per-suite N`` to bound runtime (default: all workloads; the
 benchmark harness uses 2).  ``--scale N`` grows the dynamic
 instruction counts of every kernel.  ``--profile`` prints a per-stage
@@ -77,6 +89,13 @@ collection entirely.
     curl http://127.0.0.1:8787/metrics        # Prometheus text
     repro metrics --url http://127.0.0.1:8787 # human rendering
 
+``worker`` examples (distributed execution)::
+
+    repro --store .repro-store serve --workers-port 9900 --resume
+    repro worker --connect 127.0.0.1:9900     # as many as you like
+    repro --backend workers --workers-port 9900 sweep --suite SPECint \\
+        --axis optimizer.enabled=false,true   # serve-less lease server
+
 Synthetic workloads (``synth:<family>@seed=N[,param=V,...]``) are
 first-class workload names everywhere a paper kernel is accepted::
 
@@ -92,6 +111,7 @@ import os
 import sys
 
 from . import quick_compare
+from .engine.backend import BACKEND_NAMES
 from .engine.campaign import Campaign, parse_axis, split_workloads
 from .engine.events import format_event
 from .engine.pool import run_sweep
@@ -255,7 +275,8 @@ def _cmd_sweep(args) -> int:
     result = run_sweep(campaign.points(), jobs=args.jobs,
                        store_dir=args.store,
                        progress=progress if not args.quiet else None,
-                       segment_policy=args.segment_policy)
+                       segment_policy=args.segment_policy,
+                       backend=args.run_backend)
     _check_store_cap(args)
     report = result.to_dict()
     report["campaign"] = {
@@ -342,7 +363,8 @@ def _cmd_search(args) -> int:
         rung_insns=args.rung_insns, rung_mode=args.rung_mode,
         rung_period=args.rung_period, jobs=args.jobs,
         store_dir=args.store,
-        progress=None if args.quiet else _search_progress)
+        progress=None if args.quiet else _search_progress,
+        backend=args.run_backend)
     _check_store_cap(args)
     report = json.dumps(result.to_dict(),
                         indent=2 if args.pretty else None)
@@ -420,7 +442,8 @@ def _cmd_fuzz(args) -> int:
                     small=args.budget_small,
                     segment_insns=args.segment_insns
                     or DEFAULT_SEGMENT_INSNS,
-                    progress=None if args.quiet else progress)
+                    progress=None if args.quiet else progress,
+                    jobs=args.jobs, backend=args.run_backend)
     if args.json:
         print(json.dumps(fuzz.to_dict(),
                          indent=2 if args.pretty else None))
@@ -477,6 +500,16 @@ def _cmd_serve(args) -> int:
             rate_per_second=args.tenant_rate,
             burst=args.tenant_burst,
             max_store_bytes=args.tenant_store_bytes)
+        backend = args.backend
+        if backend == "workers":
+            if args.workers_port is None:
+                raise ValueError(
+                    "--backend workers needs --workers-port to open "
+                    "the lease server")
+            backend = None  # --workers-port constructs the backend
+        if args.resume and args.store is None:
+            raise ValueError("--resume re-queues jobs from the store "
+                             "journal; it needs the global --store DIR")
     except ValueError as error:
         return _usage_error("serve", error)
     try:
@@ -484,7 +517,9 @@ def _cmd_serve(args) -> int:
             store_dir=args.store, jobs=args.jobs,
             max_concurrent_jobs=args.max_jobs, host=args.host,
             port=args.port, announce=announce,
-            auth_tokens=auth_tokens, tenant_limits=tenant_limits))
+            auth_tokens=auth_tokens, tenant_limits=tenant_limits,
+            backend=backend, workers_port=args.workers_port,
+            resume=args.resume))
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
         return 0
@@ -503,9 +538,16 @@ def _cmd_watch(args) -> int:
         else:
             print(format_event(event), flush=True)
 
+    def on_reconnect(attempt: int, error: Exception) -> None:
+        print(f"repro watch: connection lost ({error}); reconnecting "
+              f"(attempt {attempt}/{args.retries})", file=sys.stderr,
+              flush=True)
+
     try:
         last = watch_job(args.url, args.job, on_event,
-                         timeout=args.timeout, token=args.token)
+                         timeout=args.timeout, token=args.token,
+                         retries=args.retries,
+                         on_reconnect=on_reconnect)
     except ValueError as error:
         # ServiceError (bad job id, HTTP errors) subclasses
         # ValueError; a bare ValueError is an unknown event kind from
@@ -553,6 +595,29 @@ def _watch_summary(job_id: str, last) -> str:
         else parts[0]
 
 
+def _cmd_worker(args) -> int:
+    from .engine.backend import run_worker
+
+    def announce(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    try:
+        run_worker(args.connect, store_dir=args.replica,
+                   name=args.name, max_units=args.max_units,
+                   announce=None if args.quiet else announce)
+    except ValueError as error:
+        # a malformed --connect spec, before any socket is opened
+        return _usage_error("worker", error)
+    except KeyboardInterrupt:
+        print("repro worker: interrupted", file=sys.stderr)
+        return 0
+    except (ConnectionError, OSError) as error:
+        print(f"repro worker: cannot serve {args.connect}: {error}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     from .engine.service import request_json
     from .engine.telemetry import format_snapshot
@@ -596,6 +661,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="persistent artifact store directory "
                              "(traces + stats survive across runs)")
+    parser.add_argument("--backend", default=None,
+                        choices=list(BACKEND_NAMES),
+                        help="execution backend for every simulation: "
+                             "inline (in-process, serial), pool "
+                             "(process pool sized by --jobs), or "
+                             "workers (open a lease server — see "
+                             "--workers-port — that `repro worker "
+                             "--connect` processes execute for); "
+                             "default: inline when serial, pool when "
+                             "--jobs fans out")
+    parser.add_argument("--workers-port", type=int, default=None,
+                        metavar="PORT",
+                        help="with --backend workers (or serve): TCP "
+                             "port for the work-unit lease server "
+                             "(0 or unset = ephemeral; the bound port "
+                             "is announced on stderr)")
     parser.add_argument("--segment-insns", type=int, default=None,
                         metavar="N",
                         help="split every trace into N-instruction "
@@ -824,6 +905,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-tenant store byte budget, LRU-enforced "
                             "on the tenant's own namespace after each "
                             "finished job (default: unbounded)")
+    # SUPPRESS: absent, the subparser must not clobber the global
+    # --workers-port value already parsed into the namespace
+    serve.add_argument("--workers-port", type=int,
+                       default=argparse.SUPPRESS, metavar="PORT",
+                       help="open a work-unit lease server on PORT "
+                            "(0 = ephemeral) and execute every job on "
+                            "connected `repro worker` processes")
+    serve.add_argument("--resume", action="store_true",
+                       help="re-queue the store journal's unfinished "
+                            "jobs (submitted but not finished when the "
+                            "last server stopped) before serving; "
+                            "needs the global --store")
     serve.set_defaults(handler=_cmd_serve)
     watch = sub.add_parser(
         "watch", help="tail one job's event stream",
@@ -844,7 +937,39 @@ def build_parser() -> argparse.ArgumentParser:
                        default=os.environ.get("REPRO_AUTH_TOKEN"),
                        help="bearer token for an auth-enabled service "
                             "(default: the REPRO_AUTH_TOKEN env var)")
+    watch.add_argument("--retries", type=int, default=5, metavar="N",
+                       help="reconnect attempts after a mid-stream "
+                            "connection drop (exponential backoff, "
+                            "resuming from the last-seen event; "
+                            "0 disables; default 5)")
     watch.set_defaults(handler=_cmd_watch)
+    worker = sub.add_parser(
+        "worker", help="execute work units for a lease server",
+        description="Connect to a work-unit lease server (`repro "
+                    "serve --workers-port` or `repro --backend "
+                    "workers`), lease units, execute them against a "
+                    "local store replica synced by content hash, and "
+                    "ship results back; loops until the server "
+                    "releases the worker.  Exit 1 if the server is "
+                    "unreachable.")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="lease server address (as announced by "
+                             "the server)")
+    worker.add_argument("--name", default=None,
+                        help="worker name in events and metrics "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--replica", default=None, metavar="DIR",
+                        help="local store replica directory (default: "
+                             "a temporary replica removed on exit; a "
+                             "persistent one makes blob pulls "
+                             "incremental across runs)")
+    worker.add_argument("--max-units", type=int, default=None,
+                        metavar="N",
+                        help="exit after executing N units (default: "
+                             "loop until released)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-unit progress on stderr")
+    worker.set_defaults(handler=_cmd_worker)
     metrics = sub.add_parser(
         "metrics", help="fetch a running service's telemetry",
         description="Fetch GET /metrics?format=json from a running "
@@ -891,9 +1016,37 @@ def main(argv: list[str] | None = None) -> int:
         # bad flag combination (adaptive with a size, a sample period
         # outside sampled mode, ...): exit 2 like any other bad input
         return _usage_error(args.command, error)
-    runner.configure(store_dir=args.store, jobs=args.jobs,
-                     segment_policy=args.segment_policy)
-    code = args.handler(args)
+    owned_backend = None
+    if args.backend == "workers" and args.command not in ("serve",
+                                                          "worker"):
+        # a serve-less lease server for this one command: announce the
+        # connect address so workers can be attached from elsewhere
+        # (serve builds its own; worker is the other end of the wire)
+        from .engine.backend import SocketWorkerBackend
+        from .engine.pool import resolve_jobs
+        owned_backend = SocketWorkerBackend(
+            store_dir=args.store, port=args.workers_port or 0,
+            parallelism=resolve_jobs(args.jobs),
+            on_event=lambda event: print(format_event(event),
+                                         file=sys.stderr, flush=True))
+        print(f"leasing work units on "
+              f"{owned_backend.host}:{owned_backend.port} (connect "
+              f"workers with: repro worker --connect "
+              f"{owned_backend.host}:{owned_backend.port})",
+              file=sys.stderr, flush=True)
+    # handlers and the experiment runner see the same backend: a live
+    # instance for workers, the bare name otherwise (serve threads the
+    # name itself — its lease server belongs to the event loop)
+    args.run_backend = owned_backend if owned_backend is not None \
+        else (None if args.backend == "workers" else args.backend)
+    try:
+        runner.configure(store_dir=args.store, jobs=args.jobs,
+                         segment_policy=args.segment_policy,
+                         backend=args.run_backend)
+        code = args.handler(args)
+    finally:
+        if owned_backend is not None:
+            owned_backend.close()
     if args.profile:
         from .engine.telemetry import TELEMETRY, format_profile
         print(format_profile(TELEMETRY.snapshot()), file=sys.stderr)

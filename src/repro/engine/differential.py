@@ -39,6 +39,7 @@ from ..uarch.pipeline import make_pipeline
 from ..uarch.stats import EXACT_MERGE_FIELDS, PipelineStats
 from ..workloads import build_program, get_workload
 from ..workloads.synth import FAMILIES, fuzz_specs
+from .backend import WorkUnit, register_executor, resolve_backend
 from .events import FindingEvent
 
 #: Default segment length the segmented-vs-monolithic check uses.
@@ -244,32 +245,75 @@ def check_workload(name: str, scale: int = 1,
     return report
 
 
+@register_executor("fuzz-check")
+def _fuzz_check_unit(payload, env) -> ProgramReport:
+    """One fuzzed program's full differential check (store-free)."""
+    name, scale, segment_insns, max_instructions = payload
+    return check_workload(name, scale=scale,
+                          segment_insns=segment_insns,
+                          max_instructions=max_instructions)
+
+
 def run_fuzz(seeds: range, families: tuple[str, ...] = FAMILIES,
              scale: int = 1, small: bool = False,
              segment_insns: int = DEFAULT_SEGMENT_INSNS,
-             progress: Callable[[FindingEvent], None]
-             | None = None) -> FuzzReport:
+             progress: Callable[[FindingEvent], None] | None = None,
+             jobs: int | None = 1, backend=None) -> FuzzReport:
     """Differential-check every ``(family, seed)`` synthetic program.
 
     ``small=True`` shrinks every family's parameters to smoke budgets
     (CI's ``fuzz-smoke`` job).  ``progress``, if given, receives one
     :class:`~repro.engine.events.FindingEvent` per checked program.
+
+    Each program is one ``fuzz-check`` work unit; ``jobs``/``backend``
+    fan them out exactly like a sweep.  Reports are absorbed into
+    spec-order slots and events emitted for the completed *prefix*, so
+    the report list and the event stream are identical on every
+    backend.
     """
     specs = fuzz_specs(seeds, families=families, small=small)
     fuzz = FuzzReport()
-    for index, spec in enumerate(specs):
-        report = check_workload(spec.name, scale=scale,
-                                segment_insns=segment_insns,
-                                max_instructions=scale
-                                * DEFAULT_MAX_INSTRUCTIONS)
-        fuzz.programs.append(report)
-        if progress is not None:
-            progress(FindingEvent(
-                workload=report.workload, scale=report.scale,
-                instructions=report.instructions, ok=report.ok,
-                done=index + 1, total=len(specs),
-                failures=tuple(f"{c.name}: {c.detail}"
-                               for c in report.failures)))
+    slots: list[ProgramReport | None] = [None] * len(specs)
+    emitted = 0
+
+    def _emit_ready() -> None:
+        nonlocal emitted
+        while emitted < len(specs) and slots[emitted] is not None:
+            report = slots[emitted]
+            fuzz.programs.append(report)
+            emitted += 1
+            if progress is not None:
+                progress(FindingEvent(
+                    workload=report.workload, scale=report.scale,
+                    instructions=report.instructions, ok=report.ok,
+                    done=emitted, total=len(specs),
+                    failures=tuple(f"{c.name}: {c.detail}"
+                                   for c in report.failures)))
+
+    backend, owned = resolve_backend(backend, jobs=jobs,
+                                     units=len(specs))
+    try:
+        group = backend.group()
+        tickets: dict[int, int] = {}
+        for index, spec in enumerate(specs):
+            ticket = group.submit(WorkUnit(
+                "fuzz-check",
+                (spec.name, scale, segment_insns,
+                 scale * DEFAULT_MAX_INSTRUCTIONS), phase="fuzz"))
+            tickets[ticket] = index
+            if backend.parallelism <= 1:
+                # serial: drain per submit so findings stream one by
+                # one (the inline group executed the unit eagerly)
+                ticket, report = group.wait_any()
+                slots[tickets.pop(ticket)] = report
+                _emit_ready()
+        while group.pending:
+            ticket, report = group.wait_any()
+            slots[tickets.pop(ticket)] = report
+            _emit_ready()
+    finally:
+        if owned:
+            backend.close()
     return fuzz
 
 

@@ -26,6 +26,11 @@ kind           emitted by / meaning
 ``metric``     one named telemetry measurement (a per-job phase span
                such as queue wait or execute time) — emitted by the
                service just before a job's terminal event
+``worker-*``   lifecycle of a remote socket worker registered with a
+               :class:`~repro.engine.backend.SocketWorkerBackend`
+               (``worker-joined``, ``worker-left``)
+``unit-leased`` one :class:`~repro.engine.backend.WorkUnit` handed to
+               a connected worker
 ============== ====================================================
 
 Events are frozen dataclasses with a stable JSON form: ``to_dict()``
@@ -175,11 +180,49 @@ class MetricEvent(Event):
     labels: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class WorkerJoinedEvent(Event):
+    """A remote worker registered with the socket backend.
+
+    ``workers`` is the connected-worker count *after* the join — the
+    same number the ``repro_workers_connected`` gauge reports.
+    """
+
+    kind: ClassVar[str] = "worker-joined"
+    worker: str
+    workers: int
+
+
+@dataclass(frozen=True)
+class WorkerLeftEvent(Event):
+    """A remote worker disconnected (cleanly or by dropping its link).
+
+    ``requeued`` counts units the worker held a lease on at the time;
+    they go back to the front of the queue for another worker.
+    """
+
+    kind: ClassVar[str] = "worker-left"
+    worker: str
+    workers: int
+    requeued: int = 0
+
+
+@dataclass(frozen=True)
+class UnitLeasedEvent(Event):
+    """One work unit handed to a connected remote worker."""
+
+    kind: ClassVar[str] = "unit-leased"
+    worker: str
+    unit_kind: str
+    backend: str = "workers"
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (PointEvent, EvaluationEvent, SegmentEvent, FindingEvent,
                 JobStartedEvent, JobFinishedEvent, JobFailedEvent,
-                MetricEvent)
+                MetricEvent, WorkerJoinedEvent, WorkerLeftEvent,
+                UnitLeasedEvent)
 }
 
 
@@ -253,4 +296,15 @@ def format_event(event: Event) -> str:
                          sorted(event.labels.items()))
         unit = f" {event.unit}" if event.unit else ""
         return f"[metric] {event.name}{labels} = {event.value}{unit}"
+    if event.kind == "worker-joined":
+        return (f"worker {event.worker} joined "
+                f"({event.workers} connected)")
+    if event.kind == "worker-left":
+        requeued = (f", {event.requeued} unit(s) requeued"
+                    if event.requeued else "")
+        return (f"worker {event.worker} left "
+                f"({event.workers} connected{requeued})")
+    if event.kind == "unit-leased":
+        return (f"unit {event.unit_kind} leased to {event.worker} "
+                f"[{event.backend}]")
     return event.to_json_line()

@@ -1,4 +1,4 @@
-"""Process-pool sweep executor with per-worker trace reuse.
+"""Sweep planner: shards a grid into work units for any backend.
 
 :func:`run_sweep_iter` executes a list of :class:`SweepPoint` grid
 points **incrementally**, yielding each completed point as soon as its
@@ -7,15 +7,16 @@ shard finishes; :func:`run_sweep` is the collect-everything wrapper:
 * Points are **sharded by** ``(workload, scale)`` so every machine
   variant of one workload lands on the same worker and shares a single
   functional emulation (the trace is configuration-independent).
-* Shards run on a :class:`concurrent.futures.ProcessPoolExecutor`
-  (``jobs > 1``) or inline (``jobs == 1`` — byte-for-byte the same
-  code path, so serial and parallel sweeps are trivially
-  deterministic).  Completed shards stream back via ``as_completed``;
-  a consumer that stops iterating early (``break`` / ``close()``)
-  abandons the not-yet-consumed results — shards already *executing*
-  finish (their artifacts land in the store), still-queued shards are
-  cancelled, so a cancelled service job stops near its next completed
-  shard instead of running the whole grid.
+* Shards become ``sweep-shard`` :class:`~repro.engine.backend.WorkUnit`
+  s submitted to an :class:`~repro.engine.backend.ExecutionBackend` —
+  inline (serial, in-process), a local process pool, or remote socket
+  workers; the planner only absorbs results by grid index, so the
+  ledger is identical on every backend.  Completed shards stream back
+  as they finish; a consumer that stops iterating early (``break`` /
+  ``close()``) abandons the not-yet-consumed results — shards already
+  *executing* finish (their artifacts land in the store), still-queued
+  shards are cancelled, so a cancelled service job stops near its next
+  completed shard instead of running the whole grid.
 * When an :class:`~repro.engine.store.ArtifactStore` directory is
   given, workers consult it before emulating or simulating anything
   and persist whatever they compute, so a re-run of the same grid
@@ -29,12 +30,13 @@ shard finishes; :func:`run_sweep` is the collect-everything wrapper:
   evaluations reuse it instead of re-simulating identical work.
 
 All execution state lives in an explicit :class:`ExecutionContext`
-(store binding + bounded LRU trace cache + counters), one per sweep:
-the serial path builds a context local to each generator, so two
-interleaved ``jobs=1`` sweeps — exactly what the streaming service
-(:mod:`repro.engine.service`) produces — can never clobber each
-other's store or corrupt each other's hit/miss accounting; each pool
-worker process builds one in its initializer.
+(store binding + bounded LRU trace cache + counters), one per
+executing environment: the inline backend builds a fresh environment
+per planner run, so two interleaved serial sweeps — exactly what the
+streaming service (:mod:`repro.engine.service`) produces — can never
+clobber each other's store or corrupt each other's hit/miss
+accounting; each pool or socket worker keeps one in its environment
+scratch and reuses it across the units it leases.
 """
 
 from __future__ import annotations
@@ -42,21 +44,21 @@ from __future__ import annotations
 import os
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Iterator
 
 from ..uarch.stats import PipelineStats
 from ..uarch.pipeline import simulate_trace
 from ..workloads import build_trace
+from .backend import WorkUnit, register_executor, resolve_backend
 from .campaign import SweepPoint
 from .events import PointEvent
 from .store import ArtifactStore
 from .telemetry import TELEMETRY
 # Re-exported for back-compat: both lived here before the worker
-# scaffolding moved to engine/workers.py (shared with segments.py).
+# scaffolding moved to engine/workers.py (shared with backend.py).
 from .workers import observe_wait, set_worker_start_method  # noqa: F401
-from .workers import pool_kwargs as _pool_kwargs
+from .workers import pool_kwargs as _pool_kwargs  # noqa: F401
 
 
 #: Default cap on driver/worker-cached traces.  Shards are grouped by
@@ -73,8 +75,8 @@ class ExecutionContext:
     Replaces the old module-level ``_worker_store``/``_worker_traces``
     globals, which made interleaved serial sweeps clobber each other's
     store binding (and grew without bound in a long-lived driver).
-    One context belongs to exactly one sweep on the driver side, or to
-    one worker process on the pool side.
+    One context belongs to exactly one inline planner run, or to one
+    worker process's execution environment.
 
     The trace cache is a **bounded LRU** keyed ``(workload, scale)``:
     at most *max_cached_traces* traces stay resident
@@ -191,48 +193,38 @@ class ExecutionContext:
 
 
 # ----------------------------------------------------------------------
-# worker side
+# unit executors (run wherever the backend puts them)
 # ----------------------------------------------------------------------
 
-#: One context per worker *process* (set by the pool initializer).  A
-#: module global is the only channel ``ProcessPoolExecutor`` offers,
-#: but each worker process belongs to exactly one pool — i.e. one
-#: sweep — so unlike the old driver-side globals this is genuinely
-#: per-sweep state.
-_worker_context: ExecutionContext | None = None
+def _env_context(env, max_cached_traces: int | None) -> ExecutionContext:
+    """The environment's sweep context, built once per cache size.
 
-
-def _init_worker(store_dir: str | None,
-                 max_cached_traces: int | None = DEFAULT_TRACE_CACHE
-                 ) -> None:
-    """Pool initializer: build this worker process's context."""
-    global _worker_context
-    _worker_context = ExecutionContext(store_dir, max_cached_traces)
-
-
-def _run_shard(shard: list[tuple[int, str, int, str, object]],
-               limit_insns: int | None = None,
-               submitted_ns: int | None = None
-               ) -> tuple[list[tuple[int, PipelineStats, dict]],
-                          dict | None]:
-    """One shard on a worker; returns (results, telemetry snapshot).
-
-    ``submitted_ns`` is the driver's ``time.monotonic_ns()`` at submit
-    time — comparable across processes on one machine — so the worker
-    can record how long the shard sat in the pool queue before a
-    process picked it up.  The drained telemetry snapshot rides the
-    existing result path home, exactly like ``PipelineStats`` merges.
+    Keyed into the environment's scratch dict so one worker reuses its
+    trace cache across every unit it executes — exactly what the old
+    per-process ``_worker_context`` global provided.
     """
-    observe_wait(submitted_ns)
+    key = ("context", max_cached_traces)
+    context = env.scratch.get(key)
+    if context is None:
+        context = ExecutionContext(env.store_dir, max_cached_traces)
+        env.scratch[key] = context
+    return context
+
+
+@register_executor("sweep-shard")
+def _execute_sweep_shard(payload, env):
+    """One sweep shard; returns (results, cumulative evictions)."""
+    shard, limit_insns, max_cached_traces = payload
+    context = _env_context(env, max_cached_traces)
     with TELEMETRY.timer("repro_pool_shard_execute_seconds"):
-        out = _worker_context.run_shard(shard, limit_insns)
-    return out, TELEMETRY.drain()
+        out = context.run_shard(shard, limit_insns)
+    return out, context.trace_evictions
 
 
-def _prewarm_shard(shard: list[tuple[str, int]]
-                   ) -> tuple[list[tuple[str, int, int, bool]],
-                              dict | None]:
-    return _worker_context.prewarm_shard(shard), TELEMETRY.drain()
+@register_executor("prewarm-shard")
+def _execute_prewarm_shard(payload, env):
+    (shard,) = payload
+    return _env_context(env, DEFAULT_TRACE_CACHE).prewarm_shard(shard)
 
 
 # ----------------------------------------------------------------------
@@ -312,7 +304,7 @@ class SweepResult:
         identical runs — wall-clock, worker count, cache-hit
         provenance — and keeps the full per-point stats in grid order.
         Two runs of the same grid must produce **byte-identical**
-        ledgers regardless of ``jobs`` or store warmth; the
+        ledgers regardless of ``jobs``, backend, or store warmth; the
         determinism test suite pins exactly that.
         """
         from ..uarch.config import canonical_json
@@ -358,7 +350,8 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
                    counters: dict | None = None,
                    limit_insns: int | None = None,
                    shard_by_point: bool = False,
-                   max_cached_traces: int | None = DEFAULT_TRACE_CACHE
+                   max_cached_traces: int | None = DEFAULT_TRACE_CACHE,
+                   backend=None
                    ) -> Iterator[tuple[int, PointResult]]:
     """Execute a sweep grid incrementally, yielding per-point results.
 
@@ -370,17 +363,20 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
     finish (their artifacts still land in the store) while still-
     queued shards are cancelled.
 
-    The generator is fully **re-entrant**: every invocation owns a
-    private :class:`ExecutionContext`, so interleaving two serial
-    sweeps against two different stores (the streaming service's
-    normal mode) keeps their stores, caches, and counters disjoint.
+    ``backend`` selects the execution mechanism: ``None`` auto-picks
+    (inline for serial shapes, a process pool otherwise), a name from
+    :data:`~repro.engine.backend.BACKEND_NAMES` forces one, and a live
+    :class:`~repro.engine.backend.ExecutionBackend` instance (the
+    service's shared socket backend) is used without being closed.
+    Backends never change *what* is planned — ``jobs`` keeps that role
+    — so the yielded results are backend-independent.
 
     ``counters``, if given, is a dict the generator updates in place
     (``points``/``shards``/``emulations``/``simulations``/
     ``trace_cache_hits``/``stats_cache_hits``/``trace_evictions`` —
-    the last counts driver-side LRU evictions, always 0 on the pool
-    path where eviction happens inside workers) — read it after
-    exhausting the iterator for final totals.
+    the last counts inline-execution LRU evictions, always 0 on the
+    pool and workers paths where eviction happens inside workers) —
+    read it after exhausting the iterator for final totals.
 
     ``limit_insns`` simulates only each trace's first N instructions:
     the search engine's successive-halving rungs use this to buy cheap
@@ -422,43 +418,48 @@ def run_sweep_iter(points: list[SweepPoint], jobs: int | None = 1,
             absorbed.append((index, result))
         return absorbed
 
-    if jobs == 1 or len(shards) <= 1:
-        context = ExecutionContext(store_dir, max_cached_traces)
-        for shard in shards:
-            with TELEMETRY.timer("repro_pool_shard_execute_seconds"):
-                shard_out = context.run_shard(shard, limit_insns)
-            # before the yields: a consumer that breaks mid-shard
-            # must still see this shard's evictions
-            counters["trace_evictions"] = context.trace_evictions
-            yield from _absorb(shard_out)
-    else:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
-                                   initializer=_init_worker,
-                                   initargs=(store_dir,
-                                             max_cached_traces),
-                                   **_pool_kwargs())
-        try:
-            futures = [pool.submit(_run_shard, shard, limit_insns,
-                                   time.monotonic_ns())
-                       for shard in shards]
-            for future in as_completed(futures):
-                shard_out, telemetry_snap = future.result()
-                TELEMETRY.merge(telemetry_snap)
+    backend, owned = resolve_backend(backend, jobs=jobs,
+                                     store_dir=store_dir,
+                                     units=len(shards))
+    inline = backend.name == "inline"
+    try:
+        group = backend.group()
+        if backend.parallelism <= 1:
+            # one unit in flight: an abandoned generator stops at its
+            # next shard boundary instead of running the whole grid
+            for shard in shards:
+                group.submit(WorkUnit("sweep-shard",
+                                      (shard, limit_insns,
+                                       max_cached_traces)))
+                _, (shard_out, evictions) = group.wait_any()
+                # before the yields: a consumer that breaks mid-shard
+                # must still see this shard's evictions
+                counters["trace_evictions"] = evictions
                 yield from _absorb(shard_out)
-        finally:
-            # an abandoned generator (early break / close(), or a
-            # cancelled service job) must not run the rest of the
-            # grid: shards already *executing* finish (their
-            # artifacts land in the store), still-queued shards are
-            # cancelled
-            pool.shutdown(wait=True, cancel_futures=True)
+        else:
+            for shard in shards:
+                group.submit(WorkUnit("sweep-shard",
+                                      (shard, limit_insns,
+                                       max_cached_traces)))
+            while group.pending:
+                _, (shard_out, evictions) = group.wait_any()
+                if inline:
+                    counters["trace_evictions"] = evictions
+                yield from _absorb(shard_out)
+    finally:
+        # an abandoned generator (early break / close(), or a
+        # cancelled service job) must not run the rest of the grid:
+        # closing an owned pool cancels its still-queued units
+        if owned:
+            backend.close()
 
 
 def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
               store_dir: str | os.PathLike | None = None,
               progress=None, segment_policy=None,
               max_cached_traces: int | None = DEFAULT_TRACE_CACHE,
-              segment_insns: int | None = None) -> SweepResult:
+              segment_insns: int | None = None,
+              backend=None) -> SweepResult:
     """Execute a sweep grid, optionally in parallel and/or persisted.
 
     Collects :func:`run_sweep_iter` into a :class:`SweepResult` in
@@ -481,7 +482,8 @@ def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
     if segment_policy is not None:
         from .segments import run_segmented_sweep
         return run_segmented_sweep(points, segment_policy, jobs=jobs,
-                                   store_dir=store_dir, progress=progress)
+                                   store_dir=store_dir, progress=progress,
+                                   backend=backend)
     started = time.perf_counter()
     slots: list = [None] * len(points)
     counters: dict = {}
@@ -490,7 +492,8 @@ def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
                                         store_dir=store_dir,
                                         counters=counters,
                                         max_cached_traces=
-                                        max_cached_traces):
+                                        max_cached_traces,
+                                        backend=backend):
         slots[index] = result
         done += 1
         if progress is not None:
@@ -503,7 +506,8 @@ def run_sweep(points: list[SweepPoint], jobs: int | None = 1,
 
 
 def run_trace_prewarm(pairs: list[tuple[str, int]], jobs: int | None,
-                      store_dir: str | os.PathLike) -> dict[str, int]:
+                      store_dir: str | os.PathLike,
+                      backend=None) -> dict[str, int]:
     """Emulate any missing oracle traces in parallel into a store.
 
     Only useful with a persistent store: workers deposit the traces
@@ -515,18 +519,21 @@ def run_trace_prewarm(pairs: list[tuple[str, int]], jobs: int | None,
     store_dir = os.fspath(store_dir)
     shards = [[pair] for pair in dict.fromkeys(pairs)]
     counters = {"traces": len(shards), "emulations": 0}
-    if jobs == 1 or len(shards) <= 1:
-        context = ExecutionContext(store_dir)
-        outs = [context.prewarm_shard(shard) for shard in shards]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
-                                 initializer=_init_worker,
-                                 initargs=(store_dir,),
-                                 **_pool_kwargs()) as pool:
-            outs = []
-            for out, telemetry_snap in pool.map(_prewarm_shard, shards):
-                TELEMETRY.merge(telemetry_snap)
-                outs.append(out)
-    for out in outs:
-        counters["emulations"] += sum(emulated for *_, emulated in out)
+    if not shards:
+        return counters
+    backend, owned = resolve_backend(backend, jobs=jobs,
+                                     store_dir=store_dir,
+                                     units=len(shards))
+    try:
+        group = backend.group()
+        for shard in shards:
+            group.submit(WorkUnit("prewarm-shard", (shard,),
+                                  phase="prewarm"))
+        while group.pending:
+            _, out = group.wait_any()
+            counters["emulations"] += sum(emulated
+                                          for *_, emulated in out)
+    finally:
+        if owned:
+            backend.close()
     return counters

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 from ..uarch.config import MachineConfig, default_config
 from ..workloads import get_workload, suite_workloads
+from .backend import resolve_backend
 from .campaign import SweepPoint, _parse_value, apply_override
 from .events import EvaluationEvent, PointEvent
 from .pool import (DEFAULT_TRACE_CACHE, PointResult, resolve_jobs,
@@ -316,17 +317,18 @@ class Evaluation:
 
 
 class _Evaluator:
-    """Scores candidates through the pool, ledgered in the store."""
+    """Scores candidates through the backend, ledgered in the store."""
 
     def __init__(self, *, workloads: tuple[str, ...],
                  scales: tuple[int, ...], base: MachineConfig,
                  objective, jobs: int, store_dir, progress,
-                 identity: dict, counters: dict):
+                 identity: dict, counters: dict, backend=None):
         self.workloads = workloads
         self.scales = scales
         self.base = base
         self.objective = objective
         self.jobs = jobs
+        self.backend = backend
         self.store_dir = store_dir
         self.progress = progress
         self.identity = identity
@@ -436,7 +438,8 @@ class _Evaluator:
                             variant=candidate.label, config=config))
                         owners.append(batch_index)
             sweep = run_segmented_sweep(points, sample, jobs=self.jobs,
-                                        store_dir=self.store_dir)
+                                        store_dir=self.store_dir,
+                                        backend=self.backend)
             self.counters["emulations"] += \
                 sweep.counters.get("emulations", 0)
             self.counters["simulations"] += \
@@ -488,7 +491,8 @@ class _Evaluator:
                 prewarmed = run_trace_prewarm(
                     [(w, s) for w in self.workloads
                      for s in self.scales],
-                    jobs=self.jobs, store_dir=self.store_dir)
+                    jobs=self.jobs, store_dir=self.store_dir,
+                    backend=self.backend)
                 self.counters["emulations"] += prewarmed["emulations"]
             points, owners = [], []
             for batch_index, candidate in pending:
@@ -512,7 +516,8 @@ class _Evaluator:
                     points, jobs=self.jobs, store_dir=self.store_dir,
                     counters=sweep_counters, limit_insns=limit_insns,
                     shard_by_point=fine,
-                    max_cached_traces=cache_slots):
+                    max_cached_traces=cache_slots,
+                    backend=self.backend):
                 batch_index = owners[index]
                 bucket = gathered[batch_index]
                 bucket.append(result)
@@ -751,7 +756,8 @@ def run_search(space: SearchSpace, *, workloads: tuple[str, ...],
                rung_mode: str = "limit",
                rung_period: int = DEFAULT_RUNG_PERIOD,
                jobs: int | None = 1,
-               store_dir=None, progress=None) -> SearchResult:
+               store_dir=None, progress=None,
+               backend=None) -> SearchResult:
     """Search *space* for the config maximizing *objective*.
 
     ``budget`` caps the number of **candidates considered** (grid:
@@ -766,6 +772,12 @@ def run_search(space: SearchSpace, *, workloads: tuple[str, ...],
     stats *across candidates* (one emulation per workload for the
     whole search, not per evaluation) — only the cross-run resume is
     lost.
+
+    ``backend`` selects the execution mechanism for every evaluation
+    sweep (``None`` auto-picks from ``jobs``; see
+    :func:`repro.engine.backend.resolve_backend`).  The search
+    resolves it **once**, so a process pool's warm workers — or a
+    fleet of socket workers — persist across every rung and batch.
     """
     if strategy not in _STRATEGY_FUNCS:
         raise ValueError(f"unknown strategy {strategy!r}; expected one "
@@ -798,16 +810,21 @@ def run_search(space: SearchSpace, *, workloads: tuple[str, ...],
                 "objective": objective.identity()}
     counters = {"evaluations": 0, "evaluations_reused": 0,
                 "emulations": 0, "simulations": 0, "stats_cache_hits": 0}
+    backend, owned = resolve_backend(backend, jobs=jobs,
+                                     store_dir=store_dir)
     try:
         evaluator = _Evaluator(workloads=workloads, scales=scales,
                                base=base, objective=objective, jobs=jobs,
                                store_dir=store_dir, progress=progress,
-                               identity=identity, counters=counters)
+                               identity=identity, counters=counters,
+                               backend=backend)
         rng = random.Random(seed)
         evaluations = _STRATEGY_FUNCS[strategy](space, evaluator, budget,
                                                 rng, rung_insns,
                                                 rung_mode, rung_period)
     finally:
+        if owned:
+            backend.close()
         if scratch_dir is not None:
             shutil.rmtree(scratch_dir, ignore_errors=True)
     full = [e for e in evaluations if e.full]

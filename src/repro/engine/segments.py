@@ -22,10 +22,12 @@ instruction-count **segments** and simulates them under a
 The emulate and simulate stages are **pipelined**: the serial path
 streams one emulator through the trace and simulates each detailed
 window the moment it materializes (never pickling whole-trace
-artifacts it does not need); the pool path chains per-segment window
-tasks through stored checkpoints and dispatches each segment's
-``(config x segment)`` simulation shard as soon as its columns land,
-rather than after the whole plan.
+artifacts it does not need); the parallel path emits per-segment
+window and ``(config x segment)`` simulation *work units* to an
+:class:`~repro.engine.backend.ExecutionBackend` (a local process pool
+or remote socket workers), chaining window units through stored
+checkpoints and dispatching each segment's simulation shard as soon
+as its columns land, rather than after the whole plan.
 
 Segment boundaries are unchanged from the original planner: each
 segment starts a **cold** microarchitecture (empty caches/predictors)
@@ -42,7 +44,6 @@ import shutil
 import tempfile
 import time
 import zlib
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, fields
 
 from ..functional.emulator import Emulator
@@ -50,13 +51,13 @@ from ..uarch.config import MachineConfig
 from ..uarch.pipeline import simulate_trace
 from ..uarch.stats import _MERGE_MAX_FIELDS, PipelineStats
 from ..workloads import build_program
+from .backend import (ExecutionBackend, WorkUnit, register_executor,
+                      resolve_backend)
 from .campaign import SweepPoint
 from .events import SegmentEvent
 from .pool import PointResult, SweepResult, resolve_jobs
 from .store import ArtifactStore
 from .telemetry import TELEMETRY
-from .workers import (init_store_worker, observe_wait, pool_kwargs,
-                      worker_store)
 
 #: Matches ``workloads.build_trace``'s budget for monolithic emulation.
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000
@@ -446,13 +447,12 @@ def _segment_window(store: ArtifactStore, workload: str, scale: int,
 
 
 # ----------------------------------------------------------------------
-# worker side (module-level so ProcessPoolExecutor can pickle them)
+# unit executors (run wherever the backend puts them)
 # ----------------------------------------------------------------------
 
-def _measure_task(task: tuple[str, int, int],
-                  store: ArtifactStore | None = None,
-                  submitted_ns: int | None = None
-                  ) -> tuple[tuple[str, int, int, int], dict | None]:
+@register_executor("seg-measure")
+def _measure_unit(payload: tuple[str, int, int], env
+                  ) -> tuple[str, int, int, int]:
     """Adaptive sizing's cold-start: learn (and store) a trace's length.
 
     Emulates the whole trace once if the store has neither the oracle
@@ -460,10 +460,8 @@ def _measure_task(task: tuple[str, int, int],
     oracle instead of re-emulating.  Returns ``(workload, scale,
     total_instructions, emulated_instructions)``.
     """
-    pooled = store is None
-    store = store if store is not None else worker_store()
-    observe_wait(submitted_ns, "plan")
-    workload, scale, max_instructions = task
+    store = env.store
+    workload, scale, max_instructions = payload
     with TELEMETRY.timer("repro_segments_plan_seconds"):
         trace = store.load_trace(workload, scale)
         emulated = 0
@@ -477,19 +475,16 @@ def _measure_task(task: tuple[str, int, int],
             TELEMETRY.counter("repro_emu_instructions_total").inc(emulated)
         total = len(trace)
         store.save_trace_info(workload, scale, {"instructions": total})
-    payload = (workload, scale, total, emulated)
-    return payload, (TELEMETRY.drain() if pooled else None)
+    return (workload, scale, total, emulated)
 
 
-def _window_task(task: tuple[str, int, int, int, int],
-                 store: ArtifactStore | None = None,
-                 submitted_ns: int | None = None
-                 ) -> tuple[tuple[str, int, int, int, int, bool],
-                            dict | None]:
+@register_executor("seg-window")
+def _window_unit(payload: tuple[str, int, int, int, int], env
+                 ) -> tuple[str, int, int, int, int, bool]:
     """Emulate one segment window, persisting its trace + checkpoint.
 
-    One link of the pipelined pool driver's emulation chain: restore
-    the boundary checkpoint for *index* (or the nearest earlier one,
+    One link of the pipelined driver's emulation chain: restore the
+    boundary checkpoint for *index* (or the nearest earlier one,
     fast-forwarding the gap), emulate one segment, store it, and
     checkpoint the next boundary.  Returns ``(workload, scale, index,
     window_length, total_instructions_so_far, halted)`` — on halt the
@@ -497,10 +492,8 @@ def _window_task(task: tuple[str, int, int, int, int],
     so a stale short segment left by a killed run can never corrupt
     the plan.
     """
-    pooled = store is None
-    store = store if store is not None else worker_store()
-    observe_wait(submitted_ns, "plan")
-    workload, scale, segment_insns, index, max_instructions = task
+    store = env.store
+    workload, scale, segment_insns, index, max_instructions = payload
     with TELEMETRY.timer("repro_segments_plan_seconds"):
         emulator = Emulator(build_program(workload, scale),
                             max_instructions=max_instructions)
@@ -526,31 +519,26 @@ def _window_task(task: tuple[str, int, int, int, int],
                                       index + 1, emulator.checkpoint())
             TELEMETRY.counter("repro_emu_runs_total").inc()
             TELEMETRY.counter("repro_emu_instructions_total").inc(length)
-    payload = (workload, scale, index, length,
-               emulator.instruction_count, halted)
-    return payload, (TELEMETRY.drain() if pooled else None)
+    return (workload, scale, index, length,
+            emulator.instruction_count, halted)
 
 
-def _simulate_shard(shard: tuple, store: ArtifactStore | None = None,
-                    submitted_ns: int | None = None
-                    ) -> tuple[list, dict | None]:
+@register_executor("seg-shard")
+def _simulate_shard_unit(payload: tuple, env) -> list:
     """Simulate one segment for every config that needs it.
 
-    ``shard`` is ``(workload, scale, segment_insns, seg_index,
+    ``payload`` is ``(workload, scale, segment_insns, seg_index,
     [(point_index, config), ...], lengths | None, warmup_insns)``; the
     segment window is materialized at most once no matter how many
     machine variants consume it, and only if some config actually
     misses the stats cache.  Warmup-extended windows (sampled mode)
     are never persisted as segment stats — they are not the segment's
-    exact stats.  Returns ``([(point_index, seg_index, stats, hit,
-    window_len), ...], telemetry snapshot)`` — the snapshot ships only
-    on the pool path.
+    exact stats.  Returns ``[(point_index, seg_index, stats, hit,
+    window_len), ...]``.
     """
-    pooled = store is None
-    store = store if store is not None else worker_store()
-    observe_wait(submitted_ns, "simulate")
+    store = env.store
     workload, scale, segment_insns, seg_index, items, lengths, warmup = \
-        shard
+        payload
     lengths = None if lengths is None else tuple(lengths)
     persist = warmup == 0
     out = []
@@ -579,7 +567,7 @@ def _simulate_shard(shard: tuple, store: ArtifactStore | None = None,
             else:
                 window_len = segment_insns
             out.append((point_index, seg_index, stats, hit, window_len))
-    return out, (TELEMETRY.drain() if pooled else None)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -849,15 +837,19 @@ class _SegmentedRun:
         if policy.mode == "adaptive":
             info = store.load_trace_info(workload, scale)
             if info is not None:
+                # resolve against self.jobs (not 1): inline execution
+                # of a jobs=N plan must segment exactly like the pool
+                # would, or backends could not be ledger-equivalent
                 segment_insns = policy.resolve(int(info["instructions"]),
-                                               1)
+                                               self.jobs)
             else:
                 pre_trace = store.load_trace(workload, scale)
                 if pre_trace is not None:
                     store.save_trace_info(
                         workload, scale,
                         {"instructions": len(pre_trace)})
-                    segment_insns = policy.resolve(len(pre_trace), 1)
+                    segment_insns = policy.resolve(len(pre_trace),
+                                                   self.jobs)
         else:
             segment_insns = policy.segment_insns
         # Warmup-extended windows are never persisted, so a manifest
@@ -893,7 +885,7 @@ class _SegmentedRun:
             self._count_emulation(len(pre_trace))
             store.save_trace_info(workload, scale,
                                   {"instructions": len(pre_trace)})
-            segment_insns = policy.resolve(len(pre_trace), 1)
+            segment_insns = policy.resolve(len(pre_trace), self.jobs)
         if pre_trace is not None:
             self._serial_from_trace(store, pair, segment_insns, pre_trace)
             return
@@ -989,69 +981,72 @@ class _SegmentedRun:
         # like the warm path does (detailed_indices' last-segment rule)
         self._backfill_missing_detailed(store, pair, plan)
 
-    # -- pool: pipelined emulate chain + dispatch-on-land shards -------
+    # -- parallel: pipelined emulate chain + dispatch-on-land shards ---
 
-    def run_pool(self) -> None:
+    def run_units(self, backend: ExecutionBackend) -> None:
+        """Drive the whole run as work units on *backend*.
+
+        The planner is backend-agnostic: it submits ``seg-measure`` /
+        ``seg-window`` / ``seg-shard`` units to a private group and
+        absorbs results by ticket, so a process pool and a fleet of
+        socket workers produce identical plans and ledgers.
+        """
         store = ArtifactStore(self.store_dir)
-        self._pending: dict = {}
+        self._pending: dict[int, tuple[str, tuple[str, int]]] = {}
         self._chains: dict[tuple[str, int], dict] = {}
-        pool = ProcessPoolExecutor(max_workers=self.jobs,
-                                   initializer=init_store_worker,
-                                   initargs=(self.store_dir,),
-                                   **pool_kwargs())
-        self._pool = pool
-        try:
-            for pair in self.pairs:
-                self._pool_start_pair(store, pair)
-            while self._pending:
-                done, _ = wait(list(self._pending),
-                               return_when=FIRST_COMPLETED)
-                for future in done:
-                    kind, pair = self._pending.pop(future)
-                    payload, snapshot = future.result()
-                    TELEMETRY.merge(snapshot)
-                    if kind == "measure":
-                        self._on_measure(store, payload)
-                    elif kind == "window":
-                        self._on_window(store, pair, payload)
-                    else:
-                        self._on_shard(pair, payload)
-        finally:
-            # a consumer that bails (a cancelled service job raising
-            # from its progress callback) stops near the next
-            # completed unit: running units finish, queued units are
-            # cancelled
-            pool.shutdown(wait=True, cancel_futures=True)
+        self._group = backend.group()
+        # dispatch-on-land sends shards whose window exists only as a
+        # store artifact; that requires executors to see the planner's
+        # artifacts — true for inline/pool (same store directory) and
+        # for socket workers when the backend replicates blobs (it was
+        # built with a store).  A storeless workers backend falls back
+        # to post-plan dispatch, whose shards can re-derive windows.
+        self._landed_ok = (backend.name != "workers"
+                           or getattr(backend, "store_dir", None)
+                           is not None)
+        for pair in self.pairs:
+            self._unit_start_pair(store, pair)
+        while self._pending:
+            ticket, payload = self._group.wait_any()
+            kind, pair = self._pending.pop(ticket)
+            if kind == "measure":
+                self._on_measure(store, payload)
+            elif kind == "window":
+                self._on_window(store, pair, payload)
+            else:
+                self._on_shard(pair, payload)
 
-    def _submit(self, kind: str, pair: tuple[str, int], fn,
-                unit) -> None:
-        future = self._pool.submit(fn, unit, None, time.monotonic_ns())
-        self._pending[future] = (kind, pair)
+    def _submit(self, kind: str, pair: tuple[str, int], unit_kind: str,
+                payload: tuple, phase: str) -> None:
+        ticket = self._group.submit(WorkUnit(unit_kind, payload,
+                                             phase=phase))
+        self._pending[ticket] = (kind, pair)
 
-    def _pool_start_pair(self, store: ArtifactStore,
+    def _unit_start_pair(self, store: ArtifactStore,
                          pair: tuple[str, int]) -> None:
         workload, scale = pair
         if self.policy.mode == "adaptive":
             info = store.load_trace_info(workload, scale)
             if info is None:
-                self._submit("measure", pair, _measure_task,
-                             (workload, scale, self.max_instructions))
+                self._submit("measure", pair, "seg-measure",
+                             (workload, scale, self.max_instructions),
+                             "plan")
                 return
             segment_insns = self.policy.resolve(
                 int(info["instructions"]), self.jobs)
         else:
             segment_insns = self.policy.segment_insns
-        self._pool_plan_pair(store, pair, segment_insns)
+        self._unit_plan_pair(store, pair, segment_insns)
 
     def _on_measure(self, store: ArtifactStore, payload) -> None:
         workload, scale, total, emulated = payload
         if emulated:
             self.counters["emulations"] += 1
             self.counters["emulated_instructions"] += emulated
-        self._pool_plan_pair(store, (workload, scale),
+        self._unit_plan_pair(store, (workload, scale),
                              self.policy.resolve(total, self.jobs))
 
-    def _pool_plan_pair(self, store: ArtifactStore,
+    def _unit_plan_pair(self, store: ArtifactStore,
                         pair: tuple[str, int],
                         segment_insns: int) -> None:
         workload, scale = pair
@@ -1088,9 +1083,9 @@ class _SegmentedRun:
         }
         for index in range(ready):
             self._maybe_dispatch_landed(pair, chain, index)
-        self._submit("window", pair, _window_task,
+        self._submit("window", pair, "seg-window",
                      (workload, scale, segment_insns, ready,
-                      self.max_instructions))
+                      self.max_instructions), "plan")
 
     def _chain_detailed(self, chain: dict, index: int) -> bool:
         if not self.policy.sampled:
@@ -1105,15 +1100,17 @@ class _SegmentedRun:
         the finalized plan's offsets, so sampled-with-warmup shards
         wait for the chain to finish.
         """
+        if not self._landed_ok:
+            return
         if chain["warmup"] > 0 or not self._chain_detailed(chain, index):
             return
         if index in chain["dispatched"]:
             return
         chain["dispatched"].add(index)
         workload, scale = pair
-        self._submit("shard", pair, _simulate_shard,
+        self._submit("shard", pair, "seg-shard",
                      (workload, scale, chain["segment_insns"], index,
-                      self.items[pair], None, 0))
+                      self.items[pair], None, 0), "simulate")
 
     def _on_window(self, store: ArtifactStore, pair: tuple[str, int],
                    payload) -> None:
@@ -1124,9 +1121,9 @@ class _SegmentedRun:
         if length:
             self._maybe_dispatch_landed(pair, chain, index)
         if not halted:
-            self._submit("window", pair, _window_task,
+            self._submit("window", pair, "seg-window",
                          (workload, scale, segment_insns, index + 1,
-                          self.max_instructions))
+                          self.max_instructions), "plan")
             return
         if chain["emulated"]:
             self.counters["emulations"] += 1
@@ -1144,9 +1141,10 @@ class _SegmentedRun:
         for index in self.detailed[pair]:
             if index in already:
                 continue
-            self._submit("shard", pair, _simulate_shard,
+            self._submit("shard", pair, "seg-shard",
                          (pair[0], pair[1], plan.segment_insns, index,
-                          self.items[pair], list(plan.lengths), warmup))
+                          self.items[pair], list(plan.lengths), warmup),
+                         "simulate")
 
     def _on_shard(self, pair: tuple[str, int], payload) -> None:
         for point_index, seg_index, stats, hit, window_len in payload:
@@ -1248,8 +1246,8 @@ def run_segmented_sweep(points: list[SweepPoint],
                         store_dir: str | os.PathLike | None = None,
                         progress=None,
                         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                        *, segment_insns: int | None = None
-                        ) -> SweepResult:
+                        *, segment_insns: int | None = None,
+                        backend=None) -> SweepResult:
     """Execute a sweep grid with intra-workload segment parallelism.
 
     Drop-in alternative to :func:`repro.engine.pool.run_sweep` (same
@@ -1279,19 +1277,32 @@ def run_segmented_sweep(points: list[SweepPoint],
     started = time.perf_counter()
     scratch_dir = None
     if store_dir is None:
-        scratch_dir = tempfile.mkdtemp(prefix="repro-segments-")
-        store_dir = scratch_dir
+        if (isinstance(backend, ExecutionBackend)
+                and backend.store_dir is not None):
+            # share the live backend's store so its workers' blob
+            # replication lands where the planner looks for artifacts
+            store_dir = backend.store_dir
+        else:
+            scratch_dir = tempfile.mkdtemp(prefix="repro-segments-")
+            store_dir = scratch_dir
     store_dir = os.fspath(store_dir)
+    backend, owned = resolve_backend(backend, jobs=jobs,
+                                     store_dir=store_dir)
     try:
         run = _SegmentedRun(points, policy, jobs, store_dir, progress,
                             max_instructions)
-        if jobs == 1 or not run.pairs:
+        if backend.parallelism <= 1 or not run.pairs:
+            # the fused serial path: byte-identical ledger to the unit
+            # path (same policy resolution against the same jobs), one
+            # streaming emulator instead of chained window units
             run.run_serial()
         else:
-            run.run_pool()
+            run.run_units(backend)
         return SweepResult(results=run.reduce(), counters=run.counters,
                            elapsed=time.perf_counter() - started,
                            jobs=jobs)
     finally:
+        if owned:
+            backend.close()
         if scratch_dir is not None:
             shutil.rmtree(scratch_dir, ignore_errors=True)

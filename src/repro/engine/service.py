@@ -51,6 +51,17 @@ token-bucket rate limit — both reject with a 429 carrying
 ``Retry-After``, distinct from the global ``max_active_jobs`` 429.
 With no tokens configured nothing changes: requests are anonymous,
 jobs share the root store, and no per-tenant limit applies.
+
+Execution backends: the manager can hold a live
+:class:`~repro.engine.backend.ExecutionBackend` (``repro serve
+--workers-port`` attaches a :class:`~repro.engine.backend
+.SocketWorkerBackend` whose ``repro worker`` fleet executes every
+job's work units) — job bodies thread it into the engine entry
+points, so one worker fleet serves every concurrent job.  With a
+persistent store the manager also journals each submitted job spec
+under ``<store>/jobs/``; ``repro serve --resume`` re-queues the
+journal's unfinished jobs on restart, and the engine's store
+manifests make the re-run skip everything already computed.
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ import hashlib
 import json
 import math
 import shutil
+import sys
 import tempfile
 import threading
 import time
@@ -68,14 +80,16 @@ import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
+from pathlib import Path
 from typing import AsyncIterator, Callable
 
 from ..uarch.config import default_config
 from ..workloads.synth import FAMILIES
+from .backend import BACKEND_NAMES, ExecutionBackend
 from .campaign import Campaign, parse_axis, split_workloads
 from .differential import DEFAULT_SEGMENT_INSNS, run_fuzz
 from .events import (Event, JobFailedEvent, JobFinishedEvent,
-                     JobStartedEvent, MetricEvent)
+                     JobStartedEvent, MetricEvent, format_event)
 from .pool import resolve_jobs, run_sweep, set_worker_start_method
 from .search import (RUNG_MODES, STRATEGIES, SearchSpace, make_objective,
                      resolve_search_workloads, run_search)
@@ -369,13 +383,13 @@ def _campaign_from_spec(spec: dict) -> Campaign:
 
 
 def _sweep_body(spec: dict, store_dir: str, jobs: int,
-                emit: Callable[[Event], None]) -> dict:
+                emit: Callable[[Event], None], backend=None) -> dict:
     # emit() raises JobCancelled when the cancel flag is set and
     # run_sweep calls it after every completed point, so cancellation
     # needs no extra plumbing here
     points = _campaign_from_spec(spec).points()
     sweep = run_sweep(points, jobs=jobs, store_dir=store_dir,
-                      progress=emit)
+                      progress=emit, backend=backend)
     ledger = sweep.ledger_json()
     return {"points": len(points), "counters": dict(sweep.counters),
             "elapsed_seconds": round(sweep.elapsed, 3),
@@ -385,12 +399,13 @@ def _sweep_body(spec: dict, store_dir: str, jobs: int,
 
 
 def _segments_body(spec: dict, store_dir: str, jobs: int,
-                   emit: Callable[[Event], None]) -> dict:
+                   emit: Callable[[Event], None], backend=None) -> dict:
     # submit-time validation normalized the spec to a policy manifest
     policy = SegmentPolicy.from_manifest(spec["policy"])
     points = _campaign_from_spec(spec).points()
     sweep = run_segmented_sweep(points, policy, jobs=jobs,
-                                store_dir=store_dir, progress=emit)
+                                store_dir=store_dir, progress=emit,
+                                backend=backend)
     ledger = sweep.ledger_json()
     result = {"points": len(points), "counters": dict(sweep.counters),
               "elapsed_seconds": round(sweep.elapsed, 3),
@@ -410,7 +425,7 @@ def _segments_body(spec: dict, store_dir: str, jobs: int,
 
 
 def _search_body(spec: dict, store_dir: str, jobs: int,
-                 emit: Callable[[Event], None]) -> dict:
+                 emit: Callable[[Event], None], backend=None) -> dict:
     space = SearchSpace.from_specs(list(spec["dims"]))
     workloads_spec = spec.get("workloads")
     if isinstance(workloads_spec, str):
@@ -436,7 +451,7 @@ def _search_body(spec: dict, store_dir: str, jobs: int,
         objective=make_objective(spec.get("objective", "geomean-ipc"),
                                  spec.get("weights")),
         seed=int(spec.get("seed", 0)), jobs=jobs, store_dir=store_dir,
-        progress=emit, **kwargs)
+        progress=emit, backend=backend, **kwargs)
     ledger = result.ledger_json()
     return {"best": result.best.candidate.label,
             "score": result.best.score,
@@ -447,7 +462,7 @@ def _search_body(spec: dict, store_dir: str, jobs: int,
 
 
 def _fuzz_body(spec: dict, store_dir: str, jobs: int,
-               emit: Callable[[Event], None]) -> dict:
+               emit: Callable[[Event], None], backend=None) -> dict:
     seeds = spec.get("seeds", [0, 8])
     families = spec.get("families")
     started = time.perf_counter()
@@ -458,7 +473,7 @@ def _fuzz_body(spec: dict, store_dir: str, jobs: int,
         small=bool(spec.get("small", False)),
         segment_insns=int(spec.get("segment_insns",
                                    DEFAULT_SEGMENT_INSNS)),
-        progress=emit)
+        progress=emit, jobs=jobs, backend=backend)
     return {"ok": fuzz.ok, "programs": len(fuzz.programs),
             "failed": len(fuzz.failed),
             "elapsed_seconds": round(time.perf_counter() - started, 3),
@@ -496,13 +511,29 @@ class JobManager:
     Anonymous submissions (``tenant=""`` — the only kind that exists
     when no auth tokens are configured) use the root store and skip
     every per-tenant limit, preserving pre-tenancy behavior exactly.
+
+    ``backend`` attaches a live
+    :class:`~repro.engine.backend.ExecutionBackend` (or a backend
+    name) that every job body threads into the engine — the seam
+    ``serve --workers-port`` uses to put a socket-worker fleet behind
+    every job kind at once.  The manager does not own the backend's
+    lifetime; whoever constructed it closes it.
+
+    With a persistent store every submitted job's spec is journaled
+    under ``<store>/jobs/<id>.json`` and the journal entry removed
+    when the job reaches a terminal state; :meth:`resume_jobs`
+    re-queues whatever a crashed or restarted server left behind
+    (the engine's store manifests make the re-run skip all finished
+    work).  Scratch-store managers journal nothing — their store dies
+    with them anyway.
     """
 
     def __init__(self, store_dir: str | None = None, jobs: int = 1,
                  max_concurrent_jobs: int = 4,
                  max_finished_jobs: int = 64,
                  max_active_jobs: int = 128,
-                 tenant_limits: TenantLimits | None = None):
+                 tenant_limits: TenantLimits | None = None,
+                 backend: ExecutionBackend | str | None = None):
         if max_concurrent_jobs < 1:
             raise ValueError(f"max_concurrent_jobs must be >= 1, "
                              f"got {max_concurrent_jobs}")
@@ -539,8 +570,97 @@ class JobManager:
         self._sequence = 0
         self._changed = asyncio.Event()
         self._tasks: set[asyncio.Task] = set()
+        self._closing = False
         self.tenant_limits = tenant_limits or TenantLimits()
         self._tenants: dict[str, TenantState] = {}
+        if isinstance(backend, str) and backend not in BACKEND_NAMES:
+            raise ValueError(f"unknown backend {backend!r}; expected "
+                             f"one of {', '.join(BACKEND_NAMES)}")
+        if backend == "workers":
+            raise ValueError(
+                "the workers backend needs a live lease server; pass "
+                "a SocketWorkerBackend instance (serve --workers-port "
+                "constructs one)")
+        #: Execution backend threaded into every job body (None =
+        #: auto-pick per run from ``jobs``).  A plain attribute so
+        #: ``run_service`` can attach a socket backend after the
+        #: manager (and its store directory) exists.
+        self.backend: ExecutionBackend | str | None = backend
+
+    # -- the job journal (persistent queue behind serve --resume) ------
+
+    @property
+    def _journal_dir(self) -> Path | None:
+        """Where submitted-but-unfinished job specs persist.
+
+        ``None`` on scratch stores: a journal that cannot outlive the
+        process is pure overhead.
+        """
+        if self._scratch_dir is not None:
+            return None
+        return Path(self.store_dir) / "jobs"
+
+    def _persist_job(self, job: Job) -> None:
+        journal = self._journal_dir
+        if journal is None:
+            return
+        journal.mkdir(parents=True, exist_ok=True)
+        entry = {"kind": job.kind, "name": job.name,
+                 "tenant": job.tenant, "spec": job.spec,
+                 "submitted": _iso8601(job.submitted_wall)}
+        path = journal / f"{job.id}.json"
+        temp = journal / f".{job.id}.json.tmp"
+        temp.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        temp.replace(path)
+
+    def _discard_job(self, job: Job) -> None:
+        journal = self._journal_dir
+        if journal is None:
+            return
+        (journal / f"{job.id}.json").unlink(missing_ok=True)
+
+    async def resume_jobs(self) -> list[Job]:
+        """Re-queue every journaled (i.e. unfinished) job spec.
+
+        The journal holds exactly the jobs a previous server accepted
+        but never finished (terminal jobs delete their entries), so a
+        restart with ``--resume`` picks up where the crash left off —
+        under **new** job ids, since the old ids' event histories died
+        with the old process.  Store manifests and cached stats make
+        the re-run skip everything already computed.  Entries that no
+        longer validate (or overflow a tenant's quota) are dropped
+        with their error recorded, not retried forever.
+        """
+        journal = self._journal_dir
+        if journal is None or not journal.is_dir():
+            return []
+        resumed = []
+        for path in sorted(journal.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text())
+                spec = dict(entry.get("spec") or {})
+                spec["kind"] = entry.get("kind")
+                if entry.get("name"):
+                    spec["name"] = entry["name"]
+                tenant = str(entry.get("tenant") or "")
+            except (json.JSONDecodeError, OSError, AttributeError):
+                path.unlink(missing_ok=True)
+                continue
+            # the stale entry goes first: submit() journals the job
+            # again under its new id
+            path.unlink(missing_ok=True)
+            try:
+                resumed.append(await self.submit(spec, tenant=tenant))
+            except ServiceError as error:
+                TELEMETRY.counter("repro_jobs_resume_dropped_total") \
+                    .inc()
+                print(f"repro serve: dropping journaled job "
+                      f"{path.stem}: {error}", file=sys.stderr,
+                      flush=True)
+        if resumed:
+            TELEMETRY.counter("repro_jobs_resumed_total") \
+                .inc(len(resumed))
+        return resumed
 
     # -- tenancy -------------------------------------------------------
 
@@ -716,6 +836,7 @@ class JobManager:
         job.submitted_wall = time.time()
         self._jobs[job_id] = job
         self._order.append(job_id)
+        self._persist_job(job)
         TELEMETRY.counter("repro_jobs_submitted_total").inc()
         task = asyncio.create_task(self._run(job))
         self._tasks.add(task)
@@ -745,7 +866,7 @@ class JobManager:
                 raise JobCancelled()
             loop.call_soon_threadsafe(self._mark_running, job)
             result = body(job.spec, self.tenant_store_dir(job.tenant),
-                          self.jobs, emit)
+                          self.jobs, emit, self.backend)
             # the byte budget runs here, on the job's own thread: it
             # walks only this tenant's namespace, so a gc triggered by
             # one tenant's job can never touch another tenant's files
@@ -781,6 +902,11 @@ class JobManager:
             TELEMETRY.counter("repro_jobs_finished_total").inc()
             self._append(job, JobFinishedEvent(job=job.id,
                                                result=result))
+        # terminal: the journal must not resubmit this job — except
+        # jobs cancelled *by shutdown*, which are exactly what a
+        # restart with --resume is supposed to pick back up
+        if not (self._closing and job.status == "cancelled"):
+            self._discard_job(job)
         self._prune_finished()
 
     def _record_phases(self, job: Job) -> None:
@@ -888,7 +1014,8 @@ class JobManager:
 
     async def events(self, job_id: str,
                      heartbeat: float | None = None,
-                     tenant: str | None = None
+                     tenant: str | None = None,
+                     from_index: int = 0
                      ) -> AsyncIterator[Event | None]:
         """Replay a job's event history, then tail it live.
 
@@ -900,9 +1027,13 @@ class JobManager:
         seconds pass without an event — the HTTP stream turns those
         into blank keep-alive lines so a client watching a queued or
         slow job can tell "nothing happened yet" from a dead server.
+
+        ``from_index`` skips that many history events — the
+        ``GET .../events?from=N`` resume point a reconnecting
+        ``repro watch`` uses to avoid replaying what it already saw.
         """
         job = self.get(job_id, tenant)
-        index = 0
+        index = max(0, from_index)
         while True:
             waiter = self._changed
             while index < len(job.events):
@@ -945,7 +1076,13 @@ class JobManager:
         return job
 
     async def close(self) -> None:
-        """Cancel everything, stop the executor, drop a scratch store."""
+        """Cancel everything, stop the executor, drop a scratch store.
+
+        Jobs this cancels keep their journal entries: they were
+        stopped by shutdown, not by a client, so a restart with
+        ``--resume`` re-queues them.
+        """
+        self._closing = True
         for job in self._jobs.values():
             if job.status not in TERMINAL_STATES:
                 job.cancel.set()
@@ -1155,8 +1292,18 @@ class ServiceServer:
             return await self._respond(writer, 200, job.summary())
         if len(segments) == 3 and segments[0] == "jobs" \
                 and segments[2] == "events" and method == "GET":
+            params = urllib.parse.parse_qs(query)
+            raw_from = params.get("from", ["0"])[0]
+            try:
+                from_index = int(raw_from)
+                if from_index < 0:
+                    raise ValueError
+            except ValueError:
+                raise ServiceError(f"bad from index {raw_from!r}; "
+                                   f"expected a non-negative integer") \
+                    from None
             return await self._stream_events(segments[1], writer,
-                                             tenant)
+                                             tenant, from_index)
         raise ServiceError(f"no route for {method} {target}",
                            status=404)
 
@@ -1200,7 +1347,8 @@ class ServiceServer:
 
     async def _stream_events(self, job_id: str,
                              writer: asyncio.StreamWriter,
-                             tenant: str | None = None) -> None:
+                             tenant: str | None = None,
+                             from_index: int = 0) -> None:
         self.manager.get(job_id, tenant)  # 404/403 before bytes go out
         head = ("HTTP/1.1 200 OK\r\n"
                 "Content-Type: application/x-ndjson\r\n"
@@ -1211,7 +1359,7 @@ class ServiceServer:
         try:
             async for event in self.manager.events(
                     job_id, heartbeat=self.heartbeat_seconds,
-                    tenant=tenant):
+                    tenant=tenant, from_index=from_index):
                 line = ("\n" if event is None  # keep-alive
                         else event.to_json_line() + "\n")
                 writer.write(line.encode())
@@ -1239,7 +1387,10 @@ async def run_service(store_dir: str | None = None, jobs: int = 1,
                       | None = None,
                       shutdown: asyncio.Event | None = None,
                       auth_tokens: dict[str, str] | None = None,
-                      tenant_limits: TenantLimits | None = None) -> int:
+                      tenant_limits: TenantLimits | None = None,
+                      backend: ExecutionBackend | str | None = None,
+                      workers_port: int | None = None,
+                      resume: bool = False) -> int:
     """Run a manager + HTTP server until *shutdown* (or cancellation).
 
     The coroutine behind ``repro serve``: *announce* is called once
@@ -1249,10 +1400,38 @@ async def run_service(store_dir: str | None = None, jobs: int = 1,
     tests drive it — it stops when the event is set.  *auth_tokens*
     (token -> tenant) switches on bearer auth; *tenant_limits*
     overrides the per-tenant quota/rate/store bounds.
+
+    *workers_port* opens a :class:`~repro.engine.backend
+    .SocketWorkerBackend` lease server on that port (0 = ephemeral) —
+    ``repro worker --connect host:port`` fleets then execute every
+    job's work units, with artifacts replicated against the manager's
+    store; worker lifecycle events are logged on stderr.  *backend*
+    alternatively names ``inline``/``pool`` (or passes a live
+    instance) for every job body.  *resume* re-queues the store
+    journal's unfinished jobs before serving.
     """
     manager = JobManager(store_dir=store_dir, jobs=jobs,
                          max_concurrent_jobs=max_concurrent_jobs,
-                         tenant_limits=tenant_limits)
+                         tenant_limits=tenant_limits, backend=backend)
+    owned_backend = None
+    if workers_port is not None:
+        from .backend import SocketWorkerBackend
+
+        def log_worker_event(event: Event) -> None:
+            print(format_event(event), file=sys.stderr, flush=True)
+
+        # built after the manager so a scratch store still gets
+        # replicated to workers; parallelism comes from --jobs so
+        # plans fan out identically with or without the fleet
+        owned_backend = SocketWorkerBackend(
+            store_dir=manager.store_dir, host=host, port=workers_port,
+            parallelism=resolve_jobs(jobs), on_event=log_worker_event)
+        manager.backend = owned_backend
+        print(f"leasing work units on "
+              f"{owned_backend.host}:{owned_backend.port} (connect "
+              f"workers with: repro worker --connect "
+              f"{owned_backend.host}:{owned_backend.port})",
+              file=sys.stderr, flush=True)
     server = ServiceServer(manager, host=host, port=port,
                            auth_tokens=auth_tokens)
     try:
@@ -1261,6 +1440,13 @@ async def run_service(store_dir: str | None = None, jobs: int = 1,
         actual_port = await server.start()
         if announce is not None:
             announce(host, actual_port, manager.store_dir)
+        if resume:
+            resumed = await manager.resume_jobs()
+            if resumed:
+                print(f"resumed {len(resumed)} unfinished job(s) from "
+                      f"the store journal: "
+                      f"{', '.join(job.id for job in resumed)}",
+                      file=sys.stderr, flush=True)
         if shutdown is not None:
             await shutdown.wait()
         else:
@@ -1270,6 +1456,8 @@ async def run_service(store_dir: str | None = None, jobs: int = 1,
     finally:
         await server.stop()
         await manager.close()
+        if owned_backend is not None:
+            owned_backend.close()
     return 0
 
 
@@ -1343,32 +1531,61 @@ def request_json(url: str, method: str, path: str,
 def watch_job(url: str, job_id: str,
               on_event: Callable[[Event], None],
               timeout: float = 600.0,
-              token: str | None = None) -> Event | None:
+              token: str | None = None,
+              retries: int = 5,
+              backoff: float = 0.25,
+              on_reconnect: Callable[[int, Exception], None]
+              | None = None) -> Event | None:
     """Tail one job's event stream until it ends; returns the last event.
 
     Decodes the JSON-lines stream back into typed events and hands
     each to *on_event*.  Returns the stream's final event (normally
     ``job-finished`` or ``job-failed``), or ``None`` for an empty
     stream.
+
+    A transport error mid-stream (connection reset, timeout) no
+    longer kills the watch: up to *retries* reconnect attempts are
+    made with exponential backoff (capped at 5s), resuming from the
+    last-seen event index via the server's ``?from=`` query so no
+    event is dropped or duplicated.  Receiving an event resets the
+    attempt budget — only consecutive failures exhaust it.  A clean
+    end-of-stream is never retried: the server closed the stream on
+    purpose (terminal event, shutdown), and callers detect the
+    missing terminal event themselves.  *on_reconnect*, when given,
+    observes each retry as ``(attempt, error)``.
     """
+    import http.client
     from .events import event_from_json_line
-    conn, prefix = _connect(url, timeout)
     last: Event | None = None
-    try:
-        conn.request("GET", f"{prefix}/jobs/{job_id}/events",
-                     headers=_auth_headers(token))
-        response = conn.getresponse()
-        if response.status != 200:
-            raise _error_from(response)
-        while True:
-            line = response.readline()
-            if not line:
-                break
-            line = line.decode().strip()
-            if not line:
-                continue
-            last = event_from_json_line(line)
-            on_event(last)
-    finally:
-        conn.close()
-    return last
+    seen = 0
+    attempts = 0
+    while True:
+        conn, prefix = _connect(url, timeout)
+        try:
+            conn.request("GET",
+                         f"{prefix}/jobs/{job_id}/events?from={seen}",
+                         headers=_auth_headers(token))
+            response = conn.getresponse()
+            if response.status != 200:
+                raise _error_from(response)
+            while True:
+                line = response.readline()
+                if not line:
+                    return last
+                line = line.decode().strip()
+                if not line:
+                    continue
+                last = event_from_json_line(line)
+                seen += 1
+                attempts = 0  # progress: a fresh retry budget
+                on_event(last)
+        except (ConnectionError, OSError, http.client.HTTPException) \
+                as exc:
+            attempts += 1
+            if attempts > retries:
+                raise
+            if on_reconnect is not None:
+                on_reconnect(attempts, exc)
+            time.sleep(min(backoff * 2 ** (attempts - 1), 5.0))
+        finally:
+            conn.close()

@@ -91,6 +91,17 @@ TENANTS_DIRNAME = "tenants"
 #: match).
 TENANT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
 
+#: Artifact kinds addressable through the raw-blob replication API
+#: (:meth:`ArtifactStore.blob_ids` and friends) — exactly the store's
+#: per-kind directories.
+BLOB_KINDS = ("traces", "stats", "segments", "checkpoints", "manifests")
+
+#: Every healthy artifact filename is ``<sha256 hex>.pkl|.json``; the
+#: blob API rejects anything else, so a remote peer can never write
+#: outside the store (path traversal) or plant a non-content-addressed
+#: file.
+BLOB_NAME_RE = re.compile(r"^[0-9a-f]{64}\.(pkl|json)$")
+
 
 def validate_tenant_name(tenant: str) -> str:
     """*tenant* if it is a safe store namespace name, else ValueError."""
@@ -475,6 +486,74 @@ class ArtifactStore:
         path = self._manifests / f"{key}.json"
         self._atomic_write(path, canonical_json(manifest).encode())
         return path
+
+    # ------------------------------------------------------------------
+    # raw blobs: content-hash replication (remote worker sync)
+    # ------------------------------------------------------------------
+
+    def _blob_dir(self, kind: str) -> Path:
+        if kind not in BLOB_KINDS:
+            raise ValueError(f"unknown blob kind {kind!r}; "
+                             f"expected one of {list(BLOB_KINDS)}")
+        return {"traces": self._traces, "stats": self._stats,
+                "segments": self._segments,
+                "checkpoints": self._checkpoints,
+                "manifests": self._manifests}[kind]
+
+    @staticmethod
+    def _blob_name(name: str) -> str:
+        if not isinstance(name, str) or not BLOB_NAME_RE.match(name):
+            raise ValueError(f"bad blob name {name!r}: expected "
+                             f"<sha256 hex>.pkl or .json")
+        return name
+
+    def blob_ids(self) -> list[tuple[str, str]]:
+        """Every artifact on disk as sorted ``(kind, filename)`` pairs.
+
+        The filename stem *is* the artifact's content hash, so two
+        stores replicate by exchanging exactly the ids one has and the
+        other lacks — the socket worker backend's push/pull protocol.
+        Writer temp files (dot-prefixed) never match and are excluded.
+        """
+        return sorted(
+            (kind, path.name)
+            for kind in BLOB_KINDS
+            for pattern in ("*.pkl", "*.json")
+            for path in self._blob_dir(kind).glob(pattern)
+            if BLOB_NAME_RE.match(path.name))
+
+    def has_blob(self, kind: str, name: str) -> bool:
+        """Whether one artifact is on disk (no counters, no touch)."""
+        return (self._blob_dir(kind) / self._blob_name(name)).exists()
+
+    def read_blob(self, kind: str, name: str) -> bytes | None:
+        """One artifact's raw bytes, or ``None`` if absent.
+
+        No deserialization: the bytes travel opaque and land verbatim
+        in the peer store, so replication cannot corrupt an artifact
+        it does not understand.
+        """
+        path = self._blob_dir(kind) / self._blob_name(name)
+        try:
+            payload = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        TELEMETRY.counter("repro_store_get_bytes_total").inc(len(payload))
+        self._touch(path)
+        return payload
+
+    def write_blob(self, kind: str, name: str, payload: bytes) -> bool:
+        """Write one raw artifact; returns whether it was new.
+
+        An already-present blob is skipped (content-addressed names
+        make the write idempotent).  Atomic like every other store
+        write, so a concurrent reader never sees a torn artifact.
+        """
+        path = self._blob_dir(kind) / self._blob_name(name)
+        if path.exists():
+            return False
+        self._atomic_write(path, bytes(payload))
+        return True
 
     # ------------------------------------------------------------------
     # maintenance / reporting

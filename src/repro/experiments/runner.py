@@ -25,6 +25,7 @@ import shutil
 import tempfile
 from dataclasses import dataclass
 
+from ..engine.backend import BACKEND_NAMES, ExecutionBackend
 from ..engine.campaign import SweepPoint
 from ..engine.pool import resolve_jobs, run_sweep, run_trace_prewarm
 from ..engine.segments import SegmentPolicy
@@ -45,11 +46,28 @@ _store: ArtifactStore | None = None
 _default_jobs: int = 1
 _segment_policy: SegmentPolicy | None = None
 _scratch_store: ArtifactStore | None = None
+_backend: ExecutionBackend | str | None = None
 
 
 def _policy_token() -> str:
     """The stats-cache key element for the active segment policy."""
     return _segment_policy.token() if _segment_policy is not None else ""
+
+
+def _fans_out(jobs: int) -> bool:
+    """Whether a prewarm would reach more than one execution slot.
+
+    Prewarming only pays off when work actually fans out; otherwise
+    the lazy serial path costs less.  With no configured backend (or
+    an explicit inline one) that is the classic ``jobs > 1`` test; a
+    configured pool fans out by construction, and a live backend
+    instance knows its own parallelism.
+    """
+    if _backend is None or _backend == "inline":
+        return jobs > 1
+    if isinstance(_backend, str):
+        return True
+    return _backend.parallelism > 1
 
 
 def _prewarm_store_dir() -> str:
@@ -72,7 +90,8 @@ def _prewarm_store_dir() -> str:
 def configure(store_dir: str | None = None,
               jobs: int | None = None,
               segment_insns: int | None = None,
-              segment_policy: SegmentPolicy | dict | int | None = None
+              segment_policy: SegmentPolicy | dict | int | None = None,
+              backend: ExecutionBackend | str | None = None
               ) -> None:
     """Set the process-wide artifact store and default parallelism.
 
@@ -81,10 +100,14 @@ def configure(store_dir: str | None = None,
     on segmented simulation under a :class:`SegmentPolicy` (fixed /
     adaptive / sampled — see :mod:`repro.engine.segments`).
     ``segment_insns`` is the deprecated fixed-mode spelling of the
-    same thing.  The CLI calls this once from its global ``--store`` /
-    ``--jobs`` / segmentation options.
+    same thing.  ``backend`` pins the execution backend every engine
+    call routes through: ``"inline"``/``"pool"`` by name, or a live
+    :class:`~repro.engine.backend.ExecutionBackend` instance (the only
+    way to attach socket workers — a ``"workers"`` string has no lease
+    server behind it).  The CLI calls this once from its global
+    ``--store`` / ``--jobs`` / ``--backend`` / segmentation options.
     """
-    global _store, _default_jobs, _segment_policy
+    global _store, _default_jobs, _segment_policy, _backend
     if store_dir is not None:
         _store = ArtifactStore(store_dir)
     if jobs is not None:
@@ -96,6 +119,18 @@ def configure(store_dir: str | None = None,
         segment_policy = segment_insns
     if segment_policy is not None:
         _segment_policy = SegmentPolicy.coerce(segment_policy)
+    if backend is not None:
+        if isinstance(backend, str):
+            if backend not in BACKEND_NAMES:
+                raise ValueError(
+                    f"unknown backend {backend!r}; expected one of "
+                    f"{', '.join(BACKEND_NAMES)}")
+            if backend == "workers":
+                raise ValueError(
+                    "the workers backend needs a live lease server; "
+                    "configure() with a SocketWorkerBackend instance "
+                    "(the CLI's --backend workers does this)")
+        _backend = backend
 
 
 def active_store() -> ArtifactStore | None:
@@ -113,6 +148,11 @@ def default_segment_policy() -> SegmentPolicy | None:
     return _segment_policy
 
 
+def default_backend() -> ExecutionBackend | str | None:
+    """The configured execution backend (None = auto-pick from jobs)."""
+    return _backend
+
+
 def default_segment_insns() -> int | None:
     """Deprecated: the configured fixed segment size, if any.
 
@@ -127,10 +167,13 @@ def clear_caches(*, detach_store: bool = False) -> None:
     """Drop all memoized traces and simulation results.
 
     ``detach_store=True`` additionally forgets the configured store,
-    the scratch store, the default job count, and the segment policy
-    (the scratch directory itself is removed at process exit).
+    the scratch store, the default job count, the segment policy, and
+    the configured backend (the backend is *detached*, not closed —
+    whoever constructed it owns its lifetime; the scratch directory
+    itself is removed at process exit).
     """
-    global _store, _scratch_store, _default_jobs, _segment_policy
+    global _store, _scratch_store, _default_jobs, _segment_policy, \
+        _backend
     _trace_cache.clear()
     _stats_cache.clear()
     if detach_store:
@@ -138,6 +181,7 @@ def clear_caches(*, detach_store: bool = False) -> None:
         _scratch_store = None
         _default_jobs = 1
         _segment_policy = None
+        _backend = None
 
 
 def get_trace(name: str, scale: int = 1) -> PackedTrace:
@@ -203,7 +247,7 @@ def prewarm(names: list[str], configs: list[MachineConfig],
     sweep counters otherwise.
     """
     jobs = _default_jobs if jobs is None else resolve_jobs(jobs)
-    if jobs <= 1:
+    if not _fans_out(jobs):
         return None
     token = _policy_token()
     unique_configs: dict[str, MachineConfig] = {}
@@ -218,7 +262,7 @@ def prewarm(names: list[str], configs: list[MachineConfig],
     if not points:
         return None
     result = run_sweep(points, jobs=jobs, store_dir=_prewarm_store_dir(),
-                       segment_policy=_segment_policy)
+                       segment_policy=_segment_policy, backend=_backend)
     for point_result in result.results:
         point = point_result.point
         _stats_cache[(point.workload, point.scale, point.variant,
@@ -235,14 +279,15 @@ def prewarm_traces(names: list[str], scale: int = 1,
     them up as unpickles instead of emulations.  A no-op with one job.
     """
     jobs = _default_jobs if jobs is None else resolve_jobs(jobs)
-    if jobs <= 1:
+    if not _fans_out(jobs):
         return None
     pairs = [(name, scale) for name in dict.fromkeys(names)
              if (name, scale) not in _trace_cache]
     if not pairs:
         return None
     return run_trace_prewarm(pairs, jobs=jobs,
-                             store_dir=_prewarm_store_dir())
+                             store_dir=_prewarm_store_dir(),
+                             backend=_backend)
 
 
 def speedup(name: str, baseline: MachineConfig, variant: MachineConfig,

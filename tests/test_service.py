@@ -80,10 +80,11 @@ class TestEvents:
             assert decoded.kind == event.kind
 
     def test_every_kind_has_a_distinct_discriminator(self):
-        assert len(EVENT_TYPES) == 8
+        assert len(EVENT_TYPES) == 11
         assert {"point", "evaluation", "segment", "finding", "metric",
-                "job-started", "job-finished",
-                "job-failed"} == set(EVENT_TYPES)
+                "job-started", "job-finished", "job-failed",
+                "worker-joined", "worker-left",
+                "unit-leased"} == set(EVENT_TYPES)
 
     def test_unknown_kind_rejected_unknown_fields_dropped(self):
         with pytest.raises(ValueError, match="unknown event kind"):
@@ -880,6 +881,292 @@ class TestHttpProtocolHardening:
         assert code == 2
         err = capsys.readouterr().err
         assert "ended without a terminal event" in err
+
+
+# ----------------------------------------------------------------------
+# watch reconnect + event-stream resume
+# ----------------------------------------------------------------------
+
+
+def _ndjson_stub(server_sock, lines, requests, reset_after=None):
+    """Answer one GET with *lines* from the ``?from=`` index onward.
+
+    ``reset_after`` truncates the stream after that many lines and
+    aborts the connection with an RST (``SO_LINGER 0``) — the
+    transport failure a mid-stream server death produces, as opposed
+    to the clean FIN of an on-purpose close.
+    """
+    import socket as socket_mod
+    import struct as struct_mod
+    import urllib.parse
+    conn, _ = server_sock.accept()
+    request = b""
+    while b"\r\n\r\n" not in request:
+        request += conn.recv(65536)
+    path = request.split(b" ", 2)[1].decode()
+    requests.append(path)
+    query = urllib.parse.parse_qs(urllib.parse.urlsplit(path).query)
+    start = int(query.get("from", ["0"])[0])
+    conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                 b"Content-Type: application/x-ndjson\r\n"
+                 b"Connection: close\r\n\r\n")
+    for line in lines[start:reset_after]:
+        conn.sendall(line.encode() + b"\n")
+    if reset_after is not None:
+        time.sleep(0.2)  # let the delivered prefix reach the client
+        conn.setsockopt(socket_mod.SOL_SOCKET, socket_mod.SO_LINGER,
+                        struct_mod.pack("ii", 1, 0))
+    conn.close()
+
+
+class TestWatchReconnect:
+    LINES = [
+        '{"kind": "job-started", "job": "j1", "job_kind": "sweep",'
+        ' "name": "j1"}',
+        '{"kind": "point", "label": "a@1/base", "done": 1, "total": 2}',
+        '{"kind": "point", "label": "a@1/opt", "done": 2, "total": 2}',
+        '{"kind": "job-finished", "job": "j1", "result": {}}',
+    ]
+
+    def _stub_server(self, connections):
+        import socket as socket_mod
+        requests = []
+        server_sock = socket_mod.socket()
+        server_sock.bind(("127.0.0.1", 0))
+        server_sock.listen(2)
+        port = server_sock.getsockname()[1]
+
+        def serve():
+            with server_sock:
+                for reset_after in connections:
+                    _ndjson_stub(server_sock, self.LINES, requests,
+                                 reset_after=reset_after)
+
+        worker = threading.Thread(target=serve, daemon=True)
+        worker.start()
+        return port, requests, worker
+
+    def test_watch_resumes_after_mid_stream_reset(self):
+        # first connection dies by RST after two events; the retry
+        # must pick up at ?from=<seen> — every event exactly once
+        port, requests, worker = self._stub_server([2, None])
+        seen = []
+        retries = []
+        last = watch_job(f"http://127.0.0.1:{port}", "j1", seen.append,
+                         timeout=30, backoff=0.01,
+                         on_reconnect=lambda n, exc:
+                         retries.append(n))
+        worker.join(10)
+        assert last is not None and last.kind == "job-finished"
+        assert [e.kind for e in seen] == \
+            ["job-started", "point", "point", "job-finished"]
+        assert retries == [1]
+        assert requests[0].endswith("?from=0")
+        # the resume index equals what the first stream delivered
+        first_served = int(requests[1].rpartition("=")[2])
+        assert first_served == len(
+            [e for e in seen][:first_served])
+        assert 1 <= first_served <= 2
+
+    def test_watch_cli_survives_a_drop_and_exits_0(self, capsys):
+        port, requests, worker = self._stub_server([2, None])
+        code = main(["watch", "j1", "--url",
+                     f"http://127.0.0.1:{port}"])
+        worker.join(10)
+        assert code == 0
+        assert len(requests) == 2
+        err = capsys.readouterr().err
+        assert "reconnecting" in err
+
+    def test_retry_budget_exhausts_to_an_error(self):
+        # every connection dies: after --retries attempts the failure
+        # propagates instead of looping forever
+        port, requests, worker = self._stub_server([1, 1, 1])
+        with pytest.raises((ConnectionError, OSError)):
+            watch_job(f"http://127.0.0.1:{port}", "j1", lambda e: None,
+                      timeout=30, retries=2, backoff=0.01)
+        worker.join(10)
+        assert len(requests) == 3  # initial try + 2 retries
+
+    def test_clean_eof_is_not_retried(self):
+        # a server that closes cleanly without a terminal event (the
+        # truncated-stream case) must NOT trigger reconnects
+        port, requests, worker = self._stub_server([None])
+        seen = []
+        last = watch_job(f"http://127.0.0.1:{port}", "j1", seen.append,
+                         timeout=30, backoff=0.01)
+        worker.join(10)
+        assert last.kind == "job-finished"
+        assert len(requests) == 1
+
+
+class TestEventStreamFromIndex:
+    def test_from_skips_already_seen_events(self, service):
+        created = service.post_job(dict(SWEEP_SPEC))
+        service.wait_status(created["id"])
+        full = service.stream_events(created["id"])
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=120)
+        try:
+            conn.request("GET",
+                         f"/jobs/{created['id']}/events?from=3")
+            response = conn.getresponse()
+            assert response.status == 200
+            raw = response.read().decode()
+        finally:
+            conn.close()
+        tail = [event_from_json_line(line)
+                for line in raw.split("\n") if line]
+        assert tail == full[3:]
+
+    def test_bad_from_index_is_400(self, service):
+        created = service.post_job(dict(SWEEP_SPEC))
+        service.wait_status(created["id"])
+        for bad in ("nan", "-1", "1.5"):
+            conn = http.client.HTTPConnection("127.0.0.1",
+                                              service.port, timeout=30)
+            try:
+                conn.request("GET", f"/jobs/{created['id']}/events"
+                                    f"?from={bad}")
+                assert conn.getresponse().status == 400
+            finally:
+                conn.close()
+
+
+# ----------------------------------------------------------------------
+# the job journal (`serve --resume`)
+# ----------------------------------------------------------------------
+
+
+class TestJobJournal:
+    def _journal(self, store) -> "pathlib.Path":
+        return store / "jobs"
+
+    def test_unfinished_jobs_resume_on_restart(self, tmp_path):
+        # simulate a crashed server: journal an accepted-but-never-
+        # finished job by hand (exactly the file a real crash leaves)
+        store = tmp_path / "store"
+        journal = self._journal(store)
+        journal.mkdir(parents=True)
+        (journal / "j1.json").write_text(json.dumps(
+            {"kind": "sweep", "name": "nightly", "tenant": "",
+             "spec": {k: v for k, v in SWEEP_SPEC.items()
+                      if k != "kind"},
+             "submitted": "2026-08-08T00:00:00.000Z"}))
+
+        async def scenario():
+            manager = JobManager(store_dir=store)
+            try:
+                resumed = await manager.resume_jobs()
+                events = [e async for e in
+                          manager.events(resumed[0].id)]
+            finally:
+                await manager.close()
+            return resumed, events
+
+        resumed, events = asyncio.run(scenario())
+        assert [job.name for job in resumed] == ["nightly"]
+        assert events[-1].kind == "job-finished"
+        assert events[-1].result["ledger"] == \
+            serial_sweep_ledger(tmp_path / "serial")
+        # the entry was consumed: a second restart resumes nothing
+        assert list(journal.glob("*.json")) == []
+
+    def test_finished_jobs_leave_no_journal_entries(self, tmp_path):
+        store = tmp_path / "store"
+
+        async def scenario():
+            manager = JobManager(store_dir=store)
+            try:
+                job = await manager.submit(dict(SWEEP_SPEC))
+                await manager.wait(job.id)
+            finally:
+                await manager.close()
+
+        asyncio.run(scenario())
+        assert list(self._journal(store).glob("*.json")) == []
+
+    def test_shutdown_keeps_running_jobs_journaled(self, tmp_path):
+        # close() cancels running jobs, but a shutdown is not a
+        # verdict: their journal entries must survive for --resume
+        store = tmp_path / "store"
+
+        async def scenario():
+            manager = JobManager(store_dir=store)
+            job = await manager.submit(dict(LONG_FUZZ_SPEC))
+            while job.status == "pending":
+                await asyncio.sleep(0.01)
+            await manager.close()
+            return job
+
+        job = asyncio.run(scenario())
+        assert job.status == "cancelled"
+        entries = list(self._journal(store).glob("*.json"))
+        assert [p.name for p in entries] == [f"{job.id}.json"]
+
+        async def restart():
+            manager = JobManager(store_dir=store)
+            try:
+                return list(await manager.resume_jobs())
+            finally:
+                await manager.close()
+
+        resumed = asyncio.run(restart())
+        assert len(resumed) == 1
+        assert resumed[0].kind == "fuzz"
+
+    def test_client_cancelled_jobs_are_not_resumed(self, tmp_path):
+        # a deliberate DELETE is a verdict; only shutdown-cancelled
+        # jobs keep their entries
+        store = tmp_path / "store"
+
+        async def scenario():
+            manager = JobManager(store_dir=store)
+            try:
+                job = await manager.submit(dict(LONG_FUZZ_SPEC))
+                while job.status == "pending":
+                    await asyncio.sleep(0.01)
+                await manager.cancel(job.id)
+                await manager.wait(job.id)
+            finally:
+                await manager.close()
+
+        asyncio.run(scenario())
+        assert list(self._journal(store).glob("*.json")) == []
+
+    def test_corrupt_and_invalid_entries_are_dropped(self, tmp_path):
+        store = tmp_path / "store"
+        journal = self._journal(store)
+        journal.mkdir(parents=True)
+        (journal / "j1.json").write_text("not json {")
+        (journal / "j2.json").write_text(json.dumps(
+            {"kind": "mine-bitcoin", "name": "", "tenant": "",
+             "spec": {}}))
+
+        async def scenario():
+            manager = JobManager(store_dir=store)
+            try:
+                return await manager.resume_jobs()
+            finally:
+                await manager.close()
+
+        assert asyncio.run(scenario()) == []
+        assert list(journal.glob("*.json")) == []
+
+    def test_scratch_store_resumes_nothing(self):
+        async def scenario():
+            manager = JobManager(store_dir=None)
+            try:
+                await manager.submit(dict(SWEEP_SPEC))
+                return await manager.resume_jobs()
+            finally:
+                await manager.close()
+
+        assert asyncio.run(scenario()) == []
+
+    def test_serve_resume_without_store_is_a_usage_error(self, capsys):
+        assert main(["serve", "--resume", "--port", "0"]) == 2
+        assert "--store" in capsys.readouterr().err
 
 
 class TestMetricsEndpoint:
